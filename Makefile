@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test vet bench figures figures-paper fuzz clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# One iteration of every benchmark, including the figure regenerators
+# and the design-space ablations (reduced inputs).
+bench:
+	go test -bench=. -benchmem -benchtime 1x ./...
+
+# The paper's result figures at reduced scale (fast) and full scale.
+figures:
+	go run ./cmd/figures
+
+figures-paper:
+	go run ./cmd/figures -scale paper -csv results/paper | tee results/figures_paper.txt
+
+# Extended randomized protocol validation.
+fuzz:
+	DRESAR_FUZZ_SEEDS=2000 go test ./internal/core -run TestFuzzProtocol -timeout 30m
+
+clean:
+	go clean ./...

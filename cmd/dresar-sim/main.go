@@ -1,0 +1,122 @@
+// Command dresar-sim runs one scientific workload on the
+// execution-driven CC-NUMA machine and prints the statistics roll-up.
+//
+// Usage:
+//
+//	dresar-sim -app fft [-entries 1024] [-size 16384] [-nodes 16]
+//	           [-policy retry|bitvector] [-pending 0] [-check]
+//
+// -entries 0 runs the base system with no switch directories. -size is
+// the kernel's input parameter (points for FFT, matrix/grid dimension
+// for the others; 0 uses the paper's Table 2 input).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dresar/internal/core"
+	"dresar/internal/sdir"
+	"dresar/internal/workload"
+)
+
+func main() {
+	app := flag.String("app", "fft", "kernel: fft, tc, sor, fwa, gauss")
+	entries := flag.Int("entries", 1024, "switch-directory entries per switch (0 = base system)")
+	size := flag.Int("size", 0, "input size (0 = paper default)")
+	iters := flag.Int("iters", 4, "iterations (SOR only)")
+	nodes := flag.Int("nodes", 16, "node count")
+	radix := flag.Int("radix", 4, "switch ports per side")
+	policy := flag.String("policy", "retry", "read-in-TRANSIENT policy: retry or bitvector")
+	pending := flag.Int("pending", 0, "pending-buffer entries (0 = main array only)")
+	swc := flag.Int("swcache", 0, "switch-cache entries per top switch (0 = off; the conclusion's extension)")
+	check := flag.Bool("check", false, "enable the coherence checker (slower)")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Nodes, cfg.Radix = *nodes, *radix
+	cfg.CheckCoherence = *check
+	if *entries > 0 {
+		cfg = cfg.WithSwitchDir(*entries)
+		switch *policy {
+		case "retry":
+			cfg.SwitchDir.Policy = sdir.PolicyRetry
+		case "bitvector":
+			cfg.SwitchDir.Policy = sdir.PolicyBitVector
+		default:
+			fail(fmt.Errorf("unknown policy %q", *policy))
+		}
+		cfg.SwitchDir.PendingEntries = *pending
+	}
+	if *swc > 0 {
+		cfg = cfg.WithSwitchCache(*swc)
+	}
+
+	var w workload.Workload
+	var err error
+	if *size == 0 && *app != "lu" && *app != "radix" {
+		w, err = workload.ByName(*app, *nodes)
+	} else {
+		n := *size
+		switch *app {
+		case "fft":
+			w = workload.NewFFT(n, *nodes)
+		case "tc":
+			w = workload.NewTC(n, *nodes)
+		case "sor":
+			w = workload.NewSOR(n, *iters, *nodes)
+		case "fwa":
+			w = workload.NewFWA(n, *nodes)
+		case "gauss", "ge":
+			w = workload.NewGauss(n, *nodes)
+		case "lu":
+			if n == 0 {
+				n = 128
+			}
+			w = workload.NewLU(n, 16, *nodes)
+		case "radix":
+			if n == 0 {
+				n = 1 << 16
+			}
+			w = workload.NewRadix(n, 4, *nodes)
+		default:
+			err = fmt.Errorf("unknown kernel %q", *app)
+		}
+	}
+	fail(err)
+
+	m, err := core.New(cfg)
+	fail(err)
+	d, err := workload.NewDriver(m, w)
+	fail(err)
+	s, err := d.Run()
+	fail(err)
+	if *check {
+		fail(m.CheckInvariants())
+	}
+
+	fmt.Printf("app=%s entries=%d nodes=%d policy=%s\n", *app, *entries, *nodes, *policy)
+	fmt.Println(s)
+	if s.ReadMisses > 0 {
+		fmt.Printf("ctocFraction=%.3f switchServedShare=%.3f\n",
+			s.CtoCFraction(), float64(s.ReadCtoCSwitch)/float64(maxu(s.CtoC(), 1)))
+	}
+	fmt.Printf("readLatency: p50<=%d p90<=%d p99<=%d max=%d\n",
+		m.ReadLatHist.Percentile(50), m.ReadLatHist.Percentile(90),
+		m.ReadLatHist.Percentile(99), m.ReadLatHist.Percentile(100))
+}
+
+func maxu(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dresar-sim: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,86 @@
+// Command traceinfo summarizes a memory trace file: per-processor
+// reference counts, load/store mix, distinct blocks and pages, and the
+// block-popularity skew — the statistics the paper's Section 2 trace
+// analysis reports.
+//
+// Usage:
+//
+//	traceinfo -in tpcc.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"dresar/internal/trace"
+)
+
+func main() {
+	in := flag.String("in", "", "trace file (required)")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "traceinfo: -in required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	fail(err)
+	defer f.Close()
+
+	r := trace.NewReader(f)
+	var refs, stores uint64
+	perProc := map[uint8]uint64{}
+	blockRefs := map[uint64]uint64{}
+	pages := map[uint64]bool{}
+	for {
+		rec, err := r.Read()
+		if err != nil {
+			break
+		}
+		refs++
+		if rec.Op == trace.Store {
+			stores++
+		}
+		perProc[rec.Pid]++
+		blockRefs[rec.Addr&^31]++
+		pages[rec.Addr/4096] = true
+	}
+
+	fmt.Printf("references: %d (%.1f%% stores)\n", refs, pct(stores, refs))
+	fmt.Printf("processors: %d\n", len(perProc))
+	fmt.Printf("distinct 32B blocks: %d\n", len(blockRefs))
+	fmt.Printf("distinct 4KB pages:  %d\n", len(pages))
+
+	// Popularity skew: cumulative reference share of the hottest
+	// blocks (the Figure 2 construction over raw references).
+	counts := make([]uint64, 0, len(blockRefs))
+	for _, c := range blockRefs {
+		counts = append(counts, c)
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+	var cum uint64
+	idx := 0
+	fmt.Println("block popularity (cumulative reference share):")
+	for _, p := range []float64{0.01, 0.10, 0.50} {
+		upto := int(p * float64(len(counts)))
+		for ; idx < upto; idx++ {
+			cum += counts[idx]
+		}
+		fmt.Printf("  top %4.0f%% of blocks: %5.1f%% of references\n", p*100, pct(cum, refs))
+	}
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "traceinfo: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,116 @@
+// Package dresar is a from-scratch reproduction of "Using Switch
+// Directories to Speed Up Cache-to-Cache Transfers in CC-NUMA
+// Multiprocessors" (Iyer, Bhuyan, Nanda — IPPS 2000): a CC-NUMA
+// multiprocessor simulator whose two-stage bidirectional MIN can embed
+// a small SRAM directory cache (a *switch directory*, DRESAR) in every
+// crossbar switch. Switch directories capture ownership information
+// from passing write replies and re-route subsequent read requests
+// straight to the owning cache, skipping the home node's slow DRAM
+// directory, its controller occupancy, and the extra network hops.
+//
+// The package is a thin facade over the implementation packages:
+//
+//   - NewMachine builds the execution-driven machine (caches, full-map
+//     home directories, wormhole BMIN, optional DRESAR fabric);
+//   - the five scientific kernels of the paper's evaluation (FFT, TC,
+//     SOR, FWA, GAUSS) are constructed here and executed by NewDriver;
+//   - NewTraceSim builds the trace-driven simulator with the paper's
+//     constant-latency model (Table 3), fed by synthetic TPC-C/TPC-D
+//     traces from NewTPCCTrace/NewTPCDTrace.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured comparison of every figure.
+package dresar
+
+import (
+	"dresar/internal/core"
+	"dresar/internal/trace"
+	"dresar/internal/tracesim"
+	"dresar/internal/workload"
+)
+
+// Execution-driven machine (Table 2 system).
+type (
+	// Config describes an execution-driven machine.
+	Config = core.Config
+	// Machine is one simulated CC-NUMA system.
+	Machine = core.Machine
+	// Stats is the machine-wide statistics roll-up.
+	Stats = core.Stats
+)
+
+// DefaultConfig returns the paper's 16-node Table 2 configuration.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewMachine builds a machine. Use cfg.WithSwitchDir(entries) to embed
+// DRESAR switch directories of the given size in every switch.
+func NewMachine(cfg Config) (*Machine, error) { return core.New(cfg) }
+
+// Workloads.
+type (
+	// Workload is a barrier-phase shared-memory reference generator.
+	Workload = workload.Workload
+	// Driver executes a Workload on a Machine.
+	Driver = workload.Driver
+)
+
+// NewDriver wires a workload onto a machine.
+func NewDriver(m *Machine, w Workload) (*Driver, error) { return workload.NewDriver(m, w) }
+
+// NewFFT builds the n-point six-step FFT for nprocs processors.
+func NewFFT(n, nprocs int) Workload { return workload.NewFFT(n, nprocs) }
+
+// NewSOR builds red-black SOR on a g×g grid for iters iterations.
+func NewSOR(g, iters, nprocs int) Workload { return workload.NewSOR(g, iters, nprocs) }
+
+// NewTC builds Warshall's transitive closure on an n×n matrix.
+func NewTC(n, nprocs int) Workload { return workload.NewTC(n, nprocs) }
+
+// NewFWA builds Floyd-Warshall all-pairs shortest paths on n×n.
+func NewFWA(n, nprocs int) Workload { return workload.NewFWA(n, nprocs) }
+
+// NewGauss builds Gaussian elimination on an n×n matrix.
+func NewGauss(n, nprocs int) Workload { return workload.NewGauss(n, nprocs) }
+
+// NewLU builds blocked LU decomposition (extension kernel, not part of
+// the paper's evaluation) on an n×n matrix with b×b blocks.
+func NewLU(n, b, nprocs int) Workload { return workload.NewLU(n, b, nprocs) }
+
+// NewRadix builds the radix-sort permutation passes (extension
+// kernel): all-to-all scattered writes stressing ownership transfers.
+// keys must be a power of two.
+func NewRadix(keys, passes, nprocs int) Workload { return workload.NewRadix(keys, passes, nprocs) }
+
+// WorkloadByName builds a paper-sized kernel ("fft", "tc", "sor",
+// "fwa", "gauss") for nprocs processors.
+func WorkloadByName(name string, nprocs int) (Workload, error) {
+	return workload.ByName(name, nprocs)
+}
+
+// Trace-driven simulation (Table 3 model).
+type (
+	// TraceConfig mirrors Table 3.
+	TraceConfig = tracesim.Config
+	// TraceSim is the trace-driven simulator.
+	TraceSim = tracesim.Sim
+	// TraceStats is its statistics roll-up.
+	TraceStats = tracesim.Stats
+	// TraceRec is one trace record.
+	TraceRec = trace.Rec
+	// TraceSource yields trace records.
+	TraceSource = trace.Source
+)
+
+// DefaultTraceConfig returns Table 3's parameters.
+func DefaultTraceConfig() TraceConfig { return tracesim.DefaultConfig() }
+
+// NewTraceSim builds a trace-driven simulator. Use
+// cfg.WithSDir(entries) for the switch-directory interconnect.
+func NewTraceSim(cfg TraceConfig) (*TraceSim, error) { return tracesim.New(cfg) }
+
+// NewTPCCTrace returns a synthetic TPC-C-like trace source of the
+// given length, calibrated to the paper's published statistics.
+func NewTPCCTrace(refs uint64) TraceSource { return trace.NewSynth(trace.TPCC(refs)) }
+
+// NewTPCDTrace returns a synthetic TPC-D-like trace source.
+func NewTPCDTrace(refs uint64) TraceSource { return trace.NewSynth(trace.TPCD(refs)) }

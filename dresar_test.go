@@ -1,0 +1,91 @@
+package dresar_test
+
+import (
+	"testing"
+
+	"dresar"
+)
+
+// TestPublicAPIQuickstart exercises the facade exactly as the README
+// quickstart does: base vs switch-directory machine on a small FFT.
+func TestPublicAPIQuickstart(t *testing.T) {
+	run := func(cfg dresar.Config) dresar.Stats {
+		m, err := dresar.NewMachine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := dresar.NewDriver(m, dresar.NewFFT(1024, 16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := d.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	base := run(dresar.DefaultConfig())
+	sd := run(dresar.DefaultConfig().WithSwitchDir(1024))
+	if base.ReadCtoCHome == 0 {
+		t.Fatal("no CtoC traffic in base")
+	}
+	if sd.ReadCtoCSwitch == 0 {
+		t.Fatal("switch directories served nothing")
+	}
+	if sd.Cycles >= base.Cycles {
+		t.Fatalf("no speedup: base=%d sd=%d", base.Cycles, sd.Cycles)
+	}
+}
+
+func TestPublicAPIWorkloadByName(t *testing.T) {
+	for _, name := range []string{"fft", "tc", "sor", "fwa", "gauss"} {
+		w, err := dresar.WorkloadByName(name, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Procs() != 16 || w.Phases() == 0 {
+			t.Fatalf("%s: %d procs %d phases", name, w.Procs(), w.Phases())
+		}
+	}
+	if _, err := dresar.WorkloadByName("nope", 16); err == nil {
+		t.Fatal("bogus workload accepted")
+	}
+}
+
+func TestPublicAPITraceSim(t *testing.T) {
+	s, err := dresar.NewTraceSim(dresar.DefaultTraceConfig().WithSDir(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Run(dresar.NewTPCCTrace(200_000))
+	if st.Refs != 200_000 || st.ReadMisses == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	d, err := dresar.NewTraceSim(dresar.DefaultTraceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := d.Run(dresar.NewTPCDTrace(100_000))
+	if dst.CtoC() == 0 {
+		t.Fatal("TPC-D trace produced no dirty misses")
+	}
+}
+
+func TestPublicAPISwitchCacheExtension(t *testing.T) {
+	cfg := dresar.DefaultConfig().WithSwitchDir(512).WithSwitchCache(256)
+	m, err := dresar.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dresar.NewDriver(m, dresar.NewTC(32, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ReadCleanSwitch == 0 {
+		t.Fatalf("switch cache idle on TC's broadcast rows: %+v", s)
+	}
+}

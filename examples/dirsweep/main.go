@@ -1,0 +1,84 @@
+// Dirsweep reproduces the core of the paper's Figures 8–11 for one
+// scientific kernel: sweep the switch-directory size from 256 to 2048
+// entries and report home-node CtoC transfers, average read latency,
+// read stall time and execution time, each normalized to the base
+// system. The knee around 1K entries — the paper's headline sizing
+// result — is visible directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"dresar"
+)
+
+func main() {
+	app := flag.String("app", "sor", "kernel: fft, tc, sor, fwa, gauss")
+	size := flag.Int("size", 128, "input size (matrix/grid dimension; points for fft)")
+	flag.Parse()
+
+	mk := func() dresar.Workload {
+		switch *app {
+		case "fft":
+			return dresar.NewFFT(*size, 16)
+		case "tc":
+			return dresar.NewTC(*size, 16)
+		case "sor":
+			return dresar.NewSOR(*size, 4, 16)
+		case "fwa":
+			return dresar.NewFWA(*size, 16)
+		case "gauss":
+			return dresar.NewGauss(*size, 16)
+		}
+		log.Fatalf("unknown kernel %q", *app)
+		return nil
+	}
+
+	type row struct {
+		entries                 int
+		homeCtoC, stall, cycles uint64
+		lat                     float64
+	}
+	var rows []row
+	for _, entries := range []int{0, 256, 512, 1024, 2048} {
+		cfg := dresar.DefaultConfig()
+		if entries > 0 {
+			cfg = cfg.WithSwitchDir(entries)
+		}
+		m, err := dresar.NewMachine(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err := dresar.NewDriver(m, mk())
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := d.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{entries, s.ReadCtoCHome, uint64(s.ReadStall), uint64(s.Cycles), s.AvgReadLatency()})
+	}
+
+	base := rows[0]
+	fmt.Printf("%s (n=%d), 16 nodes — normalized to base\n", *app, *size)
+	fmt.Printf("%8s %12s %12s %12s %12s\n", "entries", "homeCtoC", "readLat", "readStall", "execTime")
+	for _, r := range rows {
+		name := fmt.Sprint(r.entries)
+		if r.entries == 0 {
+			name = "base"
+		}
+		fmt.Printf("%8s %12.3f %12.3f %12.3f %12.3f\n", name,
+			norm(r.homeCtoC, base.homeCtoC), r.lat/base.lat,
+			norm(r.stall, base.stall), norm(r.cycles, base.cycles))
+	}
+}
+
+func norm(v, base uint64) float64 {
+	if base == 0 {
+		return 1
+	}
+	return float64(v) / float64(base)
+}

@@ -1,0 +1,57 @@
+// OLTP runs the paper's commercial-workload methodology end to end:
+// generate a synthetic TPC-C-like trace (the stand-in for the IBM
+// COMPASS traces), feed it to the trace-driven simulator with the
+// Table 3 constant-latency model, and compare the base interconnect
+// against switch directories — including the Figure 2 block-skew
+// analysis that motivates the whole idea.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"dresar"
+)
+
+func main() {
+	refs := flag.Uint64("refs", 4_000_000, "trace length in references")
+	workload := flag.String("workload", "tpcc", "tpcc or tpcd")
+	entries := flag.Int("entries", 1024, "switch-directory entries")
+	flag.Parse()
+
+	mkTrace := func() dresar.TraceSource {
+		if *workload == "tpcd" {
+			return dresar.NewTPCDTrace(*refs)
+		}
+		return dresar.NewTPCCTrace(*refs)
+	}
+
+	base, err := dresar.NewTraceSim(dresar.DefaultTraceConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	bst := base.Run(mkTrace())
+
+	sd, err := dresar.NewTraceSim(dresar.DefaultTraceConfig().WithSDir(*entries))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sst := sd.Run(mkTrace())
+
+	fmt.Printf("%s, %d refs, 16 processors, 2MB caches (Table 3 latencies)\n\n", *workload, *refs)
+	fmt.Printf("read misses: %d, of which %.1f%% required cache-to-cache transfers\n",
+		bst.ReadMisses, 100*bst.CtoCFraction())
+	miss, ctoc := base.Profile.CDF([]float64{0.10})
+	fmt.Printf("block skew (Figure 2): top 10%% of blocks carry %.1f%% of misses and %.1f%% of CtoCs\n\n",
+		100*miss[0], 100*ctoc[0])
+
+	fmt.Printf("%-30s %12s %12s\n", "", "base", fmt.Sprintf("sdir(%d)", *entries))
+	fmt.Printf("%-30s %12d %12d\n", "CtoC via home node", bst.CtoCHome, sst.CtoCHome)
+	fmt.Printf("%-30s %12d %12d\n", "CtoC via switch directory", bst.CtoCSwitch, sst.CtoCSwitch)
+	fmt.Printf("%-30s %12.1f %12.1f\n", "avg read latency (cycles)", bst.AvgReadLatency(), sst.AvgReadLatency())
+	fmt.Printf("%-30s %12d %12d\n", "execution time (cycles)", bst.ExecCycles, sst.ExecCycles)
+	fmt.Printf("\nhome-node CtoC reduction:  %.1f%%\n", 100*(1-float64(sst.CtoCHome)/float64(bst.CtoCHome)))
+	fmt.Printf("read latency reduction:    %.1f%%\n", 100*(1-sst.AvgReadLatency()/bst.AvgReadLatency()))
+	fmt.Printf("execution time reduction:  %.1f%%\n", 100*(1-float64(sst.ExecCycles)/float64(bst.ExecCycles)))
+}

@@ -1,0 +1,89 @@
+// Switchlab drives the cycle-accurate flit-level DRESAR switch
+// (internal/flit) directly, printing what happens cycle by cycle:
+// arbitration, wormhole locks, directory snoops, sinks, and link
+// serialization. It is the hardware model of Section 4 made visible —
+// useful for understanding why a read request can be consumed inside
+// the interconnect.
+package main
+
+import (
+	"fmt"
+
+	"dresar/internal/flit"
+	"dresar/internal/mesg"
+)
+
+func main() {
+	// A 4x4 switch with a 2-port directory that sinks read requests to
+	// block 0x40 (pretending the directory holds it MODIFIED at P3).
+	sw := flit.MustNew(flit.Config{
+		Ports:      4,
+		SnoopPorts: 2,
+		Snoop: func(m *mesg.Message) flit.Verdict {
+			sink := m.Kind == mesg.ReadReq && m.Addr == 0x40
+			fmt.Printf("        snoop: %v -> sink=%v\n", m, sink)
+			return flit.Verdict{Sink: sink}
+		},
+	})
+
+	// Three messages arrive together:
+	//  1. a read request to 0x40 (will be sunk and re-routed in a real
+	//     fabric — here we just watch the sink),
+	//  2. a read request to 0x80 (passes),
+	//  3. a 5-flit data reply contending for the same output as (2).
+	msgs := []struct {
+		m   *mesg.Message
+		in  int
+		out int
+	}{
+		{&mesg.Message{ID: 1, Kind: mesg.ReadReq, Addr: 0x40, Src: mesg.P(0), Dst: mesg.M(3)}, 0, 2},
+		{&mesg.Message{ID: 2, Kind: mesg.ReadReq, Addr: 0x80, Src: mesg.P(1), Dst: mesg.M(3)}, 1, 2},
+		{&mesg.Message{ID: 3, Kind: mesg.ReadReply, Addr: 0xC0, Src: mesg.M(2), Dst: mesg.P(0), Data: 7}, 2, 2},
+	}
+	type feed struct {
+		fs []flit.Flit
+		in int
+	}
+	var feeds []feed
+	for _, x := range msgs {
+		feeds = append(feeds, feed{flit.Packetize(x.m, 0, x.out), x.in})
+	}
+
+	fmt.Println("cycle-by-cycle trace of one 4x4 DRESAR switch:")
+	for cycle := 1; cycle <= 60; cycle++ {
+		// Feed one flit per input per cycle while any remain.
+		for i := range feeds {
+			if len(feeds[i].fs) > 0 && sw.Offer(feeds[i].in, 0, feeds[i].fs[0]) {
+				f := feeds[i].fs[0]
+				feeds[i].fs = feeds[i].fs[1:]
+				tag := ""
+				if f.Head {
+					tag = " (head)"
+				} else if f.Tail {
+					tag = " (tail)"
+				}
+				fmt.Printf("%6d  in[%d] <- msg %d flit%s\n", cycle, feeds[i].in, f.MsgID, tag)
+			}
+		}
+		sw.Tick()
+		for o := 0; o < 4; o++ {
+			for _, f := range sw.Collect(o) {
+				tag := ""
+				if f.Head {
+					tag = " (head)"
+				} else if f.Tail {
+					tag = " (tail)"
+				}
+				fmt.Printf("%6d  out[%d] -> msg %d flit%s\n", cycle, o, f.MsgID, tag)
+			}
+		}
+		if sw.Idle() && len(feeds[0].fs)+len(feeds[1].fs)+len(feeds[2].fs) == 0 {
+			fmt.Printf("drained at cycle %d\n", cycle)
+			break
+		}
+	}
+	fmt.Printf("\nstats: %+v\n", sw.Stats)
+	fmt.Println("note: msg 1 was sunk by the switch directory (it never")
+	fmt.Println("appears on an output); msgs 2 and 3 serialized their flits")
+	fmt.Println("over the contended output 2 without interleaving (wormhole).")
+}

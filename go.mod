@@ -1,0 +1,3 @@
+module dresar
+
+go 1.22

@@ -1,0 +1,144 @@
+package cache
+
+// WriteBuffer is the release-consistency store buffer: retired stores
+// wait here while their ownership transactions complete, so the
+// processor only stalls when the buffer is full. Entries are per-block
+// and coalescing (a second store to a pending block folds in).
+type WriteBuffer struct {
+	cap     int
+	order   []uint64          // FIFO of block addresses
+	entries map[uint64]uint64 // block -> newest version to commit
+}
+
+// NewWriteBuffer builds a buffer holding up to capacity blocks.
+func NewWriteBuffer(capacity int) *WriteBuffer {
+	return &WriteBuffer{cap: capacity, entries: make(map[uint64]uint64)}
+}
+
+// Full reports whether a non-coalescing push would stall.
+func (w *WriteBuffer) Full() bool { return len(w.order) >= w.cap }
+
+// Len reports the number of pending blocks.
+func (w *WriteBuffer) Len() int { return len(w.order) }
+
+// Push records a store. It reports false when the buffer is full and
+// the block is not already pending (the processor must stall).
+func (w *WriteBuffer) Push(block, version uint64) bool {
+	if _, ok := w.entries[block]; ok {
+		w.entries[block] = version // coalesce
+		return true
+	}
+	if w.Full() {
+		return false
+	}
+	w.entries[block] = version
+	w.order = append(w.order, block)
+	return true
+}
+
+// Pending returns the buffered version for block, for read forwarding
+// (a load must see the youngest program-order store).
+func (w *WriteBuffer) Pending(block uint64) (uint64, bool) {
+	v, ok := w.entries[block]
+	return v, ok
+}
+
+// ForEach visits pending blocks in FIFO order.
+func (w *WriteBuffer) ForEach(fn func(block, version uint64) bool) {
+	for _, b := range w.order {
+		if !fn(b, w.entries[b]) {
+			return
+		}
+	}
+}
+
+// Remove deletes a specific pending block (out-of-order completion
+// under release consistency).
+func (w *WriteBuffer) Remove(block uint64) {
+	if _, ok := w.entries[block]; !ok {
+		return
+	}
+	delete(w.entries, block)
+	for i, b := range w.order {
+		if b == block {
+			copy(w.order[i:], w.order[i+1:])
+			w.order = w.order[:len(w.order)-1]
+			return
+		}
+	}
+}
+
+// Head returns the oldest pending block without removing it.
+func (w *WriteBuffer) Head() (block, version uint64, ok bool) {
+	if len(w.order) == 0 {
+		return 0, 0, false
+	}
+	b := w.order[0]
+	return b, w.entries[b], true
+}
+
+// PopHead removes the oldest pending block.
+func (w *WriteBuffer) PopHead() {
+	if len(w.order) == 0 {
+		return
+	}
+	delete(w.entries, w.order[0])
+	copy(w.order, w.order[1:])
+	w.order = w.order[:len(w.order)-1]
+}
+
+// VictimBuffer holds dirty blocks evicted from the L2 until the home
+// acknowledges the WriteBack (WBAck). While a block sits here the node
+// can still supply it to a cache-to-cache request, closing the
+// eviction/forwarding race without a protocol NACK. Entries are
+// reference counted: a block can be evicted again before the first
+// writeback is acknowledged, and each WBAck releases one reference.
+type VictimBuffer struct {
+	entries map[uint64]*victimEntry
+}
+
+type victimEntry struct {
+	version uint64
+	refs    int
+}
+
+// NewVictimBuffer returns an empty buffer.
+func NewVictimBuffer() *VictimBuffer {
+	return &VictimBuffer{entries: make(map[uint64]*victimEntry)}
+}
+
+// Put stores an evicted dirty block awaiting WBAck, adding a
+// reference. A newer version overwrites the held one.
+func (v *VictimBuffer) Put(block, version uint64) {
+	e, ok := v.entries[block]
+	if !ok {
+		v.entries[block] = &victimEntry{version: version, refs: 1}
+		return
+	}
+	e.refs++
+	if version > e.version {
+		e.version = version
+	}
+}
+
+// Get returns the version of a resident block.
+func (v *VictimBuffer) Get(block uint64) (uint64, bool) {
+	if e, ok := v.entries[block]; ok {
+		return e.version, true
+	}
+	return 0, false
+}
+
+// Remove releases one reference (on WBAck); the block leaves the
+// buffer when the last reference drops.
+func (v *VictimBuffer) Remove(block uint64) {
+	if e, ok := v.entries[block]; ok {
+		e.refs--
+		if e.refs <= 0 {
+			delete(v.entries, block)
+		}
+	}
+}
+
+// Len reports resident block count.
+func (v *VictimBuffer) Len() int { return len(v.entries) }

@@ -1,0 +1,107 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"dresar/internal/mesg"
+)
+
+func TestCleanRunPasses(t *testing.T) {
+	m := New()
+	rd := &mesg.Message{ID: 1, Kind: mesg.ReadReq, Addr: 0x40, Src: mesg.P(0), Dst: mesg.M(1), Requester: 0}
+	m.Observe("send", 0, rd)
+	m.Observe("deliver", 10, rd)
+	rp := &mesg.Message{ID: 2, Kind: mesg.ReadReply, Addr: 0x40, Src: mesg.M(1), Dst: mesg.P(0)}
+	m.Observe("send", 12, rp)
+	m.Observe("deliver", 20, rp)
+	if err := m.AtQuiesce(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLostRequestDetected(t *testing.T) {
+	m := New()
+	rd := &mesg.Message{ID: 1, Kind: mesg.ReadReq, Addr: 0x40, Src: mesg.P(0), Dst: mesg.M(1)}
+	m.Observe("send", 0, rd)
+	err := m.AtQuiesce()
+	if err == nil || !strings.Contains(err.Error(), "never consumed") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSunkRequestIsConsumed(t *testing.T) {
+	m := New()
+	rd := &mesg.Message{ID: 1, Kind: mesg.ReadReq, Addr: 0x40, Src: mesg.P(0), Dst: mesg.M(1)}
+	m.Observe("send", 0, rd)
+	m.Observe("sink@S1.0", 5, rd)
+	if err := m.AtQuiesce(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnansweredCtoCDetected(t *testing.T) {
+	m := New()
+	fw := &mesg.Message{ID: 3, Kind: mesg.CtoCReq, Addr: 0x40, Src: mesg.M(1), Dst: mesg.P(7), Requester: 2}
+	m.Observe("deliver", 5, fw)
+	err := m.AtQuiesce()
+	if err == nil || !strings.Contains(err.Error(), "ctoc-answer") {
+		t.Fatalf("err = %v", err)
+	}
+	// Answering clears it.
+	m2 := New()
+	m2.Observe("deliver", 5, fw)
+	m2.Observe("send", 6, &mesg.Message{ID: 4, Kind: mesg.CtoCReply, Addr: 0x40, Src: mesg.P(7), Dst: mesg.P(2)})
+	if err := m2.AtQuiesce(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoDataBounceSettlesCtoC(t *testing.T) {
+	m := New()
+	fw := &mesg.Message{ID: 3, Kind: mesg.CtoCReq, Addr: 0x40, Src: mesg.M(1), Dst: mesg.P(7), Requester: 2, Marked: true}
+	m.Observe("deliver", 5, fw)
+	m.Observe("send", 6, &mesg.Message{ID: 5, Kind: mesg.CopyBack, Addr: 0x40, Src: mesg.P(7), Dst: mesg.M(1), NoData: true, Marked: true})
+	if err := m.AtQuiesce(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalAndWritebackObligations(t *testing.T) {
+	m := New()
+	inv := &mesg.Message{ID: 6, Kind: mesg.Inval, Addr: 0x40, Src: mesg.M(1), Dst: mesg.P(3), Requester: 9}
+	m.Observe("deliver", 5, inv)
+	wb := &mesg.Message{ID: 7, Kind: mesg.WriteBack, Addr: 0x80, Src: mesg.P(4), Dst: mesg.M(2), Data: 1}
+	m.Observe("deliver", 6, wb)
+	err := m.AtQuiesce()
+	if err == nil || !strings.Contains(err.Error(), "inval-ack") || !strings.Contains(err.Error(), "writeback-ack") {
+		t.Fatalf("err = %v", err)
+	}
+	m.Observe("send", 8, &mesg.Message{ID: 8, Kind: mesg.InvalAck, Addr: 0x40, Src: mesg.P(3), Dst: mesg.M(1), Requester: 3})
+	m.Observe("send", 9, &mesg.Message{ID: 9, Kind: mesg.WBAck, Addr: 0x80, Src: mesg.M(2), Dst: mesg.P(4)})
+	if err := m.AtQuiesce(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateDeliveryDetected(t *testing.T) {
+	m := New()
+	rp := &mesg.Message{ID: 2, Kind: mesg.ReadReply, Addr: 0x40, Src: mesg.M(1), Dst: mesg.P(0)}
+	m.Observe("send", 0, rp)
+	m.Observe("deliver", 5, rp)
+	m.Observe("deliver", 9, rp)
+	err := m.AtQuiesce()
+	if err == nil || !strings.Contains(err.Error(), "duplicate delivery") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOverSettlingTolerated(t *testing.T) {
+	// An owner answering twice (home forward + switch forward) must
+	// not underflow.
+	m := New()
+	m.Observe("send", 6, &mesg.Message{ID: 4, Kind: mesg.CtoCReply, Addr: 0x40, Src: mesg.P(7), Dst: mesg.P(2)})
+	if err := m.AtQuiesce(); err != nil {
+		t.Fatal(err)
+	}
+}

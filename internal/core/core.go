@@ -1,0 +1,368 @@
+// Package core assembles the full CC-NUMA machine of the paper's
+// evaluation: N nodes (processor, inclusive L1/L2 MSI hierarchy, write
+// buffer) at the bottom rank of a two-stage bidirectional MIN, N home
+// memory modules with full-map directories at the top rank, and —
+// when configured — a DRESAR switch directory in every switch.
+//
+// This is the library's primary entry point: construct a Machine from
+// a Config (Table 2 defaults), issue Read/Write references through the
+// per-processor interface, run the event engine, and collect the
+// statistics that regenerate the paper's figures. An optional
+// coherence checker validates the single-writer and value-coherence
+// invariants on every read and at quiesce points.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"dresar/internal/cache"
+	"dresar/internal/dirctl"
+	"dresar/internal/mesg"
+	"dresar/internal/node"
+	"dresar/internal/sdir"
+	"dresar/internal/sim"
+	"dresar/internal/swcache"
+	"dresar/internal/topo"
+	"dresar/internal/xbar"
+)
+
+// Config describes a machine. The zero value is not usable; start
+// from DefaultConfig.
+type Config struct {
+	Nodes int // processor/memory pairs
+	Radix int // switch ports per side (4 = the paper's 8×8 switch)
+
+	Node node.Config
+	Dir  dirctl.Config
+	Net  xbar.Config
+
+	// SwitchDir enables DRESAR in every switch; nil is the base system.
+	SwitchDir *sdir.Config
+
+	// SwitchCache additionally enables the switch-cache extension
+	// (clean data served from top-stage switches) — the combination
+	// the paper's conclusion proposes. nil disables it.
+	SwitchCache *swcache.Config
+
+	// PageBytes is the home-interleaving granularity: block addresses
+	// map to homes round-robin by page.
+	PageBytes int
+
+	// CheckCoherence enables the shadow checker (tests; costs memory).
+	CheckCoherence bool
+}
+
+// DefaultConfig returns the Table 2 16-node system.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:     16,
+		Radix:     4,
+		Node:      node.DefaultConfig(),
+		Dir:       dirctl.DefaultConfig(),
+		PageBytes: 4096,
+	}
+}
+
+// WithSwitchDir returns a copy of c with a DRESAR fabric of the given
+// entry count (4-way, retry policy — the evaluation's configuration).
+func (c Config) WithSwitchDir(entries int) Config {
+	sd := sdir.DefaultConfig()
+	sd.Entries = entries
+	c.SwitchDir = &sd
+	return c
+}
+
+// WithSwitchCache returns a copy of c with the switch-cache extension
+// holding the given number of clean blocks per top-stage switch.
+func (c Config) WithSwitchCache(entries int) Config {
+	sc := swcache.DefaultConfig()
+	sc.Entries = entries
+	c.SwitchCache = &sc
+	return c
+}
+
+// Machine is one simulated CC-NUMA system.
+type Machine struct {
+	Eng   *sim.Engine
+	Cfg   Config
+	Topo  *topo.T
+	Net   *xbar.Network
+	Nodes []*node.Node
+	Homes []*dirctl.Controller
+	SDir  *sdir.Fabric    // nil in the base system
+	SCa   *swcache.Fabric // nil unless the switch-cache extension is on
+
+	// Profile accumulates per-block (miss, CtoC) counts for Figure 2.
+	Profile *sim.BlockProfile
+	// ReadLatHist is the distribution of completed read latencies
+	// (hits included), for percentile reporting.
+	ReadLatHist sim.Histogram
+
+	version uint64
+	// shadow checker state
+	lastSeen map[uint64]uint64 // (proc<<48|block>>5) -> version observed
+	checkErr error
+}
+
+// New builds a machine.
+func New(cfg Config) (*Machine, error) {
+	tp, err := topo.New(cfg.Nodes, cfg.Radix)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		Eng:     sim.NewEngine(),
+		Cfg:     cfg,
+		Topo:    tp,
+		Profile: sim.NewBlockProfile(),
+	}
+	if cfg.CheckCoherence {
+		m.lastSeen = make(map[uint64]uint64)
+	}
+	netCfg := cfg.Net
+	if cfg.SwitchDir != nil {
+		f, err := sdir.New(tp, *cfg.SwitchDir)
+		if err != nil {
+			return nil, err
+		}
+		m.SDir = f
+		netCfg.Snoop = f
+	}
+	if cfg.SwitchCache != nil {
+		f, err := swcache.New(tp, *cfg.SwitchCache)
+		if err != nil {
+			return nil, err
+		}
+		m.SCa = f
+		if netCfg.Snoop != nil {
+			netCfg.Snoop = swcache.Combined{Dir: netCfg.Snoop, Cache: f}
+		} else {
+			netCfg.Snoop = f
+		}
+	}
+	m.Net = xbar.New(m.Eng, tp, netCfg)
+	m.Nodes = make([]*node.Node, cfg.Nodes)
+	m.Homes = make([]*dirctl.Controller, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		i := i
+		m.Nodes[i] = node.New(m.Eng, i, cfg.Node, m.Net.Send, m.Home, m.stamp)
+		m.Homes[i] = dirctl.New(m.Eng, i, cfg.Dir, m.Net.Send)
+		m.Net.AttachProc(i, m.Nodes[i].Deliver)
+		m.Net.AttachMem(i, m.Homes[i].Handle)
+	}
+	return m, nil
+}
+
+// MustNew panics on error.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Home maps a block address to its home node (page interleaving).
+func (m *Machine) Home(addr uint64) int {
+	return int(addr/uint64(m.Cfg.PageBytes)) % m.Cfg.Nodes
+}
+
+// stamp issues globally monotonic store versions.
+func (m *Machine) stamp() uint64 {
+	m.version++
+	return m.version
+}
+
+// Read issues a blocking load on processor p. done receives the block
+// version and total latency. Per-block profile and coherence checks
+// are applied on completion.
+func (m *Machine) Read(p int, addr uint64, done func(lat sim.Cycle)) {
+	m.Nodes[p].Read(addr, func(v uint64, class node.ReadClass, lat sim.Cycle) {
+		m.ReadLatHist.Observe(uint64(lat))
+		if class != node.ReadHit {
+			block := addr &^ 31
+			ctoc := uint64(0)
+			if class == node.ReadCtoCHome || class == node.ReadCtoCSwitch {
+				ctoc = 1
+			}
+			m.Profile.Add(block, 1, ctoc)
+		}
+		if m.Cfg.CheckCoherence {
+			m.checkRead(p, addr&^31, v)
+		}
+		if done != nil {
+			done(lat)
+		}
+	})
+}
+
+// Write issues a store on processor p. done fires when the store has
+// retired into the write buffer (zero stall unless the buffer is full).
+func (m *Machine) Write(p int, addr uint64, done func(stall sim.Cycle)) {
+	m.Nodes[p].Write(addr, func(v uint64, stall sim.Cycle) {
+		if m.Cfg.CheckCoherence {
+			key := uint64(p)<<48 | (addr&^31)>>5
+			m.lastSeen[key] = v
+		}
+		if done != nil {
+			done(stall)
+		}
+	})
+}
+
+// checkRead enforces per-processor per-block version monotonicity and
+// global boundedness: a read may never travel backwards in time for
+// this processor, nor return a version newer than any issued.
+func (m *Machine) checkRead(p int, block, v uint64) {
+	if m.checkErr != nil {
+		return
+	}
+	if v > m.version {
+		m.checkErr = fmt.Errorf("core: P%d read %#x version %d beyond newest issued %d", p, block, v, m.version)
+		return
+	}
+	key := uint64(p)<<48 | block>>5
+	if prev, ok := m.lastSeen[key]; ok && v < prev {
+		m.checkErr = fmt.Errorf("core: P%d read %#x version %d after observing %d (stale read)", p, block, v, prev)
+		return
+	}
+	m.lastSeen[key] = v
+}
+
+// Run drains the event engine, with a watchdog: if the engine is
+// still busy past maxCycles, it returns an error (likely protocol
+// deadlock or livelock). maxCycles <= 0 means unbounded.
+func (m *Machine) Run(maxCycles sim.Cycle) error {
+	if maxCycles <= 0 {
+		m.Eng.Run(0)
+	} else {
+		m.Eng.Drain(maxCycles)
+		if m.Eng.Pending() > 0 {
+			return fmt.Errorf("core: watchdog: %d events still pending at cycle %d", m.Eng.Pending(), m.Eng.Now())
+		}
+	}
+	return m.checkErr
+}
+
+// Quiesced reports whether the network and all nodes are idle.
+func (m *Machine) Quiesced() bool {
+	if !m.Net.Quiesced() {
+		return false
+	}
+	for _, n := range m.Nodes {
+		if !n.Quiesced() {
+			return false
+		}
+	}
+	return true
+}
+
+// DumpStuck describes outstanding work when the machine fails to
+// quiesce: stuck node transactions, busy home blocks, and TRANSIENT
+// switch-directory entries. For deadlock diagnosis.
+func (m *Machine) DumpStuck() string {
+	var b strings.Builder
+	for _, n := range m.Nodes {
+		if s := n.Outstanding(); s != "" {
+			fmt.Fprintln(&b, s)
+		}
+	}
+	for i, h := range m.Homes {
+		h.ForEachBlock(func(addr uint64, st dirctl.DirState, owner int, sharers uint64, busy bool) {
+			if busy {
+				fmt.Fprintf(&b, "M%d: block %#x busy (st=%v owner=%d)\n", i, addr, st, owner)
+			}
+		})
+	}
+	if m.SDir != nil {
+		for st := 0; st < 2; st++ {
+			count := m.Topo.Leaves
+			if st == 1 {
+				count = m.Topo.Tops
+			}
+			for i := 0; i < count; i++ {
+				sw := topo.SwitchID{Stage: st, Index: i}
+				if n := m.SDir.TransientCount(sw); n > 0 {
+					fmt.Fprintf(&b, "%v: %d TRANSIENT entries\n", sw, n)
+				}
+			}
+		}
+	}
+	return b.String()
+}
+
+// CheckInvariants validates system-wide coherence at a quiesce point:
+//   - at most one Modified copy per block, matching the home's map;
+//   - home sharer vectors are supersets of the actual shared copies;
+//   - every Shared copy's version equals the home memory version, and
+//     a Modified copy's version is no older than memory.
+//
+// Call only when Quiesced() is true.
+func (m *Machine) CheckInvariants() error {
+	if m.checkErr != nil {
+		return m.checkErr
+	}
+	type holder struct {
+		owner    int
+		modified bool
+	}
+	mods := map[uint64]holder{}
+	shared := map[uint64]uint64{} // block -> sharer bit vector (actual)
+	versions := map[uint64]map[int]uint64{}
+	for i, n := range m.Nodes {
+		i := i
+		n.Hier().L2.Lines(func(addr uint64, st cache.State, data uint64) {
+			if versions[addr] == nil {
+				versions[addr] = map[int]uint64{}
+			}
+			versions[addr][i] = data
+			switch st {
+			case cache.Modified:
+				if prev, ok := mods[addr]; ok {
+					m.checkErr = fmt.Errorf("core: block %#x Modified at both P%d and P%d", addr, prev.owner, i)
+					return
+				}
+				mods[addr] = holder{owner: i, modified: true}
+			case cache.Shared:
+				shared[addr] |= 1 << uint(i)
+			}
+		})
+	}
+	if m.checkErr != nil {
+		return m.checkErr
+	}
+	for b, h := range mods {
+		home := m.Homes[m.Home(b)]
+		st, owner, _ := home.State(b)
+		if home.Busy(b) {
+			continue
+		}
+		if st != dirctl.ModifiedSt || owner != h.owner {
+			return fmt.Errorf("core: block %#x Modified at P%d but home says %v owner=%d", b, h.owner, st, owner)
+		}
+		if v := versions[b][h.owner]; v < home.Version(b) {
+			return fmt.Errorf("core: block %#x M copy version %d older than memory %d", b, v, home.Version(b))
+		}
+	}
+	for b, vec := range shared {
+		home := m.Homes[m.Home(b)]
+		if home.Busy(b) {
+			continue
+		}
+		st, _, sharers := home.State(b)
+		if st == dirctl.Uncached {
+			return fmt.Errorf("core: block %#x shared at %b but home says Uncached", b, vec)
+		}
+		if st == dirctl.SharedSt && sharers&vec != vec {
+			return fmt.Errorf("core: block %#x sharers %b not covered by home map %b", b, vec, sharers)
+		}
+		mv := home.Version(b)
+		for _, p := range mesg.SharerList(vec) {
+			if v := versions[b][p]; st == dirctl.SharedSt && v != mv {
+				return fmt.Errorf("core: block %#x S copy at P%d version %d != memory %d", b, p, v, mv)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dresar/internal/mesg"
+	"dresar/internal/sim"
+)
+
+// TestDebugHighOccupancy replays TestStressHighOccupancyHome's seed
+// with a message trace on the block that double-granted ownership.
+func TestDebugHighOccupancy(t *testing.T) {
+	cfg := DefaultConfig().WithSwitchDir(512)
+	cfg.Dir.DRAMCycles = 200
+	cfg.Dir.OccCycles = 50
+	cfg.Dir.PendingCap = 2
+	cfg.CheckCoherence = true
+	m := MustNew(cfg)
+	const watch = uint64(0x6240)
+	var trace []string
+	m.Net.Trace = func(ev string, at sim.Cycle, msg *mesg.Message) {
+		if msg.Addr&^31 == watch {
+			trace = append(trace, fmt.Sprintf("%8d %-14s %v fw=%v nd=%v", at, ev, msg, msg.ForWrite, msg.NoData))
+		}
+	}
+	rng := sim.NewRNG(14)
+	var issue func(p int, left int)
+	issue = func(p int, left int) {
+		if left == 0 {
+			return
+		}
+		addr := uint64(rng.Intn(8)) * 32 * 131
+		if rng.Intn(100) < 35 {
+			m.Write(p, addr, func(stall sim.Cycle) {
+				m.Eng.After(sim.Cycle(rng.Intn(8)+1), func() { issue(p, left-1) })
+			})
+		} else {
+			m.Read(p, addr, func(lat sim.Cycle) {
+				m.Eng.After(sim.Cycle(rng.Intn(8)+1), func() { issue(p, left-1) })
+			})
+		}
+	}
+	for p := 0; p < 16; p++ {
+		issue(p, 150)
+	}
+	err1 := m.Run(200_000_000)
+	err2 := m.CheckInvariants()
+	if err1 != nil || err2 != nil {
+		var p3 []string
+		for _, l := range trace {
+			if strings.Contains(l, "P3 ") || strings.Contains(l, "P3-") || strings.Contains(l, ">P3") || strings.Contains(l, "req=3 ") {
+				p3 = append(p3, l)
+			}
+		}
+		t.Fatalf("run=%v invariants=%v\nP3-related trace for %#x:\n%s", err1, err2, watch, strings.Join(p3, "\n"))
+	}
+}

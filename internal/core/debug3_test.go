@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dresar/internal/mesg"
+	"dresar/internal/sim"
+)
+
+func TestDebugUnmappedSharer(t *testing.T) {
+	cfg := DefaultConfig().WithSwitchDir(1024)
+	cfg.CheckCoherence = true
+	m := MustNew(cfg)
+	const watch = uint64(0x14780)
+	var trace []string
+	m.Net.Trace = func(ev string, at sim.Cycle, msg *mesg.Message) {
+		if msg.Addr&^31 == watch {
+			trace = append(trace, fmt.Sprintf("%8d %-14s %v fw=%v nd=%v sh=%b", at, ev, msg, msg.ForWrite, msg.NoData, msg.Sharers))
+		}
+	}
+	for i := range m.Homes {
+		i := i
+		m.Homes[i].Debug = func(format string, args ...interface{}) {
+			line := fmt.Sprintf(format, args...)
+			if strings.Contains(line, fmt.Sprintf("%#x", watch)) {
+				trace = append(trace, fmt.Sprintf("%8d HOME M%d %s", m.Eng.Now(), i, line))
+			}
+		}
+	}
+	rng := sim.NewRNG(2)
+	var issue func(p int, left int)
+	issue = func(p int, left int) {
+		if left == 0 {
+			return
+		}
+		addr := uint64(rng.Intn(24)) * 32 * 131
+		if rng.Intn(100) < 35 {
+			m.Write(p, addr, func(stall sim.Cycle) {
+				m.Eng.After(sim.Cycle(rng.Intn(8)+1), func() { issue(p, left-1) })
+			})
+		} else {
+			m.Read(p, addr, func(lat sim.Cycle) {
+				m.Eng.After(sim.Cycle(rng.Intn(8)+1), func() { issue(p, left-1) })
+			})
+		}
+	}
+	for p := 0; p < 16; p++ {
+		issue(p, 300)
+	}
+	err1 := m.Run(200_000_000)
+	err2 := m.CheckInvariants()
+	if err1 != nil || err2 != nil {
+		var win []string
+		for _, l := range trace {
+			var at int
+			fmt.Sscanf(l, "%d", &at)
+			if at >= 46300 && at <= 54500 {
+				win = append(win, l)
+			}
+		}
+		t.Fatalf("run=%v inv=%v\nwindow for %#x:\n%s", err1, err2, watch, strings.Join(win, "\n"))
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dresar/internal/mesg"
+	"dresar/internal/sim"
+)
+
+// TestDebugStuckRead replays the failing stress seed with a message
+// trace filtered to the stuck block, to localize protocol hangs. It
+// stays in the suite as a regression canary: it fails if the machine
+// does not quiesce.
+func TestDebugStuckRead(t *testing.T) {
+	cfg := DefaultConfig().WithSwitchDir(1024)
+	cfg.CheckCoherence = true
+	m := MustNew(cfg)
+	const watch = uint64(0x72a0)
+	var trace []string
+	m.Net.Trace = func(ev string, at sim.Cycle, msg *mesg.Message) {
+		if msg.Addr&^31 == watch {
+			trace = append(trace, fmt.Sprintf("%8d %-14s %v", at, ev, msg))
+		}
+	}
+	rng := sim.NewRNG(2)
+	var issue func(p int, left int)
+	issue = func(p int, left int) {
+		if left == 0 {
+			return
+		}
+		addr := uint64(rng.Intn(24)) * 32 * 131
+		if rng.Intn(100) < 35 {
+			m.Write(p, addr, func(stall sim.Cycle) {
+				m.Eng.After(sim.Cycle(rng.Intn(8)+1), func() { issue(p, left-1) })
+			})
+		} else {
+			m.Read(p, addr, func(lat sim.Cycle) {
+				m.Eng.After(sim.Cycle(rng.Intn(8)+1), func() { issue(p, left-1) })
+			})
+		}
+	}
+	for p := 0; p < 16; p++ {
+		issue(p, 300)
+	}
+	if err := m.Run(200_000_000); err != nil {
+		t.Fatalf("%v", err)
+	}
+	if !m.Quiesced() {
+		tail := trace
+		if len(tail) > 60 {
+			tail = tail[len(tail)-60:]
+		}
+		t.Fatalf("not quiesced:\n%s\ntrace tail for %#x:\n%s", m.DumpStuck(), watch, strings.Join(tail, "\n"))
+	}
+}

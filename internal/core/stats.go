@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"dresar/internal/sim"
+)
+
+// Stats is the machine-wide roll-up the figures are built from.
+type Stats struct {
+	Cycles sim.Cycle // execution time (engine clock at collection)
+
+	Reads           uint64
+	ReadMisses      uint64
+	ReadClean       uint64 // misses served from home memory
+	ReadCleanSwitch uint64 // clean misses served by the switch cache extension
+	ReadCtoCHome    uint64 // dirty misses served through the home node
+	ReadCtoCSwitch  uint64 // dirty misses intercepted by switch directories
+	ReadLatency     sim.Cycle
+	CtoCLatency     sim.Cycle // read latency attributable to dirty misses
+	ReadStall       sim.Cycle
+
+	Writes      uint64
+	WriteMisses uint64
+	WriteStall  sim.Cycle
+	Retries     uint64
+
+	HomeCtoCForwards uint64 // Figure 8 numerator
+	HomeReads        uint64
+	HomeOccupancy    uint64
+
+	SDirHits      uint64
+	SDirInserts   uint64
+	SDirRetries   uint64
+	SDirEvictions uint64
+
+	SCacheHits    uint64
+	SCacheInserts uint64
+
+	NetSent     uint64
+	NetFlitHops uint64
+	NetSunk     uint64
+}
+
+// CtoC returns all dirty-miss services (home + switch).
+func (s Stats) CtoC() uint64 { return s.ReadCtoCHome + s.ReadCtoCSwitch }
+
+// CtoCFraction is Figure 1's dirty share of read misses.
+func (s Stats) CtoCFraction() float64 {
+	if s.ReadMisses == 0 {
+		return 0
+	}
+	return float64(s.CtoC()) / float64(s.ReadMisses)
+}
+
+// AvgReadLatency is Figure 9's metric, over all reads (hits included).
+func (s Stats) AvgReadLatency() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.ReadLatency) / float64(s.Reads)
+}
+
+// CtoCLatencyShare is the fraction of total read latency spent on
+// dirty misses — the paper's Section 2 observation that FFT's 65%
+// CtoC miss count becomes a 74% latency component, because dirty
+// misses are 1.5–2x costlier than clean ones.
+func (s Stats) CtoCLatencyShare() float64 {
+	if s.ReadLatency == 0 {
+		return 0
+	}
+	return float64(s.CtoCLatency) / float64(s.ReadLatency)
+}
+
+// Collect gathers the roll-up from every component.
+func (m *Machine) Collect() Stats {
+	var s Stats
+	s.Cycles = m.Eng.Now()
+	for _, n := range m.Nodes {
+		s.Reads += n.Stats.Reads
+		s.ReadMisses += n.Stats.ReadMisses
+		s.ReadClean += n.Stats.ReadClean
+		s.ReadCleanSwitch += n.Stats.ReadCleanSwitch
+		s.ReadCtoCHome += n.Stats.ReadCtoCHome
+		s.ReadCtoCSwitch += n.Stats.ReadCtoCSwitch
+		s.ReadLatency += n.Stats.ReadLatency
+		s.CtoCLatency += n.Stats.CtoCLatency
+		s.ReadStall += n.Stats.ReadStall
+		s.Writes += n.Stats.Writes
+		s.WriteMisses += n.Stats.WriteMisses
+		s.WriteStall += n.Stats.WriteStall
+		s.Retries += n.Stats.Retries
+	}
+	for _, h := range m.Homes {
+		s.HomeCtoCForwards += h.Stats.HomeCtoCForwards
+		s.HomeReads += h.Stats.Reads
+		s.HomeOccupancy += h.Stats.BusyCycles
+	}
+	if m.SDir != nil {
+		s.SDirHits = m.SDir.Stats.Hits
+		s.SDirInserts = m.SDir.Stats.Inserts
+		s.SDirRetries = m.SDir.Stats.RetriesSent
+		s.SDirEvictions = m.SDir.Stats.Evictions
+	}
+	if m.SCa != nil {
+		s.SCacheHits = m.SCa.Stats.Hits
+		s.SCacheInserts = m.SCa.Stats.Inserts
+	}
+	s.NetSent = m.Net.Stats.Sent
+	s.NetFlitHops = m.Net.Stats.FlitHops
+	s.NetSunk = m.Net.Stats.Sunk
+	return s
+}
+
+// String renders a compact human-readable summary.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles=%d reads=%d misses=%d (clean=%d ctocHome=%d ctocSwitch=%d)\n",
+		s.Cycles, s.Reads, s.ReadMisses, s.ReadClean, s.ReadCtoCHome, s.ReadCtoCSwitch)
+	fmt.Fprintf(&b, "avgReadLat=%.1f readStall=%d writes=%d writeMisses=%d writeStall=%d retries=%d\n",
+		s.AvgReadLatency(), s.ReadStall, s.Writes, s.WriteMisses, s.WriteStall, s.Retries)
+	fmt.Fprintf(&b, "homeCtoC=%d sdirHits=%d sdirInserts=%d net={sent=%d sunk=%d}",
+		s.HomeCtoCForwards, s.SDirHits, s.SDirInserts, s.NetSent, s.NetSunk)
+	return b.String()
+}

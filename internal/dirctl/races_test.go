@@ -1,0 +1,159 @@
+package dirctl
+
+import (
+	"testing"
+
+	"dresar/internal/mesg"
+)
+
+// These tests pin the protocol race fixes discovered by the randomized
+// fuzz campaigns (see internal/core.TestFuzzProtocol): each encodes
+// one concrete interleaving as a deterministic regression test.
+
+// A marked copyback generated from the owner's *pre-grant* shared copy
+// (racing its own ownership grant) must not downgrade the Modified
+// block: its recipients are purged instead.
+func TestPreGrantCopyBackPurgesInsteadOfFolding(t *testing.T) {
+	d := newDrig(Config{})
+	// P1 reads (sharer), then upgrades to owner.
+	d.deliver(read(1, 0x40))
+	d.take()
+	d.deliver(write(1, 0x40))
+	d.take()
+	st, owner, _ := d.c.State(0x40)
+	if st != ModifiedSt || owner != 1 {
+		t.Fatalf("setup: %v owner=%d", st, owner)
+	}
+	// A marked copyback from P1 carrying the PRE-GRANT data (memory
+	// version 0): it was generated while P1 still held the shared copy.
+	d.deliver(&mesg.Message{Kind: mesg.CopyBack, Addr: 0x40, Src: mesg.P(1), Dst: mesg.M(0), Requester: 6, Data: 0, Marked: true})
+	out := d.take()
+	// The requester P6 must be purged, and the state must stay M@P1.
+	if len(out) != 1 || out[0].Kind != mesg.Inval || out[0].Dst != mesg.P(6) {
+		t.Fatalf("out = %v", out)
+	}
+	st, owner, _ = d.c.State(0x40)
+	if st != ModifiedSt || owner != 1 {
+		t.Fatalf("pre-grant copyback downgraded the owner: %v owner=%d", st, owner)
+	}
+	// The stray ack is absorbed.
+	d.deliver(&mesg.Message{Kind: mesg.InvalAck, Addr: 0x40, Src: mesg.P(6), Dst: mesg.M(0), Requester: 6})
+}
+
+// A genuine owner downgrade carries the dirty version (newer than
+// memory) and must fold normally.
+func TestGenuineDowngradeFolds(t *testing.T) {
+	d := newDrig(Config{})
+	d.deliver(write(1, 0x40))
+	d.take()
+	d.deliver(&mesg.Message{Kind: mesg.CopyBack, Addr: 0x40, Src: mesg.P(1), Dst: mesg.M(0), Requester: 6, Data: 99, Marked: true})
+	st, _, sharers := d.c.State(0x40)
+	if st != SharedSt || sharers != (1<<1|1<<6) {
+		t.Fatalf("fold failed: %v sharers=%b", st, sharers)
+	}
+	if d.c.Version(0x40) != 99 {
+		t.Fatalf("version = %d", d.c.Version(0x40))
+	}
+}
+
+// A stale-purging marked copyback must still re-drive a stalled read
+// forward (the TRANSIENT entry that produced it sank the forward).
+func TestStalePurgeStillRedrives(t *testing.T) {
+	d := newDrig(Config{})
+	d.deliver(write(1, 0x40)) // P1 owns
+	d.take()
+	d.deliver(read(2, 0x40)) // home forwards to P1, busy
+	out := d.take()
+	if len(out) != 1 || out[0].Kind != mesg.CtoCReq {
+		t.Fatalf("setup forward: %v", out)
+	}
+	if !d.c.Busy(0x40) {
+		t.Fatal("not busy")
+	}
+	// Pre-grant-style marked copyback from P1 (data == memory): the
+	// purge path runs, but the stalled read must be re-driven.
+	d.deliver(&mesg.Message{Kind: mesg.CopyBack, Addr: 0x40, Src: mesg.P(1), Dst: mesg.M(0), Requester: 6, Data: 0, Marked: true})
+	out = d.take()
+	var sawInval, sawForward bool
+	for _, m := range out {
+		switch m.Kind {
+		case mesg.Inval:
+			sawInval = true
+		case mesg.CtoCReq:
+			if m.Requester == 2 {
+				sawForward = true
+			}
+		}
+	}
+	if !sawInval || !sawForward {
+		t.Fatalf("purge+redrive expected, got %v", out)
+	}
+}
+
+// An unmarked copyback from a non-owner (duplicate service race) must
+// not corrupt the Modified state.
+func TestNonOwnerCopyBackPurged(t *testing.T) {
+	d := newDrig(Config{})
+	d.deliver(write(1, 0x40))
+	d.take()
+	d.deliver(&mesg.Message{Kind: mesg.CopyBack, Addr: 0x40, Src: mesg.P(5), Dst: mesg.M(0), Requester: 9, Data: 0})
+	st, owner, _ := d.c.State(0x40)
+	if st != ModifiedSt || owner != 1 {
+		t.Fatalf("non-owner copyback corrupted state: %v owner=%d", st, owner)
+	}
+	out := d.take()
+	// P9 and the non-owner sender P5 are purged.
+	if len(out) != 2 {
+		t.Fatalf("out = %v", out)
+	}
+	for _, m := range out {
+		if m.Kind != mesg.Inval {
+			t.Fatalf("out = %v", out)
+		}
+	}
+}
+
+// A NoData copyback arriving at a busy home re-drives the stalled
+// transaction (its forward was sunk by the now-cleared entry).
+func TestNoDataRedrives(t *testing.T) {
+	d := newDrig(Config{})
+	d.deliver(write(1, 0x40))
+	d.take()
+	d.deliver(read(2, 0x40)) // busy, forward out
+	d.take()
+	d.deliver(&mesg.Message{Kind: mesg.CopyBack, Addr: 0x40, Src: mesg.P(1), Dst: mesg.M(0), Requester: 6, Marked: true, NoData: true})
+	out := d.take()
+	if len(out) != 1 || out[0].Kind != mesg.CtoCReq || out[0].Requester != 2 {
+		t.Fatalf("re-driven forward expected: %v", out)
+	}
+}
+
+// Ownership-transfer completion purges sharers folded in by a
+// concurrent marked transfer before granting exclusivity.
+func TestOwnershipCompletionPurgesLateSharerFolds(t *testing.T) {
+	d := newDrig(Config{})
+	d.deliver(write(1, 0x40)) // P1 owns
+	d.take()
+	d.deliver(write(2, 0x40)) // forward ForWrite to P1, busy
+	d.take()
+	// Concurrent switch-served read folded P9 in (genuine data: newer
+	// than memory).
+	d.deliver(&mesg.Message{Kind: mesg.CopyBack, Addr: 0x40, Src: mesg.P(1), Dst: mesg.M(0), Requester: 9, Data: 50, Marked: true})
+	d.take()
+	// Ownership ack completes P2's write: P9's copy must be purged.
+	d.deliver(&mesg.Message{Kind: mesg.WriteBack, Addr: 0x40, Src: mesg.P(1), Dst: mesg.M(0), ForWrite: true, Requester: 2})
+	out := d.take()
+	var purged bool
+	for _, m := range out {
+		if m.Kind == mesg.Inval && m.Dst == mesg.P(9) {
+			purged = true
+		}
+	}
+	if !purged {
+		t.Fatalf("late sharer not purged: %v", out)
+	}
+	st, owner, _ := d.c.State(0x40)
+	if st != ModifiedSt || owner != 2 {
+		t.Fatalf("grant wrong: %v owner=%d", st, owner)
+	}
+}

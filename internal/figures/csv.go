@@ -1,0 +1,57 @@
+package figures
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SweepCSV renders the raw sweep as machine-readable CSV: one row per
+// (app, entries) cell with every collected metric, plus normalized
+// columns against each app's base run. Feed it to any plotting tool to
+// redraw Figures 8–11.
+func SweepCSV(sweep map[string]map[int]Result) string {
+	var b strings.Builder
+	b.WriteString("app,entries,reads,readMisses,clean,ctocHome,ctocSwitch,avgReadLat,readStall,execCycles,normCtoCHome,normReadLat,normReadStall,normExec\n")
+	apps := make([]string, 0, len(sweep))
+	for app := range sweep {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	for _, app := range apps {
+		row := sweep[app]
+		sizes := make([]int, 0, len(row))
+		for n := range row {
+			sizes = append(sizes, n)
+		}
+		sort.Ints(sizes)
+		base, hasBase := row[0]
+		norm := func(v, bv float64) string {
+			if !hasBase || bv == 0 {
+				return ""
+			}
+			return fmt.Sprintf("%.4f", v/bv)
+		}
+		for _, n := range sizes {
+			r := row[n]
+			fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%d,%d,%.2f,%d,%d,%s,%s,%s,%s\n",
+				r.App, r.Entries, r.Reads, r.ReadMisses, r.Clean, r.CtoCHome, r.CtoCSwitch,
+				r.AvgReadLat, r.ReadStall, r.ExecCycles,
+				norm(float64(r.CtoCHome), float64(base.CtoCHome)),
+				norm(r.AvgReadLat, base.AvgReadLat),
+				norm(float64(r.ReadStall), float64(base.ReadStall)),
+				norm(float64(r.ExecCycles), float64(base.ExecCycles)))
+		}
+	}
+	return b.String()
+}
+
+// Fig2CSV renders the block-skew CDF rows as CSV.
+func Fig2CSV(rows [][3]float64) string {
+	var b strings.Builder
+	b.WriteString("blockFraction,cumMissFraction,cumCtoCFraction\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%.4f,%.4f,%.4f\n", r[0], r[1], r[2])
+	}
+	return b.String()
+}

@@ -1,0 +1,40 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSweepCSV(t *testing.T) {
+	sweep := map[string]map[int]Result{
+		"fft": {
+			0:    {App: "fft", Entries: 0, Reads: 100, CtoCHome: 50, AvgReadLat: 20, ReadStall: 1000, ExecCycles: 9000},
+			1024: {App: "fft", Entries: 1024, Reads: 100, CtoCHome: 25, AvgReadLat: 16, ReadStall: 800, ExecCycles: 8100},
+		},
+	}
+	csv := SweepCSV(sweep)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), csv)
+	}
+	if !strings.HasPrefix(lines[0], "app,entries,") {
+		t.Fatalf("header: %s", lines[0])
+	}
+	if !strings.Contains(lines[2], "0.5000") {
+		t.Fatalf("normalized CtoC missing: %s", lines[2])
+	}
+	if !strings.Contains(lines[2], "0.9000") {
+		t.Fatalf("normalized exec missing: %s", lines[2])
+	}
+}
+
+func TestFig2CSV(t *testing.T) {
+	rows := [][3]float64{{0.1, 0.7, 0.75}, {1.0, 1.0, 1.0}}
+	csv := Fig2CSV(rows)
+	if !strings.Contains(csv, "0.1000,0.7000,0.7500") {
+		t.Fatalf("csv:\n%s", csv)
+	}
+	if len(strings.Split(strings.TrimSpace(csv), "\n")) != 3 {
+		t.Fatalf("csv rows:\n%s", csv)
+	}
+}

@@ -1,0 +1,123 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScientificWorkloadScales(t *testing.T) {
+	for _, app := range []string{"fft", "tc", "sor", "fwa", "gauss"} {
+		for _, sc := range []Scale{ScaleSmall, ScalePaper} {
+			w, err := ScientificWorkload(app, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w.Procs() != 16 {
+				t.Fatalf("%s/%v: procs = %d", app, sc, w.Procs())
+			}
+		}
+	}
+	if _, err := ScientificWorkload("bogus", ScaleSmall); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestRunOneCommercialAndScientific(t *testing.T) {
+	sci, err := RunOne("tc", ScaleSmall, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sci.CtoCSwitch == 0 {
+		t.Fatalf("tc with switch dirs served nothing: %+v", sci)
+	}
+	com, err := RunOne("tpcc", ScaleSmall, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if com.CtoCSwitch == 0 || com.ReadMisses == 0 {
+		t.Fatalf("tpcc: %+v", com)
+	}
+}
+
+func TestFig1SmallShape(t *testing.T) {
+	text, data, err := Fig1(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "Figure 1") {
+		t.Fatal("missing title")
+	}
+	for _, app := range Apps {
+		d, ok := data[app]
+		if !ok {
+			t.Fatalf("missing %s", app)
+		}
+		if d[0]+d[1] < 0.99 || d[0]+d[1] > 1.01 {
+			t.Fatalf("%s fractions do not sum to 1: %v", app, d)
+		}
+		if d[1] <= 0 {
+			t.Fatalf("%s has no dirty misses", app)
+		}
+	}
+	// Shape: FFT is communication-intensive; TPC-D is dirtier than
+	// TPC-C (paper: 62%% vs 38%%).
+	if data["tpcd"][1] <= data["tpcc"][1] {
+		t.Fatalf("TPC-D dirty share (%.2f) must exceed TPC-C (%.2f)", data["tpcd"][1], data["tpcc"][1])
+	}
+	if data["fft"][1] < 0.3 {
+		t.Fatalf("FFT dirty share = %.2f, want communication-intensive", data["fft"][1])
+	}
+}
+
+func TestFig2Monotone(t *testing.T) {
+	text, rows, err := Fig2(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "Figure 2") {
+		t.Fatal("missing title")
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i][1] < rows[i-1][1] || rows[i][2] < rows[i-1][2] {
+			t.Fatalf("CDF not monotone at %d: %v", i, rows)
+		}
+	}
+	last := rows[len(rows)-1]
+	if last[1] < 0.999 || last[2] < 0.999 {
+		t.Fatalf("CDF does not reach 1: %v", last)
+	}
+	// Skew: top 10%% of blocks must carry most CtoCs.
+	for _, r := range rows {
+		if r[0] == 0.10 && r[2] < 0.5 {
+			t.Fatalf("top-10%% CtoC share = %.2f, want skewed", r[2])
+		}
+	}
+}
+
+func TestSweepAndNormalizedFigures(t *testing.T) {
+	// A small two-app, two-size sweep exercises the whole path.
+	sweep, err := Sweep(ScaleSmall, []string{"fft", "tpcc"}, []int{0, 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, render := range []func(map[string]map[int]Result) string{Fig8, Fig9, Fig10, Fig11} {
+		out := render(sweep)
+		if !strings.Contains(out, "fft") || !strings.Contains(out, "tpcc") {
+			t.Fatalf("missing rows:\n%s", out)
+		}
+	}
+	// Shape: switch directories reduce home CtoC on both.
+	for _, app := range []string{"fft", "tpcc"} {
+		base := sweep[app][0]
+		sd := sweep[app][1024]
+		if sd.CtoCHome >= base.CtoCHome {
+			t.Fatalf("%s: home CtoC not reduced: %d -> %d", app, base.CtoCHome, sd.CtoCHome)
+		}
+		if sd.AvgReadLat >= base.AvgReadLat {
+			t.Fatalf("%s: read latency not reduced: %.1f -> %.1f", app, base.AvgReadLat, sd.AvgReadLat)
+		}
+		if sd.ExecCycles >= base.ExecCycles {
+			t.Fatalf("%s: execution time not reduced: %d -> %d", app, base.ExecCycles, sd.ExecCycles)
+		}
+	}
+}

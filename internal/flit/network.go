@@ -1,0 +1,274 @@
+package flit
+
+import (
+	"fmt"
+
+	"dresar/internal/mesg"
+	"dresar/internal/topo"
+)
+
+// Network composes flit-level switches into the two-stage BMIN,
+// wiring leaf up-ports to top down-ports per the topology. It exists
+// for cross-model validation against the message-granularity network
+// (package xbar): identical routes, flit-accurate pipelining. It
+// supports snoop-sinking but not message generation (validation only).
+type Network struct {
+	tp       *topo.T
+	switches []*Switch
+	now      uint64
+
+	// routes maps message ID to its hop list; each switch looks its
+	// own hop up by ordinal.
+	routes map[uint64][]topo.Hop
+	// msgs keeps the message object until delivery (the head flit
+	// carries it through the switches; the network remembers it for
+	// reassembly).
+	msgs map[uint64]*mesg.Message
+
+	// inj is the per-processor/memory injection state: pending flits
+	// and the serialization clock of the injection link.
+	injP, injM []injState
+
+	// linkQ holds flits in transit between switches (wire retiming).
+	linkQ map[linkKey][]Flit
+
+	// assembly gathers delivered flits back into messages.
+	assembly map[uint64]int // msgID -> flits seen
+
+	deliverP, deliverM []func(*mesg.Message)
+
+	Stats NetStats
+}
+
+// NetStats counts network-level events.
+type NetStats struct {
+	Sent       uint64
+	Delivered  uint64
+	FlitsMoved uint64
+}
+
+type injState struct {
+	pending []Flit
+	freeAt  uint64
+}
+
+type linkKey struct {
+	sw   int // downstream switch ordinal
+	port int
+	vc   int
+}
+
+// NetConfig parameterizes the flit network.
+type NetConfig struct {
+	// SnoopPorts and Snoop configure every switch's directory hook
+	// (sink-only; generation is unsupported in the flit model).
+	SnoopPorts int
+	Snoop      func(sw topo.SwitchID, m *mesg.Message) Verdict
+}
+
+// NewNetwork builds the flit-level BMIN for tp.
+func NewNetwork(tp *topo.T, cfg NetConfig) *Network {
+	n := &Network{
+		tp:       tp,
+		routes:   make(map[uint64][]topo.Hop),
+		msgs:     make(map[uint64]*mesg.Message),
+		injP:     make([]injState, tp.Nodes),
+		injM:     make([]injState, tp.Nodes),
+		linkQ:    make(map[linkKey][]Flit),
+		assembly: make(map[uint64]int),
+		deliverP: make([]func(*mesg.Message), tp.Nodes),
+		deliverM: make([]func(*mesg.Message), tp.Nodes),
+	}
+	n.switches = make([]*Switch, tp.NumSwitches())
+	for i := range n.switches {
+		id := n.switchID(i)
+		scfg := Config{Ports: 2 * tp.Radix, SnoopPorts: cfg.SnoopPorts}
+		if cfg.Snoop != nil {
+			scfg.Snoop = func(m *mesg.Message) Verdict { return cfg.Snoop(id, m) }
+		}
+		n.switches[i] = MustNew(scfg)
+	}
+	return n
+}
+
+func (n *Network) switchID(ord int) topo.SwitchID {
+	if ord < n.tp.Leaves {
+		return topo.SwitchID{Stage: 0, Index: ord}
+	}
+	return topo.SwitchID{Stage: 1, Index: ord - n.tp.Leaves}
+}
+
+// AttachProc registers node i's processor-side delivery callback.
+func (n *Network) AttachProc(i int, fn func(*mesg.Message)) { n.deliverP[i] = fn }
+
+// AttachMem registers node i's memory-side delivery callback.
+func (n *Network) AttachMem(i int, fn func(*mesg.Message)) { n.deliverM[i] = fn }
+
+// Send queues m for injection at its source endpoint.
+func (n *Network) Send(m *mesg.Message) {
+	if m.ID == 0 {
+		panic("flit: message needs an ID")
+	}
+	var hops []topo.Hop
+	s, d := m.Src, m.Dst
+	switch {
+	case s.Side == mesg.ProcSide && d.Side == mesg.MemSide:
+		hops = n.tp.Forward(s.Node, d.Node)
+	case s.Side == mesg.MemSide && d.Side == mesg.ProcSide:
+		hops = n.tp.Backward(s.Node, d.Node)
+	default:
+		hops = n.tp.Turnaround(s.Node, d.Node, int(m.Addr>>5))
+	}
+	n.routes[m.ID] = hops
+	n.msgs[m.ID] = m
+	fs := Packetize(m, n.now, int(hops[0].Out))
+	st := &n.injP[s.Node]
+	if s.Side == mesg.MemSide {
+		st = &n.injM[s.Node]
+	}
+	st.pending = append(st.pending, fs...)
+	n.Stats.Sent++
+}
+
+// Tick advances the whole network one cycle.
+func (n *Network) Tick() {
+	n.now++
+	// 1. Injection: one flit per LinkCyclesPerFlit per endpoint link.
+	for i := range n.injP {
+		n.inject(&n.injP[i], mesg.P(i))
+		n.inject(&n.injM[i], mesg.M(i))
+	}
+	// 2. Switches.
+	for _, s := range n.switches {
+		s.Tick()
+	}
+	// 3. Inter-switch links and endpoint delivery.
+	n.moveLinks()
+	// 4. Drain link queues into downstream switch buffers.
+	for k, q := range n.linkQ {
+		for len(q) > 0 {
+			f := q[0]
+			if !n.switches[k.sw].Offer(k.port, k.vc, f) {
+				break
+			}
+			q = q[1:]
+		}
+		if len(q) == 0 {
+			delete(n.linkQ, k)
+		} else {
+			n.linkQ[k] = q
+		}
+	}
+}
+
+// inject pushes the next pending flit onto the first switch.
+func (n *Network) inject(st *injState, end mesg.End) {
+	if len(st.pending) == 0 || st.freeAt > n.now {
+		return
+	}
+	f := st.pending[0]
+	hops := n.routes[f.MsgID]
+	sw := n.switches[n.tp.SwitchOrdinal(hops[0].Sw)]
+	// The head flit carries Msg; body flits reuse the head's VC, which
+	// destination parity determines deterministically per message.
+	vc := n.vcForID(f.MsgID)
+	if !sw.Offer(int(hops[0].In), vc, f) {
+		return // buffer full; retry next cycle
+	}
+	st.pending = st.pending[1:]
+	st.freeAt = n.now + LinkCyclesPerFlit
+	_ = end
+}
+
+// vcForID derives the message's VC from its destination.
+func (n *Network) vcForID(id uint64) int {
+	hops := n.routes[id]
+	last := hops[len(hops)-1]
+	return int(last.Out) % VCs
+}
+
+// moveLinks collects transmitted flits from every switch output and
+// forwards them: to the next switch (re-routed) or to the endpoint.
+func (n *Network) moveLinks() {
+	for ord, s := range n.switches {
+		id := n.switchID(ord)
+		for out := 0; out < 2*n.tp.Radix; out++ {
+			for _, f := range s.Collect(out) {
+				n.Stats.FlitsMoved++
+				n.forward(id, ord, out, f)
+			}
+		}
+	}
+}
+
+// forward routes one flit leaving (switch, out).
+func (n *Network) forward(id topo.SwitchID, ord, out int, f Flit) {
+	hops := n.routes[f.MsgID]
+	// Find this switch's position on the route.
+	idx := -1
+	for i, h := range hops {
+		if h.Sw == id {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 || int(hops[idx].Out) != out {
+		panic(fmt.Sprintf("flit: flit of msg %d left %v port %d off its route %v", f.MsgID, id, out, hops))
+	}
+	if idx == len(hops)-1 {
+		// Endpoint delivery: reassemble the message.
+		n.assembly[f.MsgID]++
+		if f.Tail {
+			n.assembly[f.MsgID] = 0
+			delete(n.assembly, f.MsgID)
+			m := n.msgOf(f.MsgID, hops)
+			n.Stats.Delivered++
+			delete(n.routes, f.MsgID)
+			n.deliver(m, hops[idx])
+		}
+		return
+	}
+	next := hops[idx+1]
+	if f.Head {
+		f.SetOut(int(next.Out))
+	}
+	k := linkKey{sw: n.tp.SwitchOrdinal(next.Sw), port: int(next.In), vc: n.vcForID(f.MsgID)}
+	n.linkQ[k] = append(n.linkQ[k], f)
+}
+
+// msgOf recovers the message object stashed at Send time.
+func (n *Network) msgOf(id uint64, hops []topo.Hop) *mesg.Message {
+	m := n.msgs[id]
+	delete(n.msgs, id)
+	return m
+}
+
+// deliver hands the message to the endpoint past the final hop.
+func (n *Network) deliver(m *mesg.Message, last topo.Hop) {
+	if last.Sw.Stage == 0 {
+		// Leaf down-port: processor endpoint.
+		p := last.Sw.Index*n.tp.Radix + int(last.Out)
+		n.deliverP[p](m)
+		return
+	}
+	mem := last.Sw.Index*n.tp.Radix + int(last.Out) - n.tp.Radix
+	n.deliverM[mem](m)
+}
+
+// Idle reports whether nothing is in flight.
+func (n *Network) Idle() bool {
+	for i := range n.injP {
+		if len(n.injP[i].pending) > 0 || len(n.injM[i].pending) > 0 {
+			return false
+		}
+	}
+	if len(n.linkQ) > 0 {
+		return false
+	}
+	for _, s := range n.switches {
+		if !s.Idle() {
+			return false
+		}
+	}
+	return true
+}

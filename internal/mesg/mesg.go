@@ -1,0 +1,220 @@
+// Package mesg defines the coherence messages that flow through the
+// DRESAR interconnect, their flit-level sizes, and the endpoint
+// addressing scheme used by the bidirectional MIN.
+//
+// The message vocabulary is Table 1 of the paper (ReadRequest,
+// WriteRequest, WriteReply, CtoC_Request, CopyBack, WriteBack, Retry)
+// plus the supporting messages any full-map MSI protocol needs
+// (ReadReply, CtoCReply, Inval, InvalAck, WBAck, Nack). Messages
+// generated or rewritten by a switch directory are tagged with a
+// single marked bit in the header flit, exactly as in the paper, so
+// cache and directory controllers can distinguish them.
+package mesg
+
+import "fmt"
+
+// Kind enumerates message types.
+type Kind uint8
+
+// Message kinds. The first seven are Table 1 of the paper.
+const (
+	// ReadReq is a load miss travelling to the home memory (forward).
+	ReadReq Kind = iota
+	// WriteReq is a store miss / ownership request to the home (forward).
+	WriteReq
+	// WriteReply carries data + ownership from home to a writer
+	// (backward). Switch directories insert a MODIFIED entry for the
+	// block as this message passes.
+	WriteReply
+	// CtoCReq asks the owner cache to supply a dirty block. The home
+	// (or a switch directory, when marked) forwards it along the
+	// backward path toward the owner's processor port.
+	CtoCReq
+	// CopyBack carries dirty data from the owner to the home after a
+	// cache-to-cache read, keeping memory consistent (forward).
+	CopyBack
+	// WriteBack carries a replaced dirty block to the home (forward).
+	WriteBack
+	// Retry tells a requester to re-issue (backward).
+	Retry
+
+	// ReadReply carries clean data from home to a reader (backward).
+	ReadReply
+	// CtoCReply carries dirty data from the owner cache to the
+	// requesting cache (processor-to-processor turnaround route).
+	CtoCReply
+	// Inval invalidates a shared copy (home to sharer, backward).
+	Inval
+	// InvalAck acknowledges an invalidation (sharer to home, forward).
+	InvalAck
+	// WBAck acknowledges a WriteBack so the evicting cache can release
+	// its outbound victim buffer entry (backward).
+	WBAck
+	// Nack rejects a request that raced with a conflicting transaction;
+	// the requester re-issues (backward).
+	Nack
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"ReadReq", "WriteReq", "WriteReply", "CtoCReq", "CopyBack",
+	"WriteBack", "Retry", "ReadReply", "CtoCReply", "Inval", "InvalAck",
+	"WBAck", "Nack",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// CarriesData reports whether the message carries a full cache block
+// payload (and therefore data flits beyond the header).
+func (k Kind) CarriesData() bool {
+	switch k {
+	case WriteReply, CopyBack, WriteBack, ReadReply, CtoCReply:
+		return true
+	}
+	return false
+}
+
+// SnoopsSwitchDir reports whether a switch directory must process this
+// message type as it passes (Section 3.2). All other kinds bypass the
+// directory entirely.
+func (k Kind) SnoopsSwitchDir() bool {
+	switch k {
+	case ReadReq, WriteReq, WriteReply, CtoCReq, CopyBack, WriteBack, Retry:
+		return true
+	}
+	return false
+}
+
+// Side identifies which rank of BMIN endpoints a message endpoint is
+// on: the processor/cache interface at the bottom or the memory
+// interface at the top (Figure 3's dance-hall arrangement).
+type Side uint8
+
+const (
+	// ProcSide is the processor/cache interface rank.
+	ProcSide Side = iota
+	// MemSide is the memory/directory interface rank.
+	MemSide
+)
+
+func (s Side) String() string {
+	if s == ProcSide {
+		return "P"
+	}
+	return "M"
+}
+
+// End names one interconnect endpoint: node i's processor port or node
+// i's memory port.
+type End struct {
+	Side Side
+	Node int
+}
+
+// P returns node i's processor-side endpoint.
+func P(i int) End { return End{ProcSide, i} }
+
+// M returns node i's memory-side endpoint.
+func M(i int) End { return End{MemSide, i} }
+
+func (e End) String() string { return fmt.Sprintf("%v%d", e.Side, e.Node) }
+
+// Flit and link geometry (Table 2; Intel Cavallino-like).
+const (
+	// FlitBytes is the flit size: 8 bytes.
+	FlitBytes = 8
+	// LinkCyclesPerFlit is the 16-bit-link serialization time: four
+	// 200MHz cycles to move one 8-byte flit between switches.
+	LinkCyclesPerFlit = 4
+	// BlockBytes is the coherence unit: a 32-byte cache line.
+	BlockBytes = 32
+	// HeaderFlits is the message header size in flits.
+	HeaderFlits = 1
+	// DataFlits is the payload size of a data-carrying message.
+	DataFlits = BlockBytes / FlitBytes
+)
+
+// Message is one coherence message in flight. Data-carrying messages
+// transport a block "version" rather than raw bytes: versions are
+// written monotonically per block, which lets the test suite verify
+// value coherence (a fill must never return a version older than the
+// last committed write).
+type Message struct {
+	ID   uint64 // unique per machine, for tracing
+	Kind Kind
+	Addr uint64 // block-aligned physical address
+	Src  End
+	Dst  End
+
+	// Requester is the processor that started the transaction this
+	// message serves. For switch-directory-generated messages it is the
+	// pid the paper says is carried in the header.
+	Requester int
+	// Owner is the owning processor for CtoC forwards.
+	Owner int
+	// Sharers is the full-map style bit vector carried by marked
+	// copyback/writeback messages to restore the home directory, and by
+	// the bit-vector read-in-TRANSIENT policy.
+	Sharers uint64
+	// Marked is the single header bit flagging switch-directory
+	// generated or rewritten messages.
+	Marked bool
+	// ForWrite distinguishes an ownership-transfer CtoCReq/CtoCReply/
+	// CopyBack (store miss to a dirty block) from a read-shared one.
+	ForWrite bool
+	// SwitchCache marks a ReadReply generated by the switch-cache
+	// extension (clean data served in the interconnect), so the
+	// requester classifies it as a clean switch hit rather than a
+	// cache-to-cache transfer.
+	SwitchCache bool
+	// NoData marks a CopyBack sent by a node that received a marked
+	// CtoC request for a block it no longer holds (a stale switch
+	// entry). It carries no payload; its only job is to travel the
+	// forward path clearing TRANSIENT switch-directory entries and
+	// bouncing their waiting requesters. The home ignores it.
+	NoData bool
+
+	// Data is the block version payload for data-carrying messages.
+	Data uint64
+
+	// Issued is the cycle the parent transaction started, used for
+	// latency accounting at completion.
+	Issued uint64
+}
+
+// Flits returns the message length in flits.
+func (m *Message) Flits() int {
+	if m.Kind.CarriesData() {
+		return HeaderFlits + DataFlits
+	}
+	return HeaderFlits
+}
+
+func (m *Message) String() string {
+	mark := ""
+	if m.Marked {
+		mark = "*"
+	}
+	return fmt.Sprintf("%v%s[%#x] %v->%v req=%d own=%d", m.Kind, mark, m.Addr, m.Src, m.Dst, m.Requester, m.Owner)
+}
+
+// AddSharer sets processor p's bit in the sharer vector.
+func (m *Message) AddSharer(p int) { m.Sharers |= 1 << uint(p) }
+
+// SharerList expands the sharer bit vector into pids.
+func SharerList(vec uint64) []int {
+	var out []int
+	for p := 0; vec != 0; p++ {
+		if vec&1 != 0 {
+			out = append(out, p)
+		}
+		vec >>= 1
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package mesg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		ReadReq:    "ReadReq",
+		WriteReq:   "WriteReq",
+		WriteReply: "WriteReply",
+		CtoCReq:    "CtoCReq",
+		CopyBack:   "CopyBack",
+		WriteBack:  "WriteBack",
+		Retry:      "Retry",
+		ReadReply:  "ReadReply",
+		CtoCReply:  "CtoCReply",
+		Inval:      "Inval",
+		InvalAck:   "InvalAck",
+		WBAck:      "WBAck",
+		Nack:       "Nack",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(200).String() != "Kind(200)" {
+		t.Errorf("unknown kind string = %q", Kind(200).String())
+	}
+}
+
+func TestCarriesData(t *testing.T) {
+	data := []Kind{WriteReply, CopyBack, WriteBack, ReadReply, CtoCReply}
+	noData := []Kind{ReadReq, WriteReq, CtoCReq, Retry, Inval, InvalAck, WBAck, Nack}
+	for _, k := range data {
+		if !k.CarriesData() {
+			t.Errorf("%v should carry data", k)
+		}
+	}
+	for _, k := range noData {
+		if k.CarriesData() {
+			t.Errorf("%v should not carry data", k)
+		}
+	}
+}
+
+func TestSnoopSetMatchesTable1(t *testing.T) {
+	// Exactly the seven Table 1 kinds snoop the switch directory.
+	table1 := []Kind{ReadReq, WriteReq, WriteReply, CtoCReq, CopyBack, WriteBack, Retry}
+	snoops := map[Kind]bool{}
+	for k := Kind(0); k < numKinds; k++ {
+		if k.SnoopsSwitchDir() {
+			snoops[k] = true
+		}
+	}
+	if len(snoops) != len(table1) {
+		t.Fatalf("snoop set has %d kinds, want %d", len(snoops), len(table1))
+	}
+	for _, k := range table1 {
+		if !snoops[k] {
+			t.Errorf("%v missing from snoop set", k)
+		}
+	}
+}
+
+func TestFlitCounts(t *testing.T) {
+	m := &Message{Kind: ReadReq}
+	if m.Flits() != 1 {
+		t.Errorf("header-only message = %d flits, want 1", m.Flits())
+	}
+	m.Kind = ReadReply
+	// 32-byte block / 8-byte flits = 4 data flits + 1 header.
+	if m.Flits() != 5 {
+		t.Errorf("data message = %d flits, want 5", m.Flits())
+	}
+}
+
+func TestEndpoints(t *testing.T) {
+	p := P(3)
+	m := M(7)
+	if p.Side != ProcSide || p.Node != 3 {
+		t.Errorf("P(3) = %+v", p)
+	}
+	if m.Side != MemSide || m.Node != 7 {
+		t.Errorf("M(7) = %+v", m)
+	}
+	if p.String() != "P3" || m.String() != "M7" {
+		t.Errorf("strings: %v %v", p, m)
+	}
+	if P(1) == M(1) {
+		t.Error("P(1) must differ from M(1)")
+	}
+}
+
+func TestSharerVector(t *testing.T) {
+	m := &Message{}
+	m.AddSharer(0)
+	m.AddSharer(5)
+	m.AddSharer(15)
+	got := SharerList(m.Sharers)
+	want := []int{0, 5, 15}
+	if len(got) != len(want) {
+		t.Fatalf("sharers = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sharers = %v, want %v", got, want)
+		}
+	}
+	if SharerList(0) != nil {
+		t.Error("empty vector should give nil list")
+	}
+}
+
+func TestSharerRoundTrip(t *testing.T) {
+	f := func(vec uint64) bool {
+		// Round-trip: expanding and re-packing preserves the vector
+		// (restricted to 64 processors by construction).
+		var re uint64
+		for _, p := range SharerList(vec) {
+			re |= 1 << uint(p)
+		}
+		return re == vec
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	m := &Message{Kind: CtoCReq, Addr: 0x1000, Src: M(2), Dst: P(5), Requester: 5, Owner: 9, Marked: true}
+	s := m.String()
+	if s == "" {
+		t.Fatal("empty string")
+	}
+	// Marked messages carry the * tag.
+	found := false
+	for i := 0; i+1 < len(s); i++ {
+		if s[i:i+1] == "*" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("marked message string missing *: %q", s)
+	}
+}

@@ -1,0 +1,510 @@
+// Package node implements one CC-NUMA node's processor-side machinery:
+// the blocking-read / buffered-write processor interface, the
+// inclusive L1/L2 MSI hierarchy, the release-consistency write buffer,
+// the victim buffer for in-flight writebacks, and the cache-controller
+// half of the coherence protocol (fills, invalidations, CtoC service,
+// retries). The memory-side half lives in package dirctl.
+//
+// Timing model: loads block the processor until the fill arrives;
+// stores retire into the write buffer and drain one ownership
+// transaction at a time, stalling the processor only when the buffer
+// is full — the paper's release-consistent configuration.
+package node
+
+import (
+	"fmt"
+
+	"dresar/internal/cache"
+	"dresar/internal/mesg"
+	"dresar/internal/sim"
+)
+
+// Config parameterizes a node (Table 2 defaults via DefaultConfig).
+type Config struct {
+	L1, L2      cache.Config
+	WriteBuffer int // store buffer entries
+	// OutstandingWrites bounds concurrent ownership transactions (the
+	// write MSHRs); release consistency lets buffered stores complete
+	// out of order. 0 means WriteBuffer.
+	OutstandingWrites int
+	RetryBackoff      sim.Cycle // delay before re-issuing a retried request
+}
+
+// DefaultConfig returns Table 2's per-node parameters: 16KB 2-way L1
+// (1 cycle), 128KB 4-way L2 (8 cycles), 32-byte lines.
+func DefaultConfig() Config {
+	return Config{
+		L1:           cache.Config{SizeBytes: 16 << 10, Ways: 2, BlockBytes: 32, AccessCycles: 1},
+		L2:           cache.Config{SizeBytes: 128 << 10, Ways: 4, BlockBytes: 32, AccessCycles: 8},
+		WriteBuffer:  8,
+		RetryBackoff: 20,
+	}
+}
+
+// ReadClass tells how a completed read miss was serviced; it feeds the
+// Figure 1 / Figure 8 classification.
+type ReadClass uint8
+
+const (
+	// ReadHit completed in L1/L2.
+	ReadHit ReadClass = iota
+	// ReadClean was filled from home memory.
+	ReadClean
+	// ReadCtoCHome was a dirty miss serviced via the home node.
+	ReadCtoCHome
+	// ReadCtoCSwitch was a dirty miss intercepted by a switch
+	// directory (marked reply).
+	ReadCtoCSwitch
+	// ReadCleanSwitch was a clean miss served by the switch-cache
+	// extension.
+	ReadCleanSwitch
+)
+
+// Stats counts per-node events.
+type Stats struct {
+	Reads           uint64
+	ReadMisses      uint64
+	ReadClean       uint64
+	ReadCleanSwitch uint64
+	ReadCtoCHome    uint64
+	ReadCtoCSwitch  uint64
+	ReadLatency     sim.Cycle // summed completion latency of all reads
+	CtoCLatency     sim.Cycle // latency summed over dirty-miss reads only
+	ReadStall       sim.Cycle // latency beyond the L1 hit time
+	Writes          uint64
+	WriteMisses     uint64
+	WriteStall      sim.Cycle // cycles stalled on a full write buffer
+	Retries         uint64
+	CtoCServed      uint64 // CtoC requests this node supplied as owner
+}
+
+type pendingRead struct {
+	block    uint64
+	issued   sim.Cycle
+	done     func(version uint64, class ReadClass, lat sim.Cycle)
+	poisoned bool // invalidated while the fill was in flight
+}
+
+type pendingWrite struct {
+	block   uint64
+	version uint64
+	issued  sim.Cycle
+}
+
+// Node is one processor+cache assembly attached to the network.
+type Node struct {
+	eng  *sim.Engine
+	id   int
+	cfg  Config
+	send func(*mesg.Message)
+	home func(addr uint64) int
+	// stamp returns the next globally monotonic block version.
+	stamp func() uint64
+
+	hier *cache.Hierarchy
+	wb   *cache.WriteBuffer
+	vb   *cache.VictimBuffer
+
+	read *pendingRead
+	// curWrites are the in-flight ownership transactions, by block.
+	curWrites map[uint64]*pendingWrite
+	maxWrites int
+	// wbWaiters are processor stalls waiting for write-buffer space.
+	wbWaiters []func()
+
+	Stats Stats
+}
+
+// New builds node id. send injects into the network from P(id); home
+// maps a block address to its home node; stamp provides globally
+// monotonic store versions.
+func New(eng *sim.Engine, id int, cfg Config, send func(*mesg.Message), home func(uint64) int, stamp func() uint64) *Node {
+	n := &Node{
+		eng: eng, id: id, cfg: cfg, send: send, home: home, stamp: stamp,
+		hier:      cache.MustNewHierarchy(cfg.L1, cfg.L2),
+		wb:        cache.NewWriteBuffer(cfg.WriteBuffer),
+		vb:        cache.NewVictimBuffer(),
+		curWrites: make(map[uint64]*pendingWrite),
+		maxWrites: cfg.OutstandingWrites,
+	}
+	if n.maxWrites <= 0 {
+		n.maxWrites = cfg.WriteBuffer
+	}
+	return n
+}
+
+// Hier exposes the cache hierarchy for invariant checks.
+func (n *Node) Hier() *cache.Hierarchy { return n.hier }
+
+// Victims exposes the victim buffer for invariant checks.
+func (n *Node) Victims() *cache.VictimBuffer { return n.vb }
+
+func (n *Node) block(addr uint64) uint64 { return n.hier.L2.BlockAlign(addr) }
+
+// Read issues a blocking load. done fires when the value is available,
+// with the block version, the service class, and the latency.
+func (n *Node) Read(addr uint64, done func(version uint64, class ReadClass, lat sim.Cycle)) {
+	if n.read != nil {
+		panic(fmt.Sprintf("node %d: overlapping reads (blocking model)", n.id))
+	}
+	b := n.block(addr)
+	n.Stats.Reads++
+	issued := n.eng.Now()
+	// Store forwarding: a load must observe the youngest buffered store.
+	if v, ok := n.wb.Pending(b); ok {
+		n.complete(issued, 1, func() { done(v, ReadHit, 1) })
+		return
+	}
+	r := n.hier.Read(b)
+	if r.State != cache.Invalid {
+		lat := sim.Cycle(r.Cycles)
+		n.Stats.ReadLatency += lat
+		n.complete(issued, lat, func() { done(r.Data, ReadHit, lat) })
+		return
+	}
+	// Miss: L2 MSHR allocated; request travels to the home.
+	n.Stats.ReadMisses++
+	n.read = &pendingRead{block: b, issued: issued, done: done}
+	n.eng.After(sim.Cycle(r.Cycles), func() { n.sendReadReq(b, issued) })
+}
+
+func (n *Node) sendReadReq(block uint64, issued sim.Cycle) {
+	if n.read == nil || n.read.block != block {
+		return // completed through another path (e.g. self-forward)
+	}
+	n.send(&mesg.Message{
+		Kind: mesg.ReadReq, Addr: block, Src: mesg.P(n.id), Dst: mesg.M(n.home(block)),
+		Requester: n.id, Issued: uint64(issued),
+	})
+}
+
+// complete schedules a read/write completion callback lat cycles out.
+func (n *Node) complete(issued, lat sim.Cycle, fn func()) {
+	if lat > 1 {
+		n.Stats.ReadStall += lat - 1
+	}
+	n.eng.At(issued+lat, fn)
+}
+
+// Write retires a store. done fires when the store has entered the
+// write buffer (usually immediately; later if the buffer is full). The
+// assigned version is returned for shadow tracking.
+func (n *Node) Write(addr uint64, done func(version uint64, stalled sim.Cycle)) {
+	b := n.block(addr)
+	n.Stats.Writes++
+	v := n.stamp()
+	// Store hit in M: retire in place, no transaction.
+	if n.hier.WriteHit(b, v) {
+		done(v, 0)
+		return
+	}
+	n.Stats.WriteMisses++
+	issued := n.eng.Now()
+	if n.wb.Push(b, v) {
+		n.drainWrites()
+		done(v, 0)
+		return
+	}
+	// Buffer full: the processor stalls until space frees.
+	n.wbWaiters = append(n.wbWaiters, func() {
+		if !n.wb.Push(b, v) {
+			panic(fmt.Sprintf("node %d: write buffer still full after wakeup", n.id))
+		}
+		stalled := n.eng.Now() - issued
+		n.Stats.WriteStall += stalled
+		n.drainWrites()
+		done(v, stalled)
+	})
+}
+
+// drainWrites launches ownership transactions for buffered stores, in
+// FIFO order, up to the outstanding-write limit. Release consistency
+// lets the transactions complete out of order.
+//
+// Version stamping discipline: a store draws a provisional stamp when
+// it enters the buffer (so loads can forward it) and a fresh commit
+// stamp when it actually retires into a Modified line. Commit stamps
+// are therefore drawn in coherence (commit) order, which is what makes
+// per-block version monotonicity a valid cross-processor invariant.
+func (n *Node) drainWrites() {
+	for len(n.curWrites) < n.maxWrites {
+		var launch uint64
+		found := false
+		n.wb.ForEach(func(block, version uint64) bool {
+			if _, inFlight := n.curWrites[block]; !inFlight {
+				launch, found = block, true
+				return false
+			}
+			return true
+		})
+		if !found {
+			return
+		}
+		b := launch
+		// The block may have become M meanwhile (e.g. a prior fill).
+		if st, _ := n.hier.Probe(b); st == cache.Modified {
+			n.hier.WriteHit(b, n.stamp())
+			n.retireWrite(b)
+			continue
+		}
+		v, _ := n.wb.Pending(b)
+		n.curWrites[b] = &pendingWrite{block: b, version: v, issued: n.eng.Now()}
+		n.send(&mesg.Message{
+			Kind: mesg.WriteReq, Addr: b, Src: mesg.P(n.id), Dst: mesg.M(n.home(b)),
+			Requester: n.id, Issued: uint64(n.eng.Now()),
+		})
+	}
+}
+
+// retireWrite removes a committed store from the buffer and wakes a
+// stalled processor if buffer space freed.
+func (n *Node) retireWrite(b uint64) {
+	n.wb.Remove(b)
+	delete(n.curWrites, b)
+	if len(n.wbWaiters) > 0 && !n.wb.Full() {
+		w := n.wbWaiters[0]
+		n.wbWaiters = n.wbWaiters[1:]
+		w()
+	}
+}
+
+// fill installs an arriving block and emits any displaced dirty
+// victim's writeback.
+func (n *Node) fill(block uint64, st cache.State, version uint64) {
+	v, dirty := n.hier.Fill(block, st, version)
+	if dirty {
+		n.evict(v)
+	}
+}
+
+// evict sends a WriteBack for a displaced dirty block, holding the
+// data in the victim buffer until the home acknowledges.
+func (n *Node) evict(v cache.Victim) {
+	n.vb.Put(v.Addr, v.Data)
+	n.send(&mesg.Message{
+		Kind: mesg.WriteBack, Addr: v.Addr, Src: mesg.P(n.id), Dst: mesg.M(n.home(v.Addr)),
+		Requester: n.id, Data: v.Data,
+	})
+}
+
+// Deliver is the network handler for this node's processor interface.
+func (n *Node) Deliver(m *mesg.Message) {
+	switch m.Kind {
+	case mesg.ReadReply:
+		n.completeRead(m, classifyReply(m, false))
+	case mesg.CtoCReply:
+		if m.ForWrite {
+			n.completeWrite(m)
+		} else {
+			n.completeRead(m, classifyReply(m, true))
+		}
+	case mesg.WriteReply:
+		n.completeWrite(m)
+	case mesg.CtoCReq:
+		n.serveCtoC(m)
+	case mesg.Inval:
+		n.handleInval(m)
+	case mesg.WBAck:
+		n.vb.Remove(n.block(m.Addr))
+	case mesg.Retry, mesg.Nack:
+		n.handleRetry(m)
+	default:
+		panic(fmt.Sprintf("node %d: cannot handle %v", n.id, m))
+	}
+}
+
+func classifyReply(m *mesg.Message, ctoc bool) ReadClass {
+	if m.SwitchCache {
+		return ReadCleanSwitch
+	}
+	if m.Marked {
+		return ReadCtoCSwitch
+	}
+	if ctoc {
+		return ReadCtoCHome
+	}
+	return ReadClean
+}
+
+// completeRead fills the block and finishes the blocked load.
+func (n *Node) completeRead(m *mesg.Message, class ReadClass) {
+	b := n.block(m.Addr)
+	r := n.read
+	if r == nil || r.block != b {
+		// A duplicate reply from a benign race (a request served twice,
+		// e.g. re-driven by the home). Replies can arrive out of commit
+		// order: if this one carries newer data than the shared copy we
+		// cached from its twin, refresh — the home's map attributes the
+		// newest epoch to us.
+		if st, v := n.hier.Probe(b); st == cache.Shared && m.Data > v {
+			n.hier.Refresh(b, m.Data)
+		}
+		return
+	}
+	n.read = nil
+	// Poisoned fills (invalidated mid-flight) serve the blocked load
+	// once without caching. Switch-cache replies are cacheable: the
+	// serving switch sends the home an add-sharer note, so the full
+	// map covers this copy. Never replace a cached copy with older
+	// data (a reordered duplicate).
+	if !r.poisoned {
+		if st, v := n.hier.Probe(b); st == cache.Invalid || v <= m.Data {
+			n.fill(b, cache.Shared, m.Data)
+		}
+	}
+	lat := n.eng.Now() - r.issued
+	n.Stats.ReadLatency += lat
+	if lat > 1 {
+		n.Stats.ReadStall += lat - 1
+	}
+	switch class {
+	case ReadClean:
+		n.Stats.ReadClean++
+	case ReadCleanSwitch:
+		n.Stats.ReadCleanSwitch++
+	case ReadCtoCHome:
+		n.Stats.ReadCtoCHome++
+		n.Stats.CtoCLatency += lat
+	case ReadCtoCSwitch:
+		n.Stats.ReadCtoCSwitch++
+		n.Stats.CtoCLatency += lat
+	}
+	r.done(m.Data, class, lat)
+}
+
+// completeWrite finishes the in-flight ownership transaction: install
+// the block Modified with the store's version and drain the next one.
+func (n *Node) completeWrite(m *mesg.Message) {
+	b := n.block(m.Addr)
+	if _, ok := n.curWrites[b]; !ok {
+		return // stale duplicate
+	}
+	// Commit with a fresh stamp: the store (plus anything coalesced
+	// into it) retires now, so its version must rank in commit order.
+	n.fill(b, cache.Modified, n.stamp())
+	n.retireWrite(b)
+	n.drainWrites()
+}
+
+// serveCtoC supplies a dirty block to a requester, as the owner.
+func (n *Node) serveCtoC(m *mesg.Message) {
+	b := n.block(m.Addr)
+	st, data := n.hier.Probe(b)
+	var have bool
+	switch {
+	case st == cache.Modified || st == cache.Shared:
+		have = true
+	default:
+		data, have = n.vb.Get(b)
+	}
+	if !have {
+		if m.Marked {
+			// A stale switch-directory entry pointed here. Send a
+			// NoData copyback along the forward path: it clears the
+			// TRANSIENT entries en route and bounces their waiting
+			// requesters back to the home, which has current state.
+			n.send(&mesg.Message{
+				Kind: mesg.CopyBack, Addr: b, Src: mesg.P(n.id), Dst: mesg.M(n.home(b)),
+				Requester: m.Requester, Marked: true, NoData: true,
+			})
+			return
+		}
+		// Home-forwarded request for a block whose writeback completed:
+		// bounce the requester so it retries at the home.
+		n.send(&mesg.Message{
+			Kind: mesg.Nack, Addr: b, Src: mesg.P(n.id), Dst: mesg.P(m.Requester),
+			Requester: m.Requester, ForWrite: m.ForWrite,
+		})
+		return
+	}
+	n.Stats.CtoCServed++
+	if m.ForWrite {
+		// Ownership transfer: give up the block entirely.
+		n.hier.Invalidate(b)
+		n.send(&mesg.Message{
+			Kind: mesg.CtoCReply, Addr: b, Src: mesg.P(n.id), Dst: mesg.P(m.Requester),
+			Requester: m.Requester, ForWrite: true, Marked: m.Marked, Data: data,
+			Issued: m.Issued,
+		})
+		n.send(&mesg.Message{
+			Kind: mesg.WriteBack, Addr: b, Src: mesg.P(n.id), Dst: mesg.M(n.home(b)),
+			Requester: m.Requester, ForWrite: true,
+		})
+		return
+	}
+	// Read transfer: keep a shared copy, reply to the requester, and
+	// copy the data back home. A marked request (switch-directory
+	// initiated) yields a marked copyback carrying the requester pid.
+	n.hier.Downgrade(b)
+	n.send(&mesg.Message{
+		Kind: mesg.CtoCReply, Addr: b, Src: mesg.P(n.id), Dst: mesg.P(m.Requester),
+		Requester: m.Requester, Marked: m.Marked, Data: data, Issued: m.Issued,
+	})
+	n.send(&mesg.Message{
+		Kind: mesg.CopyBack, Addr: b, Src: mesg.P(n.id), Dst: mesg.M(n.home(b)),
+		Requester: m.Requester, Marked: m.Marked, Data: data,
+	})
+}
+
+// handleInval drops a shared copy and acknowledges the home. A fill in
+// flight for the same block is poisoned: the returning data serves the
+// blocked load once but is not cached.
+func (n *Node) handleInval(m *mesg.Message) {
+	b := n.block(m.Addr)
+	n.hier.Invalidate(b)
+	if n.read != nil && n.read.block == b {
+		n.read.poisoned = true
+	}
+	n.send(&mesg.Message{
+		Kind: mesg.InvalAck, Addr: b, Src: mesg.P(n.id), Dst: mesg.M(n.home(b)),
+		Requester: n.id,
+	})
+}
+
+// handleRetry re-issues a bounced request after a backoff.
+func (n *Node) handleRetry(m *mesg.Message) {
+	n.Stats.Retries++
+	b := n.block(m.Addr)
+	if m.ForWrite {
+		if w, ok := n.curWrites[b]; ok {
+			n.eng.After(n.cfg.RetryBackoff, func() {
+				if _, still := n.curWrites[b]; still {
+					n.send(&mesg.Message{
+						Kind: mesg.WriteReq, Addr: b, Src: mesg.P(n.id), Dst: mesg.M(n.home(b)),
+						Requester: n.id, Issued: uint64(w.issued),
+					})
+				}
+			})
+		}
+		return
+	}
+	if r := n.read; r != nil && r.block == b {
+		n.eng.After(n.cfg.RetryBackoff, func() { n.sendReadReq(b, r.issued) })
+	}
+}
+
+// Quiesced reports whether the node has no outstanding transactions.
+func (n *Node) Quiesced() bool {
+	return n.read == nil && len(n.curWrites) == 0 && n.wb.Len() == 0 && len(n.wbWaiters) == 0
+}
+
+// Outstanding describes any stuck transaction, for deadlock diagnosis.
+func (n *Node) Outstanding() string {
+	if n.Quiesced() {
+		return ""
+	}
+	s := fmt.Sprintf("P%d:", n.id)
+	if n.read != nil {
+		s += fmt.Sprintf(" read %#x (issued %d)", n.read.block, n.read.issued)
+	}
+	for b, w := range n.curWrites {
+		s += fmt.Sprintf(" write %#x (issued %d)", b, w.issued)
+	}
+	if n.wb.Len() > 0 {
+		s += fmt.Sprintf(" wb=%d", n.wb.Len())
+	}
+	if len(n.wbWaiters) > 0 {
+		s += fmt.Sprintf(" stalledStores=%d", len(n.wbWaiters))
+	}
+	return s
+}

@@ -1,0 +1,563 @@
+// Package sdir implements DRESAR, the DiRectory Embedded Switch
+// ARchitecture of Sections 3 and 4: a small set-associative SRAM
+// directory cache inside every crossbar switch that captures ownership
+// information from passing write replies and re-routes subsequent read
+// requests straight to the owner's cache, skipping the home node's
+// DRAM directory, its controller occupancy, and the extra network
+// hops.
+//
+// The per-block state machine is Figure 4: entries move between
+// INVALID, MODIFIED (owner known) and TRANSIENT (a switch-initiated
+// cache-to-cache transfer is in flight). Both of the paper's policies
+// for reads that hit a TRANSIENT entry are implemented: bounce the
+// requester with a Retry (the paper's choice, PolicyRetry) or
+// accumulate requester pids in a bit vector and serve them from the
+// copyback/writeback data (PolicyBitVector).
+//
+// Port contention is modeled after the hardware design: a 2-way
+// multiported directory serves two snoops per cycle (four messages in
+// the 4-cycle switch window); extra messages in the same cycle are
+// delayed. The 8×8 design's pending buffer is supported: when enabled,
+// transient-state-only message kinds (CtoC, CopyBack, WriteBack,
+// Retry) consult the replication-cheap pending buffer and do not
+// consume main-directory ports.
+package sdir
+
+import (
+	"fmt"
+
+	"dresar/internal/mesg"
+	"dresar/internal/sim"
+	"dresar/internal/topo"
+	"dresar/internal/xbar"
+)
+
+// Policy selects the read-in-TRANSIENT behaviour.
+type Policy uint8
+
+const (
+	// PolicyRetry bounces a read that hits a TRANSIENT entry back to
+	// the requester (the paper's design choice: communication
+	// intensive blocks have few sharers).
+	PolicyRetry Policy = iota
+	// PolicyBitVector records the requester in the entry's bit vector;
+	// the requesters are served from the copyback or writeback data
+	// when it passes the switch.
+	PolicyBitVector
+)
+
+func (p Policy) String() string {
+	if p == PolicyRetry {
+		return "retry"
+	}
+	return "bitvector"
+}
+
+// EntryState is the Figure 4 per-block switch-directory state.
+type EntryState uint8
+
+const (
+	// Inv means not present.
+	Inv EntryState = iota
+	// Mod means the block is dirty at Owner.
+	Mod
+	// Trans means this switch initiated a CtoC transfer and awaits the
+	// copyback/writeback.
+	Trans
+)
+
+func (s EntryState) String() string {
+	switch s {
+	case Inv:
+		return "INVALID"
+	case Mod:
+		return "MODIFIED"
+	case Trans:
+		return "TRANSIENT"
+	}
+	return fmt.Sprintf("EntryState(%d)", uint8(s))
+}
+
+// Config parameterizes every switch directory in the fabric.
+type Config struct {
+	// Entries is the total entry count per switch (256–2048 in the
+	// evaluation; 0 disables the directory entirely).
+	Entries int
+	// Ways is the set associativity (4 in the evaluation).
+	Ways int
+	// Policy is the read-in-TRANSIENT policy.
+	Policy Policy
+	// SnoopPorts is the number of directory lookups per cycle (2 in
+	// the DRESAR design: a 2-way multiported SRAM).
+	SnoopPorts int
+	// PendingEntries enables the 8×8 design's pending buffer: a small
+	// multiported store for TRANSIENT blocks (8–16 entries). 0 keeps
+	// every lookup on the main array. When enabled, TRANSIENT blocks
+	// live in the pending buffer and transient-only message kinds do
+	// not consume main-directory ports.
+	PendingEntries int
+	// StageMask selects which BMIN stages carry directories: bit s set
+	// means stage s participates. 0 means all stages.
+	StageMask uint
+}
+
+// DefaultConfig returns the evaluation's 1K-entry 4-way configuration.
+func DefaultConfig() Config {
+	return Config{Entries: 1024, Ways: 4, Policy: PolicyRetry, SnoopPorts: 2}
+}
+
+// Stats aggregates fabric-wide switch-directory counters.
+type Stats struct {
+	Inserts        uint64 // entries created by write replies
+	Hits           uint64 // reads intercepted in MODIFIED state
+	LeafHits       uint64 // interceptions at stage 0 (intra-cluster)
+	TopHits        uint64 // interceptions at stage 1 (memory side)
+	TransientHits  uint64 // reads arriving in TRANSIENT state
+	RetriesSent    uint64
+	BitVectorAdds  uint64
+	ServedFromCB   uint64 // bit-vector requesters served from copyback data
+	ServedFromWB   uint64 // requesters served from writeback data (TRANSIENT)
+	WriteNacks     uint64 // writes bounced in TRANSIENT state
+	CtoCSunk       uint64 // home CtoC requests sunk in TRANSIENT state
+	Invalidates    uint64 // entries killed by writes/writebacks/copybacks
+	Evictions      uint64 // entries displaced by inserts
+	InsertBlocked  uint64 // inserts abandoned (set full of TRANSIENT)
+	PendingFull    uint64 // interceptions abandoned (pending buffer full)
+	PortDelayTotal uint64 // cycles of directory-port contention charged
+}
+
+// entry is one directory line.
+type entry struct {
+	tag    uint64
+	state  EntryState
+	owner  int
+	reqVec uint64 // intercepted requesters (first + bit-vector policy)
+	lru    uint64
+}
+
+// dir is one switch's directory instance.
+type dir struct {
+	sets  [][]entry
+	nsets uint64
+	clock uint64
+
+	// port accounting: snoops already charged in the current cycle.
+	portCycle sim.Cycle
+	portUsed  int
+
+	pendingCount int // TRANSIENT entries resident (pending-buffer mode)
+}
+
+// Fabric implements xbar.Snooper for every switch in a topology.
+type Fabric struct {
+	cfg   Config
+	tp    *topo.T
+	dirs  []*dir
+	Stats Stats
+}
+
+// New builds the switch-directory fabric for tp.
+func New(tp *topo.T, cfg Config) (*Fabric, error) {
+	if cfg.Entries == 0 {
+		return nil, fmt.Errorf("sdir: zero entries; omit the snooper instead")
+	}
+	if cfg.Ways <= 0 || cfg.Entries%cfg.Ways != 0 {
+		return nil, fmt.Errorf("sdir: %d entries not divisible into %d ways", cfg.Entries, cfg.Ways)
+	}
+	nsets := cfg.Entries / cfg.Ways
+	if nsets&(nsets-1) != 0 {
+		return nil, fmt.Errorf("sdir: set count %d not a power of two", nsets)
+	}
+	if cfg.SnoopPorts <= 0 {
+		cfg.SnoopPorts = 2
+	}
+	f := &Fabric{cfg: cfg, tp: tp, dirs: make([]*dir, tp.NumSwitches())}
+	for i := range f.dirs {
+		d := &dir{sets: make([][]entry, nsets), nsets: uint64(nsets)}
+		for s := range d.sets {
+			d.sets[s] = make([]entry, cfg.Ways)
+		}
+		f.dirs[i] = d
+	}
+	return f, nil
+}
+
+// MustNew panics on error.
+func MustNew(tp *topo.T, cfg Config) *Fabric {
+	f, err := New(tp, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func (f *Fabric) active(sw topo.SwitchID) bool {
+	if f.cfg.StageMask == 0 {
+		return true
+	}
+	return f.cfg.StageMask&(1<<uint(sw.Stage)) != 0
+}
+
+func (d *dir) set(addr uint64) []entry { return d.sets[(addr>>5)%d.nsets] }
+
+func (d *dir) find(addr uint64) *entry {
+	set := d.set(addr)
+	for i := range set {
+		if set[i].state != Inv && set[i].tag == addr {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// chargePort models the 2-way multiported SRAM: the first SnoopPorts
+// lookups in a cycle are free; later ones wait.
+func (f *Fabric) chargePort(d *dir, now sim.Cycle) sim.Cycle {
+	if d.portCycle != now {
+		d.portCycle = now
+		d.portUsed = 0
+	}
+	d.portUsed++
+	delay := sim.Cycle((d.portUsed - 1) / f.cfg.SnoopPorts)
+	f.Stats.PortDelayTotal += uint64(delay)
+	return delay
+}
+
+// transientOnly reports whether kind needs only the TRANSIENT check
+// (serviceable by the pending buffer in the 8×8 design).
+func transientOnly(k mesg.Kind) bool {
+	switch k {
+	case mesg.CtoCReq, mesg.CopyBack, mesg.WriteBack, mesg.Retry:
+		return true
+	}
+	return false
+}
+
+// Snoop implements xbar.Snooper: the heart of the DRESAR protocol.
+// Kinds outside Table 1 bypass the directory entirely.
+func (f *Fabric) Snoop(sw topo.SwitchID, m *mesg.Message, now sim.Cycle) xbar.Action {
+	if !m.Kind.SnoopsSwitchDir() || !f.active(sw) {
+		return xbar.Action{}
+	}
+	d := f.dirs[f.tp.SwitchOrdinal(sw)]
+	var delay sim.Cycle
+	if f.cfg.PendingEntries == 0 || !transientOnly(m.Kind) {
+		delay = f.chargePort(d, now)
+	}
+	act := f.process(d, sw, m)
+	act.ExtraDelay += delay
+	return act
+}
+
+func (f *Fabric) process(d *dir, sw topo.SwitchID, m *mesg.Message) xbar.Action {
+	switch m.Kind {
+	case mesg.WriteReply:
+		f.insert(d, m)
+		return xbar.Action{}
+	case mesg.ReadReq:
+		return f.readReq(d, sw, m)
+	case mesg.WriteReq:
+		return f.writeReq(d, m)
+	case mesg.CtoCReq:
+		return f.ctocReq(d, m)
+	case mesg.CopyBack:
+		return f.copyBack(d, m)
+	case mesg.WriteBack:
+		return f.writeBack(d, m)
+	case mesg.Retry:
+		return f.retry(d, m)
+	}
+	return xbar.Action{}
+}
+
+// insert records ownership from a passing write reply (home → writer).
+func (f *Fabric) insert(d *dir, m *mesg.Message) {
+	if e := d.find(m.Addr); e != nil {
+		if e.state == Trans {
+			// An in-flight transfer still owns this entry; do not
+			// clobber its obligations. (Rare: the home granted new
+			// ownership while our copyback is still travelling.)
+			f.Stats.InsertBlocked++
+			return
+		}
+		d.clock++
+		e.state, e.owner, e.reqVec, e.lru = Mod, m.Requester, 0, d.clock
+		return
+	}
+	set := d.set(m.Addr)
+	var victim *entry
+	for i := range set {
+		if set[i].state == Inv {
+			victim = &set[i]
+			break
+		}
+		if set[i].state == Trans {
+			continue // never evict TRANSIENT
+		}
+		if victim == nil || set[i].lru < victim.lru {
+			victim = &set[i]
+		}
+	}
+	if victim == nil {
+		f.Stats.InsertBlocked++
+		return
+	}
+	if victim.state != Inv {
+		f.Stats.Evictions++
+	}
+	d.clock++
+	*victim = entry{tag: m.Addr, state: Mod, owner: m.Requester, lru: d.clock}
+	f.Stats.Inserts++
+}
+
+// readReq intercepts reads to blocks with known dirty owners.
+func (f *Fabric) readReq(d *dir, sw topo.SwitchID, m *mesg.Message) xbar.Action {
+	e := d.find(m.Addr)
+	if e == nil {
+		return xbar.Action{}
+	}
+	switch e.state {
+	case Mod:
+		// Re-route: sink the read, fire a marked CtoC request at the
+		// owner, go TRANSIENT until the copyback passes.
+		if f.cfg.PendingEntries > 0 && d.pendingCount >= f.cfg.PendingEntries {
+			f.Stats.PendingFull++
+			return xbar.Action{} // no room to track: let the home serve it
+		}
+		f.Stats.Hits++
+		if sw.Stage == 0 {
+			f.Stats.LeafHits++
+		} else {
+			f.Stats.TopHits++
+		}
+		d.clock++
+		e.state = Trans
+		e.reqVec = 1 << uint(m.Requester)
+		e.lru = d.clock
+		d.pendingCount++
+		return xbar.Action{
+			Sink: true,
+			Generated: []*mesg.Message{{
+				Kind: mesg.CtoCReq, Addr: m.Addr, Src: m.Src, Dst: mesg.P(e.owner),
+				Requester: m.Requester, Owner: e.owner, Marked: true, Issued: m.Issued,
+			}},
+		}
+	case Trans:
+		f.Stats.TransientHits++
+		if f.cfg.Policy == PolicyBitVector {
+			if e.reqVec&(1<<uint(m.Requester)) == 0 {
+				f.Stats.BitVectorAdds++
+				e.reqVec |= 1 << uint(m.Requester)
+			}
+			return xbar.Action{Sink: true}
+		}
+		f.Stats.RetriesSent++
+		return xbar.Action{
+			Sink: true,
+			Generated: []*mesg.Message{{
+				Kind: mesg.Retry, Addr: m.Addr, Src: m.Src, Dst: mesg.P(m.Requester),
+				Requester: m.Requester, Marked: true, Issued: m.Issued,
+			}},
+		}
+	}
+	return xbar.Action{}
+}
+
+// writeReq invalidates MODIFIED entries; in TRANSIENT the write is
+// bounced so the in-flight transfer can finish.
+func (f *Fabric) writeReq(d *dir, m *mesg.Message) xbar.Action {
+	e := d.find(m.Addr)
+	if e == nil {
+		return xbar.Action{}
+	}
+	switch e.state {
+	case Mod:
+		f.Stats.Invalidates++
+		e.state = Inv
+		return xbar.Action{}
+	case Trans:
+		f.Stats.WriteNacks++
+		return xbar.Action{
+			Sink: true,
+			Generated: []*mesg.Message{{
+				Kind: mesg.Nack, Addr: m.Addr, Src: m.Src, Dst: mesg.P(m.Requester),
+				Requester: m.Requester, ForWrite: true, Marked: true, Issued: m.Issued,
+			}},
+		}
+	}
+	return xbar.Action{}
+}
+
+// ctocReq handles home-forwarded (or foreign-switch) transfer requests
+// travelling the backward path.
+func (f *Fabric) ctocReq(d *dir, m *mesg.Message) xbar.Action {
+	e := d.find(m.Addr)
+	if e == nil {
+		return xbar.Action{}
+	}
+	switch e.state {
+	case Mod:
+		// The transfer will move/downgrade the owner; our entry is stale.
+		f.Stats.Invalidates++
+		e.state = Inv
+	case Trans:
+		if m.ForWrite {
+			// An ownership transfer must reach the owner: the writer
+			// completes through the owner's CtoC reply, and sinking
+			// the forward would orphan the home's record of the new
+			// owner. The owner resolves the interleaving with our
+			// in-flight read transfer either way (serving from S, or
+			// bouncing with a NoData copyback that clears this entry).
+			return xbar.Action{}
+		}
+		// A read transfer is already in flight from this switch; the
+		// home's pending read completes via the marked copyback (the
+		// home controller re-drives its stalled request then).
+		f.Stats.CtoCSunk++
+		return xbar.Action{Sink: true}
+	}
+	return xbar.Action{}
+}
+
+// release clears a TRANSIENT entry's tracking.
+func (d *dir) release(e *entry) {
+	if e.state == Trans && d.pendingCount > 0 {
+		d.pendingCount--
+	}
+	e.state = Inv
+	e.reqVec = 0
+}
+
+// copyBack observes the data returning home. A TRANSIENT entry's
+// extra bit-vector requesters are served straight from the copyback
+// data with marked replies, and their pids ride home on the message's
+// sharer vector.
+func (f *Fabric) copyBack(d *dir, m *mesg.Message) xbar.Action {
+	e := d.find(m.Addr)
+	if e == nil {
+		return xbar.Action{}
+	}
+	if m.NoData {
+		// Transient-clear from a node that could not serve a marked
+		// CtoC request: bounce every waiting requester back to the
+		// home and drop the entry — MODIFIED entries naming that node
+		// are stale too.
+		var gen []*mesg.Message
+		if e.state == Trans {
+			for _, p := range mesg.SharerList(e.reqVec) {
+				f.Stats.RetriesSent++
+				gen = append(gen, &mesg.Message{
+					Kind: mesg.Retry, Addr: m.Addr, Src: m.Src, Dst: mesg.P(p),
+					Requester: p, Marked: true,
+				})
+			}
+		} else {
+			f.Stats.Invalidates++
+		}
+		d.release(e)
+		return xbar.Action{Generated: gen}
+	}
+	var gen []*mesg.Message
+	if e.state == Trans {
+		first := m.Requester
+		for _, p := range mesg.SharerList(e.reqVec) {
+			if p == first {
+				continue // served by the owner's CtoC reply
+			}
+			f.Stats.ServedFromCB++
+			m.AddSharer(p)
+			gen = append(gen, &mesg.Message{
+				Kind: mesg.ReadReply, Addr: m.Addr, Src: m.Src, Dst: mesg.P(p),
+				Requester: p, Data: m.Data, Marked: true,
+			})
+		}
+	} else {
+		f.Stats.Invalidates++
+	}
+	d.release(e)
+	return xbar.Action{Generated: gen}
+}
+
+// writeBack invalidates MODIFIED entries. In TRANSIENT state the
+// owner replaced the line before our CtoC request arrived: serve the
+// waiting requesters from the writeback data, mark the message and
+// attach the requester pid so the home's map stays exact (Section 3.2).
+func (f *Fabric) writeBack(d *dir, m *mesg.Message) xbar.Action {
+	if m.ForWrite {
+		// Ownership-transfer ack: carries no data and is not a real
+		// replacement; invalidate any stale MODIFIED entry and pass.
+		if e := d.find(m.Addr); e != nil && e.state == Mod {
+			f.Stats.Invalidates++
+			e.state = Inv
+		}
+		return xbar.Action{}
+	}
+	e := d.find(m.Addr)
+	if e == nil {
+		return xbar.Action{}
+	}
+	var gen []*mesg.Message
+	if e.state == Trans {
+		reqs := mesg.SharerList(e.reqVec)
+		for i, p := range reqs {
+			f.Stats.ServedFromWB++
+			if i == 0 {
+				m.Marked = true
+				m.Requester = p
+			} else {
+				m.AddSharer(p)
+			}
+			gen = append(gen, &mesg.Message{
+				Kind: mesg.ReadReply, Addr: m.Addr, Src: m.Src, Dst: mesg.P(p),
+				Requester: p, Data: m.Data, Marked: true,
+			})
+		}
+	} else {
+		f.Stats.Invalidates++
+	}
+	d.release(e)
+	return xbar.Action{Generated: gen}
+}
+
+// retry re-routes a passing retry to all waiting bit-vector
+// requesters so none of them hangs.
+func (f *Fabric) retry(d *dir, m *mesg.Message) xbar.Action {
+	e := d.find(m.Addr)
+	if e == nil || e.state != Trans || f.cfg.Policy != PolicyBitVector {
+		return xbar.Action{}
+	}
+	var gen []*mesg.Message
+	for _, p := range mesg.SharerList(e.reqVec) {
+		if p == m.Requester {
+			continue
+		}
+		gen = append(gen, &mesg.Message{
+			Kind: mesg.Retry, Addr: m.Addr, Src: m.Src, Dst: mesg.P(p),
+			Requester: p, Marked: true,
+		})
+	}
+	return xbar.Action{Generated: gen}
+}
+
+// Lookup exposes a switch's entry state for tests and invariants.
+func (f *Fabric) Lookup(sw topo.SwitchID, addr uint64) (EntryState, int, uint64) {
+	d := f.dirs[f.tp.SwitchOrdinal(sw)]
+	if e := d.find(addr); e != nil {
+		return e.state, e.owner, e.reqVec
+	}
+	return Inv, 0, 0
+}
+
+// TransientCount reports resident TRANSIENT entries at a switch.
+func (f *Fabric) TransientCount(sw topo.SwitchID) int {
+	d := f.dirs[f.tp.SwitchOrdinal(sw)]
+	n := 0
+	for _, set := range d.sets {
+		for i := range set {
+			if set[i].state == Trans {
+				n++
+			}
+		}
+	}
+	return n
+}

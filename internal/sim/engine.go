@@ -1,0 +1,134 @@
+// Package sim provides the discrete-event simulation kernel used by
+// every timed component in the DRESAR reproduction: a deterministic
+// event heap keyed by (cycle, insertion sequence), a cycle clock, a
+// seeded pseudo-random number generator, and statistics primitives.
+//
+// All simulated time is measured in 200MHz core cycles (the paper's
+// switch core, link, and processor all run at 200MHz). The engine is
+// strictly single-threaded and deterministic: two events scheduled for
+// the same cycle fire in the order they were scheduled.
+package sim
+
+import "container/heap"
+
+// Cycle is a point in simulated time, in 200MHz core cycles.
+type Cycle uint64
+
+// event is a scheduled callback. seq breaks ties between events at the
+// same cycle so execution order is deterministic (FIFO within a cycle).
+type event struct {
+	at  Cycle
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event scheduler.
+// The zero value is ready to use.
+type Engine struct {
+	now     Cycle
+	seq     uint64
+	events  eventHeap
+	stopped bool
+}
+
+// NewEngine returns an empty engine at cycle 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now reports the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Pending reports the number of scheduled events not yet executed.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at cycle t. Scheduling in the past (t < Now)
+// runs fn at the current cycle instead; the engine never travels
+// backwards.
+func (e *Engine) At(t Cycle, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Cycle, fn func()) { e.At(e.now+d, fn) }
+
+// Step executes the single earliest event, advancing the clock to its
+// cycle. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains, Stop is called, or limit
+// events have run (limit <= 0 means no limit). It returns the number of
+// events executed.
+func (e *Engine) Run(limit int) int {
+	e.stopped = false
+	n := 0
+	for !e.stopped && e.Step() {
+		n++
+		if limit > 0 && n >= limit {
+			break
+		}
+	}
+	return n
+}
+
+// RunUntil executes events with time <= t, then sets the clock to t.
+// It returns the number of events executed.
+func (e *Engine) RunUntil(t Cycle) int {
+	e.stopped = false
+	n := 0
+	for !e.stopped && len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+		n++
+	}
+	if e.now < t {
+		e.now = t
+	}
+	return n
+}
+
+// Drain executes events with time <= max without ever advancing the
+// clock past the last executed event (unlike RunUntil, which jumps to
+// max). Use it to run to completion under a watchdog bound while
+// keeping Now() meaningful as "when the work finished". It returns
+// the number of events executed.
+func (e *Engine) Drain(max Cycle) int {
+	e.stopped = false
+	n := 0
+	for !e.stopped && len(e.events) > 0 && e.events[0].at <= max {
+		e.Step()
+		n++
+	}
+	return n
+}
+
+// Stop makes the innermost Run/RunUntil return after the current event.
+func (e *Engine) Stop() { e.stopped = true }

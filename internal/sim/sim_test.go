@@ -1,0 +1,336 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(10, func() { got = append(got, 1) })
+	e.At(5, func() { got = append(got, 0) })
+	e.At(10, func() { got = append(got, 2) }) // same cycle: FIFO
+	e.At(20, func() { got = append(got, 3) })
+	n := e.Run(0)
+	if n != 4 {
+		t.Fatalf("ran %d events, want 4", n)
+	}
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now = %d, want 20", e.Now())
+	}
+}
+
+func TestEngineSameCycleFIFOIsStable(t *testing.T) {
+	e := NewEngine()
+	const n = 1000
+	var got []int
+	for i := 0; i < n; i++ {
+		i := i
+		e.At(7, func() { got = append(got, i) })
+	}
+	e.Run(0)
+	for i := 0; i < n; i++ {
+		if got[i] != i {
+			t.Fatalf("same-cycle events reordered at %d: got %d", i, got[i])
+		}
+	}
+}
+
+func TestEngineNoTimeTravel(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {
+		// Schedule "in the past" from cycle 100; must fire at >= 100.
+		e.At(5, func() {
+			if e.Now() < 100 {
+				t.Errorf("event fired at %d, before schedule time 100", e.Now())
+			}
+		})
+	})
+	e.Run(0)
+}
+
+func TestEngineAfterAndNesting(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.After(3, func() {
+		if e.Now() != 3 {
+			t.Errorf("first event at %d, want 3", e.Now())
+		}
+		fired++
+		e.After(4, func() {
+			if e.Now() != 7 {
+				t.Errorf("nested event at %d, want 7", e.Now())
+			}
+			fired++
+		})
+	})
+	e.Run(0)
+	if fired != 2 {
+		t.Fatalf("fired %d events, want 2", fired)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := map[Cycle]bool{}
+	for _, c := range []Cycle{1, 5, 10, 15} {
+		c := c
+		e.At(c, func() { fired[c] = true })
+	}
+	e.RunUntil(10)
+	if !fired[1] || !fired[5] || !fired[10] {
+		t.Fatalf("events <= 10 did not all fire: %v", fired)
+	}
+	if fired[15] {
+		t.Fatalf("event at 15 fired during RunUntil(10)")
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now = %d, want 10", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.At(Cycle(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run(0)
+	if count != 3 {
+		t.Fatalf("ran %d events after Stop, want 3", count)
+	}
+}
+
+func TestEngineRunLimit(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.At(Cycle(i), func() { count++ })
+	}
+	if n := e.Run(4); n != 4 || count != 4 {
+		t.Fatalf("Run(4) = %d (count %d), want 4", n, count)
+	}
+}
+
+func TestEngineHeapProperty(t *testing.T) {
+	// Property: events always fire in non-decreasing time order, for
+	// arbitrary insertion orders.
+	f := func(times []uint16) bool {
+		e := NewEngine()
+		var fireOrder []Cycle
+		for _, ti := range times {
+			ti := Cycle(ti)
+			e.At(ti, func() { fireOrder = append(fireOrder, ti) })
+		}
+		e.Run(0)
+		for i := 1; i < len(fireOrder); i++ {
+			if fireOrder[i] < fireOrder[i-1] {
+				return false
+			}
+		}
+		return len(fireOrder) == len(times)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d identical draws of 1000", same)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(11)
+	p := r.Perm(64)
+	seen := make([]bool, 64)
+	for _, v := range p {
+		if v < 0 || v >= 64 || seen[v] {
+			t.Fatalf("Perm not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(1)
+	z := NewZipf(r, 100, 1.0)
+	counts := make([]int, 100)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[z.Draw()]++
+	}
+	// Rank 0 should dominate rank 50 heavily under s=1.
+	if counts[0] < 10*counts[50] {
+		t.Fatalf("zipf not skewed: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != draws {
+		t.Fatalf("lost draws: %d", total)
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	var a Accumulator
+	for _, v := range []uint64{5, 1, 9, 5} {
+		a.Observe(v)
+	}
+	if a.Count != 4 || a.Sum != 20 || a.Min != 1 || a.Max != 9 {
+		t.Fatalf("accumulator = %+v", a)
+	}
+	if a.Mean() != 5 {
+		t.Fatalf("mean = %v, want 5", a.Mean())
+	}
+	var b Accumulator
+	b.Observe(100)
+	a.Merge(b)
+	if a.Count != 5 || a.Max != 100 {
+		t.Fatalf("after merge: %+v", a)
+	}
+	var empty Accumulator
+	a.Merge(empty)
+	if a.Count != 5 {
+		t.Fatalf("merge of empty changed count: %+v", a)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for i := uint64(0); i < 1000; i++ {
+		h.Observe(i)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p99 := h.Percentile(99)
+	if p99 < 512 || p99 > 2048 {
+		t.Fatalf("p99 = %d, want around 1000 (bucket bound)", p99)
+	}
+	if h.Percentile(0) == 0 && h.Count() > 0 {
+		// percentile(0) clamps to first non-empty bucket bound; with a 0
+		// sample the first bucket is non-empty so bound is 1.
+		t.Logf("p0 = %d", h.Percentile(0))
+	}
+}
+
+func TestBlockProfileCDF(t *testing.T) {
+	b := NewBlockProfile()
+	// 10 blocks: block 0 has 91 misses/91 ctocs, others 1/1 each.
+	b.Add(0, 91, 91)
+	for k := uint64(1); k < 10; k++ {
+		b.Add(k, 1, 1)
+	}
+	p, s := b.CDF([]float64{0.1, 1.0})
+	if p[0] < 0.90 || p[0] > 0.92 {
+		t.Fatalf("top-10%% primary = %v, want ~0.91", p[0])
+	}
+	if s[1] != 1.0 || p[1] != 1.0 {
+		t.Fatalf("full CDF must reach 1.0: p=%v s=%v", p, s)
+	}
+	if b.Len() != 10 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	tp, ts := b.Totals()
+	if tp != 100 || ts != 100 {
+		t.Fatalf("totals = %d,%d", tp, ts)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now()+Cycle(i%64), func() {})
+		if e.Pending() > 1024 {
+			e.Run(512)
+		}
+	}
+	e.Run(0)
+}
+
+func TestEngineDrainDoesNotJumpClock(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() {})
+	e.At(9, func() {})
+	n := e.Drain(1000)
+	if n != 2 {
+		t.Fatalf("drained %d events", n)
+	}
+	if e.Now() != 9 {
+		t.Fatalf("Drain advanced clock to %d, want 9 (last event)", e.Now())
+	}
+	// Events beyond the bound stay queued.
+	e.At(2000, func() {})
+	if e.Drain(1000) != 0 || e.Pending() != 1 {
+		t.Fatalf("Drain crossed its bound")
+	}
+}
+
+func TestEngineDrainRespectsStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 5; i++ {
+		e.At(Cycle(i), func() {
+			count++
+			if count == 2 {
+				e.Stop()
+			}
+		})
+	}
+	e.Drain(100)
+	if count != 2 {
+		t.Fatalf("Drain ignored Stop: ran %d", count)
+	}
+}

@@ -1,0 +1,159 @@
+package swcache
+
+import (
+	"testing"
+
+	"dresar/internal/mesg"
+	"dresar/internal/sim"
+	"dresar/internal/topo"
+	"dresar/internal/xbar"
+)
+
+var tp16 = topo.MustNew(16, 4)
+
+func top0() topo.SwitchID  { return topo.SwitchID{Stage: 1, Index: 0} }
+func leaf0() topo.SwitchID { return topo.SwitchID{Stage: 0, Index: 0} }
+
+func reply(addr uint64, dst int, version uint64) *mesg.Message {
+	return &mesg.Message{Kind: mesg.ReadReply, Addr: addr, Src: mesg.M(0), Dst: mesg.P(dst), Requester: dst, Data: version}
+}
+func rreq(addr uint64, req int) *mesg.Message {
+	return &mesg.Message{Kind: mesg.ReadReq, Addr: addr, Src: mesg.P(req), Dst: mesg.M(0), Requester: req}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(tp16, Config{Entries: 0, Ways: 4}); err == nil {
+		t.Error("zero entries accepted")
+	}
+	if _, err := New(tp16, Config{Entries: 10, Ways: 4}); err == nil {
+		t.Error("bad ways accepted")
+	}
+	if _, err := New(tp16, Config{Entries: 24, Ways: 4}); err == nil {
+		t.Error("non power-of-two sets accepted")
+	}
+	f, err := New(tp16, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.cfg.StageMask != 1<<1 {
+		t.Fatalf("default stage mask = %b, want top-only", f.cfg.StageMask)
+	}
+}
+
+func TestInsertAndHit(t *testing.T) {
+	f := MustNew(tp16, DefaultConfig())
+	f.Snoop(top0(), reply(0x40, 3, 7), 0)
+	if v, ok := f.Lookup(top0(), 0x40); !ok || v != 7 {
+		t.Fatalf("entry = %d %v", v, ok)
+	}
+	a := f.Snoop(top0(), rreq(0x40, 5), 1)
+	if !a.Sink || len(a.Generated) != 2 {
+		t.Fatalf("action = %+v", a)
+	}
+	g := a.Generated[0]
+	if g.Kind != mesg.ReadReply || !g.Marked || !g.SwitchCache || g.Data != 7 || g.Dst != mesg.P(5) {
+		t.Fatalf("generated reply = %+v", g)
+	}
+	note := a.Generated[1]
+	if note.Kind != mesg.CopyBack || !note.Marked || note.Requester != 5 || note.Dst != mesg.M(0) || note.Data != 7 {
+		t.Fatalf("add-sharer note = %+v", note)
+	}
+	if note.Src != mesg.P(5) {
+		t.Fatalf("note source must be the requester (for the home's fold/purge logic): %v", note.Src)
+	}
+	if f.Stats.Hits != 1 || f.Stats.Inserts != 1 {
+		t.Fatalf("stats %+v", f.Stats)
+	}
+}
+
+func TestLeafStageInactiveByDefault(t *testing.T) {
+	f := MustNew(tp16, DefaultConfig())
+	f.Snoop(leaf0(), reply(0x40, 3, 7), 0)
+	if _, ok := f.Lookup(leaf0(), 0x40); ok {
+		t.Fatal("leaf stored an entry despite top-only default (incoherent placement)")
+	}
+	if a := f.Snoop(leaf0(), rreq(0x40, 5), 0); a.Sink {
+		t.Fatal("leaf hit")
+	}
+}
+
+func TestWriteTrafficInvalidates(t *testing.T) {
+	kinds := []mesg.Kind{mesg.WriteReq, mesg.WriteReply, mesg.CtoCReq, mesg.CopyBack, mesg.WriteBack, mesg.Inval}
+	for _, k := range kinds {
+		f := MustNew(tp16, DefaultConfig())
+		f.Snoop(top0(), reply(0x40, 3, 7), 0)
+		f.Snoop(top0(), &mesg.Message{Kind: k, Addr: 0x40, Src: mesg.P(1), Dst: mesg.M(0), Requester: 1}, 1)
+		if _, ok := f.Lookup(top0(), 0x40); ok {
+			t.Fatalf("%v did not invalidate", k)
+		}
+		if a := f.Snoop(top0(), rreq(0x40, 5), 2); a.Sink {
+			t.Fatalf("stale hit after %v", k)
+		}
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	f := MustNew(tp16, Config{Entries: 2, Ways: 2, StageMask: 1 << 1})
+	f.Snoop(top0(), reply(0x00, 1, 1), 0)
+	f.Snoop(top0(), reply(0x20, 2, 2), 1)
+	f.Snoop(top0(), rreq(0x00, 3), 2) // touch 0x00
+	f.Snoop(top0(), reply(0x40, 3, 3), 3)
+	if _, ok := f.Lookup(top0(), 0x20); ok {
+		t.Fatal("LRU entry survived")
+	}
+	if _, ok := f.Lookup(top0(), 0x00); !ok {
+		t.Fatal("MRU entry evicted")
+	}
+	if f.Stats.Evictions != 1 {
+		t.Fatalf("stats %+v", f.Stats)
+	}
+}
+
+// stubSnooper is a scripted xbar.Snooper.
+type stubSnooper struct {
+	calls int
+	act   xbar.Action
+}
+
+func (s *stubSnooper) Snoop(sw topo.SwitchID, m *mesg.Message, now sim.Cycle) xbar.Action {
+	s.calls++
+	return s.act
+}
+
+func TestCombinedCacheOnly(t *testing.T) {
+	f := MustNew(tp16, DefaultConfig())
+	c := Combined{Cache: f}
+	f.Snoop(top0(), reply(0x40, 3, 9), 0)
+	a := c.Snoop(top0(), rreq(0x40, 5), 1)
+	if !a.Sink || len(a.Generated) != 2 {
+		t.Fatalf("combined cache-only action = %+v", a)
+	}
+}
+
+func TestCombinedDirSinkShadowsCache(t *testing.T) {
+	f := MustNew(tp16, DefaultConfig())
+	f.Snoop(top0(), reply(0x40, 3, 9), 0)
+	dir := &stubSnooper{act: xbar.Action{Sink: true}}
+	c := Combined{Dir: dir, Cache: f}
+	a := c.Snoop(top0(), rreq(0x40, 5), 1)
+	if !a.Sink || len(a.Generated) != 0 {
+		t.Fatalf("action = %+v", a)
+	}
+	if dir.calls != 1 {
+		t.Fatalf("dir calls = %d", dir.calls)
+	}
+	if f.Stats.Hits != 0 {
+		t.Fatal("cache served a message the directory sank")
+	}
+}
+
+func TestCombinedDelaysAdd(t *testing.T) {
+	f := MustNew(tp16, DefaultConfig())
+	dir := &stubSnooper{act: xbar.Action{ExtraDelay: 3}}
+	c := Combined{Dir: dir, Cache: f}
+	f.Snoop(top0(), reply(0x40, 3, 9), 0)
+	a := c.Snoop(top0(), rreq(0x40, 5), 1)
+	if a.ExtraDelay != 3 || !a.Sink {
+		t.Fatalf("action = %+v", a)
+	}
+}

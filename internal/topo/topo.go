@@ -1,0 +1,218 @@
+// Package topo constructs the bidirectional multistage interconnection
+// network (BMIN) of Figure 3: a two-stage, dance-hall butterfly with
+// processor/cache interfaces at the bottom rank and memory interfaces
+// at the top rank. Requests travel the forward (upward) path from a
+// processor to a home memory; replies and coherence requests travel
+// the backward (downward) path. Because a (processor, memory) pair
+// always traverses the same switches in both directions, a directory
+// hierarchy can be embedded in the switches — the property the switch
+// directory framework depends on.
+//
+// The network is built from bidirectional crossbar switches with Radix
+// ports per side (a Radix=4 switch is the paper's "8x8 crossbar": 8
+// input links and 8 output links, used as 4 bidirectional down ports
+// plus 4 bidirectional up ports). When Radix² exceeds the node count,
+// parallel links between a (leaf, top) switch pair are bundled; the
+// paper's 16-node evaluation uses Radix=4 with bundle 1 (2 stages of
+// four 8x8 switches... the text says two stages of 8×8 switches, i.e.
+// four leaf and four top switches for 16 nodes).
+package topo
+
+import "fmt"
+
+// Dir is a traversal direction through the BMIN.
+type Dir uint8
+
+const (
+	// Up is the forward direction, toward the memory rank.
+	Up Dir = iota
+	// Down is the backward direction, toward the processor rank.
+	Down
+)
+
+// SwitchID names a switch: Stage 0 is the leaf (processor-side) rank,
+// Stage 1 the top (memory-side) rank.
+type SwitchID struct {
+	Stage int
+	Index int
+}
+
+func (s SwitchID) String() string { return fmt.Sprintf("S%d.%d", s.Stage, s.Index) }
+
+// Port is a switch-local bidirectional port number. Ports [0, Radix)
+// face down (toward processors); ports [Radix, 2*Radix) face up
+// (toward memories).
+type Port int
+
+// Hop is one switch traversal: the message enters sw on port In and
+// leaves on port Out.
+type Hop struct {
+	Sw  SwitchID
+	In  Port
+	Out Port
+}
+
+// T is a concrete two-stage BMIN.
+type T struct {
+	// Nodes is the number of CC-NUMA nodes (processor+memory pairs).
+	Nodes int
+	// Radix is the number of bidirectional ports per switch side.
+	Radix int
+	// Bundle is the number of parallel links between each (leaf, top)
+	// switch pair: Radix² / Nodes.
+	Bundle int
+	// Leaves and Tops are the per-rank switch counts (Nodes / Radix).
+	Leaves, Tops int
+}
+
+// New builds a two-stage BMIN for nodes endpoints using switches of
+// the given radix. It returns an error unless nodes is divisible by
+// radix and radix² is a multiple of nodes (so the bundle factor is a
+// positive integer and every leaf reaches every top).
+func New(nodes, radix int) (*T, error) {
+	if nodes <= 0 || radix <= 0 {
+		return nil, fmt.Errorf("topo: nodes (%d) and radix (%d) must be positive", nodes, radix)
+	}
+	if nodes%radix != 0 {
+		return nil, fmt.Errorf("topo: nodes (%d) not divisible by radix (%d)", nodes, radix)
+	}
+	if (radix*radix)%nodes != 0 {
+		return nil, fmt.Errorf("topo: radix² (%d) not a multiple of nodes (%d); leaves cannot reach all tops in 2 stages", radix*radix, nodes)
+	}
+	return &T{
+		Nodes:  nodes,
+		Radix:  radix,
+		Bundle: radix * radix / nodes,
+		Leaves: nodes / radix,
+		Tops:   nodes / radix,
+	}, nil
+}
+
+// MustNew is New, panicking on error; for tests and tables.
+func MustNew(nodes, radix int) *T {
+	t, err := New(nodes, radix)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NumSwitches reports the total switch count across both stages.
+func (t *T) NumSwitches() int { return t.Leaves + t.Tops }
+
+// SwitchOrdinal flattens a SwitchID into [0, NumSwitches) for array
+// indexing: leaves first, then tops.
+func (t *T) SwitchOrdinal(s SwitchID) int {
+	if s.Stage == 0 {
+		return s.Index
+	}
+	return t.Leaves + s.Index
+}
+
+// LeafOf returns the leaf switch serving processor p.
+func (t *T) LeafOf(p int) SwitchID { return SwitchID{0, p / t.Radix} }
+
+// TopOf returns the top switch serving memory m.
+func (t *T) TopOf(m int) SwitchID { return SwitchID{1, m / t.Radix} }
+
+// lane deterministically spreads traffic across bundled parallel links
+// while keeping every (a, b) pair on a fixed lane so point-to-point
+// message order is preserved.
+func (t *T) lane(a, b int) int { return (a + b) % t.Bundle }
+
+// upPort returns the leaf-switch up port reaching top switch top on
+// the given bundle lane.
+func (t *T) upPort(top, lane int) Port { return Port(t.Radix + top*t.Bundle + lane) }
+
+// topDownPort returns the top-switch down port connected to leaf
+// switch leaf on the given bundle lane.
+func (t *T) topDownPort(leaf, lane int) Port { return Port(leaf*t.Bundle + lane) }
+
+// Forward returns the hop sequence for a processor-to-memory message
+// (the forward path: ReadReq, WriteReq, WriteBack, CopyBack, InvalAck).
+func (t *T) Forward(proc, mem int) []Hop {
+	t.checkNode(proc)
+	t.checkNode(mem)
+	leaf, top := proc/t.Radix, mem/t.Radix
+	c := t.lane(proc, mem)
+	return []Hop{
+		{Sw: SwitchID{0, leaf}, In: Port(proc % t.Radix), Out: t.upPort(top, c)},
+		{Sw: SwitchID{1, top}, In: t.topDownPort(leaf, c), Out: Port(t.Radix + mem%t.Radix)},
+	}
+}
+
+// Backward returns the hop sequence for a memory-to-processor message
+// (the backward path: replies, CtoCReq, Inval, Retry, WBAck, Nack).
+// It is the exact reverse of Forward(proc, mem), so a request and its
+// reply see the same two switches — the path-overlap property.
+func (t *T) Backward(mem, proc int) []Hop {
+	t.checkNode(proc)
+	t.checkNode(mem)
+	leaf, top := proc/t.Radix, mem/t.Radix
+	c := t.lane(proc, mem)
+	return []Hop{
+		{Sw: SwitchID{1, top}, In: Port(t.Radix + mem%t.Radix), Out: t.topDownPort(leaf, c)},
+		{Sw: SwitchID{0, leaf}, In: t.upPort(top, c), Out: Port(proc % t.Radix)},
+	}
+}
+
+// Turnaround returns the hop sequence for a processor-to-processor
+// message (CtoCReply): up from the source's leaf to a top switch, then
+// down to the destination's leaf. sel picks the turnaround top switch
+// deterministically (callers pass the block's home node so the reply
+// shares the transaction's tree). If src and dst share a leaf switch
+// the message still turns at the leaf only when no top visit is
+// required — a single-switch route.
+func (t *T) Turnaround(src, dst, sel int) []Hop {
+	t.checkNode(src)
+	t.checkNode(dst)
+	sl, dl := src/t.Radix, dst/t.Radix
+	if sl == dl {
+		// Same leaf: one hop through the shared leaf switch.
+		return []Hop{{Sw: SwitchID{0, sl}, In: Port(src % t.Radix), Out: Port(dst % t.Radix)}}
+	}
+	top := sel % t.Tops
+	if top < 0 {
+		top += t.Tops
+	}
+	cu := t.lane(src, sel)
+	cd := t.lane(dst, sel)
+	return []Hop{
+		{Sw: SwitchID{0, sl}, In: Port(src % t.Radix), Out: t.upPort(top, cu)},
+		{Sw: SwitchID{1, top}, In: t.topDownPort(sl, cu), Out: t.topDownPort(dl, cd)},
+		{Sw: SwitchID{0, dl}, In: t.upPort(top, cd), Out: Port(dst % t.Radix)},
+	}
+}
+
+// SwitchesForward lists just the switches on the forward path, in
+// traversal order; used by the trace-driven simulator, which models
+// directory placement but not link timing.
+func (t *T) SwitchesForward(proc, mem int) []SwitchID {
+	hops := t.Forward(proc, mem)
+	out := make([]SwitchID, len(hops))
+	for i, h := range hops {
+		out[i] = h.Sw
+	}
+	return out
+}
+
+// SwitchesBackward lists the switches on the backward path in order.
+func (t *T) SwitchesBackward(mem, proc int) []SwitchID {
+	hops := t.Backward(mem, proc)
+	out := make([]SwitchID, len(hops))
+	for i, h := range hops {
+		out[i] = h.Sw
+	}
+	return out
+}
+
+func (t *T) checkNode(n int) {
+	if n < 0 || n >= t.Nodes {
+		panic(fmt.Sprintf("topo: node %d out of range [0,%d)", n, t.Nodes))
+	}
+}
+
+func (t *T) String() string {
+	return fmt.Sprintf("BMIN(%d nodes, %dx%d switches, %d+%d, bundle %d)",
+		t.Nodes, 2*t.Radix, 2*t.Radix, t.Leaves, t.Tops, t.Bundle)
+}

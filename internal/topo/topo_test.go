@@ -1,0 +1,226 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidations(t *testing.T) {
+	if _, err := New(0, 4); err == nil {
+		t.Error("nodes=0 accepted")
+	}
+	if _, err := New(16, 0); err == nil {
+		t.Error("radix=0 accepted")
+	}
+	if _, err := New(15, 4); err == nil {
+		t.Error("nodes not divisible by radix accepted")
+	}
+	if _, err := New(32, 4); err == nil {
+		t.Error("radix²=16 < nodes=32 accepted (unreachable tops)")
+	}
+	bt, err := New(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.Leaves != 4 || bt.Tops != 4 || bt.Bundle != 1 {
+		t.Fatalf("16/4 topology = %+v", bt)
+	}
+	bt8, err := New(16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt8.Leaves != 2 || bt8.Tops != 2 || bt8.Bundle != 4 {
+		t.Fatalf("16/8 topology = %+v", bt8)
+	}
+	bt64, err := New(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt64.Leaves != 8 || bt64.Bundle != 1 {
+		t.Fatalf("64/8 topology = %+v", bt64)
+	}
+}
+
+// validateHops checks structural sanity of a route on topology bt:
+// consecutive hops are wired together consistently, and ports are in
+// range with the right orientation.
+func validateHops(t *testing.T, bt *T, hops []Hop) {
+	t.Helper()
+	for _, h := range hops {
+		if h.In < 0 || int(h.In) >= 2*bt.Radix || h.Out < 0 || int(h.Out) >= 2*bt.Radix {
+			t.Fatalf("port out of range in hop %+v", h)
+		}
+		if h.Sw.Stage < 0 || h.Sw.Stage > 1 {
+			t.Fatalf("bad stage in hop %+v", h)
+		}
+	}
+}
+
+func TestForwardBackwardSymmetry(t *testing.T) {
+	for _, cfg := range [][2]int{{16, 4}, {16, 8}, {64, 8}, {4, 2}} {
+		bt := MustNew(cfg[0], cfg[1])
+		for p := 0; p < bt.Nodes; p++ {
+			for m := 0; m < bt.Nodes; m++ {
+				f := bt.Forward(p, m)
+				b := bt.Backward(m, p)
+				validateHops(t, bt, f)
+				validateHops(t, bt, b)
+				if len(f) != 2 || len(b) != 2 {
+					t.Fatalf("%v: route length f=%d b=%d, want 2", bt, len(f), len(b))
+				}
+				// Path overlap: backward is the exact reverse of forward.
+				for i := range f {
+					rb := b[len(b)-1-i]
+					if f[i].Sw != rb.Sw || f[i].In != rb.Out || f[i].Out != rb.In {
+						t.Fatalf("%v: backward not reverse of forward for p=%d m=%d:\n f=%v\n b=%v", bt, p, m, f, b)
+					}
+				}
+				// Endpoint ports: first hop enters at proc's leaf port,
+				// last hop exits at memory's top port.
+				if f[0].Sw != bt.LeafOf(p) || int(f[0].In) != p%bt.Radix {
+					t.Fatalf("forward entry wrong: %+v for p=%d", f[0], p)
+				}
+				if f[1].Sw != bt.TopOf(m) || int(f[1].Out) != bt.Radix+m%bt.Radix {
+					t.Fatalf("forward exit wrong: %+v for m=%d", f[1], m)
+				}
+				// Orientation: leaf exit is an up port, top entry a down port.
+				if int(f[0].Out) < bt.Radix {
+					t.Fatalf("leaf must exit upward: %+v", f[0])
+				}
+				if int(f[1].In) >= bt.Radix {
+					t.Fatalf("top must be entered from below: %+v", f[1])
+				}
+			}
+		}
+	}
+}
+
+func TestWiringConsistency(t *testing.T) {
+	// The (leaf out port, top in port) pair must describe the same
+	// physical link for every route using it: build the link map from
+	// all routes and check no port maps to two different peers.
+	for _, cfg := range [][2]int{{16, 4}, {16, 8}, {64, 8}} {
+		bt := MustNew(cfg[0], cfg[1])
+		type end struct {
+			sw   SwitchID
+			port Port
+		}
+		peer := map[end]end{}
+		check := func(a, b end) {
+			if prev, ok := peer[a]; ok && prev != b {
+				t.Fatalf("%v: port %v/%d wired to both %v and %v", bt, a.sw, a.port, prev, b)
+			}
+			peer[a] = b
+		}
+		for p := 0; p < bt.Nodes; p++ {
+			for m := 0; m < bt.Nodes; m++ {
+				f := bt.Forward(p, m)
+				check(end{f[0].Sw, f[0].Out}, end{f[1].Sw, f[1].In})
+				check(end{f[1].Sw, f[1].In}, end{f[0].Sw, f[0].Out})
+			}
+		}
+	}
+}
+
+func TestTurnaround(t *testing.T) {
+	bt := MustNew(16, 4)
+	// Same leaf: single hop.
+	h := bt.Turnaround(0, 1, 9)
+	if len(h) != 1 || h[0].Sw != (SwitchID{0, 0}) {
+		t.Fatalf("same-leaf turnaround = %v", h)
+	}
+	// Different leaves: three hops up-top-down.
+	h = bt.Turnaround(0, 15, 9)
+	if len(h) != 3 {
+		t.Fatalf("cross-leaf turnaround = %v", h)
+	}
+	if h[0].Sw.Stage != 0 || h[1].Sw.Stage != 1 || h[2].Sw.Stage != 0 {
+		t.Fatalf("turnaround stages wrong: %v", h)
+	}
+	if h[1].Sw.Index != 9%bt.Tops {
+		t.Fatalf("turnaround top = %v, want sel%%tops", h[1].Sw)
+	}
+	if h[2].Sw != bt.LeafOf(15) || int(h[2].Out) != 15%bt.Radix {
+		t.Fatalf("turnaround delivery wrong: %v", h[2])
+	}
+	// Entry/exit orientation at the top: both down-side ports.
+	if int(h[1].In) >= bt.Radix || int(h[1].Out) >= bt.Radix {
+		t.Fatalf("turnaround must enter and exit top on down ports: %+v", h[1])
+	}
+}
+
+func TestTurnaroundNegativeSel(t *testing.T) {
+	bt := MustNew(16, 4)
+	h := bt.Turnaround(0, 15, -3)
+	if len(h) != 3 {
+		t.Fatalf("turnaround with negative sel = %v", h)
+	}
+	if h[1].Sw.Index < 0 || h[1].Sw.Index >= bt.Tops {
+		t.Fatalf("negative sel gave bad top index: %v", h[1].Sw)
+	}
+}
+
+func TestSwitchLists(t *testing.T) {
+	bt := MustNew(16, 4)
+	sf := bt.SwitchesForward(3, 12)
+	if len(sf) != 2 || sf[0] != bt.LeafOf(3) || sf[1] != bt.TopOf(12) {
+		t.Fatalf("SwitchesForward = %v", sf)
+	}
+	sb := bt.SwitchesBackward(12, 3)
+	if len(sb) != 2 || sb[0] != bt.TopOf(12) || sb[1] != bt.LeafOf(3) {
+		t.Fatalf("SwitchesBackward = %v", sb)
+	}
+}
+
+func TestSwitchOrdinal(t *testing.T) {
+	bt := MustNew(16, 4)
+	seen := map[int]bool{}
+	for s := 0; s < 2; s++ {
+		count := bt.Leaves
+		if s == 1 {
+			count = bt.Tops
+		}
+		for i := 0; i < count; i++ {
+			o := bt.SwitchOrdinal(SwitchID{s, i})
+			if o < 0 || o >= bt.NumSwitches() || seen[o] {
+				t.Fatalf("ordinal collision or out of range: %d for S%d.%d", o, s, i)
+			}
+			seen[o] = true
+		}
+	}
+	if len(seen) != bt.NumSwitches() {
+		t.Fatalf("ordinals cover %d of %d", len(seen), bt.NumSwitches())
+	}
+}
+
+func TestLaneStability(t *testing.T) {
+	// Property: the lane chosen for (p, m) is constant, so the route is
+	// a pure function of the pair — point-to-point order preserved.
+	bt := MustNew(16, 8) // bundle 4, the interesting case
+	f := func(p, m uint8) bool {
+		pp, mm := int(p)%16, int(m)%16
+		a := bt.Forward(pp, mm)
+		b := bt.Forward(pp, mm)
+		return a[0] == b[0] && a[1] == b[1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicsOnBadNode(t *testing.T) {
+	bt := MustNew(16, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Forward(16, 0) did not panic")
+		}
+	}()
+	bt.Forward(16, 0)
+}
+
+func TestString(t *testing.T) {
+	bt := MustNew(16, 4)
+	if bt.String() == "" || (SwitchID{1, 2}).String() != "S1.2" {
+		t.Fatal("string forms broken")
+	}
+}

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecRoundTrip(t *testing.T) {
+	f := func(pid uint8, op bool, addr uint64) bool {
+		r := Rec{Pid: pid, Addr: addr & ((1 << 48) - 1)}
+		if op {
+			r.Op = Store
+		}
+		return unpack(r.pack()) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterReader(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	recs := []Rec{
+		{Pid: 0, Op: Load, Addr: 0x1000},
+		{Pid: 15, Op: Store, Addr: 0xFFFFFFFFF},
+		{Pid: 7, Op: Load, Addr: 0},
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 3 {
+		t.Fatalf("count = %d", w.Count())
+	}
+	r := NewReader(&buf)
+	for i, want := range recs {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("record %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestTruncatedTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Write(Rec{Addr: 0x40})
+	w.Flush()
+	trunc := buf.Bytes()[:5]
+	r := NewReader(bytes.NewReader(trunc))
+	if _, err := r.Read(); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+}
+
+func TestReaderSource(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Write(Rec{Pid: 3, Addr: 0x40})
+	w.Flush()
+	s := ReaderSource{R: NewReader(&buf)}
+	rec, ok := s.Next()
+	if !ok || rec.Pid != 3 {
+		t.Fatalf("source = %+v %v", rec, ok)
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("source did not end")
+	}
+}
+
+func TestSynthDeterminism(t *testing.T) {
+	a := NewSynth(TPCC(1000))
+	b := NewSynth(TPCC(1000))
+	for i := 0; i < 1000; i++ {
+		ra, oka := a.Next()
+		rb, okb := b.Next()
+		if oka != okb || ra != rb {
+			t.Fatalf("diverged at %d: %+v vs %+v", i, ra, rb)
+		}
+	}
+	if _, ok := a.Next(); ok {
+		t.Fatal("generator did not stop at Refs")
+	}
+}
+
+func TestSynthShape(t *testing.T) {
+	cfg := TPCC(200000)
+	s := NewSynth(cfg)
+	procs := map[uint8]int{}
+	stores := 0
+	blocks := map[uint64]bool{}
+	n := 0
+	for {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		n++
+		procs[r.Pid]++
+		if r.Op == Store {
+			stores++
+		}
+		blocks[r.Addr&^31] = true
+		if r.Addr >= 1<<48 {
+			t.Fatalf("address out of packable range: %#x", r.Addr)
+		}
+	}
+	if n != 200000 {
+		t.Fatalf("emitted %d", n)
+	}
+	if len(procs) != 16 {
+		t.Fatalf("procs covered = %d", len(procs))
+	}
+	// Round-robin: perfectly balanced.
+	for p, c := range procs {
+		if c != n/16 {
+			t.Fatalf("proc %d issued %d of %d", p, c, n)
+		}
+	}
+	if stores == 0 || stores > n/2 {
+		t.Fatalf("stores = %d of %d", stores, n)
+	}
+	if len(blocks) < 1000 {
+		t.Fatalf("too few distinct blocks: %d", len(blocks))
+	}
+}
+
+func TestSynthRegionsDisjoint(t *testing.T) {
+	s := NewSynth(TPCC(1))
+	if s.hotBase <= uint64(s.cfg.Procs*s.cfg.PrivateBlocksPerProc-1)*32 {
+		t.Fatal("hot region overlaps private")
+	}
+	if s.cleanBase < s.hotBase+uint64(s.cfg.HotBlocks)*32 {
+		t.Fatal("clean region overlaps hot")
+	}
+}

@@ -1,0 +1,428 @@
+// Package tracesim is the paper's trace-driven simulator (Section
+// 5.1, Table 3): a single-issue processor per node, one 2MB 4-way
+// set-associative cache per processor, the MSI cache protocol, the
+// full-map directory protocol, constant memory-access latencies, and
+// the switch-directory interconnect modeled at protocol level (which
+// switches see which messages) without link timing. Writes are treated
+// as cache hits (the paper's release-consistency assumption): they
+// cost nothing but still drive directory and ownership state.
+package tracesim
+
+import (
+	"fmt"
+
+	"dresar/internal/cache"
+	"dresar/internal/sim"
+	"dresar/internal/topo"
+	"dresar/internal/trace"
+)
+
+// Config mirrors Table 3.
+type Config struct {
+	Procs int
+	Radix int
+
+	CacheBytes int
+	Ways       int
+	BlockBytes int
+
+	CacheAccess uint64 // hit latency
+	LocalMem    uint64 // clean miss, home on this node
+	RemoteMem   uint64 // clean miss, remote home
+	CtoCLocal   uint64 // dirty miss via local home
+	CtoCRemote  uint64 // dirty miss via remote home
+	SDirHit     uint64 // dirty miss served by a switch directory
+
+	// CPIGap charges non-memory work per reference (single-issue).
+	CPIGap    uint64
+	PageBytes int
+
+	// SDir enables the switch-directory interconnect; nil is base.
+	SDir *SDirConfig
+}
+
+// SDirConfig sizes the per-switch directory caches.
+type SDirConfig struct {
+	Entries int
+	Ways    int
+}
+
+// DefaultConfig returns Table 3's parameters.
+func DefaultConfig() Config {
+	return Config{
+		Procs: 16, Radix: 4,
+		CacheBytes: 2 << 20, Ways: 4, BlockBytes: 32,
+		CacheAccess: 8,
+		LocalMem:    100, RemoteMem: 260,
+		CtoCLocal: 220, CtoCRemote: 320,
+		SDirHit: 200,
+		CPIGap:  2, PageBytes: 4096,
+	}
+}
+
+// WithSDir returns a copy with an entries-sized 4-way switch
+// directory in every switch.
+func (c Config) WithSDir(entries int) Config {
+	c.SDir = &SDirConfig{Entries: entries, Ways: 4}
+	return c
+}
+
+// Stats is the roll-up the TPC figures are built from.
+type Stats struct {
+	Refs        uint64
+	Reads       uint64
+	ReadHits    uint64
+	ReadMisses  uint64
+	Clean       uint64
+	CtoCHome    uint64 // Figure 8 numerator
+	CtoCSwitch  uint64
+	StaleSDir   uint64 // switch hits bounced by a stale entry
+	Writes      uint64
+	ReadLatency uint64
+	CtoCLatency uint64 // read latency attributable to dirty misses
+	ReadStall   uint64
+	ExecCycles  uint64 // max per-processor clock
+}
+
+// CtoCLatencyShare is the dirty-miss fraction of total read latency
+// (the paper's Section 2: TPC-C's 38% CtoC count is a 49% latency
+// component).
+func (s Stats) CtoCLatencyShare() float64 {
+	if s.ReadLatency == 0 {
+		return 0
+	}
+	return float64(s.CtoCLatency) / float64(s.ReadLatency)
+}
+
+// CtoC returns total dirty-miss services.
+func (s Stats) CtoC() uint64 { return s.CtoCHome + s.CtoCSwitch }
+
+// CtoCFraction is Figure 1's dirty share of read misses.
+func (s Stats) CtoCFraction() float64 {
+	if s.ReadMisses == 0 {
+		return 0
+	}
+	return float64(s.CtoC()) / float64(s.ReadMisses)
+}
+
+// AvgReadLatency is Figure 9's metric.
+func (s Stats) AvgReadLatency() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.ReadLatency) / float64(s.Reads)
+}
+
+// dent is one block's home-directory record.
+type dent struct {
+	state   uint8 // 0 uncached, 1 shared, 2 modified
+	owner   int
+	sharers uint64
+}
+
+const (
+	dUncached = iota
+	dShared
+	dModified
+)
+
+// sdEntry is one switch-directory line in the zero-time model: only
+// MODIFIED entries exist (transients resolve instantaneously).
+type sdEntry struct {
+	tag   uint64
+	owner int
+	valid bool
+	lru   uint64
+}
+
+type sdCache struct {
+	sets  [][]sdEntry
+	nsets uint64
+	clock uint64
+}
+
+func newSDCache(cfg SDirConfig) *sdCache {
+	nsets := cfg.Entries / cfg.Ways
+	c := &sdCache{sets: make([][]sdEntry, nsets), nsets: uint64(nsets)}
+	for i := range c.sets {
+		c.sets[i] = make([]sdEntry, cfg.Ways)
+	}
+	return c
+}
+
+func (c *sdCache) find(b uint64) *sdEntry {
+	set := c.sets[(b>>5)%c.nsets]
+	for i := range set {
+		if set[i].valid && set[i].tag == b {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+func (c *sdCache) insert(b uint64, owner int) {
+	set := c.sets[(b>>5)%c.nsets]
+	v := &set[0]
+	for i := range set {
+		if set[i].valid && set[i].tag == b {
+			v = &set[i]
+			break
+		}
+		if !set[i].valid {
+			v = &set[i]
+			break
+		}
+		if set[i].lru < v.lru {
+			v = &set[i]
+		}
+	}
+	c.clock++
+	*v = sdEntry{tag: b, owner: owner, valid: true, lru: c.clock}
+}
+
+func (c *sdCache) invalidate(b uint64) {
+	if e := c.find(b); e != nil {
+		e.valid = false
+	}
+}
+
+// Sim is one trace-driven machine instance.
+type Sim struct {
+	cfg    Config
+	tp     *topo.T
+	caches []*cache.Cache
+	dir    map[uint64]*dent
+	sdirs  []*sdCache
+	clocks []uint64
+
+	// Profile accumulates per-block (miss, CtoC) counts for Figure 2.
+	Profile *sim.BlockProfile
+	Stats   Stats
+}
+
+// New builds a simulator from cfg.
+func New(cfg Config) (*Sim, error) {
+	tp, err := topo.New(cfg.Procs, cfg.Radix)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		cfg:     cfg,
+		tp:      tp,
+		caches:  make([]*cache.Cache, cfg.Procs),
+		dir:     make(map[uint64]*dent),
+		clocks:  make([]uint64, cfg.Procs),
+		Profile: sim.NewBlockProfile(),
+	}
+	for i := range s.caches {
+		s.caches[i] = cache.MustNew(cache.Config{
+			SizeBytes: cfg.CacheBytes, Ways: cfg.Ways,
+			BlockBytes: cfg.BlockBytes, AccessCycles: cfg.CacheAccess,
+		})
+	}
+	if cfg.SDir != nil {
+		if cfg.SDir.Entries <= 0 || cfg.SDir.Ways <= 0 || cfg.SDir.Entries%cfg.SDir.Ways != 0 {
+			return nil, fmt.Errorf("tracesim: bad switch-directory geometry %+v", *cfg.SDir)
+		}
+		s.sdirs = make([]*sdCache, tp.NumSwitches())
+		for i := range s.sdirs {
+			s.sdirs[i] = newSDCache(*cfg.SDir)
+		}
+	}
+	return s, nil
+}
+
+// MustNew panics on error.
+func MustNew(cfg Config) *Sim {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *Sim) home(b uint64) int { return int(b/uint64(s.cfg.PageBytes)) % s.cfg.Procs }
+
+func (s *Sim) ent(b uint64) *dent {
+	e, ok := s.dir[b]
+	if !ok {
+		e = &dent{}
+		s.dir[b] = e
+	}
+	return e
+}
+
+// sdInvalidateAll clears every switch's entry for b (the zero-time
+// equivalent of the copyback/writeback invalidations travelling the
+// forward path).
+func (s *Sim) sdInvalidateAll(b uint64) {
+	for _, d := range s.sdirs {
+		d.invalidate(b)
+	}
+}
+
+// sdInsertBackward installs ownership along the home→owner backward
+// path (the write reply's route).
+func (s *Sim) sdInsertBackward(b uint64, home, owner int) {
+	for _, sw := range s.tp.SwitchesBackward(home, owner) {
+		s.sdirs[s.tp.SwitchOrdinal(sw)].insert(b, owner)
+	}
+}
+
+// Run processes the whole trace and returns the stats.
+func (s *Sim) Run(src trace.Source) Stats {
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		s.step(rec)
+	}
+	for _, c := range s.clocks {
+		if c > s.Stats.ExecCycles {
+			s.Stats.ExecCycles = c
+		}
+	}
+	return s.Stats
+}
+
+func (s *Sim) step(rec trace.Rec) {
+	p := int(rec.Pid)
+	b := rec.Addr &^ uint64(s.cfg.BlockBytes-1)
+	s.Stats.Refs++
+	s.clocks[p] += s.cfg.CPIGap
+	if rec.Op == trace.Store {
+		s.Stats.Writes++
+		s.write(p, b)
+		return
+	}
+	s.Stats.Reads++
+	ctocBefore := s.Stats.CtoCHome + s.Stats.CtoCSwitch
+	lat := s.read(p, b)
+	s.Stats.ReadLatency += lat
+	if s.Stats.CtoCHome+s.Stats.CtoCSwitch > ctocBefore {
+		s.Stats.CtoCLatency += lat
+	}
+	if lat > s.cfg.CacheAccess {
+		s.Stats.ReadStall += lat - s.cfg.CacheAccess
+	}
+	s.clocks[p] += lat
+}
+
+// read services a load and returns its latency.
+func (s *Sim) read(p int, b uint64) uint64 {
+	c := s.caches[p]
+	if l := c.Access(b); l != nil {
+		s.Stats.ReadHits++
+		return s.cfg.CacheAccess
+	}
+	s.Stats.ReadMisses++
+	h := s.home(b)
+	e := s.ent(b)
+	if e.state != dModified {
+		// Clean: served from memory.
+		s.Stats.Clean++
+		s.Profile.Add(b, 1, 0)
+		e.state = dShared
+		e.sharers |= 1 << uint(p)
+		s.fill(p, b, cache.Shared)
+		if h == p {
+			return s.cfg.LocalMem
+		}
+		return s.cfg.RemoteMem
+	}
+	// Dirty: cache-to-cache transfer.
+	s.Profile.Add(b, 1, 1)
+	owner := e.owner
+	if s.sdirs != nil {
+		// Check the switch directories along the forward path.
+		for _, sw := range s.tp.SwitchesForward(p, h) {
+			d := s.sdirs[s.tp.SwitchOrdinal(sw)]
+			if en := d.find(b); en != nil {
+				if st, _ := s.caches[en.owner].Probe(b); st == cache.Modified || st == cache.Shared {
+					// Served by the switch: re-routed to the owner.
+					s.Stats.CtoCSwitch++
+					s.finishCtoC(p, b, e, en.owner)
+					return s.cfg.SDirHit
+				}
+				// Stale entry: a NoData bounce, then home service.
+				s.Stats.StaleSDir++
+				en.valid = false
+				s.Stats.CtoCHome++
+				s.finishCtoC(p, b, e, owner)
+				lat := s.cfg.CtoCRemote
+				if h == p {
+					lat = s.cfg.CtoCLocal
+				}
+				return s.cfg.SDirHit + lat
+			}
+		}
+	}
+	s.Stats.CtoCHome++
+	s.finishCtoC(p, b, e, owner)
+	if h == p {
+		return s.cfg.CtoCLocal
+	}
+	return s.cfg.CtoCRemote
+}
+
+// finishCtoC applies the read-transfer state changes: the owner keeps
+// a shared copy, the reader fills shared, the home map records both,
+// and all switch entries die (the copyback's path in zero time).
+func (s *Sim) finishCtoC(p int, b uint64, e *dent, owner int) {
+	s.caches[owner].Downgrade(b)
+	e.state = dShared
+	e.sharers = (1 << uint(owner)) | (1 << uint(p))
+	e.owner = 0
+	if s.sdirs != nil {
+		s.sdInvalidateAll(b)
+	}
+	s.fill(p, b, cache.Shared)
+}
+
+// write retires a store: free under the release-consistency
+// assumption, but ownership still moves.
+func (s *Sim) write(p int, b uint64) {
+	c := s.caches[p]
+	if st, _ := c.Probe(b); st == cache.Modified {
+		c.Access(b) // refresh LRU
+		return
+	}
+	e := s.ent(b)
+	// Purge every other copy.
+	if e.state == dModified && e.owner != p {
+		s.caches[e.owner].Invalidate(b)
+	}
+	if e.state == dShared {
+		for q := 0; q < s.cfg.Procs; q++ {
+			if q != p && e.sharers&(1<<uint(q)) != 0 {
+				s.caches[q].Invalidate(b)
+			}
+		}
+	}
+	e.state, e.owner, e.sharers = dModified, p, 0
+	s.fill(p, b, cache.Modified)
+	if s.sdirs != nil {
+		// The write request invalidates entries en route; the write
+		// reply installs the new ownership along the backward path.
+		s.sdInvalidateAll(b)
+		s.sdInsertBackward(b, s.home(b), p)
+	}
+}
+
+// fill installs a block, handling the dirty-eviction writeback.
+func (s *Sim) fill(p int, b uint64, st cache.State) {
+	v, had := s.caches[p].Insert(b, st, 0)
+	if !had {
+		return
+	}
+	ve := s.ent(v.Addr)
+	if v.State == cache.Modified && ve.state == dModified && ve.owner == p {
+		ve.state, ve.sharers = dUncached, 0
+		if s.sdirs != nil {
+			s.sdInvalidateAll(v.Addr)
+		}
+	} else if v.State == cache.Shared && ve.state == dShared {
+		ve.sharers &^= 1 << uint(p)
+	}
+}

@@ -1,0 +1,273 @@
+package tracesim
+
+import (
+	"testing"
+
+	"dresar/internal/trace"
+)
+
+// script is an in-memory Source for hand-written reference sequences.
+type script struct {
+	recs []trace.Rec
+	i    int
+}
+
+func (s *script) Next() (trace.Rec, bool) {
+	if s.i >= len(s.recs) {
+		return trace.Rec{}, false
+	}
+	r := s.recs[s.i]
+	s.i++
+	return r, true
+}
+
+func TestCleanMissLatencies(t *testing.T) {
+	s := MustNew(DefaultConfig())
+	// Block 0 homes at node 0: local for P0, remote for P1.
+	st := s.Run(&script{recs: []trace.Rec{
+		{Pid: 0, Op: trace.Load, Addr: 0x40},
+		{Pid: 1, Op: trace.Load, Addr: 0x80},
+		{Pid: 0, Op: trace.Load, Addr: 0x40}, // hit
+	}})
+	if st.ReadMisses != 2 || st.Clean != 2 || st.ReadHits != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Latencies: local 100 + remote 260 + hit 8.
+	if st.ReadLatency != 100+260+8 {
+		t.Fatalf("latency = %d", st.ReadLatency)
+	}
+}
+
+func TestDirtyMissViaHome(t *testing.T) {
+	s := MustNew(DefaultConfig())
+	st := s.Run(&script{recs: []trace.Rec{
+		{Pid: 0, Op: trace.Store, Addr: 0x40},
+		{Pid: 1, Op: trace.Load, Addr: 0x40}, // dirty, home 0, remote for P1
+		{Pid: 2, Op: trace.Load, Addr: 0x40}, // now shared: clean remote
+	}})
+	if st.CtoCHome != 1 || st.CtoCSwitch != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.ReadLatency != 320+260 {
+		t.Fatalf("latency = %d", st.ReadLatency)
+	}
+	if st.CtoCFraction() != 0.5 {
+		t.Fatalf("ctoc fraction = %v", st.CtoCFraction())
+	}
+}
+
+func TestDirtyMissLocalHome(t *testing.T) {
+	s := MustNew(DefaultConfig())
+	st := s.Run(&script{recs: []trace.Rec{
+		{Pid: 1, Op: trace.Store, Addr: 0x40},
+		{Pid: 0, Op: trace.Load, Addr: 0x40}, // home == reader: 220
+	}})
+	if st.ReadLatency != 220 {
+		t.Fatalf("latency = %d", st.ReadLatency)
+	}
+}
+
+func TestSwitchDirectoryServesSecondReader(t *testing.T) {
+	s := MustNew(DefaultConfig().WithSDir(1024))
+	st := s.Run(&script{recs: []trace.Rec{
+		{Pid: 0, Op: trace.Store, Addr: 0x40}, // insert entries on reply path
+		{Pid: 1, Op: trace.Load, Addr: 0x40},  // switch hit: 200
+	}})
+	if st.CtoCSwitch != 1 || st.CtoCHome != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.ReadLatency != 200 {
+		t.Fatalf("latency = %d", st.ReadLatency)
+	}
+	// After the transfer the block is shared; a third read is clean.
+	st2 := s.Run(&script{recs: []trace.Rec{{Pid: 2, Op: trace.Load, Addr: 0x40}}})
+	if st2.Clean != 1 {
+		t.Fatalf("stats %+v", st2)
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	s := MustNew(DefaultConfig())
+	st := s.Run(&script{recs: []trace.Rec{
+		{Pid: 0, Op: trace.Load, Addr: 0x40},
+		{Pid: 1, Op: trace.Load, Addr: 0x40},
+		{Pid: 2, Op: trace.Store, Addr: 0x40},
+		{Pid: 0, Op: trace.Load, Addr: 0x40}, // must miss (invalidated), dirty
+	}})
+	if st.CtoC() != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.ReadHits != 0 {
+		t.Fatalf("stale hit after invalidation: %+v", st)
+	}
+}
+
+func TestStaleSwitchEntryBouncesToHome(t *testing.T) {
+	cfg := DefaultConfig().WithSDir(1024)
+	s := MustNew(cfg)
+	// P0 owns the block; entries point at P0. Then P0's copy is
+	// invalidated by P3's write, whose reply path (home 0 -> P3)
+	// shares the top switch but not P1's leaf... use a manual stale
+	// state instead: insert a stale entry directly.
+	s.Run(&script{recs: []trace.Rec{
+		{Pid: 0, Op: trace.Store, Addr: 0x40},
+	}})
+	// Invalidate P0's copy behind the switch directory's back and make
+	// P5 the owner at the home (simulating a stale entry scenario).
+	s.caches[0].Invalidate(0x40)
+	e := s.ent(0x40)
+	e.owner = 5
+	s.caches[5].Insert(0x40, 2 /* Modified */, 0)
+	st := s.Run(&script{recs: []trace.Rec{
+		{Pid: 1, Op: trace.Load, Addr: 0x40},
+	}})
+	// The stale entry at P1's path must bounce; service via home with
+	// the bounce penalty.
+	if st.StaleSDir != 1 || st.CtoCHome != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.ReadLatency != 200+320 {
+		t.Fatalf("latency = %d", st.ReadLatency)
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CacheBytes = 4096 // 128 blocks, 4-way: 32 sets
+	s := MustNew(cfg)
+	// P0 dirties a block, then walks enough conflicting blocks to
+	// evict it; a later read must be clean (memory updated).
+	recs := []trace.Rec{{Pid: 0, Op: trace.Store, Addr: 0x0}}
+	for i := 1; i <= 8; i++ {
+		recs = append(recs, trace.Rec{Pid: 0, Op: trace.Load, Addr: uint64(i) * 1024})
+	}
+	recs = append(recs, trace.Rec{Pid: 1, Op: trace.Load, Addr: 0x0})
+	st := s.Run(&script{recs: recs})
+	if st.CtoC() != 0 {
+		t.Fatalf("evicted block should be clean at home: %+v", st)
+	}
+}
+
+func TestExecTimeIsMaxClock(t *testing.T) {
+	s := MustNew(DefaultConfig())
+	st := s.Run(&script{recs: []trace.Rec{
+		{Pid: 0, Op: trace.Load, Addr: 0x40},
+		{Pid: 1, Op: trace.Load, Addr: 0x1040},
+	}})
+	want := uint64(2) + 260 // CPIGap + remote... P0: home(0x40)=0: local 100+2
+	_ = want
+	if st.ExecCycles < 100 {
+		t.Fatalf("exec cycles = %d", st.ExecCycles)
+	}
+}
+
+func TestTPCCShapeStatistics(t *testing.T) {
+	// The paper's TPC-C trace: ~38% of read misses are CtoC, and the
+	// top 10% of blocks account for ~88% of CtoCs. The synthetic
+	// generator must land in the neighbourhood.
+	// Test-scale trace (2M refs; the paper's 16M warms further toward
+	// CtoC fraction ~0.28 and top-10% skew ~0.75 — see EXPERIMENTS.md).
+	s := MustNew(DefaultConfig())
+	st := s.Run(trace.NewSynth(trace.TPCC(2_000_000)))
+	frac := st.CtoCFraction()
+	if frac < 0.10 || frac > 0.50 {
+		t.Fatalf("TPC-C CtoC fraction = %.2f, want dirty-but-minority (~0.2-0.4)", frac)
+	}
+	_, ctocCum := s.Profile.CDF([]float64{0.10})
+	if ctocCum[0] < 0.60 {
+		t.Fatalf("top-10%% blocks account for %.2f of CtoCs, want high skew", ctocCum[0])
+	}
+	if st.ReadMisses == 0 || float64(st.ReadMisses)/float64(st.Reads) > 0.30 {
+		t.Fatalf("miss rate unrealistic: %d/%d", st.ReadMisses, st.Reads)
+	}
+}
+
+func TestTPCDShapeStatistics(t *testing.T) {
+	s := MustNew(DefaultConfig())
+	st := s.Run(trace.NewSynth(trace.TPCD(2_000_000)))
+	frac := st.CtoCFraction()
+	if frac < 0.25 || frac > 0.80 {
+		t.Fatalf("TPC-D CtoC fraction = %.2f, want dirty-dominated at scale (~0.54 at 16M)", frac)
+	}
+	// The defining contrast with TPC-C: a higher dirty share.
+	sc := MustNew(DefaultConfig())
+	stc := sc.Run(trace.NewSynth(trace.TPCC(2_000_000)))
+	if frac <= stc.CtoCFraction() {
+		t.Fatalf("TPC-D dirty share (%.2f) must exceed TPC-C (%.2f)", frac, stc.CtoCFraction())
+	}
+}
+
+func TestSwitchDirReducesTPCCHomeCtoC(t *testing.T) {
+	base := MustNew(DefaultConfig())
+	bst := base.Run(trace.NewSynth(trace.TPCC(1_000_000)))
+	sd := MustNew(DefaultConfig().WithSDir(1024))
+	sst := sd.Run(trace.NewSynth(trace.TPCC(1_000_000)))
+	if bst.CtoCHome == 0 {
+		t.Fatal("no CtoC in base")
+	}
+	red := 1 - float64(sst.CtoCHome)/float64(bst.CtoCHome)
+	if red < 0.15 {
+		t.Fatalf("TPC-C home-CtoC reduction = %.2f, want substantial (~0.5)", red)
+	}
+	if sst.AvgReadLatency() >= bst.AvgReadLatency() {
+		t.Fatalf("read latency did not improve: %.1f vs %.1f", sst.AvgReadLatency(), bst.AvgReadLatency())
+	}
+	if sst.ExecCycles >= bst.ExecCycles {
+		t.Fatalf("exec time did not improve: %d vs %d", sst.ExecCycles, bst.ExecCycles)
+	}
+}
+
+func TestTPCDBenefitSmallerThanTPCC(t *testing.T) {
+	reduction := func(mk func(uint64) trace.SynthConfig) float64 {
+		base := MustNew(DefaultConfig())
+		bst := base.Run(trace.NewSynth(mk(1_000_000)))
+		sd := MustNew(DefaultConfig().WithSDir(1024))
+		sst := sd.Run(trace.NewSynth(mk(1_000_000)))
+		return 1 - float64(sst.CtoCHome)/float64(bst.CtoCHome)
+	}
+	c := reduction(trace.TPCC)
+	d := reduction(trace.TPCD)
+	if d >= c {
+		t.Fatalf("TPC-D reduction (%.2f) should be smaller than TPC-C (%.2f)", d, c)
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Procs = 15
+	if _, err := New(cfg); err == nil {
+		t.Fatal("bad topology accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.SDir = &SDirConfig{Entries: 10, Ways: 4}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("bad sdir accepted")
+	}
+}
+
+func BenchmarkTraceSimTPCC(b *testing.B) {
+	s := MustNew(DefaultConfig().WithSDir(1024))
+	src := trace.NewSynth(trace.TPCC(uint64(b.N)))
+	b.ResetTimer()
+	s.Run(src)
+}
+
+func TestCtoCLatencyShareExceedsCountShare(t *testing.T) {
+	// Section 2's observation: dirty misses cost 1.5-2x clean ones, so
+	// their latency share exceeds their count share.
+	s := MustNew(DefaultConfig())
+	st := s.Run(trace.NewSynth(trace.TPCC(500_000)))
+	count := st.CtoCFraction()
+	lat := st.CtoCLatencyShare()
+	if lat <= 0 || lat >= 1 {
+		t.Fatalf("latency share = %v", lat)
+	}
+	// Among misses, dirty ones must carry proportionally more latency.
+	// Compare against the dirty share of MISS latency, approximated by
+	// excluding hits: hits cost CacheAccess each.
+	missLat := st.ReadLatency - st.ReadHits*s.cfg.CacheAccess
+	dirtyOfMiss := float64(st.CtoCLatency) / float64(missLat)
+	if dirtyOfMiss <= count {
+		t.Fatalf("dirty latency share of misses (%.3f) should exceed count share (%.3f)", dirtyOfMiss, count)
+	}
+}

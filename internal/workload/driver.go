@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"fmt"
+
+	"dresar/internal/core"
+	"dresar/internal/sim"
+)
+
+// Driver executes a Workload on a core.Machine: each processor walks
+// its per-phase reference stream (loads block, stores retire through
+// the write buffer), and phases are separated by barriers.
+//
+// Barriers are modeled as an engine-level rendezvous plus a fixed
+// cost, entered only once the processor's write buffer has drained (a
+// release fence), per DESIGN.md substitution 5: spin-wait traffic is
+// excluded from the read statistics, as in the paper's methodology.
+type Driver struct {
+	M *core.Machine
+	W Workload
+	// BarrierCost is charged to every processor at each barrier
+	// (default: two network round trips ≈ 160 cycles).
+	BarrierCost sim.Cycle
+	// MaxCycles aborts a run that exceeds this simulated time
+	// (deadlock watchdog). 0 means 2^40 cycles.
+	MaxCycles sim.Cycle
+
+	phase   int
+	arrived int
+	refs    [][]Ref // per-proc stream of the current phase
+	idx     []int
+	err     error
+}
+
+// NewDriver wires a workload onto a machine. The machine must have at
+// least W.Procs() processors.
+func NewDriver(m *core.Machine, w Workload) (*Driver, error) {
+	if w.Procs() > m.Cfg.Nodes {
+		return nil, fmt.Errorf("workload: %s needs %d procs, machine has %d", w.Name(), w.Procs(), m.Cfg.Nodes)
+	}
+	return &Driver{M: m, W: w, BarrierCost: 160, MaxCycles: 1 << 40}, nil
+}
+
+// Run executes all phases to completion and returns the machine's
+// collected statistics.
+func (d *Driver) Run() (core.Stats, error) {
+	procs := d.W.Procs()
+	d.idx = make([]int, procs)
+	d.refs = make([][]Ref, procs)
+	d.startPhase(0)
+	d.M.Eng.Drain(d.MaxCycles)
+	if d.err != nil {
+		return d.M.Collect(), d.err
+	}
+	if d.phase < d.W.Phases() {
+		return d.M.Collect(), fmt.Errorf("workload: %s stalled in phase %d/%d at cycle %d:\n%s",
+			d.W.Name(), d.phase, d.W.Phases(), d.M.Eng.Now(), d.M.DumpStuck())
+	}
+	return d.M.Collect(), nil
+}
+
+// startPhase materializes every processor's stream for phase ph and
+// kicks off execution.
+func (d *Driver) startPhase(ph int) {
+	d.phase = ph
+	d.arrived = 0
+	for p := 0; p < d.W.Procs(); p++ {
+		d.refs[p] = d.refs[p][:0]
+		p := p
+		d.W.Refs(p, ph, func(r Ref) { d.refs[p] = append(d.refs[p], r) })
+		d.idx[p] = 0
+	}
+	for p := 0; p < d.W.Procs(); p++ {
+		d.step(p)
+	}
+}
+
+// step issues processor p's next reference, or enters the barrier.
+func (d *Driver) step(p int) {
+	if d.err != nil {
+		return
+	}
+	if d.idx[p] >= len(d.refs[p]) {
+		d.enterBarrier(p)
+		return
+	}
+	r := d.refs[p][d.idx[p]]
+	d.idx[p]++
+	issue := func() {
+		if r.Write {
+			d.M.Write(p, r.Addr, func(stall sim.Cycle) { d.step(p) })
+		} else {
+			d.M.Read(p, r.Addr, func(lat sim.Cycle) { d.step(p) })
+		}
+	}
+	if r.Gap > 0 {
+		d.M.Eng.After(sim.Cycle(r.Gap), issue)
+	} else {
+		issue()
+	}
+}
+
+// enterBarrier waits for p's write buffer to drain (release), then
+// counts p in; the last arrival releases everyone into the next phase.
+func (d *Driver) enterBarrier(p int) {
+	n := d.M.Nodes[p]
+	if !n.Quiesced() {
+		// Poll until outstanding stores complete. The write buffer
+		// drains via message events, so a short re-check is enough.
+		d.M.Eng.After(16, func() { d.enterBarrier(p) })
+		return
+	}
+	d.arrived++
+	if d.arrived < d.W.Procs() {
+		return
+	}
+	next := d.phase + 1
+	if next >= d.W.Phases() {
+		d.phase = next
+		return // workload complete
+	}
+	d.M.Eng.After(d.BarrierCost, func() { d.startPhase(next) })
+}

@@ -1,0 +1,148 @@
+package workload
+
+// Extension kernels beyond the paper's five: LU decomposition and a
+// radix-sort permutation pass, both SPLASH-style barrier-phase
+// programs. They are not part of the reproduced evaluation but widen
+// the workload surface for the ablation studies (LU's shrinking pivot
+// broadcast resembles GAUSS with blocked reuse; RADIX's permutation
+// phase is an all-to-all write pattern that stresses ownership
+// transfers rather than read CtoC).
+
+// LU is blocked dense LU decomposition without pivoting on an n×n
+// float64 matrix with b×b blocks. Block (I,J) is owned by processor
+// (I+J*Bn) mod P (SPLASH's 2D scatter). Each step k: the owner
+// factorizes diagonal block (k,k); owners of row/column blocks update
+// them reading the diagonal block (dirty broadcast); interior blocks
+// read their row/column blocks.
+type LU struct {
+	n, b  int
+	procs int
+	a     uint64
+}
+
+// NewLU builds an n×n LU instance with block size b (n must be a
+// multiple of b).
+func NewLU(n, b, nprocs int) *LU {
+	if n%b != 0 {
+		panic("workload: LU size not a multiple of block size")
+	}
+	var l layout
+	w := &LU{n: n, b: b, procs: nprocs}
+	w.a = l.alloc(uint64(n*n) * 8)
+	return w
+}
+
+func (w *LU) Name() string { return "lu" }
+func (w *LU) Procs() int   { return w.procs }
+
+// Phases: per step k — factor diagonal, update row/col blocks, update
+// interior. 3 barriers per step, n/b steps.
+func (w *LU) Phases() int { return 3 * (w.n / w.b) }
+
+func (w *LU) at(i, j int) uint64 { return w.a + uint64(i*w.n+j)*8 }
+
+// blockOwner scatters blocks over processors.
+func (w *LU) blockOwner(bi, bj int) int {
+	bn := w.n / w.b
+	return (bi + bj*bn) % w.procs
+}
+
+// sweepBlock emits a read or read+write sweep of block (bi,bj).
+func (w *LU) sweepBlock(bi, bj int, write bool, emit func(Ref)) {
+	base := struct{ i, j int }{bi * w.b, bj * w.b}
+	for i := 0; i < w.b; i++ {
+		for j := 0; j < w.b; j++ {
+			addr := w.at(base.i+i, base.j+j)
+			emit(Ref{Addr: addr, Gap: 2})
+			if write {
+				emit(Ref{Addr: addr, Write: true, Gap: 1})
+			}
+		}
+	}
+}
+
+func (w *LU) Refs(p, ph int, emit func(Ref)) {
+	bn := w.n / w.b
+	k := ph / 3
+	switch ph % 3 {
+	case 0: // factor diagonal block (k,k) — owner only
+		if w.blockOwner(k, k) == p {
+			w.sweepBlock(k, k, true, emit)
+		}
+	case 1: // update row and column panels reading the diagonal
+		for t := k + 1; t < bn; t++ {
+			if w.blockOwner(k, t) == p {
+				w.sweepBlock(k, k, false, emit) // dirty broadcast
+				w.sweepBlock(k, t, true, emit)
+			}
+			if w.blockOwner(t, k) == p {
+				w.sweepBlock(k, k, false, emit)
+				w.sweepBlock(t, k, true, emit)
+			}
+		}
+	case 2: // update interior blocks reading their panels
+		for bi := k + 1; bi < bn; bi++ {
+			for bj := k + 1; bj < bn; bj++ {
+				if w.blockOwner(bi, bj) != p {
+					continue
+				}
+				w.sweepBlock(bi, k, false, emit)
+				w.sweepBlock(k, bj, false, emit)
+				w.sweepBlock(bi, bj, true, emit)
+			}
+		}
+	}
+}
+
+// Radix is the permutation phase of a radix sort: in each digit pass,
+// every processor reads its contiguous chunk of the source keys and
+// writes them to scattered destinations in the output array (computed
+// from a deterministic pseudo-key), then the arrays swap. The writes
+// to other processors' output regions drive ownership-transfer
+// traffic rather than read CtoC.
+type Radix struct {
+	keys  int
+	procs int
+	pass  int
+	a, b  uint64
+}
+
+// NewRadix builds a radix permutation workload over keys elements and
+// passes digit passes. keys must be a power of two (the per-pass
+// permutation is a multiplicative bijection modulo keys with odd
+// multipliers).
+func NewRadix(keys, passes, nprocs int) *Radix {
+	if keys <= 0 || keys&(keys-1) != 0 {
+		panic("workload: radix keys must be a power of two")
+	}
+	var l layout
+	w := &Radix{keys: keys, procs: nprocs, pass: passes}
+	w.a = l.alloc(uint64(keys) * 8)
+	w.b = l.alloc(uint64(keys) * 8)
+	return w
+}
+
+func (w *Radix) Name() string { return "radix" }
+func (w *Radix) Procs() int   { return w.procs }
+func (w *Radix) Phases() int  { return w.pass }
+
+// perm is a deterministic bijection over [0, keys): a multiplicative
+// permutation varying with the pass.
+func (w *Radix) perm(pass, i int) int {
+	// keys is constructed even; use an odd multiplier for a bijection
+	// modulo keys when keys is a power of two.
+	m := 2*pass + 3
+	return (i*m + pass*7919) % w.keys
+}
+
+func (w *Radix) Refs(p, ph int, emit func(Ref)) {
+	src, dst := w.a, w.b
+	if ph%2 == 1 {
+		src, dst = w.b, w.a
+	}
+	lo, hi := rowsOf(w.keys, w.procs, p)
+	for i := lo; i < hi; i++ {
+		emit(Ref{Addr: src + uint64(i)*8, Gap: 2})
+		emit(Ref{Addr: dst + uint64(w.perm(ph, i))*8, Write: true, Gap: 2})
+	}
+}

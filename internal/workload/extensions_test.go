@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"testing"
+
+	"dresar/internal/core"
+)
+
+func TestLUGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-divisible block size accepted")
+		}
+	}()
+	NewLU(100, 16, 16)
+}
+
+func TestLUBlockOwnershipCoversAllProcs(t *testing.T) {
+	w := NewLU(64, 8, 16)
+	owners := map[int]bool{}
+	bn := 64 / 8
+	for bi := 0; bi < bn; bi++ {
+		for bj := 0; bj < bn; bj++ {
+			owners[w.blockOwner(bi, bj)] = true
+		}
+	}
+	if len(owners) != 16 {
+		t.Fatalf("blocks scattered over %d procs, want 16", len(owners))
+	}
+}
+
+func TestLUNoIntraPhaseRaces(t *testing.T) {
+	noIntraPhaseRace(t, NewLU(32, 8, 4), NewLU(32, 8, 4).Phases())
+}
+
+func TestRadixPermutationIsBijective(t *testing.T) {
+	w := NewRadix(256, 4, 4)
+	for pass := 0; pass < 4; pass++ {
+		seen := make([]bool, 256)
+		for i := 0; i < 256; i++ {
+			d := w.perm(pass, i)
+			if d < 0 || d >= 256 || seen[d] {
+				t.Fatalf("pass %d: perm not bijective at %d -> %d", pass, i, d)
+			}
+			seen[d] = true
+		}
+	}
+}
+
+func TestRadixNoIntraPhaseRaces(t *testing.T) {
+	noIntraPhaseRace(t, NewRadix(256, 3, 4), 3)
+}
+
+func TestRadixRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two keys accepted")
+		}
+	}()
+	NewRadix(300, 2, 4)
+}
+
+func TestExtensionsRunOnMachine(t *testing.T) {
+	for _, w := range []Workload{
+		NewLU(64, 8, 16),
+		NewRadix(1024, 3, 16),
+	} {
+		s := runSmall(t, w, core.DefaultConfig().WithSwitchDir(1024))
+		if s.Reads == 0 {
+			t.Fatalf("%s: no reads", w.Name())
+		}
+	}
+}
+
+func TestRadixIsWriteDominatedOwnershipTraffic(t *testing.T) {
+	// Radix's scattered writes move ownership; its read CtoC share is
+	// small while write misses are large — the inverse of FFT.
+	s := runSmall(t, NewRadix(4096, 2, 16), core.DefaultConfig())
+	if s.WriteMisses == 0 {
+		t.Fatal("no write misses")
+	}
+	if s.WriteMisses < s.ReadMisses/2 {
+		t.Fatalf("expected write-dominated traffic: writes=%d reads=%d", s.WriteMisses, s.ReadMisses)
+	}
+}
+
+func TestLUProducesDirtyBroadcast(t *testing.T) {
+	s := runSmall(t, NewLU(64, 8, 16), core.DefaultConfig())
+	if s.CtoC() == 0 {
+		t.Fatal("LU produced no cache-to-cache transfers")
+	}
+}

@@ -1,0 +1,255 @@
+package workload
+
+// This file implements the five kernels. Each holds the base address
+// of its shared arrays (allocated at construction) and emits the exact
+// reference stream of a row-block-partitioned parallel implementation.
+// Compute gaps are small constants approximating a 4-issue 200MHz core
+// (a handful of arithmetic instructions between memory operations).
+
+// FFT is the six-step √n×√n transpose-based FFT: row FFTs (local),
+// transpose (reads rows written by other processors — cache-to-cache),
+// repeated three times. It is the paper's most communication-intensive
+// kernel (~65% of read misses are dirty).
+type FFT struct {
+	n, m  int // n points, m = √n matrix dimension
+	procs int
+	a, b  uint64 // two m×m complex matrices, 16 bytes per element
+}
+
+// NewFFT builds an n-point FFT for nprocs processors. n must be a
+// power of four so that √n is a power of two.
+func NewFFT(n, nprocs int) *FFT {
+	m := 1
+	for m*m < n {
+		m <<= 1
+	}
+	var l layout
+	f := &FFT{n: n, m: m, procs: nprocs}
+	f.a = l.alloc(uint64(m*m) * 16)
+	f.b = l.alloc(uint64(m*m) * 16)
+	return f
+}
+
+func (f *FFT) Name() string { return "fft" }
+func (f *FFT) Procs() int   { return f.procs }
+
+// Phases: fft, transpose, fft, transpose, fft, transpose.
+func (f *FFT) Phases() int { return 6 }
+
+func (f *FFT) elem(base uint64, i, j int) uint64 {
+	return base + uint64(i*f.m+j)*16
+}
+
+func (f *FFT) Refs(p, ph int, emit func(Ref)) {
+	lo, hi := rowsOf(f.m, f.procs, p)
+	src, dst := f.a, f.b
+	if ph%4 >= 2 { // matrices swap roles every transpose
+		src, dst = f.b, f.a
+	}
+	if ph%2 == 0 {
+		// Row FFT on owned rows of src: read+write every element,
+		// log(m) passes collapsed into one sweep with a larger gap.
+		for i := lo; i < hi; i++ {
+			for j := 0; j < f.m; j++ {
+				e := f.elem(src, i, j)
+				emit(Ref{Addr: e, Gap: 4})
+				emit(Ref{Addr: e, Write: true, Gap: 2})
+			}
+		}
+		return
+	}
+	// Transpose: dst[i][j] = src[j][i]; the column walk reads rows
+	// owned (and just written) by every other processor.
+	for i := lo; i < hi; i++ {
+		for j := 0; j < f.m; j++ {
+			emit(Ref{Addr: f.elem(src, j, i), Gap: 1})
+			emit(Ref{Addr: f.elem(dst, i, j), Write: true, Gap: 1})
+		}
+	}
+}
+
+// SOR is red-black successive over-relaxation on a g×g grid of
+// float64, row-block partitioned. Each half-iteration reads the four
+// neighbours; rows at partition boundaries were written by the
+// neighbouring processor in the previous phase — dirty reads.
+type SOR struct {
+	g, iters int
+	procs    int
+	grid     uint64
+}
+
+// NewSOR builds a g×g grid SOR running iters iterations (each
+// iteration is a red phase plus a black phase).
+func NewSOR(g, iters, nprocs int) *SOR {
+	var l layout
+	s := &SOR{g: g, iters: iters, procs: nprocs}
+	s.grid = l.alloc(uint64(g*g) * 8)
+	return s
+}
+
+func (s *SOR) Name() string { return "sor" }
+func (s *SOR) Procs() int   { return s.procs }
+func (s *SOR) Phases() int  { return 2 * s.iters }
+
+func (s *SOR) at(i, j int) uint64 { return s.grid + uint64(i*s.g+j)*8 }
+
+func (s *SOR) Refs(p, ph int, emit func(Ref)) {
+	color := ph % 2
+	lo, hi := rowsOf(s.g, s.procs, p)
+	for i := lo; i < hi; i++ {
+		if i == 0 || i == s.g-1 {
+			continue // fixed boundary
+		}
+		for j := 1 + (i+color)%2; j < s.g-1; j += 2 {
+			emit(Ref{Addr: s.at(i-1, j), Gap: 1})
+			emit(Ref{Addr: s.at(i+1, j), Gap: 1})
+			emit(Ref{Addr: s.at(i, j-1), Gap: 1})
+			emit(Ref{Addr: s.at(i, j+1), Gap: 1})
+			emit(Ref{Addr: s.at(i, j), Write: true, Gap: 2})
+		}
+	}
+}
+
+// TC is Warshall's transitive closure on an n×n boolean matrix (one
+// byte per cell), row-block partitioned with a barrier per k step:
+// R[i][j] |= R[i][k] && R[k][j]. Row k is read by everyone and was
+// written by its owner — widely shared dirty data.
+type TC struct {
+	n     int
+	procs int
+	r     uint64
+}
+
+// NewTC builds an n×n transitive closure.
+func NewTC(n, nprocs int) *TC {
+	var l layout
+	t := &TC{n: n, procs: nprocs}
+	t.r = l.alloc(uint64(n * n))
+	return t
+}
+
+func (t *TC) Name() string { return "tc" }
+func (t *TC) Procs() int   { return t.procs }
+func (t *TC) Phases() int  { return t.n }
+
+func (t *TC) at(i, j int) uint64 { return t.r + uint64(i*t.n+j) }
+
+func (t *TC) Refs(p, ph int, emit func(Ref)) {
+	k := ph
+	lo, hi := rowsOf(t.n, t.procs, p)
+	for i := lo; i < hi; i++ {
+		if i == k {
+			continue // row k is invariant in step k; avoids an intra-phase race
+		}
+		emit(Ref{Addr: t.at(i, k), Gap: 1}) // R[i][k]
+		for j := 0; j < t.n; j++ {
+			emit(Ref{Addr: t.at(k, j), Gap: 1}) // R[k][j] — remote dirty
+			emit(Ref{Addr: t.at(i, j), Gap: 1})
+			// Sparse updates: the closure bit flips only sometimes; a
+			// deterministic pattern writes every fourth cell.
+			if (i+j+k)%4 == 0 {
+				emit(Ref{Addr: t.at(i, j), Write: true, Gap: 1})
+			}
+		}
+	}
+}
+
+// FWA is Floyd-Warshall all-pairs shortest paths on an n×n matrix of
+// 8-byte distances, row-block partitioned with a barrier per k step.
+// Same sharing structure as TC with denser writes and wider elements.
+type FWA struct {
+	n     int
+	procs int
+	d     uint64
+}
+
+// NewFWA builds an n×n all-pairs-shortest-path instance.
+func NewFWA(n, nprocs int) *FWA {
+	var l layout
+	f := &FWA{n: n, procs: nprocs}
+	f.d = l.alloc(uint64(n*n) * 8)
+	return f
+}
+
+func (f *FWA) Name() string { return "fwa" }
+func (f *FWA) Procs() int   { return f.procs }
+func (f *FWA) Phases() int  { return f.n }
+
+func (f *FWA) at(i, j int) uint64 { return f.d + uint64(i*f.n+j)*8 }
+
+func (f *FWA) Refs(p, ph int, emit func(Ref)) {
+	k := ph
+	lo, hi := rowsOf(f.n, f.procs, p)
+	for i := lo; i < hi; i++ {
+		if i == k {
+			continue // row k is invariant in step k; avoids an intra-phase race
+		}
+		emit(Ref{Addr: f.at(i, k), Gap: 1}) // d[i][k]
+		for j := 0; j < f.n; j++ {
+			emit(Ref{Addr: f.at(k, j), Gap: 1}) // d[k][j] — remote dirty
+			emit(Ref{Addr: f.at(i, j), Gap: 2})
+			// min() updates roughly half the cells.
+			if (i*31+j*17+k)%2 == 0 {
+				emit(Ref{Addr: f.at(i, j), Write: true, Gap: 1})
+			}
+		}
+	}
+}
+
+// Gauss is Gaussian elimination without pivoting on an n×n float64
+// matrix, row-block partitioned with a barrier per elimination step.
+// The pivot row k is normalized by its owner (writes) then read by
+// every processor holding rows below k — a dirty broadcast that
+// shrinks as elimination proceeds.
+type Gauss struct {
+	n     int
+	procs int
+	a     uint64
+}
+
+// NewGauss builds an n×n elimination instance.
+func NewGauss(n, nprocs int) *Gauss {
+	var l layout
+	g := &Gauss{n: n, procs: nprocs}
+	g.a = l.alloc(uint64(n*n) * 8)
+	return g
+}
+
+func (g *Gauss) Name() string { return "gauss" }
+func (g *Gauss) Procs() int   { return g.procs }
+
+// Phases: each elimination step k is two barrier phases — normalize
+// the pivot row (its owner writes it), then eliminate against it
+// (everyone reads it) — so no phase both writes and reads row k.
+func (g *Gauss) Phases() int { return 2 * g.n }
+
+func (g *Gauss) at(i, j int) uint64 { return g.a + uint64(i*g.n+j)*8 }
+
+func (g *Gauss) Refs(p, ph int, emit func(Ref)) {
+	k := ph / 2
+	lo, hi := rowsOf(g.n, g.procs, p)
+	if ph%2 == 0 {
+		// Normalization: the pivot row's owner rescales it.
+		if k >= lo && k < hi {
+			emit(Ref{Addr: g.at(k, k), Gap: 2})
+			for j := k; j < g.n; j++ {
+				emit(Ref{Addr: g.at(k, j), Gap: 2})
+				emit(Ref{Addr: g.at(k, j), Write: true, Gap: 2})
+			}
+		}
+		return
+	}
+	// Elimination: every processor folds the pivot row into its rows
+	// below k; the pivot row is a dirty broadcast from its owner.
+	for i := lo; i < hi; i++ {
+		if i <= k {
+			continue
+		}
+		emit(Ref{Addr: g.at(i, k), Gap: 1})
+		for j := k; j < g.n; j++ {
+			emit(Ref{Addr: g.at(k, j), Gap: 1}) // pivot row — remote dirty
+			emit(Ref{Addr: g.at(i, j), Gap: 2})
+			emit(Ref{Addr: g.at(i, j), Write: true, Gap: 1})
+		}
+	}
+}

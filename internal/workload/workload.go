@@ -1,0 +1,94 @@
+// Package workload implements the five scientific applications of the
+// paper's execution-driven evaluation — FFT, Transitive Closure (TC),
+// Successive-Over-Relaxation (SOR), Floyd-Warshall (FWA) and Gaussian
+// Elimination (GAUSS) — as barrier-phase shared-memory reference
+// generators, plus the driver that executes them on a core.Machine.
+//
+// All five kernels are barrier-synchronized, so each processor's
+// reference stream within a phase is independent of timing; only the
+// interleaving (decided by the machine's timing model) varies. This is
+// the direct-execution substitution documented in DESIGN.md: the exact
+// sharing pattern — who wrote a block last, who reads it next — is
+// preserved, which is what drives the coherence traffic the paper
+// measures.
+package workload
+
+import "fmt"
+
+// Ref is one shared-memory reference: Gap compute cycles, then a load
+// or store of the block containing Addr.
+type Ref struct {
+	Addr  uint64
+	Write bool
+	Gap   uint8
+}
+
+// Workload generates per-processor reference streams in barrier-
+// separated phases.
+type Workload interface {
+	// Name identifies the kernel ("fft", "sor", ...).
+	Name() string
+	// Procs is the processor count the kernel is partitioned for.
+	Procs() int
+	// Phases is the number of barrier-separated phases.
+	Phases() int
+	// Refs emits processor p's references for phase ph, in program
+	// order.
+	Refs(p, ph int, emit func(Ref))
+}
+
+// layout allocates non-overlapping shared regions. Region bases are
+// page-aligned so home interleaving distributes them across nodes.
+type layout struct {
+	next uint64
+}
+
+// alloc reserves size bytes and returns the base address.
+func (l *layout) alloc(size uint64) uint64 {
+	const page = 4096
+	base := l.next
+	l.next += (size + page - 1) &^ (page - 1)
+	return base
+}
+
+// rowsOf partitions n rows over procs; proc p owns [lo, hi).
+func rowsOf(n, procs, p int) (lo, hi int) {
+	per := n / procs
+	extra := n % procs
+	lo = p*per + min(p, extra)
+	hi = lo + per
+	if p < extra {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ByName constructs a paper-sized kernel by name for nprocs
+// processors. scale < 1 is not supported; scale 1 is the paper's
+// input (Table 2); smaller test inputs come from the typed
+// constructors directly.
+func ByName(name string, nprocs int) (Workload, error) {
+	switch name {
+	case "fft":
+		return NewFFT(16384, nprocs), nil // 16K points
+	case "tc":
+		return NewTC(128, nprocs), nil
+	case "sor":
+		return NewSOR(512, 4, nprocs), nil
+	case "fwa":
+		return NewFWA(128, nprocs), nil
+	case "gauss", "ge":
+		return NewGauss(128, nprocs), nil
+	}
+	return nil, fmt.Errorf("workload: unknown kernel %q", name)
+}
+
+// Names lists the scientific kernels in the paper's figure order.
+func Names() []string { return []string{"fft", "tc", "sor", "fwa", "gauss"} }

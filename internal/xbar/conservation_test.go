@@ -1,0 +1,79 @@
+package xbar
+
+import (
+	"testing"
+
+	"dresar/internal/mesg"
+	"dresar/internal/sim"
+	"dresar/internal/topo"
+)
+
+// chaosSnooper sinks and generates messages pseudo-randomly, to
+// stress the conservation property below.
+type chaosSnooper struct {
+	rng *sim.RNG
+	tp  *topo.T
+}
+
+func (s *chaosSnooper) Snoop(sw topo.SwitchID, m *mesg.Message, now sim.Cycle) Action {
+	switch s.rng.Intn(10) {
+	case 0:
+		return Action{Sink: true}
+	case 1:
+		return Action{
+			Sink: true,
+			Generated: []*mesg.Message{{
+				Kind: mesg.Retry, Addr: m.Addr, Src: m.Src,
+				Dst:       mesg.P(s.rng.Intn(s.tp.Nodes)),
+				Requester: m.Requester, Marked: true,
+			}},
+		}
+	case 2:
+		return Action{ExtraDelay: sim.Cycle(s.rng.Intn(6))}
+	}
+	return Action{}
+}
+
+// TestMessageConservation: every message injected is eventually either
+// delivered to an endpoint or sunk by the snooper — none lost, none
+// duplicated — under random traffic, random sinking, random generation
+// and tiny buffers.
+func TestMessageConservation(t *testing.T) {
+	for _, cfgTP := range [][2]int{{16, 4}, {16, 8}, {64, 8}} {
+		tp := topo.MustNew(cfgTP[0], cfgTP[1])
+		eng := sim.NewEngine()
+		sn := &chaosSnooper{rng: sim.NewRNG(7), tp: tp}
+		net := New(eng, tp, Config{Snoop: sn, VCQueueMsgs: 1})
+		for i := 0; i < tp.Nodes; i++ {
+			net.AttachProc(i, func(m *mesg.Message) {})
+			net.AttachMem(i, func(m *mesg.Message) {})
+		}
+		rng := sim.NewRNG(3)
+		kinds := []mesg.Kind{mesg.ReadReq, mesg.WriteReq, mesg.WriteReply, mesg.CopyBack, mesg.WriteBack, mesg.ReadReply, mesg.Inval}
+		const n = 3000
+		for i := 0; i < n; i++ {
+			k := kinds[rng.Intn(len(kinds))]
+			var src, dst mesg.End
+			if k == mesg.WriteReply || k == mesg.ReadReply || k == mesg.Inval {
+				src, dst = mesg.M(rng.Intn(tp.Nodes)), mesg.P(rng.Intn(tp.Nodes))
+			} else {
+				src, dst = mesg.P(rng.Intn(tp.Nodes)), mesg.M(rng.Intn(tp.Nodes))
+			}
+			m := &mesg.Message{Kind: k, Addr: uint64(rng.Intn(1<<16)) * 32, Src: src, Dst: dst, Requester: src.Node}
+			at := sim.Cycle(rng.Intn(20000))
+			eng.At(at, func() { net.Send(m) })
+		}
+		eng.Run(0)
+		if !net.Quiesced() {
+			t.Fatalf("%v: network not quiesced", tp)
+		}
+		st := net.Stats
+		if st.Sent+st.Generated != st.Delivered+st.Sunk {
+			t.Fatalf("%v: conservation violated: sent=%d gen=%d delivered=%d sunk=%d",
+				tp, st.Sent, st.Generated, st.Delivered, st.Sunk)
+		}
+		if st.Sent != n {
+			t.Fatalf("%v: sent = %d, want %d", tp, st.Sent, n)
+		}
+	}
+}

@@ -1,0 +1,636 @@
+// Package xbar implements the wormhole-routed crossbar-switch
+// interconnect of Section 4: input-buffered switches with two virtual
+// channels per link (partitioned by destination so point-to-point
+// message order is preserved), age-based arbitration as in the SGI
+// SPIDER, a bypass path when buffers are empty, a 4-cycle switch core,
+// and 16-bit links that serialize one 8-byte flit every four 200MHz
+// cycles (Intel Cavallino parameters).
+//
+// Timing is modeled at message granularity with flit-accurate
+// serialization: a message that wins arbitration occupies its output
+// link for flits×4 cycles and is available at the next switch after
+// the 4-cycle core delay plus serialization. Bounded per-VC input
+// queues exert backpressure on upstream switches (credit flow
+// control). This preserves the paper-relevant behaviour — ordering,
+// contention, serialization, and where each message is processed —
+// without simulating individual flit hops (see DESIGN.md substitution
+// 4).
+//
+// A Snooper (the switch directory, package sdir) may be attached to
+// every switch. It observes each Table-1 message as the message is
+// selected by the arbiter — in parallel with the switch core, as in
+// DRESAR — and can sink the message, inject newly generated messages
+// at this switch, and charge directory-port contention delay.
+package xbar
+
+import (
+	"fmt"
+
+	"dresar/internal/mesg"
+	"dresar/internal/sim"
+	"dresar/internal/topo"
+)
+
+// Timing and buffering defaults (Table 2).
+const (
+	// DefaultCoreCycles is the switch-internal pipeline delay.
+	DefaultCoreCycles = 4
+	// DefaultVCQueueMsgs bounds each input virtual-channel queue, in
+	// messages. The paper buffers 4 flits per VC and lets wormhole
+	// spill across switches; two messages per VC is the equivalent
+	// capacity at message granularity.
+	DefaultVCQueueMsgs = 2
+	// VCsPerPort is the number of virtual channels per input link.
+	VCsPerPort = 2
+)
+
+// Action is a Snooper's verdict on one message.
+type Action struct {
+	// Sink consumes the message at this switch; it does not proceed.
+	Sink bool
+	// Generated messages are injected at this switch (the "extra input
+	// block" that grows the crossbar from 8×4 to 10×4 in Figure 5) and
+	// routed onward from here.
+	Generated []*mesg.Message
+	// ExtraDelay charges directory-port contention: the message (or,
+	// if sunk, its generated successors) is delayed this many cycles.
+	ExtraDelay sim.Cycle
+}
+
+// Snooper is the switch-directory hook. Snoop is called once per
+// switch traversal for every message kind in Table 1 (see
+// mesg.Kind.SnoopsSwitchDir); other kinds bypass the directory.
+type Snooper interface {
+	Snoop(sw topo.SwitchID, m *mesg.Message, now sim.Cycle) Action
+}
+
+// Handler consumes a message delivered to an endpoint.
+type Handler func(*mesg.Message)
+
+// Config parameterizes a Network.
+type Config struct {
+	CoreCycles  sim.Cycle // switch pipeline delay; 0 means default
+	VCQueueMsgs int       // per-VC input queue capacity; 0 means default
+	// Snoop, when non-nil, is attached to every switch.
+	Snoop Snooper
+}
+
+// Stats aggregates network-level counters.
+type Stats struct {
+	Sent      uint64 // messages injected by endpoints
+	Delivered uint64 // messages handed to endpoint handlers
+	Sunk      uint64 // messages consumed by the snooper
+	Generated uint64 // messages injected by the snooper
+	FlitHops  uint64 // flit×hop units transmitted (network load)
+	QueueWait uint64 // total cycles messages spent queued in switches
+}
+
+// tx is a message in flight with its residual route.
+type tx struct {
+	m        *mesg.Message
+	hops     []topo.Hop
+	hopIdx   int
+	injected sim.Cycle // for age-based arbitration
+	enqueued sim.Cycle // when it entered the current queue
+	// skipSnoopOnce exempts a snooper-generated message from being
+	// re-snooped at the switch that generated it: the directory has
+	// already processed the transaction there.
+	skipSnoopOnce bool
+}
+
+// vcq is one bounded virtual-channel FIFO.
+type vcq struct {
+	q   []*tx
+	cap int
+}
+
+func (v *vcq) full() bool  { return len(v.q) >= v.cap }
+func (v *vcq) empty() bool { return len(v.q) == 0 }
+func (v *vcq) head() *tx   { return v.q[0] }
+func (v *vcq) push(t *tx)  { v.q = append(v.q, t) }
+func (v *vcq) pop() *tx {
+	t := v.q[0]
+	copy(v.q, v.q[1:])
+	v.q = v.q[:len(v.q)-1]
+	return t
+}
+
+// upstream identifies who feeds a given switch input port, so a
+// freed buffer slot can re-trigger the upstream arbiter (credit
+// return). fromSwitch == -1 means an endpoint injection link.
+type upstream struct {
+	fromSwitch int // ordinal; -1 for endpoint
+	fromPort   topo.Port
+	end        mesg.End // valid when fromSwitch == -1
+}
+
+// outLink is one output port's link state and its destination.
+type outLink struct {
+	freeAt   sim.Cycle
+	toSwitch int       // ordinal of downstream switch; -1 if endpoint
+	toPort   topo.Port // input port on downstream switch
+	toEnd    mesg.End  // endpoint, when toSwitch == -1
+}
+
+// swc is one switch instance. Input ports 0..2R-1 are the physical
+// links; port 2R is the internal injection block used by the snooper.
+type swc struct {
+	id  topo.SwitchID
+	in  [][VCsPerPort]vcq // indexed by input port
+	out []outLink         // indexed by output port
+	ups []upstream        // indexed by input port
+}
+
+// Network is the full BMIN with endpoint attachment points.
+type Network struct {
+	eng      *sim.Engine
+	tp       *topo.T
+	cfg      Config
+	core     sim.Cycle
+	switches []*swc
+	procH    []Handler
+	memH     []Handler
+	// injq serializes endpoint injection: per endpoint-link pending
+	// messages (unbounded: the NI's outbound queue) plus link state.
+	injProc []injLink
+	injMem  []injLink
+	// delivery links from leaf down-ports to processors and top
+	// up-ports to memories are modeled inside outLink freeAt.
+	Stats  Stats
+	nextID uint64
+
+	// Trace, when set, observes every message lifecycle event:
+	// "send", "sink", "gen", "deliver". For debugging protocols.
+	Trace func(event string, at sim.Cycle, m *mesg.Message)
+}
+
+type injLink struct {
+	freeAt  sim.Cycle
+	pending []*tx
+}
+
+// New builds the network for the given topology.
+func New(eng *sim.Engine, tp *topo.T, cfg Config) *Network {
+	if cfg.CoreCycles == 0 {
+		cfg.CoreCycles = DefaultCoreCycles
+	}
+	if cfg.VCQueueMsgs == 0 {
+		cfg.VCQueueMsgs = DefaultVCQueueMsgs
+	}
+	n := &Network{
+		eng:     eng,
+		tp:      tp,
+		cfg:     cfg,
+		core:    cfg.CoreCycles,
+		procH:   make([]Handler, tp.Nodes),
+		memH:    make([]Handler, tp.Nodes),
+		injProc: make([]injLink, tp.Nodes),
+		injMem:  make([]injLink, tp.Nodes),
+	}
+	n.build()
+	return n
+}
+
+// build wires switches and links from the topology.
+func (n *Network) build() {
+	tp := n.tp
+	r := tp.Radix
+	total := tp.NumSwitches()
+	n.switches = make([]*swc, total)
+	mk := func(id topo.SwitchID) *swc {
+		s := &swc{
+			id:  id,
+			in:  make([][VCsPerPort]vcq, 2*r+1),
+			out: make([]outLink, 2*r),
+			ups: make([]upstream, 2*r+1),
+		}
+		for p := range s.in {
+			for v := 0; v < VCsPerPort; v++ {
+				s.in[p][v].cap = n.cfg.VCQueueMsgs
+			}
+		}
+		// The internal injection block is generously sized: snooper
+		// messages must not be droppable (coherence-critical); the
+		// paper's feedback mechanism blocks the arbiter instead, which
+		// this capacity stands in for.
+		for v := 0; v < VCsPerPort; v++ {
+			s.in[2*r][v].cap = 1 << 20
+		}
+		return s
+	}
+	for l := 0; l < tp.Leaves; l++ {
+		n.switches[tp.SwitchOrdinal(topo.SwitchID{Stage: 0, Index: l})] = mk(topo.SwitchID{Stage: 0, Index: l})
+	}
+	for t := 0; t < tp.Tops; t++ {
+		n.switches[tp.SwitchOrdinal(topo.SwitchID{Stage: 1, Index: t})] = mk(topo.SwitchID{Stage: 1, Index: t})
+	}
+	// Wire leaf switches.
+	for l := 0; l < tp.Leaves; l++ {
+		s := n.switches[tp.SwitchOrdinal(topo.SwitchID{Stage: 0, Index: l})]
+		for d := 0; d < r; d++ {
+			proc := l*r + d
+			s.out[d] = outLink{toSwitch: -1, toEnd: mesg.P(proc)}
+			s.ups[d] = upstream{fromSwitch: -1, end: mesg.P(proc)}
+		}
+		for u := 0; u < r; u++ {
+			top := u / tp.Bundle
+			lane := u % tp.Bundle
+			topOrd := tp.SwitchOrdinal(topo.SwitchID{Stage: 1, Index: top})
+			topIn := topo.Port(l*tp.Bundle + lane)
+			s.out[r+u] = outLink{toSwitch: topOrd, toPort: topIn}
+			// The reverse link: top's down-port out feeds our up-port in.
+			s.ups[r+u] = upstream{fromSwitch: topOrd, fromPort: topIn}
+		}
+	}
+	// Wire top switches.
+	for t := 0; t < tp.Tops; t++ {
+		s := n.switches[tp.SwitchOrdinal(topo.SwitchID{Stage: 1, Index: t})]
+		for c := 0; c < r; c++ { // down ports: to leaves
+			leaf := c / tp.Bundle
+			lane := c % tp.Bundle
+			leafOrd := tp.SwitchOrdinal(topo.SwitchID{Stage: 0, Index: leaf})
+			leafIn := topo.Port(r + t*tp.Bundle + lane)
+			s.out[c] = outLink{toSwitch: leafOrd, toPort: leafIn}
+			s.ups[c] = upstream{fromSwitch: leafOrd, fromPort: leafIn}
+		}
+		for u := 0; u < r; u++ { // up ports: to memories
+			memN := t*r + u
+			s.out[r+u] = outLink{toSwitch: -1, toEnd: mesg.M(memN)}
+			s.ups[r+u] = upstream{fromSwitch: -1, end: mesg.M(memN)}
+		}
+	}
+}
+
+// AttachProc registers the handler for node i's processor interface.
+func (n *Network) AttachProc(i int, h Handler) { n.procH[i] = h }
+
+// AttachMem registers the handler for node i's memory interface.
+func (n *Network) AttachMem(i int, h Handler) { n.memH[i] = h }
+
+// route computes the hop sequence for a message between endpoints. The
+// block address selects the turnaround top for processor-to-processor
+// messages so a transaction's reply stays in its home's subtree.
+func (n *Network) route(m *mesg.Message) []topo.Hop {
+	s, d := m.Src, m.Dst
+	switch {
+	case s.Side == mesg.ProcSide && d.Side == mesg.MemSide:
+		return n.tp.Forward(s.Node, d.Node)
+	case s.Side == mesg.MemSide && d.Side == mesg.ProcSide:
+		return n.tp.Backward(s.Node, d.Node)
+	case s.Side == mesg.ProcSide && d.Side == mesg.ProcSide:
+		return n.tp.Turnaround(s.Node, d.Node, int(m.Addr>>5))
+	default:
+		panic(fmt.Sprintf("xbar: unsupported route %v -> %v", s, d))
+	}
+}
+
+// vcFor selects the virtual channel: partitioned by destination node
+// (paper: "virtual channels are also partitioned based on the
+// destination node", avoiding out-of-order arrival).
+func vcFor(m *mesg.Message) int { return m.Dst.Node % VCsPerPort }
+
+// Send injects m at its source endpoint. Delivery is asynchronous via
+// the attached handler. The message's ID is assigned if zero.
+func (n *Network) Send(m *mesg.Message) {
+	if m.ID == 0 {
+		n.nextID++
+		m.ID = n.nextID
+	}
+	n.Stats.Sent++
+	if n.Trace != nil {
+		n.Trace("send", n.eng.Now(), m)
+	}
+	t := &tx{m: m, hops: n.route(m), injected: n.eng.Now()}
+	var il *injLink
+	if m.Src.Side == mesg.ProcSide {
+		il = &n.injProc[m.Src.Node]
+	} else {
+		il = &n.injMem[m.Src.Node]
+	}
+	il.pending = append(il.pending, t)
+	n.pumpInjection(il)
+}
+
+// pumpInjection moves pending endpoint messages onto the first
+// switch's input queue as link time and buffer space allow.
+func (n *Network) pumpInjection(il *injLink) {
+	for len(il.pending) > 0 {
+		t := il.pending[0]
+		h := t.hops[0]
+		sw := n.switches[n.tp.SwitchOrdinal(h.Sw)]
+		vc := vcFor(t.m)
+		q := &sw.in[h.In][vc]
+		if q.full() {
+			return // retried when the queue drains (credit return)
+		}
+		now := n.eng.Now()
+		start := now
+		if il.freeAt > start {
+			start = il.freeAt
+		}
+		ser := sim.Cycle(t.m.Flits() * mesg.LinkCyclesPerFlit)
+		il.freeAt = start + ser
+		il.pending = il.pending[1:]
+		arrive := start + ser
+		// Reserve the buffer slot now so concurrent senders see it.
+		q.push(nil) // placeholder; replaced at arrival
+		slotQ := q
+		n.eng.At(arrive, func() {
+			n.arriveReserved(sw, slotQ, t)
+		})
+	}
+}
+
+// arriveReserved fills the reserved placeholder slot with t and kicks
+// arbitration. Reservation keeps capacity accounting exact while the
+// message is on the wire.
+func (n *Network) arriveReserved(sw *swc, q *vcq, t *tx) {
+	for i, e := range q.q {
+		if e == nil {
+			t.enqueued = n.eng.Now()
+			q.q[i] = t
+			break
+		}
+	}
+	n.tryOutput(sw, t.hops[t.hopIdx].Out)
+}
+
+// tryOutput runs arbitration for one output port of one switch: while
+// the link is free, grant the oldest head-of-queue message wanting
+// this output whose downstream buffer has room.
+func (n *Network) tryOutput(sw *swc, out topo.Port) {
+	now := n.eng.Now()
+	ol := &sw.out[out]
+	if ol.freeAt > now {
+		// Busy: a completion event is already scheduled to retry.
+		return
+	}
+	for {
+		best := n.pickOldest(sw, out)
+		if best == nil {
+			return
+		}
+		if !n.grant(sw, out, best) {
+			return // head blocked on downstream space; retried on credit
+		}
+		if sw.out[out].freeAt > n.eng.Now() {
+			return // link now busy; completion event will resume
+		}
+	}
+}
+
+// pickOldest returns the queue whose head is the oldest message
+// destined for out, or nil. Heads blocked by a full downstream buffer
+// are skipped (they will be retried on credit return), implementing
+// virtual-channel flow control.
+func (n *Network) pickOldest(sw *swc, out topo.Port) *vcq {
+	var best *vcq
+	var bestAge sim.Cycle
+	for p := range sw.in {
+		for v := 0; v < VCsPerPort; v++ {
+			q := &sw.in[p][v]
+			if q.empty() || q.head() == nil {
+				continue
+			}
+			h := q.head()
+			if h.hops[h.hopIdx].Out != out {
+				continue
+			}
+			if best == nil || h.injected < bestAge {
+				best = q
+				bestAge = h.injected
+			}
+		}
+	}
+	return best
+}
+
+// grant moves the head of q across output port out. It returns false
+// if the downstream buffer has no room (the grant is abandoned and
+// retried when credit returns).
+func (n *Network) grant(sw *swc, out topo.Port, q *vcq) bool {
+	t := q.head()
+	ol := &sw.out[out]
+	// Check downstream space before snooping: a blocked message has
+	// not yet entered the switch pipeline.
+	var downQ *vcq
+	if ol.toSwitch >= 0 {
+		dsw := n.switches[ol.toSwitch]
+		downQ = &dsw.in[ol.toPort][vcFor(t.m)]
+		if downQ.full() {
+			return false
+		}
+	}
+	q.pop()
+	now := n.eng.Now()
+	n.Stats.QueueWait += uint64(now - t.enqueued)
+
+	// Snoop: the switch directory (and/or switch cache) observes the
+	// message in parallel with the switch core (Section 4.2). The
+	// snooper filters kinds itself (mesg.Kind.SnoopsSwitchDir for the
+	// directory; the switch-cache extension also watches data replies
+	// and invalidations).
+	var extra sim.Cycle
+	if t.skipSnoopOnce {
+		t.skipSnoopOnce = false
+	} else if n.cfg.Snoop != nil {
+		act := n.cfg.Snoop.Snoop(sw.id, t.m, now)
+		extra = act.ExtraDelay
+		for _, g := range act.Generated {
+			n.Stats.Generated++
+			if n.Trace != nil {
+				n.Trace(fmt.Sprintf("gen@%v", sw.id), now, g)
+			}
+			n.injectAt(sw, g, now+extra)
+		}
+		if act.Sink {
+			n.Stats.Sunk++
+			if n.Trace != nil {
+				n.Trace(fmt.Sprintf("sink@%v", sw.id), now, t.m)
+			}
+			n.afterPop(sw, q)
+			return true
+		}
+	}
+
+	start := now + extra
+	ser := sim.Cycle(t.m.Flits() * mesg.LinkCyclesPerFlit)
+	ol.freeAt = start + ser
+	n.Stats.FlitHops += uint64(t.m.Flits())
+	arrive := start + n.core + ser
+
+	if ol.toSwitch < 0 {
+		end := ol.toEnd
+		n.eng.At(arrive, func() { n.deliverEnd(end, t.m) })
+	} else {
+		dsw := n.switches[ol.toSwitch]
+		t.hopIdx++
+		downQ.push(nil) // reserve
+		dq := downQ
+		n.eng.At(arrive, func() { n.arriveReserved(dsw, dq, t) })
+	}
+	// When the link frees, run arbitration again for this output.
+	outPort := out
+	n.eng.At(ol.freeAt, func() { n.tryOutput(sw, outPort) })
+	n.afterPop(sw, q)
+	return true
+}
+
+// afterPop performs the two wakeups a dequeue requires: return credit
+// upstream, and re-arbitrate for the new head's output port (which may
+// differ from the popped message's).
+func (n *Network) afterPop(sw *swc, q *vcq) {
+	n.creditReturn(sw, q)
+	if !q.empty() {
+		if h := q.head(); h != nil {
+			n.tryOutput(sw, h.hops[h.hopIdx].Out)
+		}
+	}
+}
+
+// creditReturn notifies whoever feeds the queue we just drained that a
+// buffer slot is available.
+func (n *Network) creditReturn(sw *swc, q *vcq) {
+	// Identify the input port owning q.
+	for p := range sw.in {
+		for v := 0; v < VCsPerPort; v++ {
+			if &sw.in[p][v] == q {
+				up := sw.ups[p]
+				if p == len(sw.in)-1 {
+					// Internal injection block: the snooper's queue has no
+					// upstream; nothing to notify.
+					return
+				}
+				if up.fromSwitch < 0 {
+					var il *injLink
+					if up.end.Side == mesg.ProcSide {
+						il = &n.injProc[up.end.Node]
+					} else {
+						il = &n.injMem[up.end.Node]
+					}
+					n.pumpInjection(il)
+				} else {
+					usw := n.switches[up.fromSwitch]
+					n.tryOutput(usw, up.fromPort)
+				}
+				return
+			}
+		}
+	}
+}
+
+// injectAt places a snooper-generated message in this switch's
+// internal injection block, with its route computed from this switch.
+func (n *Network) injectAt(sw *swc, m *mesg.Message, when sim.Cycle) {
+	if m.ID == 0 {
+		n.nextID++
+		m.ID = n.nextID
+	}
+	hops := n.routeFrom(sw.id, m)
+	t := &tx{m: m, hops: hops, injected: when, skipSnoopOnce: true}
+	injPort := len(sw.in) - 1
+	q := &sw.in[injPort][vcFor(m)]
+	n.eng.At(when, func() {
+		t.enqueued = n.eng.Now()
+		q.push(t)
+		n.tryOutput(sw, t.hops[0].Out)
+	})
+}
+
+// routeFrom computes a route for a message created inside switch sw.
+// The first hop's In port is the internal injection block.
+func (n *Network) routeFrom(sw topo.SwitchID, m *mesg.Message) []topo.Hop {
+	tp := n.tp
+	r := tp.Radix
+	inj := topo.Port(2 * r) // internal injection pseudo-port
+	d := m.Dst
+	sel := int(m.Addr >> 5)
+	var hops []topo.Hop
+	if sw.Stage == 1 { // top switch
+		if d.Side == mesg.MemSide {
+			if tp.TopOf(d.Node) == sw {
+				hops = []topo.Hop{{Sw: sw, In: inj, Out: topo.Port(r + d.Node%r)}}
+			} else {
+				// Down to an intermediate leaf, then back up: tops are not
+				// interconnected. Rare (no current protocol message takes
+				// this path); routed via leaf 0 on lane 0.
+				hops = n.viaLeaf(sw, 0, d.Node, inj)
+			}
+		} else {
+			// Down to the destination processor's leaf, then out.
+			full := tp.Backward(sw.Index*r /* any memory under sw */, d.Node)
+			hops = []topo.Hop{
+				{Sw: sw, In: inj, Out: full[0].Out},
+				full[1],
+			}
+		}
+	} else { // leaf switch
+		if d.Side == mesg.ProcSide && tp.LeafOf(d.Node) == sw {
+			hops = []topo.Hop{{Sw: sw, In: inj, Out: topo.Port(d.Node % r)}}
+		} else if d.Side == mesg.MemSide {
+			full := tp.Forward(sw.Index*r /* any proc under sw */, d.Node)
+			hops = []topo.Hop{
+				{Sw: sw, In: inj, Out: full[0].Out},
+				full[1],
+			}
+		} else {
+			// Processor under a different leaf: turn around at a top.
+			full := tp.Turnaround(sw.Index*r, d.Node, sel)
+			hops = append([]topo.Hop{{Sw: sw, In: inj, Out: full[0].Out}}, full[1:]...)
+		}
+	}
+	return hops
+}
+
+// viaLeaf builds top->leaf->top'->memory hops for the rare case of a
+// memory-bound message generated at a foreign top switch.
+func (n *Network) viaLeaf(from topo.SwitchID, leaf, memNode int, inj topo.Port) []topo.Hop {
+	tp := n.tp
+	r := tp.Radix
+	// from (top) down to leaf on lane 0 of their bundle.
+	downOut := topo.Port(leaf * tp.Bundle)
+	leafIn := topo.Port(r + from.Index*tp.Bundle)
+	up := tp.Forward(leaf*r, memNode)
+	return []topo.Hop{
+		{Sw: from, In: inj, Out: downOut},
+		{Sw: topo.SwitchID{Stage: 0, Index: leaf}, In: leafIn, Out: up[0].Out},
+		up[1],
+	}
+}
+
+// deliverEnd hands a message to the endpoint handler.
+func (n *Network) deliverEnd(e mesg.End, m *mesg.Message) {
+	n.Stats.Delivered++
+	if n.Trace != nil {
+		n.Trace("deliver", n.eng.Now(), m)
+	}
+	var h Handler
+	if e.Side == mesg.ProcSide {
+		h = n.procH[e.Node]
+	} else {
+		h = n.memH[e.Node]
+	}
+	if h == nil {
+		panic(fmt.Sprintf("xbar: no handler attached at %v for %v", e, m))
+	}
+	h(m)
+}
+
+// Quiesced reports whether the network holds no in-flight messages.
+func (n *Network) Quiesced() bool {
+	for i := range n.injProc {
+		if len(n.injProc[i].pending) > 0 || len(n.injMem[i].pending) > 0 {
+			return false
+		}
+	}
+	for _, sw := range n.switches {
+		for p := range sw.in {
+			for v := 0; v < VCsPerPort; v++ {
+				if !sw.in[p][v].empty() {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,8 +1,13 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet bench figures figures-paper fuzz clean
+.PHONY: all check build test test-race vet bench figures figures-paper fuzz clean
 
-all: build vet test
+all: check
+
+# The default gate: compile, static checks, tests, and the race
+# detector (the fault-injection and watchdog paths are concurrency-
+# sensitive by construction).
+check: build vet test test-race
 
 build:
 	go build ./...
@@ -12,6 +17,9 @@ vet:
 
 test:
 	go test ./...
+
+test-race:
+	go test -race ./...
 
 # One iteration of every benchmark, including the figure regenerators
 # and the design-space ablations (reduced inputs).

@@ -5,19 +5,29 @@
 //
 //	dresar-sim -app fft [-entries 1024] [-size 16384] [-nodes 16]
 //	           [-policy retry|bitvector] [-pending 0] [-check]
+//	           [-faults drop=20,dup=10,seed=7] [-watchdog 1000000]
 //
 // -entries 0 runs the base system with no switch directories. -size is
 // the kernel's input parameter (points for FFT, matrix/grid dimension
 // for the others; 0 uses the paper's Table 2 input).
+//
+// -faults takes a fault-injection plan (see fault.ParsePlan):
+// drop/dup/delay permille rates for home-bound requests, periodic
+// switch-directory corrupt/evict events, and disableall/disableone
+// cycles. -watchdog bounds cycles-without-progress; a stall exits
+// non-zero with a structured diagnostic on stderr.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"dresar/internal/core"
+	"dresar/internal/fault"
 	"dresar/internal/sdir"
+	"dresar/internal/sim"
 	"dresar/internal/workload"
 )
 
@@ -32,11 +42,23 @@ func main() {
 	pending := flag.Int("pending", 0, "pending-buffer entries (0 = main array only)")
 	swc := flag.Int("swcache", 0, "switch-cache entries per top switch (0 = off; the conclusion's extension)")
 	check := flag.Bool("check", false, "enable the coherence checker (slower)")
+	faults := flag.String("faults", "", "fault-injection plan, e.g. drop=20,dup=10,seed=7 (empty = none)")
+	watchdog := flag.Uint64("watchdog", 0, "liveness watchdog: max cycles without progress (0 = off)")
 	flag.Parse()
+
+	plan, err := fault.ParsePlan(*faults)
+	fail(err)
 
 	cfg := core.DefaultConfig()
 	cfg.Nodes, cfg.Radix = *nodes, *radix
 	cfg.CheckCoherence = *check
+	cfg.Faults = plan
+	cfg.Watchdog = sim.Cycle(*watchdog)
+	if plan.Active() || cfg.Watchdog > 0 {
+		// Fault runs want the message-level monitor: its obligations
+		// make the stall diagnostic actionable.
+		cfg.CheckProtocol = true
+	}
 	if *entries > 0 {
 		cfg = cfg.WithSwitchDir(*entries)
 		switch *policy {
@@ -54,7 +76,6 @@ func main() {
 	}
 
 	var w workload.Workload
-	var err error
 	if *size == 0 && *app != "lu" && *app != "radix" {
 		w, err = workload.ByName(*app, *nodes)
 	} else {
@@ -91,13 +112,31 @@ func main() {
 	d, err := workload.NewDriver(m, w)
 	fail(err)
 	s, err := d.Run()
+	var stall *core.StallError
+	if errors.As(err, &stall) {
+		// The watchdog tripped: print the structured stall report and
+		// exit non-zero — never hang, never dump a raw panic.
+		fmt.Fprintf(os.Stderr, "dresar-sim: liveness watchdog tripped at cycle %d (no progress for %d cycles)\n",
+			stall.Now, stall.SinceProgress)
+		fmt.Fprint(os.Stderr, stall.Report)
+		os.Exit(1)
+	}
 	fail(err)
 	if *check {
 		fail(m.CheckInvariants())
 	}
+	if m.Monitor != nil && m.Quiesced() {
+		fail(m.Monitor.AtQuiesce())
+	}
 
 	fmt.Printf("app=%s entries=%d nodes=%d policy=%s\n", *app, *entries, *nodes, *policy)
 	fmt.Println(s)
+	if m.Injector != nil {
+		fmt.Println(m.Injector.Stats.String())
+		if s.Retransmits > 0 || s.DupRequests > 0 {
+			fmt.Printf("recovery: retransmits=%d dupRequestsFiltered=%d\n", s.Retransmits, s.DupRequests)
+		}
+	}
 	if s.ReadMisses > 0 {
 		fmt.Printf("ctocFraction=%.3f switchServedShare=%.3f\n",
 			s.CtoCFraction(), float64(s.ReadCtoCSwitch)/float64(maxu(s.CtoC(), 1)))

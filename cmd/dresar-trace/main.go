@@ -32,11 +32,13 @@ func main() {
 	fail(err)
 
 	var src trace.Source
+	var fileSrc *trace.ReaderSource
 	if *in != "" {
 		f, err := os.Open(*in)
 		fail(err)
 		defer f.Close()
-		src = trace.ReaderSource{R: trace.NewReader(f)}
+		fileSrc = &trace.ReaderSource{R: trace.NewReader(f)}
+		src = fileSrc
 	} else {
 		switch *kind {
 		case "tpcc":
@@ -50,6 +52,14 @@ func main() {
 	}
 
 	st := s.Run(src)
+	if fileSrc != nil {
+		// A malformed/truncated trace stops the stream early; report
+		// it instead of printing stats for a partial run.
+		fail(fileSrc.Err())
+		if st.Refs == 0 {
+			fail(fmt.Errorf("%s: empty trace", *in))
+		}
+	}
 	fmt.Printf("refs=%d reads=%d misses=%d hits=%d\n", st.Refs, st.Reads, st.ReadMisses, st.ReadHits)
 	fmt.Printf("clean=%d ctocHome=%d ctocSwitch=%d stale=%d ctocFraction=%.3f\n",
 		st.Clean, st.CtoCHome, st.CtoCSwitch, st.StaleSDir, st.CtoCFraction())

@@ -21,6 +21,10 @@ func main() {
 	out := flag.String("o", "", "output file (default <workload>.trace)")
 	flag.Parse()
 
+	if *refs == 0 {
+		fmt.Fprintln(os.Stderr, "tracegen: -refs must be positive")
+		os.Exit(2)
+	}
 	var cfg trace.SynthConfig
 	switch *kind {
 	case "tpcc":
@@ -37,7 +41,6 @@ func main() {
 	}
 	f, err := os.Create(path)
 	fail(err)
-	defer f.Close()
 	w := trace.NewWriter(f)
 	src := trace.NewSynth(cfg)
 	for {
@@ -48,6 +51,9 @@ func main() {
 		fail(w.Write(rec))
 	}
 	fail(w.Flush())
+	// Close explicitly: a deferred close would swallow the write
+	// error that tells us the trace on disk is truncated.
+	fail(f.Close())
 	fmt.Printf("wrote %d records to %s\n", w.Count(), path)
 }
 

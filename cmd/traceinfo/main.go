@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -35,8 +36,14 @@ func main() {
 	pages := map[uint64]bool{}
 	for {
 		rec, err := r.Read()
-		if err != nil {
+		if err == io.EOF {
 			break
+		}
+		// Anything else is a malformed or truncated file: exit
+		// non-zero rather than summarizing a partial trace.
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "traceinfo: %s (after %d records): %v\n", *in, refs, err)
+			os.Exit(1)
 		}
 		refs++
 		if rec.Op == trace.Store {
@@ -45,6 +52,10 @@ func main() {
 		perProc[rec.Pid]++
 		blockRefs[rec.Addr&^31]++
 		pages[rec.Addr/4096] = true
+	}
+	if refs == 0 {
+		fmt.Fprintf(os.Stderr, "traceinfo: %s: empty trace\n", *in)
+		os.Exit(1)
 	}
 
 	fmt.Printf("references: %d (%.1f%% stores)\n", refs, pct(stores, refs))

@@ -27,6 +27,27 @@ import (
 	"dresar/internal/sim"
 )
 
+// ProtocolError is a structured protocol-hole diagnostic: a message
+// arrived that the receiving controller's state machine cannot handle.
+// Controllers report it through their Fail sink instead of panicking,
+// so a protocol bug yields the failing cycle, component, and message
+// rather than a stack trace.
+type ProtocolError struct {
+	// Cycle is the simulated time the unhandled message was processed.
+	Cycle sim.Cycle
+	// Where names the component ("home 3", "node 5").
+	Where string
+	// Op describes what went wrong ("unhandled message kind").
+	Op string
+	// Msg is the offending message, rendered at failure time (the
+	// live message may be mutated afterwards).
+	Msg string
+}
+
+func (e *ProtocolError) Error() string {
+	return fmt.Sprintf("check: protocol error at cycle %d: %s: %s: %s", e.Cycle, e.Where, e.Op, e.Msg)
+}
+
 // Monitor accumulates protocol obligations from observed messages.
 type Monitor struct {
 	// outstanding home-bound requests by message ID.
@@ -136,9 +157,12 @@ func (m *Monitor) onSink(msg *mesg.Message) {
 	}
 }
 
-// AtQuiesce validates that no obligations remain. Call only when the
-// machine reports quiescence.
-func (m *Monitor) AtQuiesce() error {
+// OutstandingReport renders every currently open obligation and every
+// accumulated error, without judging them: mid-run the text describes
+// in-flight work (the liveness watchdog dumps it when the machine
+// stalls); at a quiesce point any output is a protocol violation.
+// Empty string means nothing is outstanding.
+func (m *Monitor) OutstandingReport() string {
 	var b strings.Builder
 	for _, e := range m.errs {
 		fmt.Fprintln(&b, e)
@@ -154,15 +178,26 @@ func (m *Monitor) AtQuiesce() error {
 		}
 	}
 	if len(m.requests) > 0 {
-		for id, s := range m.requests {
-			fmt.Fprintf(&b, "request %d never consumed: %s\n", id, s)
+		ids := make([]uint64, 0, len(m.requests))
+		for id := range m.requests {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			fmt.Fprintf(&b, "request %d never consumed: %s\n", id, m.requests[id])
 		}
 	}
 	report("ctoc-answer", m.ctoc)
 	report("inval-ack", m.inval)
 	report("writeback-ack", m.wb)
-	if b.Len() > 0 {
-		return fmt.Errorf("check: protocol obligations violated:\n%s", b.String())
+	return b.String()
+}
+
+// AtQuiesce validates that no obligations remain. Call only when the
+// machine reports quiescence.
+func (m *Monitor) AtQuiesce() error {
+	if r := m.OutstandingReport(); r != "" {
+		return fmt.Errorf("check: protocol obligations violated:\n%s", r)
 	}
 	return nil
 }

@@ -17,7 +17,9 @@ import (
 	"strings"
 
 	"dresar/internal/cache"
+	"dresar/internal/check"
 	"dresar/internal/dirctl"
+	"dresar/internal/fault"
 	"dresar/internal/mesg"
 	"dresar/internal/node"
 	"dresar/internal/sdir"
@@ -51,6 +53,22 @@ type Config struct {
 
 	// CheckCoherence enables the shadow checker (tests; costs memory).
 	CheckCoherence bool
+
+	// CheckProtocol attaches a message-level conformance monitor
+	// (check.Monitor) to the network trace; its obligations feed the
+	// watchdog's stall report and AtQuiesce validation.
+	CheckProtocol bool
+
+	// Faults is the fault-injection plan; the zero value injects
+	// nothing. When the plan can drop requests and Node.RequestTimeout
+	// is unset, a default NI retransmission timeout is armed so the
+	// machine can recover the losses.
+	Faults fault.Plan
+
+	// Watchdog bounds cycles-without-progress during Run: if no
+	// processor access completes for this many cycles while events
+	// still fire, the run stops with a *StallError. 0 disables.
+	Watchdog sim.Cycle
 }
 
 // DefaultConfig returns the Table 2 16-node system.
@@ -93,6 +111,12 @@ type Machine struct {
 	SDir  *sdir.Fabric    // nil in the base system
 	SCa   *swcache.Fabric // nil unless the switch-cache extension is on
 
+	// Injector applies Cfg.Faults; nil when the plan is inactive.
+	Injector *fault.Injector
+	// Monitor is the protocol conformance monitor; nil unless
+	// Cfg.CheckProtocol is set.
+	Monitor *check.Monitor
+
 	// Profile accumulates per-block (miss, CtoC) counts for Figure 2.
 	Profile *sim.BlockProfile
 	// ReadLatHist is the distribution of completed read latencies
@@ -103,6 +127,32 @@ type Machine struct {
 	// shadow checker state
 	lastSeen map[uint64]uint64 // (proc<<48|block>>5) -> version observed
 	checkErr error
+
+	// runErrs collects structured failures reported by components
+	// through their Fail sinks (protocol holes, abandoned
+	// transactions); the first one stops the engine.
+	runErrs []error
+	// stall is set when the liveness watchdog trips.
+	stall *StallError
+}
+
+// StallError reports a liveness watchdog trip: the machine ran
+// Watchdog cycles without completing a processor access while events
+// were still firing (livelock) or failed to quiesce.
+type StallError struct {
+	Now           sim.Cycle // cycle at which the watchdog tripped
+	SinceProgress sim.Cycle // cycles since the last completed access
+	Pending       int       // events still queued when stopped
+	// Report is the structured diagnostic: stuck node transactions,
+	// busy home blocks, TRANSIENT switch-directory entries, and — when
+	// the protocol monitor is attached — every unmet message-level
+	// obligation.
+	Report string
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("core: liveness watchdog: no progress for %d cycles at cycle %d (%d events pending)\n%s",
+		e.SinceProgress, e.Now, e.Pending, e.Report)
 }
 
 // New builds a machine.
@@ -142,16 +192,52 @@ func New(cfg Config) (*Machine, error) {
 		}
 	}
 	m.Net = xbar.New(m.Eng, tp, netCfg)
+	if cfg.CheckProtocol {
+		m.Monitor = check.New()
+		m.Net.Trace = m.Monitor.Observe
+	}
+	send := m.Net.Send
+	if cfg.Faults.Active() {
+		m.Injector = fault.NewInjector(cfg.Faults, m.Eng)
+		send = m.Injector.WrapSend(send)
+		m.Injector.AttachSDir(m.SDir, cfg.Nodes)
+		// A lossy plan needs NI retransmission to recover; arm a
+		// default timeout only then, so loss-free plans (e.g. pure
+		// directory-disable) leave timing untouched.
+		if (cfg.Faults.DropPermille > 0 || cfg.Faults.DropFirst > 0) && cfg.Node.RequestTimeout == 0 {
+			cfg.Node.RequestTimeout = 2048
+			m.Cfg.Node.RequestTimeout = 2048
+		}
+	}
 	m.Nodes = make([]*node.Node, cfg.Nodes)
 	m.Homes = make([]*dirctl.Controller, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		i := i
-		m.Nodes[i] = node.New(m.Eng, i, cfg.Node, m.Net.Send, m.Home, m.stamp)
-		m.Homes[i] = dirctl.New(m.Eng, i, cfg.Dir, m.Net.Send)
+		m.Nodes[i] = node.New(m.Eng, i, cfg.Node, send, m.Home, m.stamp)
+		m.Homes[i] = dirctl.New(m.Eng, i, cfg.Dir, send)
+		m.Nodes[i].Fail = m.recordErr
+		m.Homes[i].Fail = m.recordErr
 		m.Net.AttachProc(i, m.Nodes[i].Deliver)
 		m.Net.AttachMem(i, m.Homes[i].Handle)
 	}
 	return m, nil
+}
+
+// recordErr is the Fail sink shared by every controller and node:
+// it records the structured error and stops the engine so the run
+// surfaces it instead of cascading.
+func (m *Machine) recordErr(err error) {
+	m.runErrs = append(m.runErrs, err)
+	m.Eng.Stop()
+}
+
+// Err returns the first structured failure recorded during the run
+// (nil if none).
+func (m *Machine) Err() error {
+	if len(m.runErrs) > 0 {
+		return m.runErrs[0]
+	}
+	return nil
 }
 
 // MustNew panics on error.
@@ -179,6 +265,7 @@ func (m *Machine) stamp() uint64 {
 // are applied on completion.
 func (m *Machine) Read(p int, addr uint64, done func(lat sim.Cycle)) {
 	m.Nodes[p].Read(addr, func(v uint64, class node.ReadClass, lat sim.Cycle) {
+		m.Eng.Progress()
 		m.ReadLatHist.Observe(uint64(lat))
 		if class != node.ReadHit {
 			block := addr &^ 31
@@ -201,6 +288,7 @@ func (m *Machine) Read(p int, addr uint64, done func(lat sim.Cycle)) {
 // retired into the write buffer (zero stall unless the buffer is full).
 func (m *Machine) Write(p int, addr uint64, done func(stall sim.Cycle)) {
 	m.Nodes[p].Write(addr, func(v uint64, stall sim.Cycle) {
+		m.Eng.Progress()
 		if m.Cfg.CheckCoherence {
 			key := uint64(p)<<48 | (addr&^31)>>5
 			m.lastSeen[key] = v
@@ -230,19 +318,68 @@ func (m *Machine) checkRead(p int, block, v uint64) {
 	m.lastSeen[key] = v
 }
 
-// Run drains the event engine, with a watchdog: if the engine is
-// still busy past maxCycles, it returns an error (likely protocol
-// deadlock or livelock). maxCycles <= 0 means unbounded.
-func (m *Machine) Run(maxCycles sim.Cycle) error {
+// Run drains the event engine. Three failure paths produce structured
+// errors instead of hangs or crashes:
+//
+//   - if Cfg.Watchdog is set and no processor access completes for
+//     that many cycles, the run stops with a *StallError carrying the
+//     outstanding-work diagnostic;
+//   - a component panic inside an event (protocol hole outside the
+//     Fail-sink paths) is recovered and reported with the failing
+//     cycle;
+//   - structured failures recorded through Fail sinks (see Err) stop
+//     the engine and are returned.
+//
+// If the engine is still busy past maxCycles, Run returns an error
+// (likely protocol deadlock). maxCycles <= 0 means unbounded.
+func (m *Machine) Run(maxCycles sim.Cycle) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: panic at cycle %d: %v", m.Eng.Now(), r)
+		}
+	}()
+	if m.Cfg.Watchdog > 0 {
+		m.Eng.SetWatchdog(m.Cfg.Watchdog, func(now, since sim.Cycle) {
+			m.stall = &StallError{
+				Now: now, SinceProgress: since, Pending: m.Eng.Pending(),
+				Report: m.StallReport(),
+			}
+		})
+	}
 	if maxCycles <= 0 {
 		m.Eng.Run(0)
 	} else {
 		m.Eng.Drain(maxCycles)
-		if m.Eng.Pending() > 0 {
-			return fmt.Errorf("core: watchdog: %d events still pending at cycle %d", m.Eng.Pending(), m.Eng.Now())
-		}
+	}
+	if e := m.Err(); e != nil {
+		return e
+	}
+	if m.stall != nil {
+		return m.stall
+	}
+	if maxCycles > 0 && m.Eng.Pending() > 0 {
+		return fmt.Errorf("core: watchdog: %d events still pending at cycle %d", m.Eng.Pending(), m.Eng.Now())
 	}
 	return m.checkErr
+}
+
+// StallReport assembles the structured liveness diagnostic: stuck
+// machine state (DumpStuck) plus, when the protocol monitor is
+// attached, every unmet message-level obligation.
+func (m *Machine) StallReport() string {
+	var b strings.Builder
+	if s := m.DumpStuck(); s != "" {
+		b.WriteString(s)
+	}
+	if m.Monitor != nil {
+		if s := m.Monitor.OutstandingReport(); s != "" {
+			b.WriteString(s)
+		}
+	}
+	if b.Len() == 0 {
+		return "(no outstanding machine state; event queue livelock)\n"
+	}
+	return b.String()
 }
 
 // Quiesced reports whether the network and all nodes are idle.

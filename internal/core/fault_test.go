@@ -1,0 +1,250 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"dresar/internal/fault"
+	"dresar/internal/sim"
+)
+
+// faultWorkload drives a machine through a synthetic reference stream
+// and returns how many operations completed. Two shapes are used by
+// the sweep: a random read/write mix over a hot block set, and a
+// producer/consumer migration pattern (maximal cache-to-cache and
+// switch-directory traffic).
+type faultWorkload struct {
+	name  string
+	run   func(m *Machine, procs, opsPerProc int, seed uint64) *int
+	procs int
+	ops   int
+}
+
+func randomMix(m *Machine, procs, opsPerProc int, seed uint64) *int {
+	completed := new(int)
+	rng := sim.NewRNG(seed)
+	var issue func(p, left int)
+	issue = func(p, left int) {
+		if left == 0 {
+			return
+		}
+		addr := uint64(rng.Intn(24)) * 32 * 131
+		next := func() {
+			*completed++
+			m.Eng.After(sim.Cycle(rng.Intn(8)+1), func() { issue(p, left-1) })
+		}
+		if rng.Intn(100) < 35 {
+			m.Write(p, addr, func(sim.Cycle) { next() })
+		} else {
+			m.Read(p, addr, func(sim.Cycle) { next() })
+		}
+	}
+	for p := 0; p < procs; p++ {
+		issue(p, opsPerProc)
+	}
+	return completed
+}
+
+func migratory(m *Machine, procs, opsPerProc int, seed uint64) *int {
+	completed := new(int)
+	rng := sim.NewRNG(seed)
+	var issue func(p, left int)
+	issue = func(p, left int) {
+		if left == 0 {
+			return
+		}
+		// Each processor reads then rewrites a small set of migrating
+		// blocks, so ownership bounces between caches constantly.
+		addr := uint64(rng.Intn(4)) * 4096 // one hot block per page/home
+		next := func() {
+			*completed++
+			m.Eng.After(sim.Cycle(rng.Intn(4)+1), func() { issue(p, left-1) })
+		}
+		if left%2 == 0 {
+			m.Read(p, addr, func(sim.Cycle) { next() })
+		} else {
+			m.Write(p, addr, func(sim.Cycle) { next() })
+		}
+	}
+	for p := 0; p < procs; p++ {
+		issue(p, opsPerProc)
+	}
+	return completed
+}
+
+// faultCase is one fault class of the sweep.
+type faultCase struct {
+	name string
+	plan fault.Plan
+	// sdirOnly marks plans that only make sense with a switch
+	// directory configured.
+	sdirOnly bool
+	// allowStall accepts a structured *StallError as a pass (the
+	// fault class can legitimately wedge the protocol; the contract
+	// is then a diagnostic, not a hang or panic).
+	allowStall bool
+}
+
+func sweepCases() []faultCase {
+	return []faultCase{
+		{name: "drop", plan: fault.Plan{Seed: 11, DropPermille: 30}},
+		{name: "dup", plan: fault.Plan{Seed: 12, DupPermille: 30}},
+		{name: "delay", plan: fault.Plan{Seed: 13, DelayPermille: 60, MaxDelay: 300}},
+		{name: "drop-dup-delay", plan: fault.Plan{Seed: 14, DropPermille: 20, DupPermille: 20, DelayPermille: 40, MaxDelay: 200}},
+		{name: "sdir-corrupt", plan: fault.Plan{Seed: 15, CorruptEvery: 300}, sdirOnly: true, allowStall: true},
+		{name: "sdir-evict", plan: fault.Plan{Seed: 16, EvictEvery: 300}, sdirOnly: true},
+		{name: "sdir-disable-one", plan: fault.Plan{Seed: 17, DisableOneAt: 500}, sdirOnly: true},
+		{name: "sdir-disable-all", plan: fault.Plan{Seed: 18, DisableAllAt: 800}, sdirOnly: true},
+		{name: "everything", plan: fault.Plan{
+			Seed: 19, DropPermille: 15, DupPermille: 15, DelayPermille: 30, MaxDelay: 200,
+			CorruptEvery: 500, EvictEvery: 700, DisableOneAt: 2000,
+		}, sdirOnly: true, allowStall: true},
+	}
+}
+
+// runFaultCase executes one (config, plan, workload) cell and applies
+// the acceptance contract: the run either completes every access with
+// all coherence and protocol invariants intact, or — for classes
+// allowed to wedge — stops with a structured stall diagnostic. A hang,
+// raw panic, or silent loss of operations fails the test.
+func runFaultCase(t *testing.T, cfg Config, fc faultCase, w faultWorkload, seed uint64) {
+	t.Helper()
+	cfg.CheckCoherence = true
+	cfg.CheckProtocol = true
+	cfg.Faults = fc.plan
+	cfg.Watchdog = 400_000
+	m := MustNew(cfg)
+	completed := w.run(m, w.procs, w.ops, seed)
+	err := m.Run(0)
+
+	var stall *StallError
+	if errors.As(err, &stall) {
+		if !fc.allowStall {
+			t.Fatalf("unexpected stall: %v", err)
+		}
+		if stall.Report == "" {
+			t.Fatalf("stall without diagnostic report: %v", err)
+		}
+		t.Logf("structured stall (accepted for %s): no progress for %d cycles", fc.name, stall.SinceProgress)
+		return
+	}
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if want := w.procs * w.ops; *completed != want {
+		t.Fatalf("lost operations: %d/%d completed\n%s", *completed, want, m.DumpStuck())
+	}
+	if !m.Quiesced() {
+		t.Fatalf("not quiesced:\n%s", m.DumpStuck())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	if err := m.Monitor.AtQuiesce(); err != nil {
+		t.Fatalf("%v", err)
+	}
+	if m.Injector != nil && fc.plan.DropPermille > 0 && m.Injector.Stats.Dropped > 0 {
+		s := m.Collect()
+		if s.Retransmits == 0 {
+			t.Fatalf("dropped %d requests but no retransmissions recovered them", m.Injector.Stats.Dropped)
+		}
+	}
+}
+
+// TestFaultSweep injects every fault class across two workloads on
+// both the base and switch-directory configurations, with fixed seeds.
+func TestFaultSweep(t *testing.T) {
+	workloads := []faultWorkload{
+		{name: "mix", run: randomMix, procs: 16, ops: 120},
+		{name: "migratory", run: migratory, procs: 16, ops: 120},
+	}
+	for _, fc := range sweepCases() {
+		for _, w := range workloads {
+			fc, w := fc, w
+			t.Run(fc.name+"/"+w.name+"/sdir", func(t *testing.T) {
+				runFaultCase(t, DefaultConfig().WithSwitchDir(1024), fc, w, 101)
+			})
+			if fc.sdirOnly {
+				continue
+			}
+			t.Run(fc.name+"/"+w.name+"/base", func(t *testing.T) {
+				runFaultCase(t, DefaultConfig(), fc, w, 102)
+			})
+		}
+	}
+}
+
+// TestFaultInjectorStatsAccount checks the injector actually injected
+// what the plan asked for (the sweep would vacuously pass if the
+// wiring silently disconnected).
+func TestFaultInjectorStatsAccount(t *testing.T) {
+	cfg := DefaultConfig().WithSwitchDir(1024)
+	cfg.CheckCoherence = true
+	cfg.CheckProtocol = true
+	cfg.Watchdog = 400_000
+	cfg.Faults = fault.Plan{Seed: 5, DropPermille: 40, DupPermille: 40, DelayPermille: 40, MaxDelay: 128, DisableOneAt: 400}
+	m := MustNew(cfg)
+	completed := randomMix(m, 16, 150, 7)
+	if err := m.Run(0); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if *completed != 16*150 {
+		t.Fatalf("lost operations: %d/%d", *completed, 16*150)
+	}
+	st := m.Injector.Stats
+	if st.Dropped == 0 || st.Duplicated == 0 || st.Delayed == 0 || st.Disabled != 1 {
+		t.Fatalf("injector fired nothing for some classes: %v", st)
+	}
+	if m.SDir.DisabledCount() != 1 {
+		t.Fatalf("disable-one left %d directories disabled", m.SDir.DisabledCount())
+	}
+}
+
+// TestDegradationMatchesBase verifies graceful degradation: a machine
+// whose switch directories are all disabled at cycle 1 behaves like
+// the base (no switch directory) system — traffic falls back to the
+// home protocol, and the headline statistics match.
+func TestDegradationMatchesBase(t *testing.T) {
+	run := func(cfg Config) Stats {
+		cfg.CheckCoherence = true
+		m := MustNew(cfg)
+		completed := randomMix(m, 16, 200, 42)
+		if err := m.Run(0); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		if *completed != 16*200 {
+			t.Fatalf("lost operations: %d/%d", *completed, 16*200)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("invariants: %v", err)
+		}
+		return m.Collect()
+	}
+
+	degraded := DefaultConfig().WithSwitchDir(1024)
+	degraded.Faults = fault.Plan{DisableAllAt: 1}
+	d := run(degraded)
+	b := run(DefaultConfig())
+
+	if d.ReadCtoCSwitch != 0 || d.SDirHits != 0 {
+		t.Fatalf("disabled switch directories still intercepted: switchCtoC=%d hits=%d", d.ReadCtoCSwitch, d.SDirHits)
+	}
+	type pair struct {
+		name string
+		d, b uint64
+	}
+	for _, p := range []pair{
+		{"Reads", d.Reads, b.Reads},
+		{"Writes", d.Writes, b.Writes},
+		{"ReadMisses", d.ReadMisses, b.ReadMisses},
+		{"ReadClean", d.ReadClean, b.ReadClean},
+		{"ReadCtoCHome", d.ReadCtoCHome, b.ReadCtoCHome},
+		{"ReadCtoCSwitch", d.ReadCtoCSwitch, b.ReadCtoCSwitch},
+		{"NetSent", d.NetSent, b.NetSent},
+		{"Cycles", uint64(d.Cycles), uint64(b.Cycles)},
+	} {
+		if p.d != p.b {
+			t.Errorf("degraded %s = %d, base = %d (want identical)", p.name, p.d, p.b)
+		}
+	}
+}

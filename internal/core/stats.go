@@ -26,6 +26,12 @@ type Stats struct {
 	WriteStall  sim.Cycle
 	Retries     uint64
 
+	// Retransmits counts NI timeout-recovery re-sends (nonzero only
+	// under fault injection); DupRequests counts duplicate completed
+	// transactions the homes filtered.
+	Retransmits uint64
+	DupRequests uint64
+
 	HomeCtoCForwards uint64 // Figure 8 numerator
 	HomeReads        uint64
 	HomeOccupancy    uint64
@@ -91,8 +97,10 @@ func (m *Machine) Collect() Stats {
 		s.WriteMisses += n.Stats.WriteMisses
 		s.WriteStall += n.Stats.WriteStall
 		s.Retries += n.Stats.Retries
+		s.Retransmits += n.Stats.Retransmits
 	}
 	for _, h := range m.Homes {
+		s.DupRequests += h.Stats.DupRequests
 		s.HomeCtoCForwards += h.Stats.HomeCtoCForwards
 		s.HomeReads += h.Stats.Reads
 		s.HomeOccupancy += h.Stats.BusyCycles

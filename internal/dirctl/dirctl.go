@@ -12,6 +12,7 @@ package dirctl
 import (
 	"fmt"
 
+	"dresar/internal/check"
 	"dresar/internal/mesg"
 	"dresar/internal/sim"
 )
@@ -70,6 +71,7 @@ type Stats struct {
 	WriteBacks       uint64
 	CopyBacks        uint64
 	MarkedWB         uint64 // marked writebacks/copybacks (switch-dir assisted)
+	DupRequests      uint64 // requests dropped as duplicates of completed transactions
 	BusyCycles       uint64 // controller occupancy
 	PendingPeak      int
 }
@@ -101,6 +103,49 @@ type entry struct {
 	// would let the evictor release its victim-buffer entry while a
 	// forwarded CtoC request still needs it.
 	deferredAcks []*mesg.Message
+	// doneTx records, per requester, the recently completed
+	// transactions for this block. A request carrying an
+	// already-completed Tx is a duplicate — an NI retransmission whose
+	// original got through, or a fault-injected copy — and re-running
+	// the state machine for it could double-grant ownership; it is
+	// dropped. A ring (not just the latest Tx) is kept because a
+	// congested network can deliver a duplicate long after newer
+	// transactions from the same requester have completed.
+	doneTx map[int][]uint64
+}
+
+// doneTxDepth bounds the per-requester completed-transaction ring. A
+// requester has at most two concurrent transactions per block (one
+// read, one write), so a stale duplicate is always within a few
+// completions of the present.
+const doneTxDepth = 8
+
+// markDone records the completion of requester's transaction tx.
+func (e *entry) markDone(requester int, tx uint64) {
+	if tx == 0 {
+		return
+	}
+	if e.doneTx == nil {
+		e.doneTx = make(map[int][]uint64)
+	}
+	ring := append(e.doneTx[requester], tx)
+	if len(ring) > doneTxDepth {
+		ring = ring[len(ring)-doneTxDepth:]
+	}
+	e.doneTx[requester] = ring
+}
+
+// isDup reports whether m duplicates a transaction already completed.
+func (e *entry) isDup(m *mesg.Message) bool {
+	if m.Tx == 0 || e.doneTx == nil {
+		return false
+	}
+	for _, tx := range e.doneTx[m.Requester] {
+		if tx == m.Tx {
+			return true
+		}
+	}
+	return false
 }
 
 // Controller is one home node's directory controller.
@@ -117,6 +162,25 @@ type Controller struct {
 	// Debug, when set, receives a line per protocol decision; used by
 	// the deadlock/coherence diagnosis tests.
 	Debug func(format string, args ...interface{})
+
+	// Fail, when set, receives a structured *check.ProtocolError when a
+	// message arrives that the home state machine cannot handle,
+	// instead of panicking. The machine wires it to stop the run and
+	// report the failing cycle, component, and message.
+	Fail func(error)
+}
+
+// protoFail reports an unhandled message through Fail, or panics when
+// no sink is installed (standalone controller use).
+func (c *Controller) protoFail(op string, m *mesg.Message) {
+	err := &check.ProtocolError{
+		Cycle: c.eng.Now(), Where: fmt.Sprintf("home %d", c.node),
+		Op: op, Msg: m.String(),
+	}
+	if c.Fail == nil {
+		panic(err.Error())
+	}
+	c.Fail(err)
 }
 
 func (c *Controller) debugf(format string, args ...interface{}) {
@@ -190,7 +254,8 @@ func (c *Controller) process(m *mesg.Message) {
 	case mesg.InvalAck:
 		c.handleInvalAck(m)
 	default:
-		panic(fmt.Sprintf("dirctl: home %d cannot handle %v", c.node, m))
+		c.protoFail("unhandled message kind", m)
+		return
 	}
 	// Keep the pending queue moving: if the block ended this service
 	// not busy, the next parked request gets its turn.
@@ -215,6 +280,10 @@ func (c *Controller) queueOrRetry(e *entry, m *mesg.Message) {
 
 func (c *Controller) handleRead(m *mesg.Message) {
 	e := c.ent(m.Addr)
+	if e.isDup(m) {
+		c.Stats.DupRequests++
+		return
+	}
 	if e.busy {
 		c.queueOrRetry(e, m)
 		return
@@ -225,6 +294,7 @@ func (c *Controller) handleRead(m *mesg.Message) {
 		c.Stats.ReadsClean++
 		e.state = SharedSt
 		e.sharers |= 1 << uint(m.Requester)
+		e.markDone(m.Requester, m.Tx)
 		c.send(&mesg.Message{
 			Kind: mesg.ReadReply, Addr: m.Addr, Src: mesg.M(c.node), Dst: mesg.P(m.Requester),
 			Requester: m.Requester, Data: e.version, Issued: m.Issued,
@@ -242,6 +312,10 @@ func (c *Controller) handleRead(m *mesg.Message) {
 
 func (c *Controller) handleWrite(m *mesg.Message) {
 	e := c.ent(m.Addr)
+	if e.isDup(m) {
+		c.Stats.DupRequests++
+		return
+	}
 	if e.busy {
 		c.queueOrRetry(e, m)
 		return
@@ -250,6 +324,7 @@ func (c *Controller) handleWrite(m *mesg.Message) {
 	switch e.state {
 	case Uncached:
 		e.state, e.owner, e.sharers = ModifiedSt, m.Requester, 0
+		e.markDone(m.Requester, m.Tx)
 		c.send(&mesg.Message{
 			Kind: mesg.WriteReply, Addr: m.Addr, Src: mesg.M(c.node), Dst: mesg.P(m.Requester),
 			Requester: m.Requester, Owner: m.Requester, Data: e.version, Issued: m.Issued,
@@ -271,6 +346,7 @@ func (c *Controller) handleWrite(m *mesg.Message) {
 		}
 		if targets == 0 {
 			e.state, e.owner, e.sharers = ModifiedSt, m.Requester, 0
+			e.markDone(m.Requester, m.Tx)
 			c.send(&mesg.Message{
 				Kind: mesg.WriteReply, Addr: m.Addr, Src: mesg.M(c.node), Dst: mesg.P(m.Requester),
 				Requester: m.Requester, Owner: m.Requester, Data: e.version, Issued: m.Issued,
@@ -302,7 +378,8 @@ func (c *Controller) handleInvalAck(m *mesg.Message) {
 		return
 	}
 	if !e.busy || !e.busyWrite || e.acksLeft <= 0 {
-		panic(fmt.Sprintf("dirctl: home %d stray InvalAck %v", c.node, m))
+		c.protoFail("stray InvalAck", m)
+		return
 	}
 	e.acksLeft--
 	if e.acksLeft > 0 {
@@ -313,6 +390,7 @@ func (c *Controller) handleInvalAck(m *mesg.Message) {
 	e.pending = e.pending[1:]
 	e.state, e.owner, e.sharers = ModifiedSt, e.busyReq, 0
 	e.busy = false
+	e.markDone(e.busyReq, orig.Tx)
 	c.send(&mesg.Message{
 		Kind: mesg.WriteReply, Addr: m.Addr, Src: mesg.M(c.node), Dst: mesg.P(e.owner),
 		Requester: e.owner, Owner: e.owner, Data: e.version, Issued: orig.Issued,
@@ -343,6 +421,9 @@ func (c *Controller) handleCopyBack(m *mesg.Message) {
 			e.state, e.sharers = SharedSt, 0
 		}
 		e.sharers |= (1 << uint(src)) | (1 << uint(e.busyReq)) | m.Sharers
+		if e.busyMsg != nil {
+			e.markDone(e.busyReq, e.busyMsg.Tx)
+		}
 		e.busy, e.busyMsg = false, nil
 		c.drain(m.Addr, e)
 		return
@@ -453,6 +534,9 @@ func (c *Controller) handleWriteBack(m *mesg.Message) {
 				})
 			}
 			e.state, e.owner, e.sharers = ModifiedSt, e.busyReq, 0
+			if e.busyMsg != nil {
+				e.markDone(e.busyReq, e.busyMsg.Tx)
+			}
 			e.busy, e.busyMsg = false, nil
 			c.drain(m.Addr, e)
 		}

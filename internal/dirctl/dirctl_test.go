@@ -1,6 +1,7 @@
 package dirctl
 
 import (
+	"strings"
 	"testing"
 
 	"dresar/internal/mesg"
@@ -297,5 +298,92 @@ func TestForEachBlock(t *testing.T) {
 	d.c.ForEachBlock(func(a uint64, st DirState, owner int, sh uint64, busy bool) { n++ })
 	if n != 2 {
 		t.Fatalf("blocks = %d", n)
+	}
+}
+
+func TestUnhandledMessageReportsStructuredError(t *testing.T) {
+	d := newDrig(DefaultConfig())
+	var got error
+	d.c.Fail = func(err error) { got = err }
+	d.deliver(&mesg.Message{Kind: mesg.ReadReply, Addr: 0x40, Src: mesg.M(1), Dst: mesg.M(0)})
+	if got == nil {
+		t.Fatalf("no structured error for unhandled kind")
+	}
+	for _, want := range []string{"home 0", "unhandled message kind"} {
+		if !strings.Contains(got.Error(), want) {
+			t.Fatalf("error %q missing %q", got, want)
+		}
+	}
+}
+
+func TestUnhandledMessagePanicsWithoutSink(t *testing.T) {
+	d := newDrig(DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("no panic without a Fail sink")
+		}
+	}()
+	d.deliver(&mesg.Message{Kind: mesg.ReadReply, Addr: 0x40, Src: mesg.M(1), Dst: mesg.M(0)})
+}
+
+func TestDuplicateCompletedTransactionDropped(t *testing.T) {
+	d := newDrig(DefaultConfig())
+	// P1 reads with Tx=5; the read completes (Uncached -> grant).
+	m1 := read(1, 0x40)
+	m1.Tx = 5
+	d.deliver(m1)
+	if got := len(d.take()); got != 1 {
+		t.Fatalf("first read sent %d messages, want 1 reply", got)
+	}
+	// A duplicate of the same transaction (retransmitted copy whose
+	// original got through) must be silently discarded.
+	m2 := read(1, 0x40)
+	m2.Tx = 5
+	d.deliver(m2)
+	if got := len(d.take()); got != 0 {
+		t.Fatalf("duplicate serviced: %d messages sent", got)
+	}
+	if d.c.Stats.DupRequests != 1 {
+		t.Fatalf("DupRequests = %d, want 1", d.c.Stats.DupRequests)
+	}
+	// A NEW transaction from the same requester still works.
+	m3 := read(1, 0x40)
+	m3.Tx = 6
+	d.deliver(m3)
+	if got := len(d.take()); got != 1 {
+		t.Fatalf("fresh transaction blocked: %d messages sent", got)
+	}
+}
+
+func TestDuplicateFilterRemembersOlderTransactions(t *testing.T) {
+	d := newDrig(DefaultConfig())
+	// Complete transactions 1..4 for P1, then present a duplicate of
+	// the OLDEST: the filter must still catch it (a congested network
+	// can deliver a duplicate long after newer completions).
+	for tx := uint64(1); tx <= 4; tx++ {
+		m := read(1, 0x40)
+		m.Tx = tx
+		d.deliver(m)
+	}
+	d.take()
+	dup := read(1, 0x40)
+	dup.Tx = 1
+	d.deliver(dup)
+	if got := len(d.take()); got != 0 {
+		t.Fatalf("stale duplicate serviced: %d messages sent", got)
+	}
+}
+
+func TestLegacyRequestsWithoutTxUnaffected(t *testing.T) {
+	d := newDrig(DefaultConfig())
+	// Tx=0 means "no transaction": two identical requests are two
+	// requests (second is served from SharedSt), never deduplicated.
+	d.deliver(read(1, 0x40))
+	d.deliver(read(1, 0x40))
+	if got := len(d.take()); got != 2 {
+		t.Fatalf("Tx=0 requests deduplicated: %d replies", got)
+	}
+	if d.c.Stats.DupRequests != 0 {
+		t.Fatalf("DupRequests = %d for Tx=0 traffic", d.c.Stats.DupRequests)
 	}
 }

@@ -186,6 +186,13 @@ type Message struct {
 	// Issued is the cycle the parent transaction started, used for
 	// latency accounting at completion.
 	Issued uint64
+
+	// Tx identifies the processor transaction a request belongs to.
+	// A retransmitted request (NI timeout recovery) carries the same
+	// Tx as the original, letting the home recognize and drop
+	// duplicates of transactions it has already completed. 0 means
+	// "no transaction" (non-request messages, legacy senders).
+	Tx uint64
 }
 
 // Flits returns the message length in flits.

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"dresar/internal/cache"
+	"dresar/internal/check"
 	"dresar/internal/mesg"
 	"dresar/internal/sim"
 )
@@ -28,6 +29,17 @@ type Config struct {
 	// out of order. 0 means WriteBuffer.
 	OutstandingWrites int
 	RetryBackoff      sim.Cycle // delay before re-issuing a retried request
+
+	// RequestTimeout, when non-zero, arms the NI loss-recovery timer:
+	// a home-bound request (ReadReq/WriteReq) still unanswered after
+	// this many cycles is retransmitted with the same transaction ID.
+	// The home recognizes and drops duplicates of transactions it has
+	// already completed, so a retransmission that races its original
+	// is harmless. The timeout doubles per attempt (capped at 32x).
+	RequestTimeout sim.Cycle
+	// RetryLimit bounds retransmissions per transaction; exceeding it
+	// raises a structured error through Fail. 0 means 16.
+	RetryLimit int
 }
 
 // DefaultConfig returns Table 2's per-node parameters: 16KB 2-way L1
@@ -75,20 +87,25 @@ type Stats struct {
 	WriteMisses     uint64
 	WriteStall      sim.Cycle // cycles stalled on a full write buffer
 	Retries         uint64
+	Retransmits     uint64 // requests re-sent by the NI timeout machinery
 	CtoCServed      uint64 // CtoC requests this node supplied as owner
 }
 
 type pendingRead struct {
 	block    uint64
 	issued   sim.Cycle
+	tx       uint64
+	attempts int // NI retransmissions so far
 	done     func(version uint64, class ReadClass, lat sim.Cycle)
 	poisoned bool // invalidated while the fill was in flight
 }
 
 type pendingWrite struct {
-	block   uint64
-	version uint64
-	issued  sim.Cycle
+	block    uint64
+	version  uint64
+	issued   sim.Cycle
+	tx       uint64
+	attempts int
 }
 
 // Node is one processor+cache assembly attached to the network.
@@ -111,8 +128,29 @@ type Node struct {
 	maxWrites int
 	// wbWaiters are processor stalls waiting for write-buffer space.
 	wbWaiters []func()
+	// txSeq numbers this node's transactions; combined with the node
+	// id it yields the globally unique mesg.Message.Tx.
+	txSeq uint64
+
+	// Fail, when set, receives structured errors (unhandled message
+	// kinds, exhausted retransmission budgets) instead of a panic.
+	Fail func(error)
 
 	Stats Stats
+}
+
+// nextTx mints a transaction ID unique across the machine.
+func (n *Node) nextTx() uint64 {
+	n.txSeq++
+	return uint64(n.id+1)<<32 | n.txSeq
+}
+
+// fail routes an error through Fail, or panics without a sink.
+func (n *Node) fail(err error) {
+	if n.Fail == nil {
+		panic(err.Error())
+	}
+	n.Fail(err)
 }
 
 // New builds node id. send injects into the network from P(id); home
@@ -164,8 +202,9 @@ func (n *Node) Read(addr uint64, done func(version uint64, class ReadClass, lat 
 	}
 	// Miss: L2 MSHR allocated; request travels to the home.
 	n.Stats.ReadMisses++
-	n.read = &pendingRead{block: b, issued: issued, done: done}
+	n.read = &pendingRead{block: b, issued: issued, tx: n.nextTx(), done: done}
 	n.eng.After(sim.Cycle(r.Cycles), func() { n.sendReadReq(b, issued) })
+	n.armReadTimer(n.read)
 }
 
 func (n *Node) sendReadReq(block uint64, issued sim.Cycle) {
@@ -174,7 +213,74 @@ func (n *Node) sendReadReq(block uint64, issued sim.Cycle) {
 	}
 	n.send(&mesg.Message{
 		Kind: mesg.ReadReq, Addr: block, Src: mesg.P(n.id), Dst: mesg.M(n.home(block)),
-		Requester: n.id, Issued: uint64(issued),
+		Requester: n.id, Issued: uint64(issued), Tx: n.read.tx,
+	})
+}
+
+// retryLimit returns the retransmission budget per transaction.
+func (n *Node) retryLimit() int {
+	if n.cfg.RetryLimit > 0 {
+		return n.cfg.RetryLimit
+	}
+	return 16
+}
+
+// backoff returns the timeout for a transaction's next retransmission
+// check: the base RequestTimeout doubled per attempt, capped at 32x.
+func (n *Node) backoff(attempts int) sim.Cycle {
+	shift := attempts
+	if shift > 5 {
+		shift = 5
+	}
+	return n.cfg.RequestTimeout << uint(shift)
+}
+
+// armReadTimer schedules the loss-recovery check for a blocked read:
+// if the same transaction is still outstanding when the timer fires,
+// the ReadReq is retransmitted (same Tx — the home drops duplicates of
+// completed transactions) and the timer re-arms with doubled backoff.
+func (n *Node) armReadTimer(r *pendingRead) {
+	if n.cfg.RequestTimeout == 0 {
+		return
+	}
+	n.eng.After(n.backoff(r.attempts), func() {
+		if n.read != r {
+			return // transaction completed
+		}
+		r.attempts++
+		if r.attempts > n.retryLimit() {
+			n.fail(fmt.Errorf("node %d: read %#x tx=%#x abandoned after %d retransmissions at cycle %d",
+				n.id, r.block, r.tx, r.attempts-1, n.eng.Now()))
+			return
+		}
+		n.Stats.Retransmits++
+		n.sendReadReq(r.block, r.issued)
+		n.armReadTimer(r)
+	})
+}
+
+// armWriteTimer is armReadTimer's counterpart for an in-flight
+// ownership transaction.
+func (n *Node) armWriteTimer(w *pendingWrite) {
+	if n.cfg.RequestTimeout == 0 {
+		return
+	}
+	n.eng.After(n.backoff(w.attempts), func() {
+		if n.curWrites[w.block] != w {
+			return // transaction completed
+		}
+		w.attempts++
+		if w.attempts > n.retryLimit() {
+			n.fail(fmt.Errorf("node %d: write %#x tx=%#x abandoned after %d retransmissions at cycle %d",
+				n.id, w.block, w.tx, w.attempts-1, n.eng.Now()))
+			return
+		}
+		n.Stats.Retransmits++
+		n.send(&mesg.Message{
+			Kind: mesg.WriteReq, Addr: w.block, Src: mesg.P(n.id), Dst: mesg.M(n.home(w.block)),
+			Requester: n.id, Issued: uint64(w.issued), Tx: w.tx,
+		})
+		n.armWriteTimer(w)
 	})
 }
 
@@ -248,11 +354,13 @@ func (n *Node) drainWrites() {
 			continue
 		}
 		v, _ := n.wb.Pending(b)
-		n.curWrites[b] = &pendingWrite{block: b, version: v, issued: n.eng.Now()}
+		w := &pendingWrite{block: b, version: v, issued: n.eng.Now(), tx: n.nextTx()}
+		n.curWrites[b] = w
 		n.send(&mesg.Message{
 			Kind: mesg.WriteReq, Addr: b, Src: mesg.P(n.id), Dst: mesg.M(n.home(b)),
-			Requester: n.id, Issued: uint64(n.eng.Now()),
+			Requester: n.id, Issued: uint64(n.eng.Now()), Tx: w.tx,
 		})
+		n.armWriteTimer(w)
 	}
 }
 
@@ -309,7 +417,10 @@ func (n *Node) Deliver(m *mesg.Message) {
 	case mesg.Retry, mesg.Nack:
 		n.handleRetry(m)
 	default:
-		panic(fmt.Sprintf("node %d: cannot handle %v", n.id, m))
+		n.fail(&check.ProtocolError{
+			Cycle: n.eng.Now(), Where: fmt.Sprintf("node %d", n.id),
+			Op: "unhandled message kind", Msg: m.String(),
+		})
 	}
 }
 
@@ -471,7 +582,7 @@ func (n *Node) handleRetry(m *mesg.Message) {
 				if _, still := n.curWrites[b]; still {
 					n.send(&mesg.Message{
 						Kind: mesg.WriteReq, Addr: b, Src: mesg.P(n.id), Dst: mesg.M(n.home(b)),
-						Requester: n.id, Issued: uint64(w.issued),
+						Requester: n.id, Issued: uint64(w.issued), Tx: w.tx,
 					})
 				}
 			})

@@ -1,6 +1,7 @@
 package node
 
 import (
+	"strings"
 	"testing"
 
 	"dresar/internal/cache"
@@ -462,4 +463,104 @@ func TestL2HitLatency(t *testing.T) {
 	if lat != 9 {
 		t.Fatalf("L2 hit latency = %d, want 9", lat)
 	}
+}
+
+func TestUnhandledMessageReportsStructuredError(t *testing.T) {
+	r := newNrig()
+	var got error
+	r.n.Fail = func(err error) { got = err }
+	r.n.Deliver(&mesg.Message{Kind: mesg.ReadReq, Addr: 0x1040, Src: mesg.P(0), Dst: mesg.P(1)})
+	if got == nil {
+		t.Fatalf("no structured error for unhandled kind")
+	}
+	for _, want := range []string{"node 1", "unhandled message kind"} {
+		if !contains(got.Error(), want) {
+			t.Fatalf("error %q missing %q", got, want)
+		}
+	}
+}
+
+func TestUnhandledMessagePanicsWithoutSink(t *testing.T) {
+	r := newNrig()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("no panic without a Fail sink")
+		}
+	}()
+	r.n.Deliver(&mesg.Message{Kind: mesg.ReadReq, Addr: 0x1040, Src: mesg.P(0), Dst: mesg.P(1)})
+}
+
+func TestReadRetransmitsOnTimeout(t *testing.T) {
+	r := newNrig()
+	r.n.cfg.RequestTimeout = 100
+	done := false
+	r.n.Read(0x2040, func(v uint64, c ReadClass, lat sim.Cycle) { done = true })
+	// Let the first ReadReq go out, then silently "lose" it: never
+	// reply. The NI must re-send with the same transaction ID.
+	r.eng.RunUntil(500)
+	reqs := []*mesg.Message{}
+	for _, m := range r.take() {
+		if m.Kind == mesg.ReadReq {
+			reqs = append(reqs, m)
+		}
+	}
+	if len(reqs) < 2 {
+		t.Fatalf("no retransmission after timeout: %d requests", len(reqs))
+	}
+	if reqs[0].Tx == 0 || reqs[0].Tx != reqs[1].Tx {
+		t.Fatalf("retransmission changed Tx: %#x vs %#x", reqs[0].Tx, reqs[1].Tx)
+	}
+	if r.n.Stats.Retransmits == 0 {
+		t.Fatalf("Retransmits stat not counted")
+	}
+	// Backoff doubles: the second gap exceeds the first.
+	if len(reqs) >= 3 && r.n.Stats.Retransmits >= 2 {
+		// reqs carry Issued of the original; timing is validated by
+		// the retransmit count staying sub-linear in elapsed time.
+		if got := r.n.Stats.Retransmits; got > 3 {
+			t.Fatalf("%d retransmits in 500 cycles with base timeout 100 — backoff not applied", got)
+		}
+	}
+	if done {
+		t.Fatalf("read completed without any reply")
+	}
+}
+
+func TestRetryBudgetExhaustionFails(t *testing.T) {
+	r := newNrig()
+	r.n.cfg.RequestTimeout = 10
+	r.n.cfg.RetryLimit = 3
+	var got error
+	r.n.Fail = func(err error) { got = err }
+	r.n.Read(0x2040, func(uint64, ReadClass, sim.Cycle) {})
+	r.eng.Run(0)
+	if got == nil {
+		t.Fatalf("no failure after exhausting the retry budget")
+	}
+	if !contains(got.Error(), "abandoned after 3 retransmissions") {
+		t.Fatalf("unexpected failure text: %v", got)
+	}
+}
+
+func TestWriteRetransmitsOnTimeout(t *testing.T) {
+	r := newNrig()
+	r.n.cfg.RequestTimeout = 100
+	r.n.Write(0x3040, func(uint64, sim.Cycle) {})
+	r.eng.RunUntil(400)
+	var reqs []*mesg.Message
+	for _, m := range r.take() {
+		if m.Kind == mesg.WriteReq {
+			reqs = append(reqs, m)
+		}
+	}
+	if len(reqs) < 2 {
+		t.Fatalf("no write retransmission after timeout: %d requests", len(reqs))
+	}
+	if reqs[0].Tx == 0 || reqs[0].Tx != reqs[1].Tx {
+		t.Fatalf("write retransmission changed Tx: %#x vs %#x", reqs[0].Tx, reqs[1].Tx)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && strings.Contains(s, sub)
 }

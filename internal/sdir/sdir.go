@@ -124,6 +124,7 @@ type Stats struct {
 	InsertBlocked  uint64 // inserts abandoned (set full of TRANSIENT)
 	PendingFull    uint64 // interceptions abandoned (pending buffer full)
 	PortDelayTotal uint64 // cycles of directory-port contention charged
+	Bypassed       uint64 // snoops skipped at disabled (faulty) directories
 }
 
 // entry is one directory line.
@@ -145,15 +146,19 @@ type dir struct {
 	portCycle sim.Cycle
 	portUsed  int
 
-	pendingCount int // TRANSIENT entries resident (pending-buffer mode)
+	// pendingCount tracks resident TRANSIENT entries. The pending-
+	// buffer mode bounds interceptions with it; the disabled-directory
+	// drain path uses it to know when the last obligation resolved.
+	pendingCount int
 }
 
 // Fabric implements xbar.Snooper for every switch in a topology.
 type Fabric struct {
-	cfg   Config
-	tp    *topo.T
-	dirs  []*dir
-	Stats Stats
+	cfg      Config
+	tp       *topo.T
+	dirs     []*dir
+	disabled []bool // per-switch faulty flag: bypassed, draining only
+	Stats    Stats
 }
 
 // New builds the switch-directory fabric for tp.
@@ -171,7 +176,7 @@ func New(tp *topo.T, cfg Config) (*Fabric, error) {
 	if cfg.SnoopPorts <= 0 {
 		cfg.SnoopPorts = 2
 	}
-	f := &Fabric{cfg: cfg, tp: tp, dirs: make([]*dir, tp.NumSwitches())}
+	f := &Fabric{cfg: cfg, tp: tp, dirs: make([]*dir, tp.NumSwitches()), disabled: make([]bool, tp.NumSwitches())}
 	for i := range f.dirs {
 		d := &dir{sets: make([][]entry, nsets), nsets: uint64(nsets)}
 		for s := range d.sets {
@@ -235,11 +240,27 @@ func transientOnly(k mesg.Kind) bool {
 
 // Snoop implements xbar.Snooper: the heart of the DRESAR protocol.
 // Kinds outside Table 1 bypass the directory entirely.
+//
+// A directory flagged faulty (Disable) is bypassed: it inserts
+// nothing, intercepts nothing, and charges no port contention, so all
+// traffic through the switch falls back to the base home protocol.
+// The only messages it still processes are the TRANSIENT-draining
+// kinds (CtoCReq, CopyBack, WriteBack, Retry), so transfers the
+// directory initiated before the fault resolve their obligations
+// instead of orphaning their waiting requesters.
 func (f *Fabric) Snoop(sw topo.SwitchID, m *mesg.Message, now sim.Cycle) xbar.Action {
 	if !m.Kind.SnoopsSwitchDir() || !f.active(sw) {
 		return xbar.Action{}
 	}
-	d := f.dirs[f.tp.SwitchOrdinal(sw)]
+	ord := f.tp.SwitchOrdinal(sw)
+	d := f.dirs[ord]
+	if f.disabled[ord] {
+		f.Stats.Bypassed++
+		if !transientOnly(m.Kind) || d.pendingCount == 0 {
+			return xbar.Action{}
+		}
+		return f.process(d, sw, m)
+	}
 	var delay sim.Cycle
 	if f.cfg.PendingEntries == 0 || !transientOnly(m.Kind) {
 		delay = f.chargePort(d, now)
@@ -546,6 +567,103 @@ func (f *Fabric) Lookup(sw topo.SwitchID, addr uint64) (EntryState, int, uint64)
 		return e.state, e.owner, e.reqVec
 	}
 	return Inv, 0, 0
+}
+
+// Disable flags one switch's directory faulty: it is bypassed from
+// now on (see Snoop) and its MODIFIED entries are discarded — stale
+// optimization state a faulty array cannot be trusted to hold.
+// TRANSIENT entries survive so their in-flight transfers drain.
+func (f *Fabric) Disable(sw topo.SwitchID) { f.DisableOrdinal(f.tp.SwitchOrdinal(sw)) }
+
+// DisableOrdinal is Disable by switch ordinal (fault-plan addressing).
+func (f *Fabric) DisableOrdinal(i int) {
+	if f.disabled[i] {
+		return
+	}
+	f.disabled[i] = true
+	for _, set := range f.dirs[i].sets {
+		for w := range set {
+			if set[w].state == Mod {
+				set[w].state = Inv
+				set[w].reqVec = 0
+			}
+		}
+	}
+}
+
+// DisableAll flags every switch directory faulty, degrading the whole
+// machine to the base home protocol.
+func (f *Fabric) DisableAll() {
+	for i := range f.dirs {
+		f.DisableOrdinal(i)
+	}
+}
+
+// DirCount reports the number of switch directories in the fabric
+// (fault plans pick disable targets by ordinal in [0, DirCount)).
+func (f *Fabric) DirCount() int { return len(f.dirs) }
+
+// Disabled reports whether a switch's directory is flagged faulty.
+func (f *Fabric) Disabled(sw topo.SwitchID) bool { return f.disabled[f.tp.SwitchOrdinal(sw)] }
+
+// DisabledCount reports how many switch directories are flagged faulty.
+func (f *Fabric) DisabledCount() int {
+	n := 0
+	for _, d := range f.disabled {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// modEntries collects every live MODIFIED entry across enabled
+// switches, in deterministic (ordinal, set, way) order.
+func (f *Fabric) modEntries() []*entry {
+	var out []*entry
+	for i, d := range f.dirs {
+		if f.disabled[i] {
+			continue
+		}
+		for _, set := range d.sets {
+			for w := range set {
+				if set[w].state == Mod {
+					out = append(out, &set[w])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CorruptRandom flips one pseudo-randomly chosen MODIFIED entry's
+// owner to a different node, modeling a soft error in the directory
+// SRAM. The next read intercepted through the entry fires a marked
+// CtoC request at a non-owner, exercising the NoData-copyback
+// recovery path end to end. Reports whether an entry was corrupted.
+func (f *Fabric) CorruptRandom(rng *sim.RNG, nodes int) bool {
+	cands := f.modEntries()
+	if len(cands) == 0 || nodes < 2 {
+		return false
+	}
+	e := cands[rng.Intn(len(cands))]
+	e.owner = (e.owner + 1 + rng.Intn(nodes-1)) % nodes
+	return true
+}
+
+// EvictRandom invalidates one pseudo-randomly chosen MODIFIED entry,
+// modeling a lost or scrubbed line. Purely an optimization loss: the
+// next read falls through to the home. Reports whether an entry was
+// evicted.
+func (f *Fabric) EvictRandom(rng *sim.RNG) bool {
+	cands := f.modEntries()
+	if len(cands) == 0 {
+		return false
+	}
+	e := cands[rng.Intn(len(cands))]
+	e.state = Inv
+	e.reqVec = 0
+	return true
 }
 
 // TransientCount reports resident TRANSIENT entries at a switch.

@@ -48,6 +48,15 @@ type Engine struct {
 	seq     uint64
 	events  eventHeap
 	stopped bool
+
+	// Liveness watchdog state: components mark forward progress via
+	// Progress(); the run loops stop when the clock advances watchLimit
+	// cycles past the last mark while events are still firing (a
+	// livelock — e.g. an endless retry storm — or a stalled quiesce).
+	watchLimit   Cycle
+	onStall      func(now, sinceProgress Cycle)
+	lastProgress Cycle
+	stalled      bool
 }
 
 // NewEngine returns an empty engine at cycle 0.
@@ -73,6 +82,49 @@ func (e *Engine) At(t Cycle, fn func()) {
 // After schedules fn to run d cycles from now.
 func (e *Engine) After(d Cycle, fn func()) { e.At(e.now+d, fn) }
 
+// SetWatchdog arms the liveness watchdog: if the clock advances limit
+// cycles beyond the last Progress() mark while Run/RunUntil/Drain are
+// still executing events, the loop stops and onStall (may be nil) is
+// invoked with the current cycle and the cycles elapsed since the last
+// mark. limit 0 disarms. Progress is reset to "now" when armed.
+func (e *Engine) SetWatchdog(limit Cycle, onStall func(now, sinceProgress Cycle)) {
+	e.watchLimit = limit
+	e.onStall = onStall
+	e.lastProgress = e.now
+	e.stalled = false
+}
+
+// Progress marks forward progress (a completed unit of real work, e.g.
+// a retired memory access), resetting the watchdog countdown.
+func (e *Engine) Progress() {
+	e.lastProgress = e.now
+	e.stalled = false
+}
+
+// SinceProgress reports cycles elapsed since the last Progress mark.
+func (e *Engine) SinceProgress() Cycle { return e.now - e.lastProgress }
+
+// Stalled reports whether the watchdog tripped (sticky until the next
+// Progress or SetWatchdog call).
+func (e *Engine) Stalled() bool { return e.stalled }
+
+// checkWatchdog stops the innermost run loop once the no-progress
+// bound is exceeded. It reports whether the watchdog tripped.
+func (e *Engine) checkWatchdog() bool {
+	if e.watchLimit == 0 || e.stalled {
+		return e.stalled
+	}
+	if e.now-e.lastProgress < e.watchLimit {
+		return false
+	}
+	e.stalled = true
+	e.stopped = true
+	if e.onStall != nil {
+		e.onStall(e.now, e.now-e.lastProgress)
+	}
+	return true
+}
+
 // Step executes the single earliest event, advancing the clock to its
 // cycle. It reports whether an event was executed.
 func (e *Engine) Step() bool {
@@ -93,6 +145,9 @@ func (e *Engine) Run(limit int) int {
 	n := 0
 	for !e.stopped && e.Step() {
 		n++
+		if e.checkWatchdog() {
+			break
+		}
 		if limit > 0 && n >= limit {
 			break
 		}
@@ -108,6 +163,9 @@ func (e *Engine) RunUntil(t Cycle) int {
 	for !e.stopped && len(e.events) > 0 && e.events[0].at <= t {
 		e.Step()
 		n++
+		if e.checkWatchdog() {
+			return n
+		}
 	}
 	if e.now < t {
 		e.now = t
@@ -126,6 +184,9 @@ func (e *Engine) Drain(max Cycle) int {
 	for !e.stopped && len(e.events) > 0 && e.events[0].at <= max {
 		e.Step()
 		n++
+		if e.checkWatchdog() {
+			break
+		}
 	}
 	return n
 }

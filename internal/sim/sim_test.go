@@ -334,3 +334,83 @@ func TestEngineDrainRespectsStop(t *testing.T) {
 		t.Fatalf("Drain ignored Stop: ran %d", count)
 	}
 }
+
+func TestWatchdogTripsOnLivelock(t *testing.T) {
+	e := NewEngine()
+	var gotNow, gotSince Cycle
+	e.SetWatchdog(100, func(now, since Cycle) { gotNow, gotSince = now, since })
+	// A self-rescheduling event that never marks progress: a livelock.
+	var tick func()
+	tick = func() { e.After(10, tick) }
+	e.After(10, tick)
+	e.Run(0)
+	if !e.Stalled() {
+		t.Fatalf("watchdog did not trip")
+	}
+	if gotSince < 100 || gotNow != e.Now() {
+		t.Fatalf("onStall(now=%d, since=%d), engine now=%d", gotNow, gotSince, e.Now())
+	}
+	if e.Pending() == 0 {
+		t.Fatalf("livelock should leave the next event queued")
+	}
+}
+
+func TestWatchdogProgressDefersTrip(t *testing.T) {
+	e := NewEngine()
+	trips := 0
+	e.SetWatchdog(100, func(_, _ Cycle) { trips++ })
+	// Progress every 50 cycles for a while keeps the watchdog quiet...
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n <= 10 {
+			e.Progress()
+			e.After(50, tick)
+		} else {
+			e.After(50, tick) // ...then stop marking: trip expected.
+		}
+	}
+	e.After(50, tick)
+	e.Run(0)
+	if trips != 1 || !e.Stalled() {
+		t.Fatalf("trips=%d stalled=%v, want exactly one trip after progress ends", trips, e.Stalled())
+	}
+	if e.SinceProgress() < 100 {
+		t.Fatalf("SinceProgress=%d below limit at trip", e.SinceProgress())
+	}
+}
+
+func TestWatchdogDisarmed(t *testing.T) {
+	e := NewEngine()
+	e.SetWatchdog(100, func(_, _ Cycle) { t.Fatal("disarmed watchdog fired") })
+	e.SetWatchdog(0, nil)
+	for i := 0; i < 5; i++ {
+		e.After(Cycle(1000*i), func() {})
+	}
+	e.Run(0)
+	if e.Stalled() {
+		t.Fatalf("disarmed watchdog tripped")
+	}
+}
+
+func TestWatchdogInDrainAndRunUntil(t *testing.T) {
+	for _, mode := range []string{"drain", "rununtil"} {
+		e := NewEngine()
+		e.SetWatchdog(64, nil)
+		var tick func()
+		tick = func() { e.After(8, tick) }
+		e.After(8, tick)
+		if mode == "drain" {
+			e.Drain(1 << 20)
+		} else {
+			e.RunUntil(1 << 20)
+		}
+		if !e.Stalled() {
+			t.Fatalf("%s: watchdog did not trip", mode)
+		}
+		if e.Now() >= 1<<20 {
+			t.Fatalf("%s: clock jumped past the stall point to %d", mode, e.Now())
+		}
+	}
+}

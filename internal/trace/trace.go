@@ -95,14 +95,27 @@ type Source interface {
 	Next() (Rec, bool)
 }
 
-// ReaderSource adapts a Reader into a Source, stopping at EOF.
-type ReaderSource struct{ R *Reader }
+// ReaderSource adapts a Reader into a Source, stopping at end of
+// stream. A malformed stream also stops iteration, but the error is
+// retained: callers that care about corruption (the CLI tools) must
+// check Err after the stream ends.
+type ReaderSource struct {
+	R   *Reader
+	err error
+}
 
 // Next implements Source.
-func (s ReaderSource) Next() (Rec, bool) {
+func (s *ReaderSource) Next() (Rec, bool) {
 	rec, err := s.R.Read()
 	if err != nil {
+		if err != io.EOF {
+			s.err = err
+		}
 		return Rec{}, false
 	}
 	return rec, true
 }
+
+// Err returns the error that terminated the stream, nil for a clean
+// end-of-trace.
+func (s *ReaderSource) Err() error { return s.err }

@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"io"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -145,5 +146,63 @@ func TestSynthRegionsDisjoint(t *testing.T) {
 	}
 	if s.cleanBase < s.hotBase+uint64(s.cfg.HotBlocks)*32 {
 		t.Fatal("clean region overlaps hot")
+	}
+}
+
+func TestReaderReportsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(Rec{Pid: 1, Op: Load, Addr: 0x40}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Chop the record mid-way: a truncated file.
+	trunc := bytes.NewReader(buf.Bytes()[:buf.Len()-3])
+	r := NewReader(trunc)
+	_, err := r.Read()
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncated read error = %v", err)
+	}
+}
+
+func TestReaderSourceRetainsStreamError(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 3; i++ {
+		if err := w.Write(Rec{Pid: 1, Op: Load, Addr: uint64(i) * 32}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Clean stream: Err is nil after draining.
+	clean := &ReaderSource{R: NewReader(bytes.NewReader(buf.Bytes()))}
+	n := 0
+	for {
+		if _, ok := clean.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 3 || clean.Err() != nil {
+		t.Fatalf("clean stream: n=%d err=%v", n, clean.Err())
+	}
+	// Truncated stream: iteration stops AND the corruption is visible.
+	cut := &ReaderSource{R: NewReader(bytes.NewReader(buf.Bytes()[:buf.Len()-5]))}
+	n = 0
+	for {
+		if _, ok := cut.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("truncated stream yielded %d records, want 2", n)
+	}
+	if cut.Err() == nil || !strings.Contains(cut.Err().Error(), "truncated") {
+		t.Fatalf("truncation not retained: %v", cut.Err())
 	}
 }

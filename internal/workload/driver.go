@@ -48,11 +48,24 @@ func (d *Driver) Run() (core.Stats, error) {
 	d.idx = make([]int, procs)
 	d.refs = make([][]Ref, procs)
 	d.startPhase(0)
-	d.M.Eng.Drain(d.MaxCycles)
+	// Machine.Run layers the liveness watchdog, Fail-sink errors, and
+	// panic recovery over the raw engine drain.
+	runErr := d.M.Run(d.MaxCycles)
 	if d.err != nil {
 		return d.M.Collect(), d.err
 	}
+	if runErr != nil && d.phase >= d.W.Phases() {
+		// Completed despite a late error (e.g. a trailing fault event):
+		// surface the error, work is done.
+		return d.M.Collect(), runErr
+	}
 	if d.phase < d.W.Phases() {
+		if runErr != nil {
+			// Wrap (not render) so callers can still unwrap the
+			// structured *core.StallError underneath.
+			return d.M.Collect(), fmt.Errorf("workload: %s stalled in phase %d/%d at cycle %d: %w",
+				d.W.Name(), d.phase, d.W.Phases(), d.M.Eng.Now(), runErr)
+		}
 		return d.M.Collect(), fmt.Errorf("workload: %s stalled in phase %d/%d at cycle %d:\n%s",
 			d.W.Name(), d.phase, d.W.Phases(), d.M.Eng.Now(), d.M.DumpStuck())
 	}

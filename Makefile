@@ -1,13 +1,13 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check build test test-race vet bench figures figures-paper fuzz clean
+.PHONY: all check build test test-race vet bench figures figures-paper fuzz fuzz-short clean
 
 all: check
 
-# The default gate: compile, static checks, tests, and the race
-# detector (the fault-injection and watchdog paths are concurrency-
-# sensitive by construction).
-check: build vet test test-race
+# The default gate: compile, static checks, tests, the race detector
+# (the fault-injection and watchdog paths are concurrency-sensitive by
+# construction), and a short run of the coverage-guided fuzzers.
+check: build vet test test-race fuzz-short
 
 build:
 	go build ./...
@@ -36,6 +36,14 @@ figures-paper:
 # Extended randomized protocol validation.
 fuzz:
 	DRESAR_FUZZ_SEEDS=2000 go test ./internal/core -run TestFuzzProtocol -timeout 30m
+
+# Short coverage-guided fuzzing of the fault-recovery surfaces: routing
+# under arbitrary link/switch deaths, and flit reassembly under
+# arbitrary corruption patterns. Offline and deterministic enough for
+# the default gate; crashes land in testdata/fuzz/ as usual.
+fuzz-short:
+	go test -run '^$$' -fuzz FuzzRoute -fuzztime 10s ./internal/xbar
+	go test -run '^$$' -fuzz FuzzFlitReassembly -fuzztime 10s ./internal/flit
 
 clean:
 	go clean ./...

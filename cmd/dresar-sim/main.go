@@ -5,7 +5,9 @@
 //
 //	dresar-sim -app fft [-entries 1024] [-size 16384] [-nodes 16]
 //	           [-policy retry|bitvector] [-pending 0] [-check]
-//	           [-faults drop=20,dup=10,seed=7] [-watchdog 1000000]
+//	           [-faults drop=20,dup=10,seed=7]
+//	           [-net-faults linkdown=0:4@5000,switchdown=6@8000]
+//	           [-watchdog 1000000]
 //
 // -entries 0 runs the base system with no switch directories. -size is
 // the kernel's input parameter (points for FFT, matrix/grid dimension
@@ -14,8 +16,12 @@
 // -faults takes a fault-injection plan (see fault.ParsePlan):
 // drop/dup/delay permille rates for home-bound requests, periodic
 // switch-directory corrupt/evict events, and disableall/disableone
-// cycles. -watchdog bounds cycles-without-progress; a stall exits
-// non-zero with a structured diagnostic on stderr.
+// cycles. -net-faults takes a network fault plan (see
+// fault.ParseNetPlan): transient link corruption and scheduled
+// link/switch failures; runs print the recovery counters and exit
+// non-zero with a structured partition error if a message has no
+// surviving path. -watchdog bounds cycles-without-progress; a stall
+// exits non-zero with a structured diagnostic on stderr.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"dresar/internal/sdir"
 	"dresar/internal/sim"
 	"dresar/internal/workload"
+	"dresar/internal/xbar"
 )
 
 func main() {
@@ -43,18 +50,22 @@ func main() {
 	swc := flag.Int("swcache", 0, "switch-cache entries per top switch (0 = off; the conclusion's extension)")
 	check := flag.Bool("check", false, "enable the coherence checker (slower)")
 	faults := flag.String("faults", "", "fault-injection plan, e.g. drop=20,dup=10,seed=7 (empty = none)")
+	netFaults := flag.String("net-faults", "", "network fault plan, e.g. corruptlink=0:4,linkdown=1:5@5000,switchdown=6@8000 (empty = none)")
 	watchdog := flag.Uint64("watchdog", 0, "liveness watchdog: max cycles without progress (0 = off)")
 	flag.Parse()
 
 	plan, err := fault.ParsePlan(*faults)
+	fail(err)
+	netPlan, err := fault.ParseNetPlan(*netFaults)
 	fail(err)
 
 	cfg := core.DefaultConfig()
 	cfg.Nodes, cfg.Radix = *nodes, *radix
 	cfg.CheckCoherence = *check
 	cfg.Faults = plan
+	cfg.NetFaults = netPlan
 	cfg.Watchdog = sim.Cycle(*watchdog)
-	if plan.Active() || cfg.Watchdog > 0 {
+	if plan.Active() || netPlan.Active() || cfg.Watchdog > 0 {
 		// Fault runs want the message-level monitor: its obligations
 		// make the stall diagnostic actionable.
 		cfg.CheckProtocol = true
@@ -112,6 +123,16 @@ func main() {
 	d, err := workload.NewDriver(m, w)
 	fail(err)
 	s, err := d.Run()
+	var unroutable *xbar.UnroutableError
+	if errors.As(err, &unroutable) {
+		// The surviving fabric cannot reach some endpoint: report the
+		// partition structurally and exit non-zero — never hang.
+		fmt.Fprintf(os.Stderr, "dresar-sim: network partitioned: %v\n", unroutable)
+		if r := m.Net.DownReport(); r != "" {
+			fmt.Fprint(os.Stderr, r)
+		}
+		os.Exit(1)
+	}
 	var stall *core.StallError
 	if errors.As(err, &stall) {
 		// The watchdog tripped: print the structured stall report and
@@ -135,6 +156,11 @@ func main() {
 		fmt.Println(m.Injector.Stats.String())
 		if s.Retransmits > 0 || s.DupRequests > 0 {
 			fmt.Printf("recovery: retransmits=%d dupRequestsFiltered=%d\n", s.Retransmits, s.DupRequests)
+		}
+		if s.Recovered() {
+			fmt.Printf("net-recovery: linkRetx=%d reroutes=%d degradedHops=%d sdirEntriesLost=%d homeFallbacks=%d niFallbacks=%d homeRedrives=%d\n",
+				s.LinkRetransmits, s.Reroutes, s.DegradedHops,
+				s.SDirEntriesLost, s.SDirHomeFallbacks, s.NodeFallbacks, s.HomeRedrives)
 		}
 	}
 	if s.ReadMisses > 0 {

@@ -65,6 +65,13 @@ type Config struct {
 	// machine can recover the losses.
 	Faults fault.Plan
 
+	// NetFaults is the network-fabric fault plan (flit corruption,
+	// link and switch failures); the zero value injects nothing. Plans
+	// with topology faults arm the default NI retransmission timeout
+	// like lossy Faults plans, since requests can die with a removed
+	// fabric element.
+	NetFaults fault.NetPlan
+
 	// Watchdog bounds cycles-without-progress during Run: if no
 	// processor access completes for this many cycles while events
 	// still fire, the run stops with a *StallError. 0 disables.
@@ -191,20 +198,31 @@ func New(cfg Config) (*Machine, error) {
 			netCfg.Snoop = f
 		}
 	}
+	if err := cfg.NetFaults.Validate(tp); err != nil {
+		return nil, err
+	}
 	m.Net = xbar.New(m.Eng, tp, netCfg)
+	m.Net.Fail = m.recordErr
 	if cfg.CheckProtocol {
 		m.Monitor = check.New()
 		m.Net.Trace = m.Monitor.Observe
 	}
 	send := m.Net.Send
-	if cfg.Faults.Active() {
+	if cfg.Faults.Active() || cfg.NetFaults.Active() {
 		m.Injector = fault.NewInjector(cfg.Faults, m.Eng)
-		send = m.Injector.WrapSend(send)
-		m.Injector.AttachSDir(m.SDir, cfg.Nodes)
+		if cfg.Faults.Active() {
+			send = m.Injector.WrapSend(send)
+			m.Injector.AttachSDir(m.SDir, cfg.Nodes)
+		}
+		m.Injector.AttachNet(cfg.NetFaults, m.Net, m.SDir)
 		// A lossy plan needs NI retransmission to recover; arm a
 		// default timeout only then, so loss-free plans (e.g. pure
-		// directory-disable) leave timing untouched.
-		if (cfg.Faults.DropPermille > 0 || cfg.Faults.DropFirst > 0) && cfg.Node.RequestTimeout == 0 {
+		// directory-disable) leave timing untouched. Topology faults
+		// count as lossy: requests in flight through a dying switch
+		// can be sunk with its directory state.
+		lossy := cfg.Faults.DropPermille > 0 || cfg.Faults.DropFirst > 0 ||
+			cfg.NetFaults.TopologyFaults()
+		if lossy && cfg.Node.RequestTimeout == 0 {
 			cfg.Node.RequestTimeout = 2048
 			m.Cfg.Node.RequestTimeout = 2048
 		}
@@ -364,10 +382,13 @@ func (m *Machine) Run(maxCycles sim.Cycle) (err error) {
 }
 
 // StallReport assembles the structured liveness diagnostic: stuck
-// machine state (DumpStuck) plus, when the protocol monitor is
-// attached, every unmet message-level obligation.
+// machine state (DumpStuck) plus downed fabric elements and, when the
+// protocol monitor is attached, every unmet message-level obligation.
 func (m *Machine) StallReport() string {
 	var b strings.Builder
+	if s := m.Net.DownReport(); s != "" {
+		b.WriteString(s)
+	}
 	if s := m.DumpStuck(); s != "" {
 		b.WriteString(s)
 	}

@@ -47,6 +47,27 @@ type Stats struct {
 	NetSent     uint64
 	NetFlitHops uint64
 	NetSunk     uint64
+
+	// Network fault-recovery counters, nonzero only under net-fault
+	// injection. LinkRetransmits counts checksum-detected link-level
+	// replays in the fabric (distinct from NI-level Retransmits);
+	// Reroutes counts messages steered around downed links/switches;
+	// Unroutable counts messages dropped with no surviving path;
+	// DegradedHops counts traversals of failed (dumb-forwarding)
+	// switches.
+	LinkRetransmits uint64
+	Reroutes        uint64
+	Unroutable      uint64
+	DegradedHops    uint64
+	// Switch-directory loss accounting (switch death).
+	SDirEntriesLost   uint64
+	SDirPendingLost   uint64
+	SDirHomeFallbacks uint64
+	// NodeFallbacks counts requests completed only after NI timeout
+	// recovery; HomeRedrives counts home-directory transaction
+	// re-executions on duplicate-filtered retries.
+	NodeFallbacks uint64
+	HomeRedrives  uint64
 }
 
 // CtoC returns all dirty-miss services (home + switch).
@@ -98,9 +119,11 @@ func (m *Machine) Collect() Stats {
 		s.WriteStall += n.Stats.WriteStall
 		s.Retries += n.Stats.Retries
 		s.Retransmits += n.Stats.Retransmits
+		s.NodeFallbacks += n.Stats.Fallbacks
 	}
 	for _, h := range m.Homes {
 		s.DupRequests += h.Stats.DupRequests
+		s.HomeRedrives += h.Stats.Redrives
 		s.HomeCtoCForwards += h.Stats.HomeCtoCForwards
 		s.HomeReads += h.Stats.Reads
 		s.HomeOccupancy += h.Stats.BusyCycles
@@ -110,6 +133,9 @@ func (m *Machine) Collect() Stats {
 		s.SDirInserts = m.SDir.Stats.Inserts
 		s.SDirRetries = m.SDir.Stats.RetriesSent
 		s.SDirEvictions = m.SDir.Stats.Evictions
+		s.SDirEntriesLost = m.SDir.Stats.EntriesLost
+		s.SDirPendingLost = m.SDir.Stats.PendingLost
+		s.SDirHomeFallbacks = m.SDir.Stats.HomeFallbacks
 	}
 	if m.SCa != nil {
 		s.SCacheHits = m.SCa.Stats.Hits
@@ -118,7 +144,21 @@ func (m *Machine) Collect() Stats {
 	s.NetSent = m.Net.Stats.Sent
 	s.NetFlitHops = m.Net.Stats.FlitHops
 	s.NetSunk = m.Net.Stats.Sunk
+	s.LinkRetransmits = m.Net.Stats.Retransmits
+	s.Reroutes = m.Net.Stats.Reroutes
+	s.Unroutable = m.Net.Stats.Unroutable
+	s.DegradedHops = m.Net.Stats.DegradedHops
 	return s
+}
+
+// Recovered reports whether any fault-recovery machinery fired during
+// the run (link retransmits, reroutes, degraded traversals, directory
+// loss handling, or NI timeout fallbacks). HomeRedrives is excluded:
+// the home re-executes duplicate-filtered transactions in healthy
+// retry-policy runs too.
+func (s Stats) Recovered() bool {
+	return s.LinkRetransmits > 0 || s.Reroutes > 0 || s.Unroutable > 0 ||
+		s.DegradedHops > 0 || s.SDirEntriesLost > 0 || s.NodeFallbacks > 0
 }
 
 // String renders a compact human-readable summary.
@@ -130,5 +170,11 @@ func (s Stats) String() string {
 		s.AvgReadLatency(), s.ReadStall, s.Writes, s.WriteMisses, s.WriteStall, s.Retries)
 	fmt.Fprintf(&b, "homeCtoC=%d sdirHits=%d sdirInserts=%d net={sent=%d sunk=%d}",
 		s.HomeCtoCForwards, s.SDirHits, s.SDirInserts, s.NetSent, s.NetSunk)
+	if s.Recovered() {
+		fmt.Fprintf(&b, "\nrecovery: linkRetx=%d reroutes=%d unroutable=%d degradedHops=%d sdirLost={entries=%d pending=%d homeFallbacks=%d} niFallbacks=%d homeRedrives=%d",
+			s.LinkRetransmits, s.Reroutes, s.Unroutable, s.DegradedHops,
+			s.SDirEntriesLost, s.SDirPendingLost, s.SDirHomeFallbacks,
+			s.NodeFallbacks, s.HomeRedrives)
+	}
 	return b.String()
 }

@@ -72,6 +72,7 @@ type Stats struct {
 	CopyBacks        uint64
 	MarkedWB         uint64 // marked writebacks/copybacks (switch-dir assisted)
 	DupRequests      uint64 // requests dropped as duplicates of completed transactions
+	Redrives         uint64 // stalled forwards re-processed after a marked message
 	BusyCycles       uint64 // controller occupancy
 	PendingPeak      int
 }
@@ -634,6 +635,7 @@ func (c *Controller) redrive(e *entry) bool {
 	}
 	orig := e.busyMsg
 	e.busy, e.busyMsg = false, nil
+	c.Stats.Redrives++
 	c.Handle(orig)
 	return true
 }

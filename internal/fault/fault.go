@@ -90,6 +90,7 @@ func ParsePlan(spec string) (Plan, error) {
 	if spec == "" {
 		return p, nil
 	}
+	seen := map[string]bool{}
 	for _, field := range strings.Split(spec, ",") {
 		kv := strings.SplitN(strings.TrimSpace(field), "=", 2)
 		if len(kv) != 2 {
@@ -99,7 +100,12 @@ func ParsePlan(spec string) (Plan, error) {
 		if err != nil {
 			return p, fmt.Errorf("fault: bad value in %q: %v", field, err)
 		}
-		switch strings.ToLower(strings.TrimSpace(kv[0])) {
+		key := strings.ToLower(strings.TrimSpace(kv[0]))
+		if seen[key] {
+			return Plan{}, fmt.Errorf("fault: duplicate plan key %q", key)
+		}
+		seen[key] = true
+		switch key {
 		case "seed":
 			p.Seed = v
 		case "drop":
@@ -125,11 +131,17 @@ func ParsePlan(spec string) (Plan, error) {
 		case "disableone":
 			p.DisableOneAt = sim.Cycle(v)
 		default:
-			return p, fmt.Errorf("fault: unknown plan key %q", kv[0])
+			return Plan{}, fmt.Errorf("fault: unknown plan key %q (want seed, drop, dup, delay, maxdelay, dropfirst, corrupt, corruptcount, evict, evictcount, disableall, disableone)", kv[0])
 		}
 	}
 	if p.DropPermille > 1000 || p.DupPermille > 1000 || p.DelayPermille > 1000 {
-		return p, fmt.Errorf("fault: permille rates must be <= 1000")
+		return Plan{}, fmt.Errorf("fault: permille rates must be <= 1000")
+	}
+	if p.CorruptCount > 0 && p.CorruptEvery == 0 {
+		return Plan{}, fmt.Errorf("fault: corruptcount without a corrupt period")
+	}
+	if p.EvictCount > 0 && p.EvictEvery == 0 {
+		return Plan{}, fmt.Errorf("fault: evictcount without an evict period")
 	}
 	return p, nil
 }
@@ -142,11 +154,21 @@ type Stats struct {
 	Corrupted  uint64 // switch-directory owner fields flipped
 	Evicted    uint64 // switch-directory MODIFIED entries invalidated
 	Disabled   uint64 // switch directories flagged faulty
+
+	// Network fault plan injections (see NetPlan).
+	NetCorrupted   uint64 // link transmissions corrupted on the wire
+	LinksDowned    uint64 // hard link failures fired
+	SwitchesDowned uint64 // whole-switch failures fired
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("faults: dropped=%d duplicated=%d delayed=%d sdir-corrupted=%d sdir-evicted=%d sdir-disabled=%d",
+	out := fmt.Sprintf("faults: dropped=%d duplicated=%d delayed=%d sdir-corrupted=%d sdir-evicted=%d sdir-disabled=%d",
 		s.Dropped, s.Duplicated, s.Delayed, s.Corrupted, s.Evicted, s.Disabled)
+	if s.NetCorrupted > 0 || s.LinksDowned > 0 || s.SwitchesDowned > 0 {
+		out += fmt.Sprintf("\nnet-faults: corrupted=%d links-downed=%d switches-downed=%d",
+			s.NetCorrupted, s.LinksDowned, s.SwitchesDowned)
+	}
+	return out
 }
 
 // Injector applies a Plan to a running machine.
@@ -185,7 +207,7 @@ func faultable(m *mesg.Message) bool {
 
 // hit draws one permille Bernoulli trial.
 func (in *Injector) hit(permille int) bool {
-	return permille > 0 && in.rng.Intn(1000) < permille
+	return in.rng.Hit(permille)
 }
 
 // WrapSend interposes the fault plan on a network send function.

@@ -1,0 +1,258 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dresar/internal/sdir"
+	"dresar/internal/sim"
+	"dresar/internal/topo"
+	"dresar/internal/xbar"
+)
+
+// NetPlan describes a deterministic schedule of network-fabric faults,
+// complementing Plan's protocol-level faults. The zero value injects
+// nothing. Links are addressed as (switch ordinal, output port) — see
+// topo.Link; switch ordinals count leaves first, then tops.
+type NetPlan struct {
+	// Seed feeds the net injector's private RNG (corruption draws).
+	// 0 means 1.
+	Seed uint64
+
+	// CorruptLinks get a transient-corruption oracle: each transmission
+	// attempt on the link is corrupted with probability
+	// CorruptPermille/1000, at most CorruptCount times total per link,
+	// forcing checksum-detected link-level retransmits.
+	CorruptLinks    []topo.Link
+	CorruptPermille int // 0 means 500 when CorruptLinks is non-empty
+	CorruptCount    int // per-link corruption budget; 0 means 32
+
+	// LinkDowns hard-fail directional links at scheduled cycles.
+	LinkDowns []LinkFault
+	// SwitchDowns kill whole switches at scheduled cycles: degraded
+	// forwarding in the fabric, directory state invalidated.
+	SwitchDowns []SwitchFault
+}
+
+// LinkFault schedules one hard link failure.
+type LinkFault struct {
+	Link topo.Link
+	At   sim.Cycle
+}
+
+// SwitchFault schedules one whole-switch failure.
+type SwitchFault struct {
+	Sw int // switch ordinal
+	At sim.Cycle
+}
+
+// Active reports whether the plan injects any network fault.
+func (p NetPlan) Active() bool {
+	return len(p.CorruptLinks) > 0 || len(p.LinkDowns) > 0 || len(p.SwitchDowns) > 0
+}
+
+// TopologyFaults reports whether the plan removes fabric elements
+// (as opposed to transient corruption only). Topology faults can sink
+// in-flight requests with the dead element's directory state, so the
+// machine arms the NI retransmission timeout when this is true.
+func (p NetPlan) TopologyFaults() bool {
+	return len(p.LinkDowns) > 0 || len(p.SwitchDowns) > 0
+}
+
+// ParseNetPlan builds a NetPlan from a compact comma-separated spec:
+//
+//	"seed=9,corruptlink=0:5,corruptrate=200,linkdown=1:4@5000,switchdown=6@8000"
+//
+// Keys: seed, corruptlink=<sw>:<out> (repeatable), corruptrate
+// (permille), corruptcount, linkdown=<sw>:<out>@<cycle> (repeatable),
+// switchdown=<sw>@<cycle> (repeatable). Unknown keys, malformed
+// values, duplicate scalar keys, and rate/count settings without a
+// corruptlink are rejected with a descriptive error. An empty spec
+// yields the zero (inactive) plan.
+func ParseNetPlan(spec string) (NetPlan, error) {
+	var p NetPlan
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return p, nil
+	}
+	seen := map[string]bool{}
+	for _, field := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(field), "=", 2)
+		if len(kv) != 2 {
+			return NetPlan{}, fmt.Errorf("fault: malformed net-fault field %q (want key=value)", field)
+		}
+		key := strings.ToLower(strings.TrimSpace(kv[0]))
+		val := strings.TrimSpace(kv[1])
+		switch key {
+		case "seed", "corruptrate", "corruptcount":
+			if seen[key] {
+				return NetPlan{}, fmt.Errorf("fault: duplicate net-fault key %q", key)
+			}
+			seen[key] = true
+			v, err := strconv.ParseUint(val, 0, 64)
+			if err != nil {
+				return NetPlan{}, fmt.Errorf("fault: bad value in %q: %v", field, err)
+			}
+			switch key {
+			case "seed":
+				p.Seed = v
+			case "corruptrate":
+				if v > 1000 {
+					return NetPlan{}, fmt.Errorf("fault: corruptrate %d exceeds 1000 permille", v)
+				}
+				p.CorruptPermille = int(v)
+			case "corruptcount":
+				p.CorruptCount = int(v)
+			}
+		case "corruptlink":
+			l, err := parseLink(val)
+			if err != nil {
+				return NetPlan{}, fmt.Errorf("fault: bad corruptlink %q: %v", val, err)
+			}
+			p.CorruptLinks = append(p.CorruptLinks, l)
+		case "linkdown":
+			at, rest, err := splitAt(val)
+			if err != nil {
+				return NetPlan{}, fmt.Errorf("fault: bad linkdown %q: %v", val, err)
+			}
+			l, err := parseLink(rest)
+			if err != nil {
+				return NetPlan{}, fmt.Errorf("fault: bad linkdown %q: %v", val, err)
+			}
+			p.LinkDowns = append(p.LinkDowns, LinkFault{Link: l, At: at})
+		case "switchdown":
+			at, rest, err := splitAt(val)
+			if err != nil {
+				return NetPlan{}, fmt.Errorf("fault: bad switchdown %q: %v", val, err)
+			}
+			sw, err := strconv.Atoi(rest)
+			if err != nil || sw < 0 {
+				return NetPlan{}, fmt.Errorf("fault: bad switchdown %q: want <switch>@<cycle>", val)
+			}
+			p.SwitchDowns = append(p.SwitchDowns, SwitchFault{Sw: sw, At: at})
+		default:
+			return NetPlan{}, fmt.Errorf("fault: unknown net-fault key %q (want seed, corruptlink, corruptrate, corruptcount, linkdown, switchdown)", key)
+		}
+	}
+	if len(p.CorruptLinks) == 0 && (seen["corruptrate"] || seen["corruptcount"]) {
+		return NetPlan{}, fmt.Errorf("fault: corruptrate/corruptcount without a corruptlink")
+	}
+	return p, nil
+}
+
+// parseLink parses "<sw>:<out>".
+func parseLink(s string) (topo.Link, error) {
+	a, b, ok := strings.Cut(s, ":")
+	if !ok {
+		return topo.Link{}, fmt.Errorf("want <switch>:<outport>")
+	}
+	sw, err1 := strconv.Atoi(strings.TrimSpace(a))
+	out, err2 := strconv.Atoi(strings.TrimSpace(b))
+	if err1 != nil || err2 != nil || sw < 0 || out < 0 {
+		return topo.Link{}, fmt.Errorf("want non-negative <switch>:<outport>")
+	}
+	return topo.Link{Sw: sw, Out: topo.Port(out)}, nil
+}
+
+// splitAt parses "<thing>@<cycle>", returning the cycle and the thing.
+func splitAt(s string) (sim.Cycle, string, error) {
+	rest, at, ok := strings.Cut(s, "@")
+	if !ok {
+		return 0, "", fmt.Errorf("want <...>@<cycle>")
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(at), 0, 63)
+	if err != nil || v == 0 {
+		return 0, "", fmt.Errorf("bad cycle %q (want a positive integer)", at)
+	}
+	return sim.Cycle(v), strings.TrimSpace(rest), nil
+}
+
+// Validate checks the plan's switch ordinals and ports against a
+// concrete topology so typos fail fast instead of panicking mid-run.
+func (p NetPlan) Validate(tp *topo.T) error {
+	total := tp.NumSwitches()
+	checkLink := func(l topo.Link, what string) error {
+		if l.Sw < 0 || l.Sw >= total {
+			return fmt.Errorf("fault: %s switch %d out of range [0,%d)", what, l.Sw, total)
+		}
+		if l.Out < 0 || int(l.Out) >= 2*tp.Radix {
+			return fmt.Errorf("fault: %s port %d out of range [0,%d)", what, l.Out, 2*tp.Radix)
+		}
+		return nil
+	}
+	for _, l := range p.CorruptLinks {
+		if err := checkLink(l, "corruptlink"); err != nil {
+			return err
+		}
+	}
+	for _, lf := range p.LinkDowns {
+		if err := checkLink(lf.Link, "linkdown"); err != nil {
+			return err
+		}
+	}
+	for _, sf := range p.SwitchDowns {
+		if sf.Sw < 0 || sf.Sw >= total {
+			return fmt.Errorf("fault: switchdown switch %d out of range [0,%d)", sf.Sw, total)
+		}
+	}
+	return nil
+}
+
+// AttachNet schedules a network fault plan against the fabric.
+// Corruption oracles install immediately (count-bounded, so the link
+// heals once the budget is spent); link and switch deaths fire at
+// their scheduled cycles. A dying switch also invalidates its switch
+// directory via sdir.FailOrdinal — entries, pending buffer, and all:
+// the home directories remain the fallback authority, and requesters
+// whose transactions died with the switch recover through the NI
+// retransmission path.
+func (in *Injector) AttachNet(p NetPlan, net *xbar.Network, f *sdir.Fabric) {
+	if !p.Active() || net == nil {
+		return
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := sim.NewRNG(seed)
+	rate := p.CorruptPermille
+	if rate == 0 {
+		rate = 500
+	}
+	for _, l := range p.CorruptLinks {
+		budget := p.CorruptCount
+		if budget == 0 {
+			budget = 32
+		}
+		left := budget
+		net.SetLinkCorrupter(l.Sw, l.Out, func() bool {
+			if left <= 0 {
+				return false
+			}
+			if rng.Hit(rate) {
+				left--
+				in.Stats.NetCorrupted++
+				return true
+			}
+			return false
+		})
+	}
+	for _, lf := range p.LinkDowns {
+		lf := lf
+		in.eng.At(lf.At, func() {
+			net.DownLink(lf.Link.Sw, lf.Link.Out)
+			in.Stats.LinksDowned++
+		})
+	}
+	for _, sf := range p.SwitchDowns {
+		sf := sf
+		in.eng.At(sf.At, func() {
+			net.DownSwitch(sf.Sw)
+			in.Stats.SwitchesDowned++
+			if f != nil {
+				f.FailOrdinal(sf.Sw)
+			}
+		})
+	}
+}

@@ -1,0 +1,163 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"dresar/internal/sim"
+	"dresar/internal/topo"
+	"dresar/internal/xbar"
+)
+
+func TestParseNetPlan(t *testing.T) {
+	p, err := ParseNetPlan("seed=9, corruptlink=0:5, corruptlink=1:4, corruptrate=200, corruptcount=8, linkdown=1:4@5000, switchdown=6@8000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NetPlan{
+		Seed:            9,
+		CorruptLinks:    []topo.Link{{Sw: 0, Out: 5}, {Sw: 1, Out: 4}},
+		CorruptPermille: 200,
+		CorruptCount:    8,
+		LinkDowns:       []LinkFault{{Link: topo.Link{Sw: 1, Out: 4}, At: 5000}},
+		SwitchDowns:     []SwitchFault{{Sw: 6, At: 8000}},
+	}
+	if !reflect.DeepEqual(p, want) {
+		t.Fatalf("ParseNetPlan = %+v, want %+v", p, want)
+	}
+	if !p.Active() || !p.TopologyFaults() {
+		t.Fatalf("parsed plan should be active with topology faults")
+	}
+}
+
+func TestParseNetPlanEmpty(t *testing.T) {
+	p, err := ParseNetPlan("   ")
+	if err != nil || p.Active() {
+		t.Fatalf("empty spec: plan=%+v err=%v", p, err)
+	}
+}
+
+// TestParseNetPlanErrors walks the parser's rejection paths: every
+// malformed spec must fail with a message that names the offending
+// construct, never parse to a silently-wrong plan.
+func TestParseNetPlanErrors(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string // substring of the error
+	}{
+		{"corruptlink", "key=value"},
+		{"bogus=1", "unknown net-fault key"},
+		{"seed=abc", "bad value"},
+		{"seed=1,seed=2", "duplicate"},
+		{"corruptrate=2000,corruptlink=0:1", "exceeds 1000"},
+		{"corruptlink=0", "want <switch>:<outport>"},
+		{"corruptlink=a:b", "corruptlink"},
+		{"corruptlink=-1:2", "non-negative"},
+		{"corruptrate=100", "without a corruptlink"},
+		{"corruptcount=4", "without a corruptlink"},
+		{"linkdown=0:4", "@<cycle>"},
+		{"linkdown=0:4@0", "positive"},
+		{"linkdown=0:4@abc", "bad cycle"},
+		{"linkdown=0@100", "<switch>:<outport>"},
+		{"switchdown=6", "@<cycle>"},
+		{"switchdown=x@100", "switchdown"},
+		{"switchdown=-3@100", "switchdown"},
+	}
+	for _, tc := range cases {
+		_, err := ParseNetPlan(tc.spec)
+		if err == nil {
+			t.Errorf("ParseNetPlan(%q) accepted", tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseNetPlan(%q) error %q does not mention %q", tc.spec, err, tc.want)
+		}
+	}
+}
+
+// TestParsePlanStrict covers the protocol-plan parser's strictness:
+// duplicate keys and count settings without their period are rejected.
+func TestParsePlanStrict(t *testing.T) {
+	for _, bad := range []string{
+		"drop=10,drop=20",
+		"seed=1,seed=1",
+		"corruptcount=4",
+		"evictcount=4",
+		"corruptcount=4,evict=100",
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+	// The matching period makes the count legal again.
+	if _, err := ParsePlan("corrupt=100,corruptcount=4"); err != nil {
+		t.Errorf("ParsePlan(corrupt+count) rejected: %v", err)
+	}
+}
+
+func TestNetPlanValidate(t *testing.T) {
+	tp := topo.MustNew(16, 4)
+	good := NetPlan{
+		CorruptLinks: []topo.Link{{Sw: 0, Out: 7}},
+		LinkDowns:    []LinkFault{{Link: topo.Link{Sw: 7, Out: 0}, At: 1}},
+		SwitchDowns:  []SwitchFault{{Sw: 7, At: 1}},
+	}
+	if err := good.Validate(tp); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	bad := []NetPlan{
+		{CorruptLinks: []topo.Link{{Sw: 8, Out: 0}}},
+		{CorruptLinks: []topo.Link{{Sw: 0, Out: 8}}},
+		{LinkDowns: []LinkFault{{Link: topo.Link{Sw: -1, Out: 0}, At: 1}}},
+		{SwitchDowns: []SwitchFault{{Sw: 8, At: 1}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(tp); err == nil {
+			t.Errorf("case %d: invalid plan %+v accepted", i, p)
+		}
+	}
+}
+
+// TestAttachNetSchedules checks the injector end of the plan: the
+// corruption oracle honors its budget, and link/switch deaths land at
+// their scheduled cycles with the counters ticking.
+func TestAttachNetSchedules(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := topo.MustNew(16, 4)
+	net := xbar.New(eng, tp, xbar.Config{})
+	in := NewInjector(Plan{}, eng)
+	plan := NetPlan{
+		Seed:            3,
+		CorruptLinks:    []topo.Link{{Sw: 0, Out: 4}},
+		CorruptPermille: 1000, // corrupt every draw until the budget runs dry
+		CorruptCount:    2,
+		LinkDowns:       []LinkFault{{Link: topo.Link{Sw: 1, Out: 4}, At: 10}},
+		SwitchDowns:     []SwitchFault{{Sw: 6, At: 20}},
+	}
+	in.AttachNet(plan, net, nil)
+	eng.Run(0)
+	if in.Stats.LinksDowned != 1 || in.Stats.SwitchesDowned != 1 {
+		t.Fatalf("downed counters = %d links %d switches, want 1/1", in.Stats.LinksDowned, in.Stats.SwitchesDowned)
+	}
+	if !net.SwitchIsDown(6) {
+		t.Fatalf("switch 6 not marked down")
+	}
+	// Ordinal 6 is top switch S1.2; the downed link leaves leaf S0.1.
+	if r := net.DownReport(); !strings.Contains(r, "switch S1.2") || !strings.Contains(r, "S0.1:out4") {
+		t.Fatalf("DownReport missing downed elements:\n%s", r)
+	}
+	// Drain the corruption budget through the installed oracle.
+	hits := 0
+	for i := 0; i < 10; i++ {
+		if net.LinkCorrupts(0, 4) {
+			hits++
+		}
+	}
+	if hits != 2 {
+		t.Fatalf("corruption oracle fired %d times, want budget 2", hits)
+	}
+	if in.Stats.NetCorrupted != 2 {
+		t.Fatalf("NetCorrupted = %d, want 2", in.Stats.NetCorrupted)
+	}
+}

@@ -1,0 +1,216 @@
+package flit
+
+import (
+	"testing"
+
+	"dresar/internal/mesg"
+	"dresar/internal/sim"
+	"dresar/internal/topo"
+)
+
+func TestPacketizeChecksums(t *testing.T) {
+	m := &mesg.Message{ID: 7, Kind: mesg.ReadReply, Addr: 0x40, Src: mesg.M(0), Dst: mesg.P(3), Data: 1}
+	fs := Packetize(m, 0, 5)
+	if len(fs) != m.Flits() {
+		t.Fatalf("flits = %d, want %d", len(fs), m.Flits())
+	}
+	for i, f := range fs {
+		if int(f.Seq) != i {
+			t.Fatalf("flit %d has seq %d", i, f.Seq)
+		}
+		if !f.SumOK() {
+			t.Fatalf("flit %d fails its own checksum", i)
+		}
+		// Any single identifying-field change must be detected.
+		g := f
+		g.Seq++
+		if g.SumOK() {
+			t.Fatalf("flit %d checksum ignores Seq", i)
+		}
+		g = f
+		g.Sum ^= 0x5555
+		if g.SumOK() {
+			t.Fatalf("flit %d checksum ignores wire corruption", i)
+		}
+		g = f
+		g.Head = !g.Head
+		if g.SumOK() {
+			t.Fatalf("flit %d checksum ignores Head", i)
+		}
+	}
+}
+
+func TestLinkCorruptionRetransmits(t *testing.T) {
+	// P0 -> M15 crosses leaf 0's up-link to top 3. Corrupt the first
+	// three crossings of that link and pin the protocol's exact
+	// response for the 5-flit message: the head (link seq 0) is hit
+	// fresh and again on its first replay (2 corruptions detected —
+	// the third oracle hit lands on an out-of-order flit that the
+	// receiver discards before checksumming); retransmits are seq 0
+	// twice, the chained replay of seqs 1-3 once the gap closes, and
+	// seq 4 which was discarded behind them (6 total). The message
+	// still arrives intact.
+	tp := topo.MustNew(16, 4)
+	hop := tp.Forward(0, 15)[0]
+	r := newNetRig(NetConfig{})
+	k := 3
+	r.net.cfg.LinkFault = func(sw topo.SwitchID, out int) bool {
+		if sw == hop.Sw && out == int(hop.Out) && k > 0 {
+			k--
+			return true
+		}
+		return false
+	}
+	m := &mesg.Message{ID: 1, Kind: mesg.WriteBack, Addr: 0x40, Src: mesg.P(0), Dst: mesg.M(15), Data: 9}
+	r.net.Send(m)
+	r.runUntilIdle(t, 5000)
+	if len(r.got) != 1 || r.got[0].m != m || r.got[0].end != mesg.M(15) {
+		t.Fatalf("deliveries: %+v", r.got)
+	}
+	if r.net.Stats.FlitsCorrupted != 2 || r.net.Stats.FlitRetransmits != 6 {
+		t.Fatalf("stats: %+v", r.net.Stats)
+	}
+}
+
+func TestCorruptionDelaysButPreservesOrder(t *testing.T) {
+	// Two back-to-back messages P0 -> M15 with the head of the first
+	// corrupted: later flits overtake the pending replay, get
+	// discarded, and chain-replay in order. Both messages must arrive,
+	// first one first.
+	tp := topo.MustNew(16, 4)
+	hop := tp.Forward(0, 15)[0]
+	first := true
+	r := newNetRig(NetConfig{})
+	r.net.cfg.LinkFault = func(sw topo.SwitchID, out int) bool {
+		if sw == hop.Sw && out == int(hop.Out) && first {
+			first = false
+			return true
+		}
+		return false
+	}
+	m1 := &mesg.Message{ID: 1, Kind: mesg.WriteBack, Addr: 0x40, Src: mesg.P(0), Dst: mesg.M(15), Data: 1}
+	m2 := &mesg.Message{ID: 2, Kind: mesg.WriteBack, Addr: 0x60, Src: mesg.P(0), Dst: mesg.M(15), Data: 2}
+	r.net.Send(m1)
+	r.net.Send(m2)
+	r.runUntilIdle(t, 5000)
+	if len(r.got) != 2 {
+		t.Fatalf("deliveries = %d, want 2", len(r.got))
+	}
+	if r.got[0].m != m1 || r.got[1].m != m2 {
+		t.Fatalf("corruption reordered deliveries: %+v", r.got)
+	}
+	if r.net.Stats.FlitsCorrupted == 0 || r.net.Stats.FlitRetransmits == 0 {
+		t.Fatalf("protocol did not engage: %+v", r.net.Stats)
+	}
+}
+
+func TestNoisyLinksRandomTraffic(t *testing.T) {
+	// Random traffic with a 20% corruption oracle on every inter-switch
+	// link: everything still arrives exactly once, and the network
+	// drains (no replay leak, no stuck nack).
+	rng := sim.NewRNG(5)
+	r := newNetRig(NetConfig{})
+	r.net.cfg.LinkFault = func(sw topo.SwitchID, out int) bool {
+		// Endpoint delivery links are corruptible too — the protocol
+		// covers the last hop as well.
+		return rng.Intn(10) < 2
+	}
+	traffic := sim.NewRNG(17)
+	const n = 300
+	id := uint64(0)
+	for i := 0; i < n; i++ {
+		id++
+		src, dst := traffic.Intn(16), traffic.Intn(16)
+		var m *mesg.Message
+		switch traffic.Intn(3) {
+		case 0:
+			m = &mesg.Message{ID: id, Kind: mesg.ReadReq, Src: mesg.P(src), Dst: mesg.M(dst)}
+		case 1:
+			m = &mesg.Message{ID: id, Kind: mesg.ReadReply, Src: mesg.M(src), Dst: mesg.P(dst), Data: 1}
+		default:
+			m = &mesg.Message{ID: id, Kind: mesg.CtoCReply, Src: mesg.P(src), Dst: mesg.P(dst), Data: 1}
+		}
+		m.Addr = uint64(traffic.Intn(1<<12)) * 32
+		r.net.Send(m)
+	}
+	r.runUntilIdle(t, 500000)
+	if len(r.got) != n {
+		t.Fatalf("delivered %d of %d under corruption", len(r.got), n)
+	}
+	seen := map[uint64]bool{}
+	for _, d := range r.got {
+		if seen[d.m.ID] {
+			t.Fatalf("duplicate delivery of %d", d.m.ID)
+		}
+		seen[d.m.ID] = true
+	}
+	if r.net.Stats.FlitsCorrupted == 0 {
+		t.Fatal("oracle never fired; test is vacuous")
+	}
+	// Every replay buffer must have drained with the traffic.
+	for k, lc := range r.net.links {
+		if len(lc.replay) != 0 {
+			t.Fatalf("link %v retains %d unacked flits after drain", k, len(lc.replay))
+		}
+	}
+}
+
+// FuzzFlitReassembly throws corruption patterns at a short message
+// sequence: whatever the pattern, every message must be reassembled
+// exactly once, in per-link order, with the network draining fully.
+func FuzzFlitReassembly(f *testing.F) {
+	f.Add(uint64(0), uint8(0), uint8(15), uint8(0))
+	f.Add(uint64(1), uint8(0), uint8(15), uint8(1))
+	f.Add(uint64(0b1011), uint8(3), uint8(12), uint8(2))
+	f.Add(uint64(0xffffffff), uint8(7), uint8(7), uint8(1))
+	f.Add(uint64(0xaaaa5555aaaa5555), uint8(15), uint8(0), uint8(2))
+	f.Fuzz(func(t *testing.T, mask uint64, srcB, dstB, kindB uint8) {
+		r := newNetRig(NetConfig{})
+		// The mask corrupts transmission attempt i (globally, across
+		// all links) when bit i%64 is set — replays draw new bits, so
+		// dense masks exercise repeated retransmission, chained replay,
+		// and the MaxLinkRetries-free flit protocol's convergence.
+		attempt := 0
+		r.net.cfg.LinkFault = func(sw topo.SwitchID, out int) bool {
+			hit := mask>>(uint(attempt)%64)&1 == 1
+			attempt++
+			// Never corrupt unboundedly: past 4096 attempts the wire
+			// heals so the run must converge.
+			return hit && attempt < 4096
+		}
+		src, dst := int(srcB%16), int(dstB%16)
+		msgs := []*mesg.Message{}
+		switch kindB % 3 {
+		case 0:
+			msgs = append(msgs,
+				&mesg.Message{ID: 1, Kind: mesg.ReadReq, Addr: 0x40, Src: mesg.P(src), Dst: mesg.M(dst)},
+				&mesg.Message{ID: 2, Kind: mesg.ReadReply, Addr: 0x40, Src: mesg.M(dst), Dst: mesg.P(src), Data: 1})
+		case 1:
+			msgs = append(msgs,
+				&mesg.Message{ID: 1, Kind: mesg.WriteBack, Addr: 0x80, Src: mesg.P(src), Dst: mesg.M(dst), Data: 1},
+				&mesg.Message{ID: 2, Kind: mesg.WriteBack, Addr: 0xc0, Src: mesg.P(src), Dst: mesg.M(dst), Data: 1})
+		default:
+			msgs = append(msgs,
+				&mesg.Message{ID: 1, Kind: mesg.CtoCReply, Addr: 0x40, Src: mesg.P(src), Dst: mesg.P(dst), Data: 1})
+		}
+		for _, m := range msgs {
+			r.net.Send(m)
+		}
+		r.runUntilIdle(t, 200000)
+		if len(r.got) != len(msgs) {
+			t.Fatalf("delivered %d of %d (mask %x)", len(r.got), len(msgs), mask)
+		}
+		seen := map[uint64]bool{}
+		for _, d := range r.got {
+			if seen[d.m.ID] {
+				t.Fatalf("duplicate delivery of %d", d.m.ID)
+			}
+			seen[d.m.ID] = true
+		}
+		for k, lc := range r.net.links {
+			if len(lc.replay) != 0 {
+				t.Fatalf("link %v retains %d unacked flits", k, len(lc.replay))
+			}
+		}
+	})
+}

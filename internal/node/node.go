@@ -88,6 +88,7 @@ type Stats struct {
 	WriteStall      sim.Cycle // cycles stalled on a full write buffer
 	Retries         uint64
 	Retransmits     uint64 // requests re-sent by the NI timeout machinery
+	Fallbacks       uint64 // transactions completed only after retransmitting
 	CtoCServed      uint64 // CtoC requests this node supplied as owner
 }
 
@@ -453,6 +454,12 @@ func (n *Node) completeRead(m *mesg.Message, class ReadClass) {
 		return
 	}
 	n.read = nil
+	if r.attempts > 0 {
+		// The read completed only after the NI re-sent it (original
+		// lost to a drop, a dead link, or a switch that died holding
+		// the intercepted transfer): a home fallback.
+		n.Stats.Fallbacks++
+	}
 	// Poisoned fills (invalidated mid-flight) serve the blocked load
 	// once without caching. Switch-cache replies are cacheable: the
 	// serving switch sends the home an add-sharer note, so the full
@@ -487,8 +494,12 @@ func (n *Node) completeRead(m *mesg.Message, class ReadClass) {
 // the block Modified with the store's version and drain the next one.
 func (n *Node) completeWrite(m *mesg.Message) {
 	b := n.block(m.Addr)
-	if _, ok := n.curWrites[b]; !ok {
+	w, ok := n.curWrites[b]
+	if !ok {
 		return // stale duplicate
+	}
+	if w.attempts > 0 {
+		n.Stats.Fallbacks++
 	}
 	// Commit with a fresh stamp: the store (plus anything coalesced
 	// into it) retires now, so its version must rank in commit order.

@@ -25,6 +25,7 @@ package sdir
 
 import (
 	"fmt"
+	"math/bits"
 
 	"dresar/internal/mesg"
 	"dresar/internal/sim"
@@ -125,6 +126,12 @@ type Stats struct {
 	PendingFull    uint64 // interceptions abandoned (pending buffer full)
 	PortDelayTotal uint64 // cycles of directory-port contention charged
 	Bypassed       uint64 // snoops skipped at disabled (faulty) directories
+
+	// Switch-loss accounting (FailOrdinal): a killed switch takes its
+	// directory SRAM with it.
+	EntriesLost   uint64 // live entries destroyed by switch failures
+	PendingLost   uint64 // TRANSIENT entries (pending transfers) destroyed
+	HomeFallbacks uint64 // intercepted requesters re-homed after a switch loss
 }
 
 // entry is one directory line.
@@ -158,6 +165,7 @@ type Fabric struct {
 	tp       *topo.T
 	dirs     []*dir
 	disabled []bool // per-switch faulty flag: bypassed, draining only
+	failed   []bool // per-switch dead flag: bypassed entirely, state lost
 	Stats    Stats
 }
 
@@ -176,7 +184,8 @@ func New(tp *topo.T, cfg Config) (*Fabric, error) {
 	if cfg.SnoopPorts <= 0 {
 		cfg.SnoopPorts = 2
 	}
-	f := &Fabric{cfg: cfg, tp: tp, dirs: make([]*dir, tp.NumSwitches()), disabled: make([]bool, tp.NumSwitches())}
+	f := &Fabric{cfg: cfg, tp: tp, dirs: make([]*dir, tp.NumSwitches()),
+		disabled: make([]bool, tp.NumSwitches()), failed: make([]bool, tp.NumSwitches())}
 	for i := range f.dirs {
 		d := &dir{sets: make([][]entry, nsets), nsets: uint64(nsets)}
 		for s := range d.sets {
@@ -254,6 +263,13 @@ func (f *Fabric) Snoop(sw topo.SwitchID, m *mesg.Message, now sim.Cycle) xbar.Ac
 	}
 	ord := f.tp.SwitchOrdinal(sw)
 	d := f.dirs[ord]
+	if f.failed[ord] {
+		// A dead switch has no directory left at all: nothing to drain,
+		// nothing to intercept. (The xbar also stops snooping at dead
+		// switches; this guard covers fabrics driven without one.)
+		f.Stats.Bypassed++
+		return xbar.Action{}
+	}
 	if f.disabled[ord] {
 		f.Stats.Bypassed++
 		if !transientOnly(m.Kind) || d.pendingCount == 0 {
@@ -590,6 +606,46 @@ func (f *Fabric) DisableOrdinal(i int) {
 		}
 	}
 }
+
+// FailSwitch models whole-switch death (as opposed to Disable's
+// graceful degradation): the directory SRAM is gone, so every entry —
+// including TRANSIENT ones and their pending-buffer state — is
+// invalidated and the directory never processes another snoop.
+// Requesters whose transfers were intercepted here are orphaned with
+// the entry; they recover by retransmitting to the home node (the NI
+// timeout path), which remains the fallback authority. The loss is
+// tallied in Stats: EntriesLost, PendingLost, and one HomeFallback per
+// requester recorded in a lost TRANSIENT entry's bit vector.
+func (f *Fabric) FailSwitch(sw topo.SwitchID) { f.FailOrdinal(f.tp.SwitchOrdinal(sw)) }
+
+// FailOrdinal is FailSwitch by switch ordinal (fault-plan addressing).
+func (f *Fabric) FailOrdinal(i int) {
+	if f.failed[i] {
+		return
+	}
+	f.failed[i] = true
+	f.disabled[i] = true
+	d := f.dirs[i]
+	for _, set := range d.sets {
+		for w := range set {
+			e := &set[w]
+			if e.state == Inv {
+				continue
+			}
+			f.Stats.EntriesLost++
+			if e.state == Trans {
+				f.Stats.PendingLost++
+				f.Stats.HomeFallbacks += uint64(bits.OnesCount64(e.reqVec))
+			}
+			e.state = Inv
+			e.reqVec = 0
+		}
+	}
+	d.pendingCount = 0
+}
+
+// Failed reports whether a switch's directory died with its switch.
+func (f *Fabric) Failed(sw topo.SwitchID) bool { return f.failed[f.tp.SwitchOrdinal(sw)] }
 
 // DisableAll flags every switch directory faulty, degrading the whole
 // machine to the base home protocol.

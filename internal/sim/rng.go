@@ -52,6 +52,18 @@ func (r *RNG) Intn(n int) int {
 	return int(r.Uint64() % uint64(n))
 }
 
+// Hit draws one Bernoulli trial with probability permille/1000. Rates
+// at or below 0 never hit and never consume randomness, so an inactive
+// fault class leaves the stream untouched; rates of 1000 or more
+// always hit (and do consume a draw, keeping replay deterministic for
+// plans that mix certain and probabilistic faults).
+func (r *RNG) Hit(permille int) bool {
+	if permille <= 0 {
+		return false
+	}
+	return r.Intn(1000) < permille
+}
+
 // Float64 returns a uniform float64 in [0, 1).
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)

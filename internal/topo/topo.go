@@ -184,6 +184,43 @@ func (t *T) Turnaround(src, dst, sel int) []Hop {
 	}
 }
 
+// Link names one directional link by its source switch ordinal (see
+// SwitchOrdinal) and output port. This covers both inter-switch links
+// and endpoint delivery links; injection links (endpoint into switch)
+// are not separately addressable.
+type Link struct {
+	Sw  int  // source switch ordinal
+	Out Port // output port on the source switch
+}
+
+func (l Link) String() string { return fmt.Sprintf("sw%d:out%d", l.Sw, l.Out) }
+
+// InterSwitchLinks enumerates every directional leaf↔top link in
+// deterministic order: all leaf up-links first, then all top
+// down-links. Endpoint delivery links are excluded — severing one
+// isolates its endpoint outright (a partition), whereas any single
+// inter-switch link loss leaves the fabric connected.
+func (t *T) InterSwitchLinks() []Link {
+	var out []Link
+	for leaf := 0; leaf < t.Leaves; leaf++ {
+		ord := t.SwitchOrdinal(SwitchID{Stage: 0, Index: leaf})
+		for top := 0; top < t.Tops; top++ {
+			for lane := 0; lane < t.Bundle; lane++ {
+				out = append(out, Link{Sw: ord, Out: t.upPort(top, lane)})
+			}
+		}
+	}
+	for top := 0; top < t.Tops; top++ {
+		ord := t.SwitchOrdinal(SwitchID{Stage: 1, Index: top})
+		for leaf := 0; leaf < t.Leaves; leaf++ {
+			for lane := 0; lane < t.Bundle; lane++ {
+				out = append(out, Link{Sw: ord, Out: t.topDownPort(leaf, lane)})
+			}
+		}
+	}
+	return out
+}
+
 // SwitchesForward lists just the switches on the forward path, in
 // traversal order; used by the trace-driven simulator, which models
 // directory placement but not link timing.

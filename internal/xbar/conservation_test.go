@@ -1,6 +1,7 @@
 package xbar
 
 import (
+	"fmt"
 	"testing"
 
 	"dresar/internal/mesg"
@@ -32,6 +33,51 @@ func (s *chaosSnooper) Snoop(sw topo.SwitchID, m *mesg.Message, now sim.Cycle) A
 		return Action{ExtraDelay: sim.Cycle(s.rng.Intn(6))}
 	}
 	return Action{}
+}
+
+// runConservation drives n random messages through a network with the
+// chaos snooper and tiny buffers, then checks the extended conservation
+// equation: Sent+Generated == Delivered+Sunk+Unroutable.
+func runConservation(t *testing.T, tp *topo.T, n int, prep func(net *Network, eng *sim.Engine)) Stats {
+	t.Helper()
+	eng := sim.NewEngine()
+	sn := &chaosSnooper{rng: sim.NewRNG(7), tp: tp}
+	net := New(eng, tp, Config{Snoop: sn, VCQueueMsgs: 1})
+	net.Fail = func(error) {} // unroutable drops are expected under faults
+	for i := 0; i < tp.Nodes; i++ {
+		net.AttachProc(i, func(m *mesg.Message) {})
+		net.AttachMem(i, func(m *mesg.Message) {})
+	}
+	if prep != nil {
+		prep(net, eng)
+	}
+	rng := sim.NewRNG(3)
+	kinds := []mesg.Kind{mesg.ReadReq, mesg.WriteReq, mesg.WriteReply, mesg.CopyBack, mesg.WriteBack, mesg.ReadReply, mesg.Inval}
+	for i := 0; i < n; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		var src, dst mesg.End
+		if k == mesg.WriteReply || k == mesg.ReadReply || k == mesg.Inval {
+			src, dst = mesg.M(rng.Intn(tp.Nodes)), mesg.P(rng.Intn(tp.Nodes))
+		} else {
+			src, dst = mesg.P(rng.Intn(tp.Nodes)), mesg.M(rng.Intn(tp.Nodes))
+		}
+		m := &mesg.Message{Kind: k, Addr: uint64(rng.Intn(1<<16)) * 32, Src: src, Dst: dst, Requester: src.Node}
+		at := sim.Cycle(rng.Intn(20000))
+		eng.At(at, func() { net.Send(m) })
+	}
+	eng.Run(0)
+	if !net.Quiesced() {
+		t.Fatalf("%v: network not quiesced", tp)
+	}
+	st := net.Stats
+	if st.Sent+st.Generated != st.Delivered+st.Sunk+st.Unroutable {
+		t.Fatalf("%v: conservation violated: sent=%d gen=%d delivered=%d sunk=%d unroutable=%d",
+			tp, st.Sent, st.Generated, st.Delivered, st.Sunk, st.Unroutable)
+	}
+	if st.Sent != uint64(n) {
+		t.Fatalf("%v: sent = %d, want %d", tp, st.Sent, n)
+	}
+	return st
 }
 
 // TestMessageConservation: every message injected is eventually either
@@ -74,6 +120,70 @@ func TestMessageConservation(t *testing.T) {
 		}
 		if st.Sent != n {
 			t.Fatalf("%v: sent = %d, want %d", tp, st.Sent, n)
+		}
+	}
+}
+
+// TestMessageConservationUnderNetFaults re-runs the conservation sweep
+// with every network fault class active, on the paper's 4×4 machine
+// and the 8×8 scale-up: faults may drop unroutable messages (counted),
+// but must never lose, duplicate, or wedge anything.
+func TestMessageConservationUnderNetFaults(t *testing.T) {
+	configs := [][2]int{{16, 4}, {64, 8}} // 4×4 and 8×8 switch fabrics
+	classes := []struct {
+		name string
+		prep func(net *Network, eng *sim.Engine)
+	}{
+		{"corrupt", func(net *Network, eng *sim.Engine) {
+			// Noisy oracles on the first up-link of two leaves.
+			crng := sim.NewRNG(41)
+			for _, sw := range []int{0, 1} {
+				net.SetLinkCorrupter(sw, topo.Port(net.tp.Radix), func() bool { return crng.Intn(10) < 3 })
+			}
+		}},
+		{"linkdown", func(net *Network, eng *sim.Engine) {
+			links := net.tp.InterSwitchLinks()
+			eng.At(3000, func() { net.DownLink(links[0].Sw, links[0].Out) })
+			eng.At(7000, func() { l := links[len(links)/2]; net.DownLink(l.Sw, l.Out) })
+		}},
+		{"switchdown", func(net *Network, eng *sim.Engine) {
+			eng.At(4000, func() { net.DownSwitch(0) })                  // a leaf
+			eng.At(9000, func() { net.DownSwitch(net.tp.Leaves + 1) }) // a top
+		}},
+		{"endpointdown", func(net *Network, eng *sim.Engine) {
+			// Partition P0 mid-run: its traffic becomes unroutable.
+			eng.At(5000, func() { net.DownLink(0, 0) })
+		}},
+		{"everything", func(net *Network, eng *sim.Engine) {
+			crng := sim.NewRNG(43)
+			net.SetLinkCorrupter(1, topo.Port(net.tp.Radix), func() bool { return crng.Intn(10) < 3 })
+			links := net.tp.InterSwitchLinks()
+			eng.At(2000, func() { net.DownLink(links[1].Sw, links[1].Out) })
+			eng.At(6000, func() { net.DownSwitch(net.tp.Leaves) })
+			eng.At(9000, func() { net.DownLink(0, 1) })
+		}},
+	}
+	for _, cfgTP := range configs {
+		tp := topo.MustNew(cfgTP[0], cfgTP[1])
+		for _, c := range classes {
+			c := c
+			t.Run(fmt.Sprintf("%s/%dx%d", c.name, tp.Leaves, tp.Radix), func(t *testing.T) {
+				st := runConservation(t, tp, 3000, c.prep)
+				switch c.name {
+				case "corrupt":
+					if st.Retransmits == 0 {
+						t.Errorf("corruption produced no retransmits: %+v", st)
+					}
+				case "linkdown", "switchdown":
+					if st.Reroutes == 0 {
+						t.Errorf("topology fault produced no reroutes: %+v", st)
+					}
+				case "endpointdown":
+					if st.Unroutable == 0 {
+						t.Errorf("partitioned endpoint produced no unroutable drops: %+v", st)
+					}
+				}
+			})
 		}
 	}
 }

@@ -83,6 +83,13 @@ type Stats struct {
 	Generated uint64 // messages injected by the snooper
 	FlitHops  uint64 // flit×hop units transmitted (network load)
 	QueueWait uint64 // total cycles messages spent queued in switches
+
+	// Fault-recovery counters (see faults.go); all zero on a healthy
+	// fabric.
+	Retransmits  uint64 // link-level replays after checksum-detected corruption
+	Reroutes     uint64 // messages routed around a dead link or switch
+	Unroutable   uint64 // messages dropped because no path survived
+	DegradedHops uint64 // traversals of a dead (degraded-forwarding) switch
 }
 
 // tx is a message in flight with its residual route.
@@ -96,6 +103,27 @@ type tx struct {
 	// re-snooped at the switch that generated it: the directory has
 	// already processed the transaction there.
 	skipSnoopOnce bool
+	// canon holds the switch set of the message's canonical
+	// (fault-free) route, captured when a detour replaces it; nil on a
+	// healthy fabric. A switch off the canonical route must not snoop
+	// the message: the directory protocol's clearing messages
+	// (copybacks, writebacks) travel canonical paths, so interception
+	// state created at a detour-only switch would never resolve and
+	// would bounce its requesters forever.
+	canon []topo.SwitchID
+}
+
+// onCanon reports whether sw may snoop this message.
+func (t *tx) onCanon(sw topo.SwitchID) bool {
+	if t.canon == nil {
+		return true
+	}
+	for _, c := range t.canon {
+		if c == sw {
+			return true
+		}
+	}
+	return false
 }
 
 // vcq is one bounded virtual-channel FIFO.
@@ -130,6 +158,11 @@ type outLink struct {
 	toSwitch int       // ordinal of downstream switch; -1 if endpoint
 	toPort   topo.Port // input port on downstream switch
 	toEnd    mesg.End  // endpoint, when toSwitch == -1
+	// down marks a hard link failure (see faults.go); corrupt, when
+	// non-nil, decides per transmission attempt whether the receiver's
+	// checksum rejects it and forces a link-level retransmit.
+	down    bool
+	corrupt func() bool
 }
 
 // swc is one switch instance. Input ports 0..2R-1 are the physical
@@ -139,6 +172,9 @@ type swc struct {
 	in  [][VCsPerPort]vcq // indexed by input port
 	out []outLink         // indexed by output port
 	ups []upstream        // indexed by input port
+	// down marks whole-switch failure: the directory snoop is dead and
+	// traversals pay DegradedPenalty (see faults.go).
+	down bool
 }
 
 // Network is the full BMIN with endpoint attachment points.
@@ -158,6 +194,18 @@ type Network struct {
 	// up-ports to memories are modeled inside outLink freeAt.
 	Stats  Stats
 	nextID uint64
+
+	// Fault state (see faults.go). nFaults gates every fault-aware
+	// branch: while zero, behaviour is bit-identical to the
+	// fault-oblivious fabric.
+	nFaults      int
+	downLinks    []topo.Link
+	downSwitches []topo.SwitchID
+
+	// Fail, when set, receives the structured *UnroutableError for
+	// messages dropped because the fabric partitioned. Unset, such an
+	// error panics — a partition must never silently eat traffic.
+	Fail func(error)
 
 	// Trace, when set, observes every message lifecycle event:
 	// "send", "sink", "gen", "deliver". For debugging protocols.
@@ -300,7 +348,11 @@ func (n *Network) Send(m *mesg.Message) {
 	if n.Trace != nil {
 		n.Trace("send", n.eng.Now(), m)
 	}
-	t := &tx{m: m, hops: n.route(m), injected: n.eng.Now()}
+	hops, canon, ok := n.routeOrFail(n.route(m), m)
+	if !ok {
+		return
+	}
+	t := &tx{m: m, hops: hops, canon: canon, injected: n.eng.Now()}
 	var il *injLink
 	if m.Src.Side == mesg.ProcSide {
 		il = &n.injProc[m.Src.Node]
@@ -351,6 +403,12 @@ func (n *Network) arriveReserved(sw *swc, q *vcq, t *tx) {
 			q.q[i] = t
 			break
 		}
+	}
+	if n.faulty() && !n.fixRoute(t) {
+		// A fault landed while the message was on the wire and its
+		// destination did not survive it.
+		n.dropUnroutable(sw, q, t)
+		return
 	}
 	n.tryOutput(sw, t.hops[t.hopIdx].Out)
 }
@@ -431,9 +489,16 @@ func (n *Network) grant(sw *swc, out topo.Port, q *vcq) bool {
 	// directory; the switch-cache extension also watches data replies
 	// and invalidations).
 	var extra sim.Cycle
-	if t.skipSnoopOnce {
+	if sw.down {
+		// Degraded forwarding (faults.go): the directory pipeline is
+		// dead, so the snoop is skipped and the traversal pays the
+		// maintenance-bypass penalty.
+		extra = DegradedPenalty
+		n.Stats.DegradedHops++
 		t.skipSnoopOnce = false
-	} else if n.cfg.Snoop != nil {
+	} else if t.skipSnoopOnce {
+		t.skipSnoopOnce = false
+	} else if n.cfg.Snoop != nil && t.onCanon(sw.id) {
 		act := n.cfg.Snoop.Snoop(sw.id, t.m, now)
 		extra = act.ExtraDelay
 		for _, g := range act.Generated {
@@ -455,8 +520,20 @@ func (n *Network) grant(sw *swc, out topo.Port, q *vcq) bool {
 
 	start := now + extra
 	ser := sim.Cycle(t.m.Flits() * mesg.LinkCyclesPerFlit)
-	ol.freeAt = start + ser
 	n.Stats.FlitHops += uint64(t.m.Flits())
+	if ol.corrupt != nil {
+		if retries := n.linkRetries(ol); retries > 0 {
+			// Corrupted transmissions are rejected by the receiver's
+			// per-flit checksum and replayed from the sender's replay
+			// buffer; the link stays occupied for the nack round trip
+			// plus each re-serialization. The downstream reservation is
+			// untouched, so credit accounting is unaffected.
+			n.Stats.Retransmits += uint64(retries)
+			n.Stats.FlitHops += uint64(retries * t.m.Flits())
+			ser += sim.Cycle(retries) * (ser + RetxRoundTrip)
+		}
+	}
+	ol.freeAt = start + ser
 	arrive := start + n.core + ser
 
 	if ol.toSwitch < 0 {
@@ -526,8 +603,11 @@ func (n *Network) injectAt(sw *swc, m *mesg.Message, when sim.Cycle) {
 		n.nextID++
 		m.ID = n.nextID
 	}
-	hops := n.routeFrom(sw.id, m)
-	t := &tx{m: m, hops: hops, injected: when, skipSnoopOnce: true}
+	hops, canon, ok := n.routeOrFail(n.routeFrom(sw.id, m), m)
+	if !ok {
+		return
+	}
+	t := &tx{m: m, hops: hops, canon: canon, injected: when, skipSnoopOnce: true}
 	injPort := len(sw.in) - 1
 	q := &sw.in[injPort][vcFor(m)]
 	n.eng.At(when, func() {

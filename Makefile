@@ -1,19 +1,28 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check build test test-race vet bench figures figures-paper fuzz fuzz-short clean
+.PHONY: all check build test test-race vet lint bench figures figures-paper fuzz fuzz-short clean
 
 all: check
 
-# The default gate: compile, static checks, tests, the race detector
-# (the fault-injection and watchdog paths are concurrency-sensitive by
-# construction), and a short run of the coverage-guided fuzzers.
-check: build vet test test-race fuzz-short
+# The default gate: compile, static checks (go vet plus the repo's own
+# dresar-lint analyzers), tests, the race detector (the fault-injection
+# and watchdog paths are concurrency-sensitive by construction), and a
+# short run of the coverage-guided fuzzers.
+check: build vet lint test test-race fuzz-short
 
 build:
 	go build ./...
 
 vet:
 	go vet ./...
+
+# The project analyzers (docs/ANALYSIS.md): determinism, protocol-enum
+# exhaustiveness, message ownership, counter monotonicity. Running the
+# tool through `go vet -vettool=` gets per-package result caching keyed
+# on the tool binary's hash.
+lint:
+	go build -o bin/dresar-lint ./cmd/dresar-lint
+	go vet -vettool=$(CURDIR)/bin/dresar-lint ./...
 
 test:
 	go test ./...

@@ -1,0 +1,76 @@
+// Command dresar-lint is the repo's static-analysis gate. It bundles
+// four analyzers that enforce invariants the test suite can only probe
+// statistically:
+//
+//	detlint    determinism of the event path (no map-order side
+//	           effects, wall clock, global rand, or goroutines)
+//	kindswitch exhaustive switches over protocol enums
+//	msgown     no mutation or re-send of a message already handed to
+//	           the interconnect
+//	statlint   Stats counters increment-only outside their owning
+//	           package
+//
+// It speaks the `go vet -vettool=` protocol, so the usual invocation is
+//
+//	go build -o bin/dresar-lint ./cmd/dresar-lint
+//	go vet -vettool=$(pwd)/bin/dresar-lint ./...
+//
+// (`make lint` does exactly that, with go vet's per-package caching).
+// Run directly with package patterns it loads and checks them itself:
+//
+//	dresar-lint ./...
+//
+// Suppress an individual finding with a marker on, or on the line
+// above, the flagged line:
+//
+//	//lint:ignore detlint reason why this one is safe
+//
+// See docs/ANALYSIS.md for each analyzer's contract.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dresar/internal/analysis"
+	"dresar/internal/analysis/detlint"
+	"dresar/internal/analysis/kindswitch"
+	"dresar/internal/analysis/msgown"
+	"dresar/internal/analysis/statlint"
+)
+
+var suite = []*analysis.Analyzer{
+	detlint.Analyzer,
+	kindswitch.Analyzer,
+	msgown.Analyzer,
+	statlint.Analyzer,
+}
+
+func main() {
+	// Under `go vet -vettool=` the driver passes -flags / -V=full /
+	// <objdir>/vet.cfg; VetMain recognizes and fully handles those.
+	if analysis.VetMain(suite...) {
+		return
+	}
+	// Standalone mode: load and check package patterns ourselves.
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dresar-lint:", err)
+		os.Exit(1)
+	}
+	diags, err := analysis.Run(cwd, patterns, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dresar-lint:", err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Position, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,171 @@
+// Package analysis is a small, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis surface that the dresar-lint suite
+// needs. The container this repository builds in has no module proxy
+// access, so the usual x/tools multichecker cannot be vendored; the
+// subset here — an Analyzer/Pass pair, a `go vet -vettool=` unitchecker
+// (unitchecker.go), and a `go list -export`-based standalone loader
+// (load.go) — is enough to run type-aware analyzers over the module and
+// its analysistest fixtures with nothing beyond the standard library.
+//
+// Each analyzer receives one type-checked package per Pass and reports
+// diagnostics through Pass.Reportf. Diagnostics are filtered by the
+// suppression marker described in docs/ANALYSIS.md: a comment of the
+// form
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the flagged line or the line immediately above it drops the
+// finding (`all` matches every analyzer). A reason is mandatory purely
+// by convention; the driver only checks the analyzer name.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. Run inspects a single package and
+// reports findings on the Pass; the returned value is unused (kept for
+// x/tools signature compatibility).
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) (interface{}, error)
+}
+
+// Pass holds one type-checked package for one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Position token.Position // resolved; filled by the driver
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// SourceFiles returns the pass's non-test files. The suite's invariants
+// concern simulator code; _test.go files legitimately reset counters,
+// construct half-built messages, and iterate maps for assertions, so
+// every dresar-lint analyzer starts from this slice.
+func (p *Pass) SourceFiles() []*ast.File {
+	var out []*ast.File
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// runPackage runs every analyzer over one type-checked package and
+// returns the surviving (non-suppressed) diagnostics sorted by
+// position.
+func runPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			diags:     &diags,
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	sup := newSuppressions(fset, files)
+	kept := diags[:0]
+	for _, d := range diags {
+		d.Position = fset.Position(d.Pos)
+		if sup.matches(d.Position, d.Analyzer) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Position, kept[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept, nil
+}
+
+// suppressions indexes //lint:ignore comments by file and line.
+type suppressions struct {
+	byLine map[string]map[int][]string // filename -> line -> analyzer names
+}
+
+func newSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{byLine: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:ignore") {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := s.byLine[pos.Filename]
+				if m == nil {
+					m = make(map[int][]string)
+					s.byLine[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], fields[1])
+			}
+		}
+	}
+	return s
+}
+
+// matches reports whether a diagnostic from analyzer at position is
+// suppressed: the marker may sit on the flagged line or the line above.
+func (s *suppressions) matches(pos token.Position, analyzer string) bool {
+	m := s.byLine[pos.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range m[line] {
+			if name == analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}

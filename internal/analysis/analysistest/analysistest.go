@@ -1,0 +1,157 @@
+// Package analysistest runs an analyzer over fixture packages under a
+// testdata/src tree and checks its diagnostics against `// want`
+// expectations, in the style of golang.org/x/tools/go/analysis/
+// analysistest (reimplemented here because the module builds without a
+// proxy; see package analysis).
+//
+// A fixture file marks each line that must produce a diagnostic with a
+// trailing comment:
+//
+//	for k := range m { // want `detlint: iteration over map`
+//
+// The quoted text (backquotes or double quotes) is a regular
+// expression matched against the diagnostic message. Every diagnostic
+// must land on a line with a matching want, and every want must be
+// matched by a diagnostic; anything else fails the test. Suppressed
+// findings (//lint:ignore) are filtered before matching, so fixtures
+// can also prove the suppression marker works.
+//
+// Fixtures may import real module packages (e.g. dresar/internal/mesg):
+// imports resolve through `go list -export`, which serves compiled
+// export data from the build cache.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dresar/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run analyzes each fixture package testdata/src/<pkg> with a and
+// reports expectation mismatches through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, "src", pkg)
+		if err := runOne(t, dir, pkg, a); err != nil {
+			t.Errorf("%s: %v", pkg, err)
+		}
+	}
+}
+
+func runOne(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) error {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(filenames) == 0 {
+		return fmt.Errorf("no fixture files in %s", dir)
+	}
+	diags, fset, files, err := analysis.RunFiles(pkgPath, filenames, a)
+	if err != nil {
+		return err
+	}
+	wants := collectWants(t, fset, files)
+
+	matched := make(map[*want]bool)
+	for _, d := range diags {
+		w := findWant(wants, d.Position.Filename, d.Position.Line, d.Message)
+		if w == nil {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Position, d.Message)
+			continue
+		}
+		matched[w] = true
+	}
+	for _, w := range wants {
+		if !matched[w] {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.pattern)
+		}
+	}
+	return nil
+}
+
+// want is one expectation comment.
+type want struct {
+	file    string
+	line    int
+	pattern string
+	re      *regexp.Regexp
+}
+
+var wantRe = regexp.MustCompile("//\\s*want\\s+(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				lit := m[1]
+				var pattern string
+				if lit[0] == '`' {
+					pattern = lit[1 : len(lit)-1]
+				} else {
+					var err error
+					pattern, err = strconv.Unquote(lit)
+					if err != nil {
+						t.Errorf("bad want literal %s: %v", lit, err)
+						continue
+					}
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Errorf("bad want regexp %q: %v", pattern, err)
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: pattern, re: re})
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	return wants
+}
+
+func findWant(wants []*want, file string, line int, message string) *want {
+	for _, w := range wants {
+		if w.file == file && w.line == line && w.re.MatchString(message) {
+			return w
+		}
+	}
+	return nil
+}

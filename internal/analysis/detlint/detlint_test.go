@@ -1,0 +1,12 @@
+package detlint_test
+
+import (
+	"testing"
+
+	"dresar/internal/analysis/analysistest"
+	"dresar/internal/analysis/detlint"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detlint.Analyzer, "a")
+}

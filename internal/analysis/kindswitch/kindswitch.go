@@ -1,0 +1,153 @@
+// Package kindswitch enforces protocol-enum exhaustiveness: a switch
+// over one of the coherence-protocol enums must either list every
+// declared constant of the type (an explicit "nothing to do" case is
+// fine — it documents the decision and goes stale loudly when a new
+// constant appears) or carry a default that fails (panics, returns, or
+// calls a fatal/fail handler). The point is the day someone adds a
+// message kind or a directory state: every switch that silently
+// fell through would silently drop the new kind; with this check each
+// one becomes a compile-gate finding that forces a decision.
+//
+// This is the invariant-coverage discipline Murphi-style protocol
+// verifiers apply to directory protocols at model-checking time, moved
+// to compile time (see PAPERS.md on directory-protocol verification).
+package kindswitch
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"dresar/internal/analysis"
+)
+
+// Analyzer is the kindswitch instance.
+var Analyzer = &analysis.Analyzer{
+	Name: "kindswitch",
+	Doc:  "switches over protocol enums must cover every constant or fail in default",
+	Run:  run,
+}
+
+// enums lists the guarded protocol enum types by qualified name.
+var enums = map[string]bool{
+	"dresar/internal/mesg.Kind":       true,
+	"dresar/internal/cache.State":     true,
+	"dresar/internal/dirctl.DirState": true,
+	"dresar/internal/sdir.EntryState": true,
+	"dresar/internal/sdir.Policy":     true,
+}
+
+// sentinelRe matches count-sentinel constants (numKinds style) that no
+// value ever holds; they are exempt from coverage.
+var sentinelRe = regexp.MustCompile(`^(num|Num|max|Max|_)`)
+
+// failCallRe matches callee names that make a default clause an
+// explicit failure rather than a silent fall-through.
+var failCallRe = regexp.MustCompile(`(?i)(fatal|fail|panic|exit|unreachable)`)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.SourceFiles() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	t := pass.TypesInfo.TypeOf(sw.Tag)
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return
+	}
+	qname := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	if !enums[qname] {
+		return
+	}
+	// Every declared constant of the enum type, from its defining
+	// package's scope (works both for the package under analysis and
+	// for imports resolved from export data).
+	declared := make(map[string]string) // exact constant value -> name
+	scope := named.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || sentinelRe.MatchString(name) || !types.Identical(c.Type(), named) {
+			continue
+		}
+		declared[c.Val().ExactString()] = name
+	}
+	covered := make(map[string]bool)
+	var deflt *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			deflt = cc
+			continue
+		}
+		for _, expr := range cc.List {
+			if tv, ok := pass.TypesInfo.Types[expr]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+	var missing []string
+	for val, name := range declared {
+		if !covered[val] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	if deflt != nil {
+		if defaultFails(pass, deflt) {
+			return
+		}
+		pass.Reportf(sw.Pos(), "kindswitch: switch on %s does not cover %s and its default is a silent fall-through; list the constants or make the default fail", qname, strings.Join(missing, ", "))
+		return
+	}
+	pass.Reportf(sw.Pos(), "kindswitch: switch on %s does not cover %s; add the cases (an explicit no-op case is fine) or a failing default", qname, strings.Join(missing, ", "))
+}
+
+// defaultFails reports whether the default clause visibly refuses the
+// unhandled value: it returns, panics, or calls a fatal/fail handler.
+func defaultFails(pass *analysis.Pass, cc *ast.CaseClause) bool {
+	fails := false
+	for _, stmt := range cc.Body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if fails {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.ReturnStmt:
+				fails = true
+			case *ast.BranchStmt:
+				// goto to an error label etc. counts; continue/break do not.
+			case *ast.CallExpr:
+				var name string
+				switch fun := ast.Unparen(n.Fun).(type) {
+				case *ast.Ident:
+					name = fun.Name
+				case *ast.SelectorExpr:
+					name = fun.Sel.Name
+				}
+				if name == "panic" || failCallRe.MatchString(name) {
+					fails = true
+				}
+			}
+			return !fails
+		})
+		if fails {
+			return true
+		}
+	}
+	return fails
+}

@@ -1,0 +1,12 @@
+package kindswitch_test
+
+import (
+	"testing"
+
+	"dresar/internal/analysis/analysistest"
+	"dresar/internal/analysis/kindswitch"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), kindswitch.Analyzer, "a")
+}

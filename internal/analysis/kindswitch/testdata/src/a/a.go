@@ -1,0 +1,93 @@
+// Package a is the kindswitch fixture. It switches over the real
+// protocol enums (resolved from the module's export data) in every
+// shape the analyzer distinguishes.
+package a
+
+import (
+	"dresar/internal/mesg"
+	"dresar/internal/sdir"
+)
+
+// incomplete misses most kinds and has no default.
+func incomplete(k mesg.Kind) bool {
+	switch k { // want `kindswitch: switch on dresar/internal/mesg\.Kind does not cover .*; add the cases`
+	case mesg.ReadReq, mesg.WriteReq:
+		return true
+	}
+	return false
+}
+
+// silentDefault has a default that does nothing — the exact silent
+// fall-through the check exists for.
+func silentDefault(k mesg.Kind) int {
+	r := 0
+	switch k { // want `kindswitch: switch on dresar/internal/mesg\.Kind does not cover .* silent fall-through`
+	case mesg.ReadReq:
+		r = 1
+	default:
+	}
+	return r
+}
+
+// failingDefault refuses unhandled kinds loudly — allowed.
+func failingDefault(k mesg.Kind) int {
+	switch k {
+	case mesg.ReadReq:
+		return 1
+	default:
+		panic("unhandled kind")
+	}
+}
+
+// returningDefault leaves the function on unhandled kinds — allowed.
+func returningDefault(k mesg.Kind) int {
+	r := 0
+	switch k {
+	case mesg.WriteReq:
+		r = 2
+	default:
+		return -1
+	}
+	return r
+}
+
+// exhaustive lists every EntryState — allowed with no default.
+func exhaustive(s sdir.EntryState) string {
+	switch s {
+	case sdir.Inv:
+		return "inv"
+	case sdir.Mod:
+		return "mod"
+	case sdir.Trans:
+		return "trans"
+	}
+	return "?"
+}
+
+// missingState drops Inv and Trans on the floor.
+func missingState(s sdir.EntryState) bool {
+	switch s { // want `kindswitch: switch on dresar/internal/sdir\.EntryState does not cover Inv, Trans`
+	case sdir.Mod:
+		return true
+	}
+	return false
+}
+
+// suppressed: the //lint:ignore marker must drop the finding.
+func suppressed(s sdir.EntryState) bool {
+	//lint:ignore kindswitch fixture proves the marker works
+	switch s {
+	case sdir.Mod:
+		return true
+	}
+	return false
+}
+
+// otherType: switches over non-protocol types are out of scope.
+func otherType(n int) bool {
+	switch n {
+	case 1:
+		return true
+	}
+	return false
+}

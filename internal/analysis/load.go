@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// listedPackage is the subset of `go list -json` output the loader
+// needs: source files for the target packages and compiled export data
+// for every dependency, so targets type-check from source while their
+// imports resolve through the gc importer.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -export -deps -json` over patterns and
+// decodes the concatenated JSON stream.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from compiler export data files. The
+// gc importer calls lookup once per needed package path; importMap
+// translates source-level paths (vendoring) and packageFile maps
+// canonical paths to export data on disk.
+func exportImporter(fset *token.FileSet, importMap, packageFile map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		file, ok := packageFile[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// parseFiles parses every file with comments attached (the suppression
+// and analysistest machinery both need them).
+func parseFiles(fset *token.FileSet, filenames []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// typecheck checks one package parsed from source against imports
+// resolved by imp.
+func typecheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer, goVersion string) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer:    imp,
+		FakeImportC: true,
+		Sizes:       types.SizesFor("gc", runtime.GOARCH),
+		GoVersion:   normalizeGoVersion(goVersion),
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// normalizeGoVersion trims a patch release ("go1.24.0" -> "go1.24") so
+// go/types accepts it as a language version.
+func normalizeGoVersion(v string) string {
+	if v == "" {
+		return ""
+	}
+	parts := strings.Split(v, ".")
+	if len(parts) > 2 {
+		return strings.Join(parts[:2], ".")
+	}
+	return v
+}
+
+// RunFiles type-checks filenames as a single package named pkgPath and
+// runs one analyzer over it. It is the analysistest loading path:
+// fixture files live outside any buildable package (under testdata/),
+// so their imports — standard library or real module packages — are
+// resolved by asking `go list -export` for compiled export data.
+func RunFiles(pkgPath string, filenames []string, a *Analyzer) ([]Diagnostic, *token.FileSet, []*ast.File, error) {
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, filenames)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var imports []string
+	seen := make(map[string]bool)
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			if path != "unsafe" && !seen[path] {
+				seen[path] = true
+				imports = append(imports, path)
+			}
+		}
+	}
+	packageFile := make(map[string]string)
+	if len(imports) > 0 {
+		pkgs, err := goList("", imports)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		for _, p := range pkgs {
+			if p.Export != "" {
+				packageFile[p.ImportPath] = p.Export
+			}
+		}
+	}
+	imp := exportImporter(fset, nil, packageFile)
+	pkg, info, err := typecheck(fset, pkgPath, files, imp, "")
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("typecheck: %v", err)
+	}
+	diags, err := runPackage(fset, files, pkg, info, []*Analyzer{a})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return diags, fset, files, nil
+}
+
+// Run loads the packages matching patterns (standalone mode: a `go
+// list` walk rather than a vet config), analyzes each non-dependency
+// package with every analyzer, and returns the aggregate diagnostics.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	packageFile := make(map[string]string)
+	for _, p := range pkgs {
+		if p.Export != "" {
+			packageFile[p.ImportPath] = p.Export
+		}
+	}
+	var all []Diagnostic
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard || p.Name == "" {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		fset := token.NewFileSet()
+		var filenames []string
+		for _, g := range p.GoFiles {
+			filenames = append(filenames, filepath.Join(p.Dir, g))
+		}
+		if len(filenames) == 0 {
+			continue
+		}
+		files, err := parseFiles(fset, filenames)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		imp := exportImporter(fset, nil, packageFile)
+		pkg, info, err := typecheck(fset, p.ImportPath, files, imp, "")
+		if err != nil {
+			return nil, fmt.Errorf("%s: typecheck: %v", p.ImportPath, err)
+		}
+		diags, err := runPackage(fset, files, pkg, info, analyzers)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		all = append(all, diags...)
+	}
+	return all, nil
+}

@@ -1,0 +1,242 @@
+// Package msgown enforces message ownership across send boundaries. A
+// *mesg.Message handed to a send/enqueue sink is owned by the
+// interconnect from that point on: the network delivers the same
+// pointer to the receiving controller, possibly many simulated cycles
+// later, so a sender that keeps mutating the struct (or hands the same
+// pointer to a second sink) corrupts a message already "on the wire".
+// The protocol fuzzers only catch such aliasing when a schedule happens
+// to interleave the mutation with the delivery; this check catches the
+// straight-line cases deterministically at compile time.
+//
+// The analysis is intentionally simple block-local dataflow over the
+// AST (the x/tools SSA packages are unavailable in this build
+// environment): within each statement list, once an identifier of type
+// *mesg.Message is passed to a sink call, any later statement in the
+// same list that writes one of its fields or passes it to another sink
+// is flagged, until the identifier is rebound. Mutations reached
+// through other aliases or across blocks are out of scope (documented
+// in docs/ANALYSIS.md).
+package msgown
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dresar/internal/analysis"
+)
+
+// Analyzer is the msgown instance.
+var Analyzer = &analysis.Analyzer{
+	Name: "msgown",
+	Doc:  "a *mesg.Message handed to a send/enqueue sink must not be mutated or re-sent afterwards",
+	Run:  run,
+}
+
+// sinkNames are callee names that take ownership of message arguments.
+var sinkNames = map[string]bool{
+	"Send": true, "send": true,
+	"Enqueue": true, "enqueue": true,
+	"Inject": true, "inject": true, "injectAt": true,
+	"Handle": true, "handle": true,
+	"Deliver": true, "deliver": true,
+	"Push": true, "push": true,
+	"Queue": true, "queue": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.SourceFiles() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if block, ok := n.(*ast.BlockStmt); ok {
+				checkBlock(pass, block.List)
+			}
+			if cc, ok := n.(*ast.CaseClause); ok {
+				checkBlock(pass, cc.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkBlock runs the straight-line ownership scan over one statement
+// list. Nested blocks are scanned independently by the caller's walk;
+// here they only count as "later statements" whose subtrees may use a
+// message sunk earlier in this list.
+func checkBlock(pass *analysis.Pass, stmts []ast.Stmt) {
+	type sunk struct {
+		sink string
+		pos  token.Pos
+	}
+	owned := make(map[types.Object]sunk)
+	for _, stmt := range stmts {
+		if len(owned) > 0 {
+			// Violations first: uses in this statement refer to the
+			// state established by earlier statements.
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						if obj, field := fieldWrite(pass, lhs); obj != nil {
+							if s, ok := owned[obj]; ok {
+								pass.Reportf(lhs.Pos(), "msgown: write to %s.%s after %s was handed to %s; the message is owned by the interconnect once sent", obj.Name(), field, obj.Name(), s.sink)
+							}
+						}
+					}
+				case *ast.IncDecStmt:
+					if obj, field := fieldWrite(pass, n.X); obj != nil {
+						if s, ok := owned[obj]; ok {
+							pass.Reportf(n.Pos(), "msgown: write to %s.%s after %s was handed to %s; the message is owned by the interconnect once sent", obj.Name(), field, obj.Name(), s.sink)
+						}
+					}
+				case *ast.CallExpr:
+					if sink, args := sinkCall(pass, n); sink != "" {
+						for _, obj := range args {
+							if s, ok := owned[obj]; ok {
+								pass.Reportf(n.Pos(), "msgown: %s handed to %s after it was already handed to %s; reusing a sent message aliases two in-flight transactions", obj.Name(), sink, s.sink)
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+		// Rebinding releases ownership: a fresh message may be built in
+		// the same variable.
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							delete(owned, obj)
+						} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+							delete(owned, obj)
+						}
+					}
+				}
+			}
+			return true
+		})
+		// New sinks established by this statement take effect for the
+		// statements after it.
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				// Ownership transfer inside nested function literals
+				// happens on a later (scheduled) execution, not in this
+				// statement sequence; skip them.
+				return false
+			case *ast.BlockStmt:
+				// A branch that ends by leaving the function never
+				// rejoins the statements after stmt, so its sinks do
+				// not constrain them. (Sends inside such a branch are
+				// still checked by that block's own checkBlock pass.)
+				if terminates(n.List) {
+					return false
+				}
+			case *ast.CaseClause:
+				if terminates(n.Body) {
+					return false
+				}
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if sink, args := sinkCall(pass, call); sink != "" {
+					for _, obj := range args {
+						if _, ok := owned[obj]; !ok {
+							owned[obj] = sunk{sink: sink, pos: call.Pos()}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// terminates reports whether a statement list always leaves the
+// enclosing function: its last statement is a return, a panic, or a
+// goto. break/continue are NOT terminating here — control re-enters
+// the surrounding statements, where a sunk message can still be
+// misused.
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return last.Tok == token.GOTO
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sinkCall reports the sink name and the message-typed identifier
+// arguments of call, if its callee is a known sink.
+func sinkCall(pass *analysis.Pass, call *ast.CallExpr) (string, []types.Object) {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return "", nil
+	}
+	if !sinkNames[name] {
+		return "", nil
+	}
+	var objs []types.Object
+	for _, arg := range call.Args {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || !isMessagePtr(obj.Type()) {
+			continue
+		}
+		objs = append(objs, obj)
+	}
+	if len(objs) == 0 {
+		return "", nil
+	}
+	return name, objs
+}
+
+// fieldWrite decomposes expr as <ident>.<field> where ident is a
+// *mesg.Message variable, returning the variable and field name.
+func fieldWrite(pass *analysis.Pass, expr ast.Expr) (types.Object, string) {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil, ""
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || !isMessagePtr(obj.Type()) {
+		return nil, ""
+	}
+	return obj, sel.Sel.Name
+}
+
+// isMessagePtr reports whether t is *dresar/internal/mesg.Message.
+func isMessagePtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "dresar/internal/mesg" && named.Obj().Name() == "Message"
+}

@@ -1,0 +1,12 @@
+package msgown_test
+
+import (
+	"testing"
+
+	"dresar/internal/analysis/analysistest"
+	"dresar/internal/analysis/msgown"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), msgown.Analyzer, "a")
+}

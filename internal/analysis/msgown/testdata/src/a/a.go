@@ -1,0 +1,73 @@
+// Package a is the msgown fixture. net stands in for the simulator's
+// interconnect endpoints: any method named like a sink takes ownership
+// of its *mesg.Message arguments.
+package a
+
+import "dresar/internal/mesg"
+
+type net struct{}
+
+func (net) Send(*mesg.Message)    {}
+func (net) Enqueue(*mesg.Message) {}
+
+// mutateAfterSend writes a field of a message already on the wire.
+func mutateAfterSend(n net) {
+	m := &mesg.Message{Kind: mesg.ReadReq}
+	n.Send(m)
+	m.Addr = 0x40 // want `msgown: write to m\.Addr after m was handed to Send`
+}
+
+// doubleSend aliases one message into two in-flight transactions.
+func doubleSend(n net) {
+	m := &mesg.Message{Kind: mesg.ReadReq}
+	n.Send(m)
+	n.Enqueue(m) // want `msgown: m handed to Enqueue after it was already handed to Send`
+}
+
+// rebindReleases: a fresh message may reuse the variable.
+func rebindReleases(n net) {
+	m := &mesg.Message{Kind: mesg.ReadReq}
+	n.Send(m)
+	m = &mesg.Message{Kind: mesg.WriteReq}
+	m.Addr = 0x80
+	n.Send(m)
+}
+
+// branchReturns: a send in a branch that leaves the function does not
+// constrain the fall-through path.
+func branchReturns(n net, fast bool) {
+	m := &mesg.Message{Kind: mesg.ReadReq}
+	if fast {
+		n.Send(m)
+		return
+	}
+	m.Addr = 0xc0
+	n.Enqueue(m)
+}
+
+// conditionalSend: a send in a branch that rejoins does constrain the
+// statements after it.
+func conditionalSend(n net, fast bool) {
+	m := &mesg.Message{Kind: mesg.ReadReq}
+	if fast {
+		n.Send(m)
+	}
+	m.Addr = 0x100 // want `msgown: write to m\.Addr after m was handed to Send`
+	n.Enqueue(m)   // want `msgown: m handed to Enqueue after it was already handed to Send`
+}
+
+// readsAreFine: reading a sent message is not flagged, only writes and
+// re-sends.
+func readsAreFine(n net) uint64 {
+	m := &mesg.Message{Kind: mesg.ReadReq, Addr: 0x140}
+	n.Send(m)
+	return m.Addr
+}
+
+// suppressed: the //lint:ignore marker must drop the finding.
+func suppressed(n net) {
+	m := &mesg.Message{Kind: mesg.ReadReq}
+	n.Send(m)
+	//lint:ignore msgown fixture proves the marker works
+	m.Addr = 0x180
+}

@@ -1,0 +1,113 @@
+// Package statlint protects the simulator's counters. Every subsystem
+// exports a `Stats` struct (cache, dirctl, sdir, xbar, flit, fault,
+// …) whose fields are monotonic within a run: the harness reads them at
+// checkpoints and the paper's figures are computed from deltas, so a
+// stray assignment or decrement from outside the owning package
+// silently skews a measurement without failing any test. The rule:
+// outside the package that declares a Stats type, its fields may only
+// be incremented (`++`, `+=`); assignment, decrement, and other
+// compound writes — including overwriting a whole Stats value — are
+// reserved for the owning package's reset path.
+package statlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dresar/internal/analysis"
+)
+
+// Analyzer is the statlint instance.
+var Analyzer = &analysis.Analyzer{
+	Name: "statlint",
+	Doc:  "Stats counters may only be incremented, never assigned or decremented, outside their owning package",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.SourceFiles() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					checkWrite(pass, lhs, n.Tok)
+				}
+			case *ast.IncDecStmt:
+				checkWrite(pass, n.X, n.Tok)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// allowedTok is the set of write operators that keep a counter
+// monotonic.
+var allowedTok = map[token.Token]bool{
+	token.INC:        true, // x++
+	token.ADD_ASSIGN: true, // x += n
+	token.OR_ASSIGN:  true, // x |= bit (flag sets only ever gain bits)
+}
+
+func checkWrite(pass *analysis.Pass, lhs ast.Expr, tok token.Token) {
+	owner := statsOwner(pass, lhs)
+	if owner == nil || owner == pass.Pkg {
+		return
+	}
+	if allowedTok[tok] {
+		return
+	}
+	op := tok.String()
+	if tok == token.ASSIGN || tok == token.DEFINE {
+		op = "assignment"
+	}
+	pass.Reportf(lhs.Pos(), "statlint: %s to %s.Stats field from package %s: counters are increment-only outside their owning package (reset belongs to %s)", op, owner.Path(), pass.Pkg.Path(), owner.Path())
+}
+
+// statsOwner returns the declaring package if lhs writes into (a field
+// of, or a whole value of) a named struct type called Stats; nil
+// otherwise.
+func statsOwner(pass *analysis.Pass, lhs ast.Expr) *types.Package {
+	// Field write: any selector step along the path typed as a Stats
+	// struct makes this a Stats write (covers nested c.Stats.Hits and
+	// s.Stats.Sub.N alike).
+	for e := ast.Unparen(lhs); ; {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			break
+		}
+		if pkg := statsPkg(pass.TypesInfo.TypeOf(sel.X)); pkg != nil {
+			return pkg
+		}
+		e = ast.Unparen(sel.X)
+	}
+	// Whole-value write through a field or pointer: s.Stats = Stats{}
+	// or *sp = Stats{} (a reset in disguise). A plain identifier LHS is
+	// a local snapshot copy and stays legal.
+	if _, ok := ast.Unparen(lhs).(*ast.Ident); !ok {
+		if pkg := statsPkg(pass.TypesInfo.TypeOf(lhs)); pkg != nil {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// statsPkg unwraps pointers and reports the declaring package if t is a
+// named struct type called Stats.
+func statsPkg(t types.Type) *types.Package {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Stats" || named.Obj().Pkg() == nil {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named.Obj().Pkg()
+}

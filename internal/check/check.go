@@ -106,6 +106,10 @@ func (m *Monitor) onInject(msg *mesg.Message) {
 		m.settle(m.inval, key(msg.Requester, msg.Addr))
 	case mesg.WBAck:
 		m.settle(m.wb, key(msg.Dst.Node, msg.Addr))
+	case mesg.ReadReply, mesg.WriteReply, mesg.CtoCReq, mesg.Inval,
+		mesg.WriteBack, mesg.Nack, mesg.Retry:
+		// No obligation opens or settles when these enter the network;
+		// their bookkeeping happens at delivery.
 	}
 }
 
@@ -142,6 +146,10 @@ func (m *Monitor) onDeliver(at sim.Cycle, msg *mesg.Message) {
 	case mesg.Nack:
 		// A nacked transfer settles the target's obligation.
 		m.settle(m.ctoc, key(msg.Src.Node, msg.Addr))
+	case mesg.ReadReply, mesg.WriteReply, mesg.CtoCReply, mesg.CopyBack,
+		mesg.InvalAck, mesg.WBAck, mesg.Retry:
+		// Replies and acknowledgments: their obligations were settled
+		// at injection (onInject) or never existed.
 	}
 }
 
@@ -154,6 +162,12 @@ func (m *Monitor) onSink(msg *mesg.Message) {
 		delete(m.requests, msg.ID)
 	case mesg.CtoCReq:
 		// Sunk home forward: the home re-drives; no owner obligation.
+	case mesg.ReadReply, mesg.WriteReply, mesg.CtoCReply, mesg.CopyBack,
+		mesg.WriteBack, mesg.Inval, mesg.InvalAck, mesg.WBAck,
+		mesg.Nack, mesg.Retry:
+		// Directories only ever sink requests and home forwards; a
+		// sunk reply would already have tripped the duplicate-delivery
+		// or liveness checks, so there is nothing to record here.
 	}
 }
 

@@ -14,6 +14,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"dresar/internal/cache"
@@ -484,13 +485,21 @@ func (m *Machine) CheckInvariants() error {
 				mods[addr] = holder{owner: i, modified: true}
 			case cache.Shared:
 				shared[addr] |= 1 << uint(i)
+			case cache.Invalid:
+				// No copy here; nothing to record.
 			}
 		})
 	}
 	if m.checkErr != nil {
 		return m.checkErr
 	}
-	for b, h := range mods {
+	modBlocks := make([]uint64, 0, len(mods))
+	for b := range mods {
+		modBlocks = append(modBlocks, b)
+	}
+	sort.Slice(modBlocks, func(i, j int) bool { return modBlocks[i] < modBlocks[j] })
+	for _, b := range modBlocks {
+		h := mods[b]
 		home := m.Homes[m.Home(b)]
 		st, owner, _ := home.State(b)
 		if home.Busy(b) {
@@ -503,7 +512,13 @@ func (m *Machine) CheckInvariants() error {
 			return fmt.Errorf("core: block %#x M copy version %d older than memory %d", b, v, home.Version(b))
 		}
 	}
-	for b, vec := range shared {
+	sharedBlocks := make([]uint64, 0, len(shared))
+	for b := range shared {
+		sharedBlocks = append(sharedBlocks, b)
+	}
+	sort.Slice(sharedBlocks, func(i, j int) bool { return sharedBlocks[i] < sharedBlocks[j] })
+	for _, b := range sharedBlocks {
+		vec := shared[b]
 		home := m.Homes[m.Home(b)]
 		if home.Busy(b) {
 			continue

@@ -11,6 +11,7 @@ package dirctl
 
 import (
 	"fmt"
+	"sort"
 
 	"dresar/internal/check"
 	"dresar/internal/mesg"
@@ -665,9 +666,16 @@ func (c *Controller) drain(addr uint64, e *entry) {
 	c.Handle(next)
 }
 
-// ForEachBlock iterates directory entries for invariant checks.
+// ForEachBlock iterates directory entries for invariant checks, in
+// ascending address order so callbacks observe a replayable sequence.
 func (c *Controller) ForEachBlock(fn func(addr uint64, st DirState, owner int, sharers uint64, busy bool)) {
-	for a, e := range c.dir {
+	addrs := make([]uint64, 0, len(c.dir))
+	for a := range c.dir {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		e := c.dir[a]
 		fn(a, e.state, e.owner, e.sharers, e.busy)
 	}
 }

@@ -2,6 +2,7 @@ package flit
 
 import (
 	"fmt"
+	"sort"
 
 	"dresar/internal/mesg"
 	"dresar/internal/topo"
@@ -208,8 +209,26 @@ func (n *Network) Tick() {
 	n.pumpRetx()
 	// 4. Inter-switch links and endpoint delivery.
 	n.moveLinks()
-	// 5. Drain link queues into downstream switch buffers.
-	for k, q := range n.linkQ {
+	// 5. Drain link queues into downstream switch buffers, in fixed
+	// (switch, port, vc) order: buffer space is contended, so the drain
+	// order decides which flit wins a slot and must replay identically
+	// from a given seed.
+	keys := make([]linkKey, 0, len(n.linkQ))
+	for k := range n.linkQ {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.sw != b.sw {
+			return a.sw < b.sw
+		}
+		if a.port != b.port {
+			return a.port < b.port
+		}
+		return a.vc < b.vc
+	})
+	for _, k := range keys {
+		q := n.linkQ[k]
 		for len(q) > 0 {
 			f := q[0]
 			if !n.switches[k.sw].Offer(k.port, k.vc, f) {

@@ -76,6 +76,9 @@ func (k Kind) CarriesData() bool {
 	switch k {
 	case WriteReply, CopyBack, WriteBack, ReadReply, CtoCReply:
 		return true
+	case ReadReq, WriteReq, CtoCReq, Inval, InvalAck, WBAck, Nack, Retry:
+		// Header-only: requests, invalidations, and acknowledgments.
+		return false
 	}
 	return false
 }
@@ -87,6 +90,10 @@ func (k Kind) SnoopsSwitchDir() bool {
 	switch k {
 	case ReadReq, WriteReq, WriteReply, CtoCReq, CopyBack, WriteBack, Retry:
 		return true
+	case ReadReply, CtoCReply, Inval, InvalAck, WBAck, Nack:
+		// Table 1's bypass set: replies travelling the forward path and
+		// point-to-point control the directory never rewrites.
+		return false
 	}
 	return false
 }

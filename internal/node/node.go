@@ -13,6 +13,7 @@ package node
 
 import (
 	"fmt"
+	"sort"
 
 	"dresar/internal/cache"
 	"dresar/internal/check"
@@ -71,6 +72,22 @@ const (
 	// extension.
 	ReadCleanSwitch
 )
+
+func (c ReadClass) String() string {
+	switch c {
+	case ReadHit:
+		return "hit"
+	case ReadClean:
+		return "clean"
+	case ReadCtoCHome:
+		return "ctoc-home"
+	case ReadCtoCSwitch:
+		return "ctoc-switch"
+	case ReadCleanSwitch:
+		return "clean-switch"
+	}
+	return fmt.Sprintf("ReadClass(%d)", uint8(c))
+}
 
 // Stats counts per-node events.
 type Stats struct {
@@ -619,8 +636,13 @@ func (n *Node) Outstanding() string {
 	if n.read != nil {
 		s += fmt.Sprintf(" read %#x (issued %d)", n.read.block, n.read.issued)
 	}
-	for b, w := range n.curWrites {
-		s += fmt.Sprintf(" write %#x (issued %d)", b, w.issued)
+	blocks := make([]uint64, 0, len(n.curWrites))
+	for b := range n.curWrites {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	for _, b := range blocks {
+		s += fmt.Sprintf(" write %#x (issued %d)", b, n.curWrites[b].issued)
 	}
 	if n.wb.Len() > 0 {
 		s += fmt.Sprintf(" wb=%d", n.wb.Len())

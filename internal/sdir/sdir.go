@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"dresar/internal/check"
 	"dresar/internal/mesg"
 	"dresar/internal/sim"
 	"dresar/internal/topo"
@@ -167,6 +168,24 @@ type Fabric struct {
 	disabled []bool // per-switch faulty flag: bypassed, draining only
 	failed   []bool // per-switch dead flag: bypassed entirely, state lost
 	Stats    Stats
+
+	// Fail, when set, receives a structured *check.ProtocolError when a
+	// message the directory state machine cannot handle reaches it,
+	// instead of panicking (mirrors dirctl.Controller.Fail).
+	Fail func(error)
+}
+
+// protoFail reports an unhandled snooped message through Fail, or
+// panics when no sink is installed.
+func (f *Fabric) protoFail(sw topo.SwitchID, m *mesg.Message) {
+	err := &check.ProtocolError{
+		Where: fmt.Sprintf("sdir %v", sw),
+		Op:    "unhandled snooped message kind", Msg: m.String(),
+	}
+	if f.Fail == nil {
+		panic(err.Error())
+	}
+	f.Fail(err)
 }
 
 // New builds the switch-directory fabric for tp.
@@ -243,6 +262,11 @@ func transientOnly(k mesg.Kind) bool {
 	switch k {
 	case mesg.CtoCReq, mesg.CopyBack, mesg.WriteBack, mesg.Retry:
 		return true
+	case mesg.ReadReq, mesg.ReadReply, mesg.WriteReq, mesg.WriteReply,
+		mesg.CtoCReply, mesg.Inval, mesg.InvalAck, mesg.WBAck, mesg.Nack:
+		// Reads/writes/write-replies need full directory service; the
+		// rest never reach a directory (SnoopsSwitchDir is false).
+		return false
 	}
 	return false
 }
@@ -303,6 +327,12 @@ func (f *Fabric) process(d *dir, sw topo.SwitchID, m *mesg.Message) xbar.Action 
 		return f.writeBack(d, m)
 	case mesg.Retry:
 		return f.retry(d, m)
+	case mesg.ReadReply, mesg.CtoCReply, mesg.Inval, mesg.InvalAck,
+		mesg.WBAck, mesg.Nack:
+		// Unreachable: Snoop admits only SnoopsSwitchDir kinds. Listed
+		// so a new snoopable kind fails kindswitch until it is wired in.
+		f.protoFail(sw, m)
+		return xbar.Action{}
 	}
 	return xbar.Action{}
 }
@@ -354,6 +384,8 @@ func (f *Fabric) readReq(d *dir, sw topo.SwitchID, m *mesg.Message) xbar.Action 
 		return xbar.Action{}
 	}
 	switch e.state {
+	case Inv:
+		// Unreachable: find never returns INVALID entries.
 	case Mod:
 		// Re-route: sink the read, fire a marked CtoC request at the
 		// owner, go TRANSIENT until the copyback passes.
@@ -408,6 +440,8 @@ func (f *Fabric) writeReq(d *dir, m *mesg.Message) xbar.Action {
 		return xbar.Action{}
 	}
 	switch e.state {
+	case Inv:
+		// Unreachable: find never returns INVALID entries.
 	case Mod:
 		f.Stats.Invalidates++
 		e.state = Inv
@@ -433,6 +467,8 @@ func (f *Fabric) ctocReq(d *dir, m *mesg.Message) xbar.Action {
 		return xbar.Action{}
 	}
 	switch e.state {
+	case Inv:
+		// Unreachable: find never returns INVALID entries.
 	case Mod:
 		// The transfer will move/downgrade the owner; our entry is stale.
 		f.Stats.Invalidates++

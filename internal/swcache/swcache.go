@@ -163,11 +163,19 @@ func (f *Fabric) Snoop(sw topo.SwitchID, m *mesg.Message, now sim.Cycle) xbar.Ac
 				},
 			}
 		}
-	case mesg.WriteReq, mesg.WriteReply, mesg.CtoCReq, mesg.CopyBack, mesg.WriteBack, mesg.Inval:
+	case mesg.WriteReq, mesg.WriteReply, mesg.CtoCReq, mesg.CtoCReply,
+		mesg.CopyBack, mesg.WriteBack, mesg.Inval:
+		// Any message implying the block is (becoming) dirty somewhere
+		// kills the cached clean copy. CtoCReply matters even though it
+		// travels processor-to-processor: it proves an owner holds a
+		// version newer than the one cached here, so serving later
+		// reads from this entry would hand out stale data.
 		if e := d.find(m.Addr); e != nil {
 			f.Stats.Invalidates++
 			e.valid = false
 		}
+	case mesg.InvalAck, mesg.WBAck, mesg.Nack, mesg.Retry:
+		// Data-free control traffic: carries no version information.
 	}
 	return xbar.Action{}
 }

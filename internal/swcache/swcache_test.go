@@ -92,6 +92,37 @@ func TestWriteTrafficInvalidates(t *testing.T) {
 	}
 }
 
+// TestCtoCReplyInvalidates is the regression test for the kindswitch
+// finding on Snoop: CtoCReply was silently falling through, leaving a
+// stale clean copy servable after the owner shipped newer dirty data
+// processor-to-processor.
+func TestCtoCReplyInvalidates(t *testing.T) {
+	f := MustNew(tp16, DefaultConfig())
+	f.Snoop(top0(), reply(0x40, 3, 7), 0)
+	ctoc := &mesg.Message{Kind: mesg.CtoCReply, Addr: 0x40, Src: mesg.P(2), Dst: mesg.P(5), Requester: 5, Data: 9}
+	f.Snoop(top0(), ctoc, 1)
+	if _, ok := f.Lookup(top0(), 0x40); ok {
+		t.Fatal("CtoCReply did not invalidate the stale clean copy")
+	}
+	if a := f.Snoop(top0(), rreq(0x40, 6), 2); a.Sink {
+		t.Fatal("stale version 7 served after the owner shipped version 9")
+	}
+}
+
+// TestControlTrafficKeepsEntry pins the other side of the Snoop
+// exhaustiveness fix: data-free acknowledgments must not invalidate.
+func TestControlTrafficKeepsEntry(t *testing.T) {
+	kinds := []mesg.Kind{mesg.InvalAck, mesg.WBAck, mesg.Nack, mesg.Retry}
+	for _, k := range kinds {
+		f := MustNew(tp16, DefaultConfig())
+		f.Snoop(top0(), reply(0x40, 3, 7), 0)
+		f.Snoop(top0(), &mesg.Message{Kind: k, Addr: 0x40, Src: mesg.P(1), Dst: mesg.P(3), Requester: 1}, 1)
+		if _, ok := f.Lookup(top0(), 0x40); !ok {
+			t.Fatalf("%v invalidated a clean entry it says nothing about", k)
+		}
+	}
+}
+
 func TestLRUEviction(t *testing.T) {
 	f := MustNew(tp16, Config{Entries: 2, Ways: 2, StageMask: 1 << 1})
 	f.Snoop(top0(), reply(0x00, 1, 1), 0)

@@ -30,6 +30,16 @@ const (
 	Down
 )
 
+func (d Dir) String() string {
+	switch d {
+	case Up:
+		return "up"
+	case Down:
+		return "down"
+	}
+	return fmt.Sprintf("Dir(%d)", uint8(d))
+}
+
 // SwitchID names a switch: Stage 0 is the leaf (processor-side) rank,
 // Stage 1 the top (memory-side) rank.
 type SwitchID struct {

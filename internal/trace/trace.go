@@ -23,6 +23,16 @@ const (
 	Store
 )
 
+func (o Op) String() string {
+	switch o {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
 // Rec is one trace record: processor pid performs Op at Addr.
 type Rec struct {
 	Pid  uint8

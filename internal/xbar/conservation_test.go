@@ -147,7 +147,7 @@ func TestMessageConservationUnderNetFaults(t *testing.T) {
 			eng.At(7000, func() { l := links[len(links)/2]; net.DownLink(l.Sw, l.Out) })
 		}},
 		{"switchdown", func(net *Network, eng *sim.Engine) {
-			eng.At(4000, func() { net.DownSwitch(0) })                  // a leaf
+			eng.At(4000, func() { net.DownSwitch(0) })                 // a leaf
 			eng.At(9000, func() { net.DownSwitch(net.tp.Leaves + 1) }) // a top
 		}},
 		{"endpointdown", func(net *Network, eng *sim.Engine) {

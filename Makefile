@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check build test test-race vet lint bench figures figures-paper fuzz fuzz-short clean
+.PHONY: all check build test test-race vet lint bench bench-short figures figures-paper fuzz fuzz-short clean
 
 all: check
 
@@ -31,9 +31,32 @@ test-race:
 	go test -race ./...
 
 # One iteration of every benchmark, including the figure regenerators
-# and the design-space ablations (reduced inputs).
+# and the design-space ablations (reduced inputs). The results are
+# rendered into BENCH_4.json via cmd/benchjson after an informational
+# comparison against the committed copy; commit the refreshed file when
+# a perf change is intentional.
 bench:
-	go test -bench=. -benchmem -benchtime 1x ./...
+	go build -o bin/benchjson ./cmd/benchjson
+	go test -run '^$$' -bench . -benchmem -benchtime 1x ./... > bench.out
+	bin/benchjson -in bench.out -out BENCH_4.json -baseline BENCH_4.json
+
+# The CI perf gate: the Figure 8 sweep benchmark (the run that pays
+# for the shared ScaleSmall sweep, so its ns/op and Msimcycles/sec are
+# honest) plus the scheduler hot-path microbenchmark, best of
+# $(BENCH_COUNT) runs, compared against the committed BENCH_4.json.
+# The sweep repeats in separate processes because the figure
+# benchmarks share one sync.Once sweep per process. Informational by
+# default; ENFORCE=1 makes a >10% throughput or allocation regression
+# fail the build (CI enforces on main pushes and stays informational
+# on pull requests).
+BENCH_COUNT ?= 3
+bench-short:
+	go build -o bin/benchjson ./cmd/benchjson
+	for i in $$(seq $(BENCH_COUNT)); do \
+		go test -run '^$$' -bench 'Fig8' -benchmem -benchtime 1x . || exit 1; \
+	done > bench_short.out
+	go test -run '^$$' -bench EngineScheduleRun -benchmem -count $(BENCH_COUNT) ./internal/sim >> bench_short.out
+	bin/benchjson -in bench_short.out -out bench_short.json -baseline BENCH_4.json $(if $(ENFORCE),-enforce)
 
 # The paper's result figures at reduced scale (fast) and full scale.
 figures:

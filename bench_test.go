@@ -14,6 +14,7 @@ import (
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"dresar/internal/core"
 	"dresar/internal/figures"
@@ -67,18 +68,40 @@ var (
 	sweepData  map[string]map[int]figures.Result
 	sweepErr   error
 	sweepScale figures.Scale
+	// sweepWall and sweepCycles record the shared sweep's wall time and
+	// total simulated cycles: simulated-cycles-per-second is the
+	// regression harness's primary throughput metric (BENCH_4.json).
+	sweepWall   time.Duration
+	sweepCycles uint64
 )
 
 func benchSweep(b *testing.B) map[string]map[int]figures.Result {
 	b.Helper()
 	sweepOnce.Do(func() {
 		sweepScale = benchScale()
+		start := time.Now()
 		sweepData, sweepErr = figures.Sweep(sweepScale, figures.Apps, figures.DirSizes)
+		sweepWall = time.Since(start)
+		for _, row := range sweepData {
+			for _, r := range row {
+				sweepCycles += r.ExecCycles
+			}
+		}
 	})
 	if sweepErr != nil {
 		b.Fatal(sweepErr)
 	}
 	return sweepData
+}
+
+// reportSweepRate attaches the sweep's simulated-cycles-per-second to a
+// figure benchmark (millions of simulated cycles per wall second,
+// summed across every cell of the shared sweep).
+func reportSweepRate(b *testing.B) {
+	b.Helper()
+	if sweepWall > 0 {
+		b.ReportMetric(float64(sweepCycles)/sweepWall.Seconds()/1e6, "Msimcycles/sec")
+	}
 }
 
 // reduction1K reports 1 - metric(1024 entries)/metric(base) for app.
@@ -95,6 +118,7 @@ func BenchmarkFig8HomeCtoCReduction(b *testing.B) {
 		sw := benchSweep(b)
 		if i == 0 {
 			fmt.Print(figures.Fig8(sw))
+			reportSweepRate(b)
 			for _, app := range []string{"fft", "tc", "tpcc", "tpcd"} {
 				b.ReportMetric(reduction1K(sw, app, func(r figures.Result) float64 { return float64(r.CtoCHome) }),
 					app+"-ctoc-reduction-1K")
@@ -108,6 +132,7 @@ func BenchmarkFig9ReadLatencyReduction(b *testing.B) {
 		sw := benchSweep(b)
 		if i == 0 {
 			fmt.Print(figures.Fig9(sw))
+			reportSweepRate(b)
 			for _, app := range []string{"fft", "sor", "tpcc"} {
 				b.ReportMetric(reduction1K(sw, app, func(r figures.Result) float64 { return r.AvgReadLat }),
 					app+"-latency-reduction-1K")
@@ -121,6 +146,7 @@ func BenchmarkFig10ReadStallReduction(b *testing.B) {
 		sw := benchSweep(b)
 		if i == 0 {
 			fmt.Print(figures.Fig10(sw))
+			reportSweepRate(b)
 			b.ReportMetric(reduction1K(sw, "fft", func(r figures.Result) float64 { return float64(r.ReadStall) }),
 				"fft-stall-reduction-1K")
 		}
@@ -132,6 +158,7 @@ func BenchmarkFig11ExecutionTimeReduction(b *testing.B) {
 		sw := benchSweep(b)
 		if i == 0 {
 			fmt.Print(figures.Fig11(sw))
+			reportSweepRate(b)
 			for _, app := range []string{"sor", "fft", "tpcc", "tpcd"} {
 				b.ReportMetric(reduction1K(sw, app, func(r figures.Result) float64 { return float64(r.ExecCycles) }),
 					app+"-exec-reduction-1K")

@@ -8,6 +8,14 @@
 //	           [-faults drop=20,dup=10,seed=7]
 //	           [-net-faults linkdown=0:4@5000,switchdown=6@8000]
 //	           [-watchdog 1000000]
+//	           [-cpuprofile cpu.prof] [-memprofile mem.prof]
+//	dresar-sim -sweep [-scale small|paper] [-workers N]
+//
+// -sweep regenerates the paper's figure sweep (every app × directory
+// size) on a bounded worker pool — each cell is its own isolated
+// single-threaded simulation, so the tables do not depend on -workers —
+// and prints Figures 8–11. -cpuprofile/-memprofile write pprof
+// profiles for performance work (see EXPERIMENTS.md).
 //
 // -entries 0 runs the base system with no switch directories. -size is
 // the kernel's input parameter (points for FFT, matrix/grid dimension
@@ -29,9 +37,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"dresar/internal/core"
 	"dresar/internal/fault"
+	"dresar/internal/figures"
 	"dresar/internal/sdir"
 	"dresar/internal/sim"
 	"dresar/internal/workload"
@@ -52,7 +63,33 @@ func main() {
 	faults := flag.String("faults", "", "fault-injection plan, e.g. drop=20,dup=10,seed=7 (empty = none)")
 	netFaults := flag.String("net-faults", "", "network fault plan, e.g. corruptlink=0:4,linkdown=1:5@5000,switchdown=6@8000 (empty = none)")
 	watchdog := flag.Uint64("watchdog", 0, "liveness watchdog: max cycles without progress (0 = off)")
+	sweep := flag.Bool("sweep", false, "run the full figure sweep (every app × directory size) instead of one kernel")
+	scale := flag.String("scale", "small", "sweep input scale: small or paper")
+	workers := flag.Int("workers", 0, "sweep worker-pool width (0 = GOMAXPROCS, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		fail(err)
+		fail(pprof.StartCPUProfile(f))
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			fail(err)
+			runtime.GC()
+			fail(pprof.WriteHeapProfile(f))
+			f.Close()
+		}()
+	}
+
+	if *sweep {
+		runSweep(*scale, *workers)
+		return
+	}
 
 	plan, err := fault.ParsePlan(*faults)
 	fail(err)
@@ -170,6 +207,30 @@ func main() {
 	fmt.Printf("readLatency: p50<=%d p90<=%d p99<=%d max=%d\n",
 		m.ReadLatHist.Percentile(50), m.ReadLatHist.Percentile(90),
 		m.ReadLatHist.Percentile(99), m.ReadLatHist.Percentile(100))
+}
+
+// runSweep regenerates the paper's figure sweep (every app × switch
+// directory size) on a bounded worker pool and prints Figures 8–11.
+// Each cell is an isolated single-threaded simulation, so the tables
+// are identical whatever the pool width.
+func runSweep(scale string, workers int) {
+	sc := figures.ScaleSmall
+	switch scale {
+	case "small":
+	case "paper":
+		sc = figures.ScalePaper
+	default:
+		fail(fmt.Errorf("unknown scale %q (want small or paper)", scale))
+	}
+	sweep, err := figures.SweepN(sc, figures.Apps, figures.DirSizes, workers)
+	fail(err)
+	fmt.Print(figures.Fig8(sweep))
+	fmt.Println()
+	fmt.Print(figures.Fig9(sweep))
+	fmt.Println()
+	fmt.Print(figures.Fig10(sweep))
+	fmt.Println()
+	fmt.Print(figures.Fig11(sweep))
 }
 
 func maxu(a, b uint64) uint64 {

@@ -13,7 +13,12 @@
 //   - calls to time.Now / time.Since / time.Until (wall-clock leakage
 //     into simulated time);
 //   - `go` statements (the event engine is strictly single-threaded;
-//     goroutine interleaving is nondeterministic by definition).
+//     goroutine interleaving is nondeterministic by definition). The
+//     one exception is the sweep-orchestration package (goAllowed):
+//     internal/figures fans whole single-threaded simulations out over
+//     a bounded worker pool and joins them before returning, which is
+//     safe precisely because no simulation state crosses goroutines;
+//     the event-path packages stay flagged.
 //
 // A map range is allowed when its body is order-insensitive: pure
 // reads, accumulation through builtins (`keys = append(keys, k)`
@@ -42,14 +47,28 @@ var Analyzer = &analysis.Analyzer{
 // and clocks freely; fixture packages (non-dresar paths) are always in
 // scope so the analyzer is testable.
 var scope = map[string]bool{
-	"dresar/internal/sim":    true,
-	"dresar/internal/core":   true,
-	"dresar/internal/dirctl": true,
-	"dresar/internal/sdir":   true,
-	"dresar/internal/node":   true,
-	"dresar/internal/cache":  true,
-	"dresar/internal/xbar":   true,
-	"dresar/internal/flit":   true,
+	"dresar/internal/sim":     true,
+	"dresar/internal/core":    true,
+	"dresar/internal/dirctl":  true,
+	"dresar/internal/sdir":    true,
+	"dresar/internal/node":    true,
+	"dresar/internal/cache":   true,
+	"dresar/internal/xbar":    true,
+	"dresar/internal/flit":    true,
+	"dresar/internal/figures": true,
+}
+
+// goAllowed marks in-scope packages that may start goroutines:
+// configuration-level orchestration that runs independent
+// single-threaded simulations on a worker pool and joins them before
+// returning (figures.SweepN). No simulation state crosses goroutines
+// there, so determinism is preserved; every other rule — map-order
+// side effects, wall clock, global rand — still applies to these
+// packages, and `go` in any event-path package is still flagged.
+// "sweep" is the test fixture.
+var goAllowed = map[string]bool{
+	"dresar/internal/figures": true,
+	"sweep":                   true,
 }
 
 // pureBuiltins never make a map-range body order-sensitive.
@@ -76,7 +95,9 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.GoStmt:
-				pass.Reportf(n.Pos(), "detlint: goroutine in event-path package %s: the engine is single-threaded; schedule an event instead", path)
+				if !goAllowed[path] {
+					pass.Reportf(n.Pos(), "detlint: goroutine in event-path package %s: the engine is single-threaded; schedule an event instead", path)
+				}
 			case *ast.CallExpr:
 				if name, ok := timeCall(pass, n); ok {
 					pass.Reportf(n.Pos(), "detlint: time.%s in event-path package %s: wall clock is not replayable, use sim.Engine cycles", name, path)

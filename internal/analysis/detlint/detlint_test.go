@@ -8,5 +8,5 @@ import (
 )
 
 func TestAnalyzer(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(), detlint.Analyzer, "a")
+	analysistest.Run(t, analysistest.TestData(), detlint.Analyzer, "a", "sweep")
 }

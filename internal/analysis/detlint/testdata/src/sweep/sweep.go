@@ -1,0 +1,27 @@
+// Package sweep is the goAllowed fixture: it stands in for the
+// sweep-orchestration package (internal/figures), where `go` is
+// permitted — a bounded worker pool fanning out independent
+// simulations and joining before returning — while every other
+// determinism rule still applies.
+package sweep
+
+import "sync"
+
+// pool is the allowed shape: goroutines carry no diagnostics here.
+func pool(jobs []func(), workers int) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// order proves the map-order rule still fires in a goAllowed package.
+func order(m map[int]int, out func(int)) {
+	for k := range m { // want `detlint: iteration over map m has order-sensitive body \(calls out\)`
+		out(k)
+	}
+}

@@ -8,6 +8,13 @@
 // to interleave the mutation with the delivery; this check catches the
 // straight-line cases deterministically at compile time.
 //
+// With message pooling (mesg.Pool), a second lifetime hazard appears:
+// a *mesg.Message passed to a Release call returns to the freelist and
+// may be handed out — and overwritten — by the very next allocation.
+// Any later use of the identifier at all (reads included, unlike the
+// send rule: a read after Release observes an unrelated in-flight
+// message) is flagged, until the identifier is rebound.
+//
 // The analysis is intentionally simple block-local dataflow over the
 // AST (the x/tools SSA packages are unavailable in this build
 // environment): within each statement list, once an identifier of type
@@ -29,7 +36,7 @@ import (
 // Analyzer is the msgown instance.
 var Analyzer = &analysis.Analyzer{
 	Name: "msgown",
-	Doc:  "a *mesg.Message handed to a send/enqueue sink must not be mutated or re-sent afterwards",
+	Doc:  "a *mesg.Message handed to a send/enqueue sink must not be mutated or re-sent afterwards; one handed to Release must not be used at all",
 	Run:  run,
 }
 
@@ -42,6 +49,12 @@ var sinkNames = map[string]bool{
 	"Deliver": true, "deliver": true,
 	"Push": true, "push": true,
 	"Queue": true, "queue": true,
+}
+
+// freeNames are callee names that recycle message arguments into a
+// freelist (mesg.Pool); any later use of the pointer is use-after-free.
+var freeNames = map[string]bool{
+	"Release": true,
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
@@ -69,7 +82,39 @@ func checkBlock(pass *analysis.Pass, stmts []ast.Stmt) {
 		pos  token.Pos
 	}
 	owned := make(map[types.Object]sunk)
+	freed := make(map[types.Object]token.Pos)
+	// flagFreed reports any use of a released message in a later
+	// statement. Plain-ident assignment targets are skipped: writing the
+	// variable itself is the rebinding that ends the freed state (the
+	// rebinding pass below removes it), not a use of the stale pointer.
+	var flagFreed func(n ast.Node) bool
+	flagFreed = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if _, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					continue
+				}
+				ast.Inspect(lhs, flagFreed)
+			}
+			for _, rhs := range n.Rhs {
+				ast.Inspect(rhs, flagFreed)
+			}
+			return false
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[n]; obj != nil {
+				if _, ok := freed[obj]; ok {
+					pass.Reportf(n.Pos(), "msgown: use of %s after it was handed to Release; the pool may already have recycled it into an unrelated in-flight message", obj.Name())
+					delete(freed, obj) // one finding per variable per block
+				}
+			}
+		}
+		return true
+	}
 	for _, stmt := range stmts {
+		if len(freed) > 0 {
+			ast.Inspect(stmt, flagFreed)
+		}
 		if len(owned) > 0 {
 			// Violations first: uses in this statement refer to the
 			// state established by earlier statements.
@@ -109,8 +154,10 @@ func checkBlock(pass *analysis.Pass, stmts []ast.Stmt) {
 					if id, ok := lhs.(*ast.Ident); ok {
 						if obj := pass.TypesInfo.Defs[id]; obj != nil {
 							delete(owned, obj)
+							delete(freed, obj)
 						} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
 							delete(owned, obj)
+							delete(freed, obj)
 						}
 					}
 				}
@@ -147,6 +194,11 @@ func checkBlock(pass *analysis.Pass, stmts []ast.Stmt) {
 						}
 					}
 				}
+				for _, obj := range freeCall(pass, call) {
+					if _, ok := freed[obj]; !ok {
+						freed[obj] = call.Pos()
+					}
+				}
 			}
 			return true
 		})
@@ -180,18 +232,40 @@ func terminates(list []ast.Stmt) bool {
 // sinkCall reports the sink name and the message-typed identifier
 // arguments of call, if its callee is a known sink.
 func sinkCall(pass *analysis.Pass, call *ast.CallExpr) (string, []types.Object) {
-	var name string
+	name, ok := calleeName(call)
+	if !ok || !sinkNames[name] {
+		return "", nil
+	}
+	objs := messageArgs(pass, call)
+	if len(objs) == 0 {
+		return "", nil
+	}
+	return name, objs
+}
+
+// freeCall reports the message-typed identifier arguments of call, if
+// its callee recycles messages (mesg.Pool.Release and kin).
+func freeCall(pass *analysis.Pass, call *ast.CallExpr) []types.Object {
+	name, ok := calleeName(call)
+	if !ok || !freeNames[name] {
+		return nil
+	}
+	return messageArgs(pass, call)
+}
+
+// calleeName extracts the bare method/function name of call.
+func calleeName(call *ast.CallExpr) (string, bool) {
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
-		name = fun.Name
+		return fun.Name, true
 	case *ast.SelectorExpr:
-		name = fun.Sel.Name
-	default:
-		return "", nil
+		return fun.Sel.Name, true
 	}
-	if !sinkNames[name] {
-		return "", nil
-	}
+	return "", false
+}
+
+// messageArgs collects the *mesg.Message identifier arguments of call.
+func messageArgs(pass *analysis.Pass, call *ast.CallExpr) []types.Object {
 	var objs []types.Object
 	for _, arg := range call.Args {
 		id, ok := ast.Unparen(arg).(*ast.Ident)
@@ -204,10 +278,7 @@ func sinkCall(pass *analysis.Pass, call *ast.CallExpr) (string, []types.Object) 
 		}
 		objs = append(objs, obj)
 	}
-	if len(objs) == 0 {
-		return "", nil
-	}
-	return name, objs
+	return objs
 }
 
 // fieldWrite decomposes expr as <ident>.<field> where ident is a

@@ -64,6 +64,61 @@ func readsAreFine(n net) uint64 {
 	return m.Addr
 }
 
+type pool struct{}
+
+func (pool) Release(*mesg.Message) {}
+func (pool) Get() *mesg.Message   { return &mesg.Message{} }
+
+// useAfterRelease: reading a recycled message observes whatever the
+// pool handed out next — unlike sends, reads are flagged too.
+func useAfterRelease(p pool) uint64 {
+	m := p.Get()
+	p.Release(m)
+	return m.Addr // want `msgown: use of m after it was handed to Release`
+}
+
+// sendAfterRelease hands the freelist's pointer to the interconnect.
+func sendAfterRelease(n net, p pool) {
+	m := p.Get()
+	p.Release(m)
+	n.Send(m) // want `msgown: use of m after it was handed to Release`
+}
+
+// doubleRelease corrupts the freelist.
+func doubleRelease(p pool) {
+	m := p.Get()
+	p.Release(m)
+	p.Release(m) // want `msgown: use of m after it was handed to Release`
+}
+
+// rebindAfterRelease: reusing the variable for a fresh message is the
+// normal pooling pattern and must stay clean.
+func rebindAfterRelease(n net, p pool) {
+	m := p.Get()
+	p.Release(m)
+	m = p.Get()
+	n.Send(m)
+}
+
+// releaseInReturningBranch: like sends, a Release in a branch that
+// leaves the function does not constrain the fall-through path.
+func releaseInReturningBranch(n net, p pool, done bool) {
+	m := p.Get()
+	if done {
+		p.Release(m)
+		return
+	}
+	n.Send(m)
+}
+
+// releaseLast is the canonical ownership shape: the Release is the
+// final touch, nothing after it.
+func releaseLast(n net, p pool) {
+	m := p.Get()
+	m.Addr = 0x1c0
+	p.Release(m)
+}
+
 // suppressed: the //lint:ignore marker must drop the finding.
 func suppressed(n net) {
 	m := &mesg.Message{Kind: mesg.ReadReq}

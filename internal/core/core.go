@@ -125,6 +125,13 @@ type Machine struct {
 	// Cfg.CheckProtocol is set.
 	Monitor *check.Monitor
 
+	// Pool recycles protocol Message structs across this machine's
+	// nodes and home controllers (the dominant allocation class). It is
+	// nil — pooling off, plain heap allocation — when the protocol
+	// monitor is attached, since the monitor retains message pointers
+	// for its obligation report and recycling would corrupt it.
+	Pool *mesg.Pool
+
 	// Profile accumulates per-block (miss, CtoC) counts for Figure 2.
 	Profile *sim.BlockProfile
 	// ReadLatHist is the distribution of completed read latencies
@@ -142,6 +149,16 @@ type Machine struct {
 	runErrs []error
 	// stall is set when the liveness watchdog trips.
 	stall *StallError
+
+	// Per-node blocking-op completion slots and prebuilt adapters
+	// (see the wiring loop in New): the caller's done callback and
+	// read address for the op in flight on each node.
+	rdAddr []uint64
+	wrAddr []uint64
+	rdDone []func(sim.Cycle)
+	rdCb   []func(uint64, node.ReadClass, sim.Cycle)
+	wrDone []func(sim.Cycle)
+	wrCb   []func(uint64, sim.Cycle)
 }
 
 // StallError reports a liveness watchdog trip: the machine ran
@@ -228,16 +245,36 @@ func New(cfg Config) (*Machine, error) {
 			m.Cfg.Node.RequestTimeout = 2048
 		}
 	}
+	if !cfg.CheckProtocol {
+		m.Pool = &mesg.Pool{}
+	}
 	m.Nodes = make([]*node.Node, cfg.Nodes)
 	m.Homes = make([]*dirctl.Controller, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		i := i
 		m.Nodes[i] = node.New(m.Eng, i, cfg.Node, send, m.Home, m.stamp)
 		m.Homes[i] = dirctl.New(m.Eng, i, cfg.Dir, send)
+		m.Nodes[i].SetPool(m.Pool)
+		m.Homes[i].SetPool(m.Pool)
 		m.Nodes[i].Fail = m.recordErr
 		m.Homes[i].Fail = m.recordErr
 		m.Net.AttachProc(i, m.Nodes[i].Deliver)
 		m.Net.AttachMem(i, m.Homes[i].Handle)
+	}
+	// Per-node completion adapters, built once: Read/Write park the
+	// caller's callback in a per-node slot and hand the node the
+	// prebuilt adapter, so the per-reference fast path allocates no
+	// closures (the blocking model has one outstanding op per node).
+	m.rdAddr = make([]uint64, cfg.Nodes)
+	m.wrAddr = make([]uint64, cfg.Nodes)
+	m.rdDone = make([]func(sim.Cycle), cfg.Nodes)
+	m.rdCb = make([]func(uint64, node.ReadClass, sim.Cycle), cfg.Nodes)
+	m.wrDone = make([]func(sim.Cycle), cfg.Nodes)
+	m.wrCb = make([]func(uint64, sim.Cycle), cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		i := i
+		m.rdCb[i] = func(v uint64, class node.ReadClass, lat sim.Cycle) { m.finishRead(i, v, class, lat) }
+		m.wrCb[i] = func(v uint64, stall sim.Cycle) { m.finishWrite(i, v, stall) }
 	}
 	return m, nil
 }
@@ -283,39 +320,53 @@ func (m *Machine) stamp() uint64 {
 // version and total latency. Per-block profile and coherence checks
 // are applied on completion.
 func (m *Machine) Read(p int, addr uint64, done func(lat sim.Cycle)) {
-	m.Nodes[p].Read(addr, func(v uint64, class node.ReadClass, lat sim.Cycle) {
-		m.Eng.Progress()
-		m.ReadLatHist.Observe(uint64(lat))
-		if class != node.ReadHit {
-			block := addr &^ 31
-			ctoc := uint64(0)
-			if class == node.ReadCtoCHome || class == node.ReadCtoCSwitch {
-				ctoc = 1
-			}
-			m.Profile.Add(block, 1, ctoc)
+	m.rdAddr[p], m.rdDone[p] = addr, done
+	m.Nodes[p].Read(addr, m.rdCb[p])
+}
+
+// finishRead is the per-node read-completion adapter body. The slots
+// are copied out before done runs: done typically issues the next
+// reference, which reloads them.
+func (m *Machine) finishRead(p int, v uint64, class node.ReadClass, lat sim.Cycle) {
+	addr, done := m.rdAddr[p], m.rdDone[p]
+	m.rdDone[p] = nil
+	m.Eng.Progress()
+	m.ReadLatHist.Observe(uint64(lat))
+	if class != node.ReadHit {
+		block := addr &^ 31
+		ctoc := uint64(0)
+		if class == node.ReadCtoCHome || class == node.ReadCtoCSwitch {
+			ctoc = 1
 		}
-		if m.Cfg.CheckCoherence {
-			m.checkRead(p, addr&^31, v)
-		}
-		if done != nil {
-			done(lat)
-		}
-	})
+		m.Profile.Add(block, 1, ctoc)
+	}
+	if m.Cfg.CheckCoherence {
+		m.checkRead(p, addr&^31, v)
+	}
+	if done != nil {
+		done(lat)
+	}
 }
 
 // Write issues a store on processor p. done fires when the store has
 // retired into the write buffer (zero stall unless the buffer is full).
 func (m *Machine) Write(p int, addr uint64, done func(stall sim.Cycle)) {
-	m.Nodes[p].Write(addr, func(v uint64, stall sim.Cycle) {
-		m.Eng.Progress()
-		if m.Cfg.CheckCoherence {
-			key := uint64(p)<<48 | (addr&^31)>>5
-			m.lastSeen[key] = v
-		}
-		if done != nil {
-			done(stall)
-		}
-	})
+	m.wrAddr[p], m.wrDone[p] = addr, done
+	m.Nodes[p].Write(addr, m.wrCb[p])
+}
+
+// finishWrite is the per-node write-completion adapter body.
+func (m *Machine) finishWrite(p int, v uint64, stall sim.Cycle) {
+	addr, done := m.wrAddr[p], m.wrDone[p]
+	m.wrDone[p] = nil
+	m.Eng.Progress()
+	if m.Cfg.CheckCoherence {
+		key := uint64(p)<<48 | (addr&^31)>>5
+		m.lastSeen[key] = v
+	}
+	if done != nil {
+		done(stall)
+	}
 }
 
 // checkRead enforces per-processor per-block version monotonicity and

@@ -158,6 +158,13 @@ type Controller struct {
 	send func(*mesg.Message)
 	dir  map[uint64]*entry
 
+	// pool recycles Message structs (nil: plain heap allocation).
+	// Handlers that retain the serviced message past process() — a
+	// parked pending request, a busyMsg held for re-drive — set keep;
+	// everything else is released when service completes.
+	pool *mesg.Pool
+	keep bool
+
 	nextFree sim.Cycle
 	Stats    Stats
 
@@ -200,6 +207,17 @@ func New(eng *sim.Engine, node int, cfg Config, send func(*mesg.Message)) *Contr
 	return &Controller{eng: eng, node: node, cfg: cfg, send: send, dir: make(map[uint64]*entry)}
 }
 
+// SetPool attaches a message freelist. Must not be enabled when an
+// observer that retains message pointers is attached; core gates this.
+func (c *Controller) SetPool(p *mesg.Pool) { c.pool = p }
+
+// newMsg returns a pool-backed copy of v.
+func (c *Controller) newMsg(v mesg.Message) *mesg.Message {
+	m := c.pool.Get()
+	*m = v
+	return m
+}
+
 func (c *Controller) ent(addr uint64) *entry {
 	e, ok := c.dir[addr]
 	if !ok {
@@ -234,7 +252,12 @@ func (c *Controller) Handle(m *mesg.Message) {
 	service := c.cfg.OccCycles + c.cfg.DRAMCycles
 	c.nextFree = start + service
 	c.Stats.BusyCycles += uint64(service)
-	c.eng.At(start+service, func() { c.process(m) })
+	c.eng.AtEvent(start+service, c, 0, 0, m)
+}
+
+// OnEvent runs the deferred service of a queued message (sim.Actor).
+func (c *Controller) OnEvent(_ int, _ uint64, data any) {
+	c.process(data.(*mesg.Message))
 }
 
 // process applies the protocol once DRAM lookup completes.
@@ -244,6 +267,7 @@ func (c *Controller) process(m *mesg.Message) {
 		c.debugf("process %v | st=%v owner=%d sharers=%b busy=%v(w=%v req=%d acks=%d)",
 			m, e.state, e.owner, e.sharers, e.busy, e.busyWrite, e.busyReq, e.acksLeft)
 	}
+	c.keep = false
 	switch m.Kind {
 	case mesg.ReadReq:
 		c.handleRead(m)
@@ -262,11 +286,17 @@ func (c *Controller) process(m *mesg.Message) {
 	// Keep the pending queue moving: if the block ended this service
 	// not busy, the next parked request gets its turn.
 	c.drain(m.Addr, c.ent(m.Addr))
+	if !c.keep {
+		// No handler stashed the message (pending queue, busyMsg): the
+		// home was its final consumer.
+		c.pool.Release(m)
+	}
 }
 
 // queueOrRetry either parks a request on a busy block or bounces it.
 func (c *Controller) queueOrRetry(e *entry, m *mesg.Message) {
 	if len(e.pending) < c.cfg.PendingCap {
+		c.keep = true
 		e.pending = append(e.pending, m)
 		if len(e.pending) > c.Stats.PendingPeak {
 			c.Stats.PendingPeak = len(e.pending)
@@ -274,10 +304,10 @@ func (c *Controller) queueOrRetry(e *entry, m *mesg.Message) {
 		return
 	}
 	c.Stats.Retries++
-	c.send(&mesg.Message{
+	c.send(c.newMsg(mesg.Message{
 		Kind: mesg.Retry, Addr: m.Addr, Src: mesg.M(c.node), Dst: mesg.P(m.Requester),
 		Requester: m.Requester, Issued: m.Issued, ForWrite: m.Kind == mesg.WriteReq,
-	})
+	}))
 }
 
 func (c *Controller) handleRead(m *mesg.Message) {
@@ -297,18 +327,19 @@ func (c *Controller) handleRead(m *mesg.Message) {
 		e.state = SharedSt
 		e.sharers |= 1 << uint(m.Requester)
 		e.markDone(m.Requester, m.Tx)
-		c.send(&mesg.Message{
+		c.send(c.newMsg(mesg.Message{
 			Kind: mesg.ReadReply, Addr: m.Addr, Src: mesg.M(c.node), Dst: mesg.P(m.Requester),
 			Requester: m.Requester, Data: e.version, Issued: m.Issued,
-		})
+		}))
 	case ModifiedSt:
 		// Forward to the owner; the block is busy until CopyBack.
 		c.Stats.HomeCtoCForwards++
+		c.keep = true
 		e.busy, e.busyWrite, e.busyReq, e.busyMsg = true, false, m.Requester, m
-		c.send(&mesg.Message{
+		c.send(c.newMsg(mesg.Message{
 			Kind: mesg.CtoCReq, Addr: m.Addr, Src: mesg.M(c.node), Dst: mesg.P(e.owner),
 			Requester: m.Requester, Owner: e.owner, Issued: m.Issued,
-		})
+		}))
 	}
 }
 
@@ -327,10 +358,10 @@ func (c *Controller) handleWrite(m *mesg.Message) {
 	case Uncached:
 		e.state, e.owner, e.sharers = ModifiedSt, m.Requester, 0
 		e.markDone(m.Requester, m.Tx)
-		c.send(&mesg.Message{
+		c.send(c.newMsg(mesg.Message{
 			Kind: mesg.WriteReply, Addr: m.Addr, Src: mesg.M(c.node), Dst: mesg.P(m.Requester),
 			Requester: m.Requester, Owner: m.Requester, Data: e.version, Issued: m.Issued,
-		})
+		}))
 	case SharedSt:
 		// Invalidate every sharer except the requester, collect acks,
 		// then grant ownership.
@@ -341,33 +372,35 @@ func (c *Controller) handleWrite(m *mesg.Message) {
 			}
 			targets++
 			c.Stats.Invalidations++
-			c.send(&mesg.Message{
+			c.send(c.newMsg(mesg.Message{
 				Kind: mesg.Inval, Addr: m.Addr, Src: mesg.M(c.node), Dst: mesg.P(p),
 				Requester: m.Requester,
-			})
+			}))
 		}
 		if targets == 0 {
 			e.state, e.owner, e.sharers = ModifiedSt, m.Requester, 0
 			e.markDone(m.Requester, m.Tx)
-			c.send(&mesg.Message{
+			c.send(c.newMsg(mesg.Message{
 				Kind: mesg.WriteReply, Addr: m.Addr, Src: mesg.M(c.node), Dst: mesg.P(m.Requester),
 				Requester: m.Requester, Owner: m.Requester, Data: e.version, Issued: m.Issued,
-			})
+			}))
 			return
 		}
 		e.busy, e.busyWrite, e.busyReq = true, true, m.Requester
 		e.acksLeft = targets
 		// The WriteReply is sent when the last InvalAck arrives; stash
 		// the issue time by re-queueing a completion record.
+		c.keep = true
 		e.pending = append([]*mesg.Message{m}, e.pending...)
 	case ModifiedSt:
 		// Ownership transfer through the current owner.
 		c.Stats.HomeCtoCForwards++
+		c.keep = true
 		e.busy, e.busyWrite, e.busyReq, e.busyMsg = true, true, m.Requester, m
-		c.send(&mesg.Message{
+		c.send(c.newMsg(mesg.Message{
 			Kind: mesg.CtoCReq, Addr: m.Addr, Src: mesg.M(c.node), Dst: mesg.P(e.owner),
 			Requester: m.Requester, Owner: e.owner, ForWrite: true, Issued: m.Issued,
-		})
+		}))
 	}
 }
 
@@ -393,10 +426,12 @@ func (c *Controller) handleInvalAck(m *mesg.Message) {
 	e.state, e.owner, e.sharers = ModifiedSt, e.busyReq, 0
 	e.busy = false
 	e.markDone(e.busyReq, orig.Tx)
-	c.send(&mesg.Message{
+	c.send(c.newMsg(mesg.Message{
 		Kind: mesg.WriteReply, Addr: m.Addr, Src: mesg.M(c.node), Dst: mesg.P(e.owner),
 		Requester: e.owner, Owner: e.owner, Data: e.version, Issued: orig.Issued,
-	})
+	}))
+	// The stashed WriteReq has served its purpose (Issued/Tx read above).
+	c.pool.Release(orig)
 	c.drain(m.Addr, e)
 }
 
@@ -425,6 +460,7 @@ func (c *Controller) handleCopyBack(m *mesg.Message) {
 		e.sharers |= (1 << uint(src)) | (1 << uint(e.busyReq)) | m.Sharers
 		if e.busyMsg != nil {
 			e.markDone(e.busyReq, e.busyMsg.Tx)
+			c.pool.Release(e.busyMsg)
 		}
 		e.busy, e.busyMsg = false, nil
 		c.drain(m.Addr, e)
@@ -455,10 +491,10 @@ func (c *Controller) handleCopyBack(m *mesg.Message) {
 		for _, p := range targets {
 			e.strayAcks++
 			c.Stats.Invalidations++
-			c.send(&mesg.Message{
+			c.send(c.newMsg(mesg.Message{
 				Kind: mesg.Inval, Addr: m.Addr, Src: mesg.M(c.node), Dst: mesg.P(p),
 				Requester: p,
-			})
+			}))
 		}
 		// The marked message cleared the TRANSIENT switch entry that
 		// may have sunk the home's own forward: re-drive it.
@@ -489,10 +525,10 @@ func (c *Controller) handleCopyBack(m *mesg.Message) {
 				}
 				e.acksLeft++
 				c.Stats.Invalidations++
-				c.send(&mesg.Message{
+				c.send(c.newMsg(mesg.Message{
 					Kind: mesg.Inval, Addr: m.Addr, Src: mesg.M(c.node), Dst: mesg.P(p),
 					Requester: p,
-				})
+				}))
 			}
 			return
 		}
@@ -530,14 +566,15 @@ func (c *Controller) handleWriteBack(m *mesg.Message) {
 				}
 				e.strayAcks++
 				c.Stats.Invalidations++
-				c.send(&mesg.Message{
+				c.send(c.newMsg(mesg.Message{
 					Kind: mesg.Inval, Addr: m.Addr, Src: mesg.M(c.node), Dst: mesg.P(p),
 					Requester: p,
-				})
+				}))
 			}
 			e.state, e.owner, e.sharers = ModifiedSt, e.busyReq, 0
 			if e.busyMsg != nil {
 				e.markDone(e.busyReq, e.busyMsg.Tx)
+				c.pool.Release(e.busyMsg)
 			}
 			e.busy, e.busyMsg = false, nil
 			c.drain(m.Addr, e)
@@ -545,10 +582,10 @@ func (c *Controller) handleWriteBack(m *mesg.Message) {
 		return
 	}
 	e.bankVersion(m.Data)
-	ack := &mesg.Message{
+	ack := c.newMsg(mesg.Message{
 		Kind: mesg.WBAck, Addr: m.Addr, Src: mesg.M(c.node), Dst: m.Src,
 		Requester: m.Requester,
-	}
+	})
 	newSharers := uint64(0)
 	if m.Marked {
 		// A replacement writeback that a switch directory used to serve
@@ -564,10 +601,10 @@ func (c *Controller) handleWriteBack(m *mesg.Message) {
 			for _, p := range mesg.SharerList(newSharers) {
 				e.strayAcks++
 				c.Stats.Invalidations++
-				c.send(&mesg.Message{
+				c.send(c.newMsg(mesg.Message{
 					Kind: mesg.Inval, Addr: m.Addr, Src: mesg.M(c.node), Dst: mesg.P(p),
 					Requester: p,
-				})
+				}))
 			}
 			c.send(ack)
 			c.redrive(e)
@@ -590,10 +627,10 @@ func (c *Controller) handleWriteBack(m *mesg.Message) {
 				}
 				e.acksLeft++
 				c.Stats.Invalidations++
-				c.send(&mesg.Message{
+				c.send(c.newMsg(mesg.Message{
 					Kind: mesg.Inval, Addr: m.Addr, Src: mesg.M(c.node), Dst: mesg.P(p),
 					Requester: p,
-				})
+				}))
 			}
 			e.deferredAcks = append(e.deferredAcks, ack)
 			return

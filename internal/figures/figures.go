@@ -166,20 +166,11 @@ func runCommercial(app string, scale Scale, entries int) (Result, error) {
 
 // Sweep runs every app at every directory size (including the base)
 // and indexes results by app then entries. Figures 8–11 all read from
-// one sweep.
+// one sweep. Cells run concurrently on a bounded worker pool (each
+// simulation is single-threaded and fully isolated, so results are
+// bit-identical to a serial sweep); see SweepN to control the width.
 func Sweep(scale Scale, apps []string, sizes []int) (map[string]map[int]Result, error) {
-	out := map[string]map[int]Result{}
-	for _, app := range apps {
-		out[app] = map[int]Result{}
-		for _, n := range sizes {
-			r, err := RunOne(app, scale, n)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%d: %w", app, n, err)
-			}
-			out[app][n] = r
-		}
-	}
-	return out, nil
+	return SweepN(scale, apps, sizes, 0)
 }
 
 // Fig1 reproduces Figure 1: the clean vs dirty split of read misses

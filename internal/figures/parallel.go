@@ -1,0 +1,66 @@
+package figures
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// cell names one (app, entries) simulation of a sweep.
+type cell struct {
+	app     string
+	entries int
+}
+
+// SweepN runs every (app, size) cell like Sweep, fanning the cells out
+// over a bounded pool of workers goroutines (workers <= 0 uses
+// GOMAXPROCS; 1 degenerates to a serial run). Each cell builds its own
+// Machine with its own engine, RNG, and message pool, so runs share no
+// state and every cell's Result is bit-identical to a serial run; only
+// wall-clock time changes. Results are merged in canonical (apps,
+// sizes) order, and when several cells fail the error reported is the
+// canonically first one, so failures replay identically too.
+func SweepN(scale Scale, apps []string, sizes []int, workers int) (map[string]map[int]Result, error) {
+	cells := make([]cell, 0, len(apps)*len(sizes))
+	for _, app := range apps {
+		for _, n := range sizes {
+			cells = append(cells, cell{app, n})
+		}
+	}
+	results := make([]Result, len(cells))
+	errs := make([]error, len(cells))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				results[i], errs[i] = RunOne(cells[i].app, scale, cells[i].entries)
+			}
+		}()
+	}
+	wg.Wait()
+	out := map[string]map[int]Result{}
+	for i, c := range cells {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("%s/%d: %w", c.app, c.entries, errs[i])
+		}
+		if out[c.app] == nil {
+			out[c.app] = map[int]Result{}
+		}
+		out[c.app][c.entries] = results[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,63 @@
+package figures
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSweepNMatchesSerial pins the parallel sweep's core guarantee:
+// whatever the pool width, every cell's Result is bit-identical to a
+// serial run, because each cell owns its whole machine (engine, RNG,
+// message pool, topology). A small app × size subset keeps the test in
+// the default suite; one scientific and one trace-driven app covers
+// both simulator kinds. Run with -race in CI (make test-race) to prove
+// the workers really share no state.
+func TestSweepNMatchesSerial(t *testing.T) {
+	apps := []string{"fft", "tpcc"}
+	sizes := []int{0, 512}
+
+	want := map[string]map[int]Result{}
+	for _, app := range apps {
+		want[app] = map[int]Result{}
+		for _, n := range sizes {
+			r, err := RunOne(app, ScaleSmall, n)
+			if err != nil {
+				t.Fatalf("RunOne(%s, %d): %v", app, n, err)
+			}
+			want[app][n] = r
+		}
+	}
+
+	for _, workers := range []int{1, 2, 4, 16} {
+		got, err := SweepN(ScaleSmall, apps, sizes, workers)
+		if err != nil {
+			t.Fatalf("SweepN(workers=%d): %v", workers, err)
+		}
+		for _, app := range apps {
+			for _, n := range sizes {
+				if got[app][n] != want[app][n] {
+					t.Errorf("workers=%d %s/%d diverges from serial:\n got %+v\nwant %+v",
+						workers, app, n, got[app][n], want[app][n])
+				}
+			}
+		}
+	}
+}
+
+// TestSweepNCanonicalError: when several cells fail, the error must be
+// the canonically (apps, sizes) first one regardless of which worker
+// finished first, so failures replay identically.
+func TestSweepNCanonicalError(t *testing.T) {
+	apps := []string{"no-such-app-a", "no-such-app-b"}
+	sizes := []int{0, 256}
+	for _, workers := range []int{1, 4} {
+		_, err := SweepN(ScaleSmall, apps, sizes, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: want error for unknown apps", workers)
+		}
+		want := fmt.Sprintf("%s/%d: ", apps[0], sizes[0])
+		if got := err.Error(); len(got) < len(want) || got[:len(want)] != want {
+			t.Errorf("workers=%d: error %q does not lead with canonical first cell %q", workers, got, want)
+		}
+	}
+}

@@ -106,23 +106,41 @@ func flitSum(msgID uint64, seq uint8, head, tail bool) uint16 {
 	return crc
 }
 
+// popFront removes the first element by shifting the rest down, so the
+// backing array — and the queue's warm capacity — is kept. The plain
+// s[1:] reslice walks the array forward until every append reallocates;
+// with shift-down the steady-state hot path never does. Queues here are
+// a few flits deep, so the copy is cheaper than the allocation churn.
+func popFront[T any](s []T) []T {
+	copy(s, s[1:])
+	return s[:len(s)-1]
+}
+
 // Packetize splits a message into flits: one header flit plus four
 // data flits for data-carrying kinds, each carrying its sequence
 // number and link checksum. out is the switch output port the message
 // must leave through; age is its injection time.
 func Packetize(m *mesg.Message, age uint64, out int) []Flit {
+	return PacketizeInto(nil, m, age, out)
+}
+
+// PacketizeInto is Packetize appending into dst, for callers that
+// recycle a scratch buffer across messages (the flits are copied into
+// per-link queues immediately, so the buffer can be reused).
+func PacketizeInto(dst []Flit, m *mesg.Message, age uint64, out int) []Flit {
 	n := m.Flits()
-	fs := make([]Flit, n)
-	for i := range fs {
-		fs[i] = Flit{MsgID: m.ID, Seq: uint8(i), Age: age, out: out}
+	base := len(dst)
+	for i := 0; i < n; i++ {
+		dst = append(dst, Flit{MsgID: m.ID, Seq: uint8(i), Age: age, out: out})
 	}
+	fs := dst[base:]
 	fs[0].Head = true
 	fs[0].Msg = m
 	fs[n-1].Tail = true
 	for i := range fs {
 		fs[i].Sum = fs[i].Checksum()
 	}
-	return fs
+	return dst
 }
 
 // Verdict is the switch directory's decision for one header.
@@ -171,6 +189,8 @@ type outPort struct {
 	// outbox holds flits on the wire; each becomes collectable when
 	// its serialization completes.
 	outbox []timedFlit
+	// cscratch is Collect's reusable return buffer.
+	cscratch []Flit
 }
 
 type timedFlit struct {
@@ -188,6 +208,8 @@ type Switch struct {
 	now uint64
 	// snoopBudget is the per-cycle directory port count remaining.
 	snoopBudget int
+	// cands is arbitrate's reusable candidate buffer (per-Tick scratch).
+	cands []candidate
 
 	Stats Stats
 }
@@ -266,7 +288,7 @@ type candidate struct {
 
 // arbitrate selects up to MaxGrants flits, oldest first.
 func (s *Switch) arbitrate() {
-	var cands []candidate
+	cands := s.cands[:0]
 	for p := range s.in {
 		for v := range s.in[p] {
 			fifo := &s.in[p][v]
@@ -317,12 +339,13 @@ func (s *Switch) arbitrate() {
 			}
 		}
 		if best == -1 {
-			return
+			break
 		}
 		s.grant(cands[best])
 		cands = append(cands[:best], cands[best+1:]...)
 		g++
 	}
+	s.cands = cands[:0]
 }
 
 // outputAvailable reports whether c's output can accept its flit this
@@ -336,7 +359,7 @@ func (s *Switch) outputAvailable(c candidate) bool {
 func (s *Switch) grant(c candidate) {
 	fifo := c.fifo
 	f := fifo.q[0]
-	fifo.q = fifo.q[1:]
+	fifo.q = popFront(fifo.q)
 	s.Stats.Granted++
 	op := &s.out[c.out]
 	if f.Head {
@@ -355,7 +378,7 @@ func (s *Switch) grant(c candidate) {
 // sinking state.
 func (s *Switch) drainSunk(fifo *vcFIFO) {
 	f := fifo.q[0]
-	fifo.q = fifo.q[1:]
+	fifo.q = popFront(fifo.q)
 	if f.Tail {
 		fifo.sinking = false
 		fifo.snooped = false
@@ -376,7 +399,7 @@ func (s *Switch) transmit() {
 				break // link busy this cycle; retry next Tick
 			}
 			op.linkFreeAt = start + LinkCyclesPerFlit
-			op.pipeline = op.pipeline[1:]
+			op.pipeline = popFront(op.pipeline)
 			// The flit finishes serializing LinkCyclesPerFlit later.
 			op.outbox = append(op.outbox, timedFlit{f: tf.f, readyAt: start + LinkCyclesPerFlit})
 			s.Stats.Delivered++
@@ -385,9 +408,11 @@ func (s *Switch) transmit() {
 }
 
 // Collect drains flits whose serialization has completed at output out.
+// The returned slice is valid until the next Collect on the same
+// output; callers consume it before ticking again.
 func (s *Switch) Collect(out int) []Flit {
 	op := &s.out[out]
-	var fs []Flit
+	fs := op.cscratch[:0]
 	n := 0
 	for _, tf := range op.outbox {
 		if tf.readyAt <= s.now {
@@ -397,7 +422,9 @@ func (s *Switch) Collect(out int) []Flit {
 			break
 		}
 	}
-	op.outbox = op.outbox[n:]
+	copy(op.outbox, op.outbox[n:])
+	op.outbox = op.outbox[:len(op.outbox)-n]
+	op.cscratch = fs
 	return fs
 }
 

@@ -2,7 +2,6 @@ package flit
 
 import (
 	"fmt"
-	"sort"
 
 	"dresar/internal/mesg"
 	"dresar/internal/topo"
@@ -42,6 +41,13 @@ type Network struct {
 	// link, lazily created) and the retransmission timer queue.
 	links map[outKey]*linkCtl
 	retx  []retxFlit
+
+	// keyScratch is the reusable drain-order buffer of Tick step 5:
+	// rebuilding it per cycle was the network's hottest steady-state
+	// allocation. pktScratch is Send's packetization buffer; its flits
+	// are copied into the injection queue before Send returns.
+	keyScratch []linkKey
+	pktScratch []Flit
 
 	cfg NetConfig
 
@@ -111,6 +117,18 @@ type linkKey struct {
 	sw   int // downstream switch ordinal
 	port int
 	vc   int
+}
+
+// keyLess orders link keys by (switch, port, vc) — the fixed drain
+// order determinism requires.
+func keyLess(a, b linkKey) bool {
+	if a.sw != b.sw {
+		return a.sw < b.sw
+	}
+	if a.port != b.port {
+		return a.port < b.port
+	}
+	return a.vc < b.vc
 }
 
 // NetConfig parameterizes the flit network.
@@ -183,7 +201,8 @@ func (n *Network) Send(m *mesg.Message) {
 	}
 	n.routes[m.ID] = hops
 	n.msgs[m.ID] = m
-	fs := Packetize(m, n.now, int(hops[0].Out))
+	fs := PacketizeInto(n.pktScratch[:0], m, n.now, int(hops[0].Out))
+	n.pktScratch = fs
 	st := &n.injP[s.Node]
 	if s.Side == mesg.MemSide {
 		st = &n.injM[s.Node]
@@ -213,33 +232,38 @@ func (n *Network) Tick() {
 	// (switch, port, vc) order: buffer space is contended, so the drain
 	// order decides which flit wins a slot and must replay identically
 	// from a given seed.
-	keys := make([]linkKey, 0, len(n.linkQ))
+	keys := n.keyScratch[:0]
 	for k := range n.linkQ {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.sw != b.sw {
-			return a.sw < b.sw
+	n.keyScratch = keys
+	// Insertion sort: the live-link set is small and an inlined sort
+	// keeps the per-cycle drain allocation-free (sort.Slice's closure
+	// escapes).
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keyLess(keys[j], keys[j-1]); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
 		}
-		if a.port != b.port {
-			return a.port < b.port
-		}
-		return a.vc < b.vc
-	})
+	}
 	for _, k := range keys {
 		q := n.linkQ[k]
-		for len(q) > 0 {
-			f := q[0]
-			if !n.switches[k.sw].Offer(k.port, k.vc, f) {
+		drained := 0
+		for drained < len(q) {
+			if !n.switches[k.sw].Offer(k.port, k.vc, q[drained]) {
 				break
 			}
-			q = q[1:]
+			drained++
 		}
-		if len(q) == 0 {
-			delete(n.linkQ, k)
+		if drained == len(q) {
+			// Keep the entry with its warm backing array instead of
+			// deleting it: the same few links carry all the traffic, and
+			// a deleted key would make the next append reallocate. Empty
+			// entries cost one key in the per-cycle drain scan, bounded
+			// by the link count.
+			n.linkQ[k] = q[:0]
 		} else {
-			n.linkQ[k] = q
+			copy(q, q[drained:])
+			n.linkQ[k] = q[:len(q)-drained]
 		}
 	}
 }
@@ -258,7 +282,7 @@ func (n *Network) inject(st *injState, end mesg.End) {
 	if !sw.Offer(int(hops[0].In), vc, f) {
 		return // buffer full; retry next cycle
 	}
-	st.pending = st.pending[1:]
+	st.pending = popFront(st.pending)
 	st.freeAt = n.now + LinkCyclesPerFlit
 	_ = end
 }
@@ -481,8 +505,15 @@ func (n *Network) Idle() bool {
 			return false
 		}
 	}
-	if len(n.linkQ) > 0 || len(n.retx) > 0 {
+	if len(n.retx) > 0 {
 		return false
+	}
+	// Drained linkQ entries persist (with empty queues) to keep their
+	// backing arrays warm, so count flits, not keys.
+	for _, q := range n.linkQ {
+		if len(q) > 0 {
+			return false
+		}
 	}
 	for _, lc := range n.links {
 		if len(lc.hold) > 0 {

@@ -135,6 +135,11 @@ type Node struct {
 	home func(addr uint64) int
 	// stamp returns the next globally monotonic block version.
 	stamp func() uint64
+	// pool recycles Message structs (nil: plain heap allocation). The
+	// node releases every delivered message at the end of Deliver — no
+	// handler retains the pointer — and draws outbound messages from
+	// the pool.
+	pool *mesg.Pool
 
 	hier *cache.Hierarchy
 	wb   *cache.WriteBuffer
@@ -149,6 +154,15 @@ type Node struct {
 	// txSeq numbers this node's transactions; combined with the node
 	// id it yields the globally unique mesg.Message.Tx.
 	txSeq uint64
+
+	// Read-hit completion slots. The blocking model has at most one
+	// outstanding read per node, so the pending hit's callback, value,
+	// and latency live here and the node schedules itself as an Actor
+	// (opReadHit) instead of allocating a closure per hit — the
+	// simulator's dominant allocation before this.
+	hitDone func(version uint64, class ReadClass, lat sim.Cycle)
+	hitV    uint64
+	hitLat  sim.Cycle
 
 	// Fail, when set, receives structured errors (unhandled message
 	// kinds, exhausted retransmission budgets) instead of a panic.
@@ -189,6 +203,18 @@ func New(eng *sim.Engine, id int, cfg Config, send func(*mesg.Message), home fun
 	return n
 }
 
+// SetPool attaches a message freelist. Must not be enabled when an
+// observer that retains message pointers (check.Monitor, a Trace hook)
+// is attached; core gates this.
+func (n *Node) SetPool(p *mesg.Pool) { n.pool = p }
+
+// newMsg returns a pool-backed copy of v.
+func (n *Node) newMsg(v mesg.Message) *mesg.Message {
+	m := n.pool.Get()
+	*m = v
+	return m
+}
+
 // Hier exposes the cache hierarchy for invariant checks.
 func (n *Node) Hier() *cache.Hierarchy { return n.hier }
 
@@ -208,14 +234,14 @@ func (n *Node) Read(addr uint64, done func(version uint64, class ReadClass, lat 
 	issued := n.eng.Now()
 	// Store forwarding: a load must observe the youngest buffered store.
 	if v, ok := n.wb.Pending(b); ok {
-		n.complete(issued, 1, func() { done(v, ReadHit, 1) })
+		n.completeHit(issued, 1, v, done)
 		return
 	}
 	r := n.hier.Read(b)
 	if r.State != cache.Invalid {
 		lat := sim.Cycle(r.Cycles)
 		n.Stats.ReadLatency += lat
-		n.complete(issued, lat, func() { done(r.Data, ReadHit, lat) })
+		n.completeHit(issued, lat, r.Data, done)
 		return
 	}
 	// Miss: L2 MSHR allocated; request travels to the home.
@@ -229,10 +255,10 @@ func (n *Node) sendReadReq(block uint64, issued sim.Cycle) {
 	if n.read == nil || n.read.block != block {
 		return // completed through another path (e.g. self-forward)
 	}
-	n.send(&mesg.Message{
+	n.send(n.newMsg(mesg.Message{
 		Kind: mesg.ReadReq, Addr: block, Src: mesg.P(n.id), Dst: mesg.M(n.home(block)),
 		Requester: n.id, Issued: uint64(issued), Tx: n.read.tx,
-	})
+	}))
 }
 
 // retryLimit returns the retransmission budget per transaction.
@@ -294,20 +320,42 @@ func (n *Node) armWriteTimer(w *pendingWrite) {
 			return
 		}
 		n.Stats.Retransmits++
-		n.send(&mesg.Message{
+		n.send(n.newMsg(mesg.Message{
 			Kind: mesg.WriteReq, Addr: w.block, Src: mesg.P(n.id), Dst: mesg.M(n.home(w.block)),
 			Requester: n.id, Issued: uint64(w.issued), Tx: w.tx,
-		})
+		}))
 		n.armWriteTimer(w)
 	})
 }
 
-// complete schedules a read/write completion callback lat cycles out.
-func (n *Node) complete(issued, lat sim.Cycle, fn func()) {
+// opReadHit is the node's only Actor opcode: deliver the pending
+// read-hit completion from the hit* slots.
+const opReadHit = 0
+
+// OnEvent makes Node a sim.Actor for allocation-free hit completions.
+func (n *Node) OnEvent(op int, arg uint64, data any) {
+	if op != opReadHit {
+		panic(fmt.Sprintf("node %d: unknown opcode %d", n.id, op))
+	}
+	done := n.hitDone
+	n.hitDone = nil
+	done(n.hitV, ReadHit, n.hitLat)
+}
+
+// completeHit schedules a read-hit completion lat cycles out. The
+// common case parks the callback in the hit* slots and schedules an
+// actor event (no allocation); if a non-blocking caller overlaps two
+// hits, the second falls back to a closure so both complete.
+func (n *Node) completeHit(issued, lat sim.Cycle, v uint64, done func(uint64, ReadClass, sim.Cycle)) {
 	if lat > 1 {
 		n.Stats.ReadStall += lat - 1
 	}
-	n.eng.At(issued+lat, fn)
+	if n.hitDone != nil {
+		n.eng.At(issued+lat, func() { done(v, ReadHit, lat) })
+		return
+	}
+	n.hitDone, n.hitV, n.hitLat = done, v, lat
+	n.eng.AtEvent(issued+lat, n, opReadHit, 0, nil)
 }
 
 // Write retires a store. done fires when the store has entered the
@@ -374,10 +422,10 @@ func (n *Node) drainWrites() {
 		v, _ := n.wb.Pending(b)
 		w := &pendingWrite{block: b, version: v, issued: n.eng.Now(), tx: n.nextTx()}
 		n.curWrites[b] = w
-		n.send(&mesg.Message{
+		n.send(n.newMsg(mesg.Message{
 			Kind: mesg.WriteReq, Addr: b, Src: mesg.P(n.id), Dst: mesg.M(n.home(b)),
 			Requester: n.id, Issued: uint64(n.eng.Now()), Tx: w.tx,
-		})
+		}))
 		n.armWriteTimer(w)
 	}
 }
@@ -407,10 +455,10 @@ func (n *Node) fill(block uint64, st cache.State, version uint64) {
 // data in the victim buffer until the home acknowledges.
 func (n *Node) evict(v cache.Victim) {
 	n.vb.Put(v.Addr, v.Data)
-	n.send(&mesg.Message{
+	n.send(n.newMsg(mesg.Message{
 		Kind: mesg.WriteBack, Addr: v.Addr, Src: mesg.P(n.id), Dst: mesg.M(n.home(v.Addr)),
 		Requester: n.id, Data: v.Data,
-	})
+	}))
 }
 
 // Deliver is the network handler for this node's processor interface.
@@ -440,6 +488,10 @@ func (n *Node) Deliver(m *mesg.Message) {
 			Op: "unhandled message kind", Msg: m.String(),
 		})
 	}
+	// Every handler above consumes the message synchronously (completion
+	// callbacks capture fields, never the pointer), so the node is its
+	// final owner: recycle it.
+	n.pool.Release(m)
 }
 
 func classifyReply(m *mesg.Message, ctoc bool) ReadClass {
@@ -542,47 +594,47 @@ func (n *Node) serveCtoC(m *mesg.Message) {
 			// NoData copyback along the forward path: it clears the
 			// TRANSIENT entries en route and bounces their waiting
 			// requesters back to the home, which has current state.
-			n.send(&mesg.Message{
+			n.send(n.newMsg(mesg.Message{
 				Kind: mesg.CopyBack, Addr: b, Src: mesg.P(n.id), Dst: mesg.M(n.home(b)),
 				Requester: m.Requester, Marked: true, NoData: true,
-			})
+			}))
 			return
 		}
 		// Home-forwarded request for a block whose writeback completed:
 		// bounce the requester so it retries at the home.
-		n.send(&mesg.Message{
+		n.send(n.newMsg(mesg.Message{
 			Kind: mesg.Nack, Addr: b, Src: mesg.P(n.id), Dst: mesg.P(m.Requester),
 			Requester: m.Requester, ForWrite: m.ForWrite,
-		})
+		}))
 		return
 	}
 	n.Stats.CtoCServed++
 	if m.ForWrite {
 		// Ownership transfer: give up the block entirely.
 		n.hier.Invalidate(b)
-		n.send(&mesg.Message{
+		n.send(n.newMsg(mesg.Message{
 			Kind: mesg.CtoCReply, Addr: b, Src: mesg.P(n.id), Dst: mesg.P(m.Requester),
 			Requester: m.Requester, ForWrite: true, Marked: m.Marked, Data: data,
 			Issued: m.Issued,
-		})
-		n.send(&mesg.Message{
+		}))
+		n.send(n.newMsg(mesg.Message{
 			Kind: mesg.WriteBack, Addr: b, Src: mesg.P(n.id), Dst: mesg.M(n.home(b)),
 			Requester: m.Requester, ForWrite: true,
-		})
+		}))
 		return
 	}
 	// Read transfer: keep a shared copy, reply to the requester, and
 	// copy the data back home. A marked request (switch-directory
 	// initiated) yields a marked copyback carrying the requester pid.
 	n.hier.Downgrade(b)
-	n.send(&mesg.Message{
+	n.send(n.newMsg(mesg.Message{
 		Kind: mesg.CtoCReply, Addr: b, Src: mesg.P(n.id), Dst: mesg.P(m.Requester),
 		Requester: m.Requester, Marked: m.Marked, Data: data, Issued: m.Issued,
-	})
-	n.send(&mesg.Message{
+	}))
+	n.send(n.newMsg(mesg.Message{
 		Kind: mesg.CopyBack, Addr: b, Src: mesg.P(n.id), Dst: mesg.M(n.home(b)),
 		Requester: m.Requester, Marked: m.Marked, Data: data,
-	})
+	}))
 }
 
 // handleInval drops a shared copy and acknowledges the home. A fill in
@@ -594,10 +646,10 @@ func (n *Node) handleInval(m *mesg.Message) {
 	if n.read != nil && n.read.block == b {
 		n.read.poisoned = true
 	}
-	n.send(&mesg.Message{
+	n.send(n.newMsg(mesg.Message{
 		Kind: mesg.InvalAck, Addr: b, Src: mesg.P(n.id), Dst: mesg.M(n.home(b)),
 		Requester: n.id,
-	})
+	}))
 }
 
 // handleRetry re-issues a bounced request after a backoff.
@@ -608,10 +660,10 @@ func (n *Node) handleRetry(m *mesg.Message) {
 		if w, ok := n.curWrites[b]; ok {
 			n.eng.After(n.cfg.RetryBackoff, func() {
 				if _, still := n.curWrites[b]; still {
-					n.send(&mesg.Message{
+					n.send(n.newMsg(mesg.Message{
 						Kind: mesg.WriteReq, Addr: b, Src: mesg.P(n.id), Dst: mesg.M(n.home(b)),
 						Requester: n.id, Issued: uint64(w.issued), Tx: w.tx,
-					})
+					}))
 				}
 			})
 		}

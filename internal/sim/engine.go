@@ -1,26 +1,67 @@
 // Package sim provides the discrete-event simulation kernel used by
 // every timed component in the DRESAR reproduction: a deterministic
-// event heap keyed by (cycle, insertion sequence), a cycle clock, a
+// event queue keyed by (cycle, insertion sequence), a cycle clock, a
 // seeded pseudo-random number generator, and statistics primitives.
 //
 // All simulated time is measured in 200MHz core cycles (the paper's
 // switch core, link, and processor all run at 200MHz). The engine is
 // strictly single-threaded and deterministic: two events scheduled for
 // the same cycle fire in the order they were scheduled.
+//
+// Two interchangeable queue implementations back the engine. The
+// default is a calendar queue: a power-of-two ring of per-cycle FIFO
+// buckets covering the next calWindow cycles, with a concrete
+// (non-boxing) min-heap as overflow for events scheduled further out.
+// Near-term scheduling — the steady state for a cycle-accurate network
+// model, where everything lands within a few cycles — is a single
+// append with no heap sift and no interface boxing, so the hot path
+// allocates nothing once bucket capacity is warm. The seed
+// container/heap implementation is kept behind a switch
+// (NewHeapEngine, or DRESAR_ENGINE=heap) for differential testing;
+// both orderings are defined identically by (cycle, sequence).
 package sim
 
-import "container/heap"
+import (
+	"container/heap"
+	"os"
+)
 
 // Cycle is a point in simulated time, in 200MHz core cycles.
 type Cycle uint64
 
-// event is a scheduled callback. seq breaks ties between events at the
-// same cycle so execution order is deterministic (FIFO within a cycle).
-type event struct {
-	at  Cycle
-	seq uint64
-	fn  func()
+// Actor receives closure-free events. Components implement OnEvent and
+// schedule with AtEvent/AfterEvent, packing what a closure would have
+// captured into the opcode, the integer argument, and (for pointers)
+// the data word; this keeps steady-state scheduling allocation-free.
+type Actor interface {
+	OnEvent(op int, arg uint64, data any)
 }
+
+// event is a scheduled callback. seq breaks ties between events at the
+// same cycle so execution order is deterministic (FIFO within a
+// cycle). Exactly one of fn and actor is set: fn for closure events,
+// actor+op+arg+data for record events.
+type event struct {
+	at    Cycle
+	seq   uint64
+	fn    func()
+	actor Actor
+	op    int
+	arg   uint64
+	data  any
+}
+
+// fire dispatches the event.
+func (ev *event) fire() {
+	if ev.fn != nil {
+		ev.fn()
+		return
+	}
+	ev.actor.OnEvent(ev.op, ev.arg, ev.data)
+}
+
+// ---------------------------------------------------------------------
+// Legacy heap queue (seed implementation), kept for differential tests.
 
 type eventHeap []event
 
@@ -41,12 +82,100 @@ func (h *eventHeap) Pop() interface{} {
 	return e
 }
 
+// ---------------------------------------------------------------------
+// Calendar queue.
+
+const (
+	// calWindow is the span of the bucket ring. Events at most
+	// calWindow-1 cycles out take the bucket fast path; anything
+	// further (NI timeouts, watchdog horizons) overflows to farHeap.
+	// Power of two so the cycle→bucket map is a mask.
+	calWindow = 1024
+	calMask   = calWindow - 1
+)
+
+// bucket is one cycle's FIFO of events. head indexes the next event to
+// fire; the backing array is reused across window wraps, so a warmed-up
+// engine appends without allocating.
+type bucket struct {
+	ev   []event
+	head int
+}
+
+// farHeap is a concrete min-heap ordered by (at, seq). Unlike
+// container/heap it moves event values without interface boxing.
+type farHeap []event
+
+func (h farHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *farHeap) push(ev event) {
+	*h = append(*h, ev)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h).less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *farHeap) pop() event {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = event{} // release references held by the vacated slot
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		min := l
+		if r < n && old.less(r, l) {
+			min = r
+		}
+		if !old.less(min, i) {
+			break
+		}
+		old[i], old[min] = old[min], old[i]
+		i = min
+	}
+	return top
+}
+
 // Engine is a deterministic discrete-event scheduler.
-// The zero value is ready to use.
+// The zero value is ready to use (calendar queue mode).
 type Engine struct {
-	now     Cycle
-	seq     uint64
-	events  eventHeap
+	now  Cycle
+	seq  uint64
+	cnt  int // scheduled events not yet executed (both queue modes)
+	mode engineMode
+
+	// Calendar queue state. Invariants, restored after every clock
+	// advance by migrate():
+	//   - every bucket-resident event has at in [now, now+calWindow)
+	//     and lives in buckets[at&calMask];
+	//   - every far-heap event has at >= now+calWindow.
+	buckets [calWindow]bucket
+	far     farHeap
+	// nextAt caches the earliest pending cycle so the run loops don't
+	// rescan the ring on every peek. Invalidated when the cycle's
+	// bucket drains; refreshed on the next peek.
+	nextAt    Cycle
+	nextValid bool
+
+	// Legacy heap state (mode == engineHeap).
+	events eventHeap
+
 	stopped bool
 
 	// Liveness watchdog state: components mark forward progress via
@@ -59,14 +188,67 @@ type Engine struct {
 	stalled      bool
 }
 
-// NewEngine returns an empty engine at cycle 0.
-func NewEngine() *Engine { return &Engine{} }
+type engineMode uint8
+
+const (
+	engineCalendar engineMode = iota
+	engineHeap
+)
+
+// NewEngine returns an empty engine at cycle 0, backed by the calendar
+// queue. Setting DRESAR_ENGINE=heap in the environment selects the
+// seed heap implementation instead, so any run (figure pins included)
+// can be replayed on both queues without a code change.
+func NewEngine() *Engine {
+	if os.Getenv("DRESAR_ENGINE") == "heap" {
+		return NewHeapEngine()
+	}
+	return &Engine{}
+}
+
+// NewCalendarEngine returns an engine explicitly backed by the
+// calendar queue, ignoring DRESAR_ENGINE.
+func NewCalendarEngine() *Engine { return &Engine{} }
+
+// NewHeapEngine returns an engine backed by the seed container/heap
+// queue. It defines the reference firing order for differential tests;
+// the calendar queue must match it event for event.
+func NewHeapEngine() *Engine { return &Engine{mode: engineHeap} }
 
 // Now reports the current simulated cycle.
 func (e *Engine) Now() Cycle { return e.now }
 
 // Pending reports the number of scheduled events not yet executed.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.cnt }
+
+// schedule enqueues ev (its at already clamped to >= now).
+func (e *Engine) schedule(ev event) {
+	e.cnt++
+	if e.mode == engineHeap {
+		heap.Push(&e.events, ev)
+		return
+	}
+	if ev.at < e.now+calWindow {
+		b := &e.buckets[ev.at&calMask]
+		b.ev = append(b.ev, ev)
+	} else {
+		e.far.push(ev)
+	}
+	// Keep the earliest-cycle cache honest: a valid cache may only be
+	// lowered, and an invalid cache may only be revalidated when this
+	// event is provably the earliest — i.e. it is the only one pending.
+	// Revalidating unconditionally would let a schedule issued right
+	// after a bucket drained (nextValid just cleared, other buckets
+	// still holding events) publish a too-high nextAt, and peek would
+	// skip every earlier bucket until the ring wrapped.
+	if e.nextValid {
+		if ev.at < e.nextAt {
+			e.nextAt = ev.at
+		}
+	} else if e.cnt == 1 {
+		e.nextAt, e.nextValid = ev.at, true
+	}
+}
 
 // At schedules fn to run at cycle t. Scheduling in the past (t < Now)
 // runs fn at the current cycle instead; the engine never travels
@@ -75,12 +257,97 @@ func (e *Engine) At(t Cycle, fn func()) {
 	if t < e.now {
 		t = e.now
 	}
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.schedule(event{at: t, seq: e.seq, fn: fn})
 	e.seq++
 }
 
 // After schedules fn to run d cycles from now.
 func (e *Engine) After(d Cycle, fn func()) { e.At(e.now+d, fn) }
+
+// AtEvent schedules a closure-free event: at cycle t (clamped to >=
+// Now, like At), a.OnEvent(op, arg, data) fires. It shares the
+// (cycle, sequence) order with At-scheduled closures. Passing a
+// pointer (or nil) as data does not allocate; the steady-state
+// schedule+fire path is allocation-free once bucket capacity is warm.
+func (e *Engine) AtEvent(t Cycle, a Actor, op int, arg uint64, data any) {
+	if t < e.now {
+		t = e.now
+	}
+	e.schedule(event{at: t, seq: e.seq, actor: a, op: op, arg: arg, data: data})
+	e.seq++
+}
+
+// AfterEvent schedules a closure-free event d cycles from now.
+func (e *Engine) AfterEvent(d Cycle, a Actor, op int, arg uint64, data any) {
+	e.AtEvent(e.now+d, a, op, arg, data)
+}
+
+// migrate restores the calendar invariants after the clock advanced:
+// far-heap events whose cycle has entered the window move into their
+// buckets. Heap order is (at, seq), so same-cycle events migrate in
+// seq order, and any event scheduled directly for that cycle later
+// carries a higher seq and lands behind them — bucket append order is
+// exactly (at, seq) order, which is why buckets need no sort.
+func (e *Engine) migrate() {
+	for len(e.far) > 0 && e.far[0].at < e.now+calWindow {
+		ev := e.far.pop()
+		b := &e.buckets[ev.at&calMask]
+		b.ev = append(b.ev, ev)
+	}
+}
+
+// peek reports the earliest pending cycle without advancing the clock.
+func (e *Engine) peek() (Cycle, bool) {
+	if e.cnt == 0 {
+		return 0, false
+	}
+	if e.mode == engineHeap {
+		return e.events[0].at, true
+	}
+	if e.nextValid {
+		return e.nextAt, true
+	}
+	// Scan the window from now. Every bucket-resident event is in
+	// [now, now+calWindow), so the first non-empty bucket met in cycle
+	// order is the earliest; if the ring is empty the far heap's top
+	// (>= now+calWindow) is.
+	for c := e.now; c < e.now+calWindow; c++ {
+		b := &e.buckets[c&calMask]
+		if b.head < len(b.ev) {
+			e.nextAt, e.nextValid = c, true
+			return c, true
+		}
+	}
+	e.nextAt, e.nextValid = e.far[0].at, true
+	return e.nextAt, true
+}
+
+// pop removes and returns the earliest event, advancing the clock to
+// its cycle. It must only be called when at least one event is pending.
+func (e *Engine) pop() event {
+	if e.mode == engineHeap {
+		e.cnt--
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		return ev
+	}
+	t, _ := e.peek()
+	e.cnt--
+	if t != e.now {
+		e.now = t
+		e.migrate()
+	}
+	b := &e.buckets[t&calMask]
+	ev := b.ev[b.head]
+	b.ev[b.head] = event{} // release references; the array is long-lived
+	b.head++
+	if b.head == len(b.ev) {
+		b.ev = b.ev[:0]
+		b.head = 0
+		e.nextValid = false
+	}
+	return ev
+}
 
 // SetWatchdog arms the liveness watchdog: if the clock advances limit
 // cycles beyond the last Progress() mark while Run/RunUntil/Drain are
@@ -128,12 +395,11 @@ func (e *Engine) checkWatchdog() bool {
 // Step executes the single earliest event, advancing the clock to its
 // cycle. It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	if e.cnt == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
-	e.now = ev.at
-	ev.fn()
+	ev := e.pop()
+	ev.fire()
 	return true
 }
 
@@ -160,15 +426,26 @@ func (e *Engine) Run(limit int) int {
 func (e *Engine) RunUntil(t Cycle) int {
 	e.stopped = false
 	n := 0
-	for !e.stopped && len(e.events) > 0 && e.events[0].at <= t {
+	for !e.stopped {
+		at, ok := e.peek()
+		if !ok || at > t {
+			break
+		}
 		e.Step()
 		n++
 		if e.checkWatchdog() {
 			return n
 		}
 	}
-	if e.now < t {
+	// Jump the clock to t — unless Stop() left events <= t pending, in
+	// which case jumping would date them in the past (the seed heap
+	// tolerated that by letting the clock step backwards; the calendar
+	// ring cannot represent a past cycle, so neither mode jumps).
+	if at, ok := e.peek(); e.now < t && (!ok || at > t) {
 		e.now = t
+		if e.mode == engineCalendar {
+			e.migrate()
+		}
 	}
 	return n
 }
@@ -181,7 +458,11 @@ func (e *Engine) RunUntil(t Cycle) int {
 func (e *Engine) Drain(max Cycle) int {
 	e.stopped = false
 	n := 0
-	for !e.stopped && len(e.events) > 0 && e.events[0].at <= max {
+	for !e.stopped {
+		at, ok := e.peek()
+		if !ok || at > max {
+			break
+		}
 		e.Step()
 		n++
 		if e.checkWatchdog() {

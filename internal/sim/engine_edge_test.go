@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestAtIntoPastUnderArmedWatchdog schedules into the past while the
+// watchdog is armed: the event must clamp to Now (never rewinding the
+// clock), fire this cycle, and the watchdog must neither trip from the
+// clamp nor miss a genuine stall that follows it.
+func TestAtIntoPastUnderArmedWatchdog(t *testing.T) {
+	for _, mk := range engines() {
+		e := mk.new()
+		tripped := false
+		e.SetWatchdog(100, func(now, since Cycle) { tripped = true })
+
+		var fired []Cycle
+		e.At(50, func() {
+			// From cycle 50, aim at cycle 10: the engine must clamp to
+			// 50, not travel backwards.
+			e.At(10, func() { fired = append(fired, e.Now()) })
+			e.Progress()
+		})
+		e.RunUntil(60)
+		if len(fired) != 1 || fired[0] != 50 {
+			t.Fatalf("%s: past-scheduled event fired at %v, want [50]", mk.name, fired)
+		}
+		if tripped || e.Stalled() {
+			t.Fatalf("%s: watchdog tripped on a clamped past schedule", mk.name)
+		}
+
+		// The clamp must not have disturbed the watchdog bookkeeping:
+		// a genuine livelock afterwards still trips at the bound.
+		var tick func()
+		tick = func() { e.After(1, tick) }
+		e.After(1, tick)
+		e.Drain(10_000)
+		if !tripped || !e.Stalled() {
+			t.Fatalf("%s: watchdog failed to trip on livelock after clamped schedule", mk.name)
+		}
+		if since := e.SinceProgress(); since < 100 {
+			t.Fatalf("%s: tripped with SinceProgress=%d, want >= 100", mk.name, since)
+		}
+	}
+}
+
+// TestPendingAcrossSameCycleBursts checks the event count through a
+// burst of same-cycle schedules, including events scheduled for the
+// current cycle from inside a handler (which must run before the clock
+// moves, draining the same bucket that is being appended to).
+func TestPendingAcrossSameCycleBursts(t *testing.T) {
+	for _, mk := range engines() {
+		e := mk.new()
+		const burst = 100
+		ran := 0
+		for i := 0; i < burst; i++ {
+			e.At(5, func() {
+				ran++
+				if ran <= 3 {
+					// Re-burst at the same cycle from inside a handler.
+					e.At(5, func() { ran++ })
+				}
+			})
+		}
+		if got := e.Pending(); got != burst {
+			t.Fatalf("%s: Pending=%d before run, want %d", mk.name, got, burst)
+		}
+		e.RunUntil(5)
+		if got := e.Pending(); got != 0 {
+			t.Fatalf("%s: Pending=%d after same-cycle burst, want 0", mk.name, got)
+		}
+		if want := burst + 3; ran != want {
+			t.Fatalf("%s: ran %d events, want %d", mk.name, ran, want)
+		}
+		if e.Now() != 5 {
+			t.Fatalf("%s: Now=%d after burst, want 5", mk.name, e.Now())
+		}
+	}
+}
+
+// engines lists the two scheduler implementations for differential
+// runs.
+func engines() []struct {
+	name string
+	new  func() *Engine
+} {
+	return []struct {
+		name string
+		new  func() *Engine
+	}{
+		{"calendar", NewCalendarEngine},
+		{"heap", NewHeapEngine},
+	}
+}
+
+// TestHeapCalendarDifferential replays one randomized schedule on both
+// engine implementations and requires identical execution traces:
+// (cycle, id) for every fired event, with self-rescheduling handlers
+// that stress the near/far boundary (offsets straddling the calendar
+// window) and same-cycle FIFO order.
+func TestHeapCalendarDifferential(t *testing.T) {
+	type step struct {
+		at Cycle
+		id int
+	}
+	run := func(mk func() *Engine) []step {
+		e := mk()
+		rng := NewRNG(0xD1FF)
+		var trace []step
+		nextID := 0
+		// A fixed menu of offsets crossing the calendar window (1024):
+		// same-cycle, near, boundary-1, boundary, and far.
+		offsets := []Cycle{0, 1, 3, 1023, 1024, 1025, 5000}
+		var fire func(id, depth int) func()
+		fire = func(id, depth int) func() {
+			return func() {
+				trace = append(trace, step{e.Now(), id})
+				if depth > 0 {
+					for i := 0; i < 2; i++ {
+						nextID++
+						d := offsets[rng.Intn(len(offsets))]
+						e.After(d, fire(nextID, depth-1))
+					}
+				}
+			}
+		}
+		for i := 0; i < 32; i++ {
+			nextID++
+			e.At(Cycle(rng.Intn(2000)), fire(nextID, 3))
+		}
+		e.Run(1_000_000)
+		return trace
+	}
+	// Both runs draw from identically-seeded RNGs, so the schedules are
+	// the same; only the queue implementation differs.
+	cal := run(NewCalendarEngine)
+	hp := run(NewHeapEngine)
+	if len(cal) != len(hp) {
+		t.Fatalf("trace length: calendar=%d heap=%d", len(cal), len(hp))
+	}
+	for i := range cal {
+		if cal[i] != hp[i] {
+			t.Fatalf("trace diverges at %d: calendar=%+v heap=%+v", i, cal[i], hp[i])
+		}
+	}
+	if len(cal) == 0 {
+		t.Fatal("empty trace")
+	}
+}

@@ -87,7 +87,17 @@ func (r *RNG) Perm(n int) []int {
 type Zipf struct {
 	rng *RNG
 	cdf []float64
+	// jump[k] is the least index whose CDF value reaches k/zipfBuckets;
+	// jump[zipfBuckets] is n-1. It narrows Draw's binary search from
+	// the whole table to one bucket's worth of entries — with skewed
+	// mass, usually one or two — without changing which index any u
+	// maps to, so draw sequences are bit-identical to a full search.
+	jump []int32
 }
+
+// zipfBuckets is the jump-table resolution. A power of two so the
+// bucket of a draw is exact integer arithmetic on its mantissa bits.
+const zipfBuckets = 256
 
 // NewZipf builds a Zipf sampler over [0, n) with exponent s.
 func NewZipf(rng *RNG, n int, s float64) *Zipf {
@@ -103,14 +113,28 @@ func NewZipf(rng *RNG, n int, s float64) *Zipf {
 	for i := range cdf {
 		cdf[i] /= sum
 	}
-	return &Zipf{rng: rng, cdf: cdf}
+	jump := make([]int32, zipfBuckets+1)
+	i := 0
+	for k := range jump {
+		target := float64(k) / zipfBuckets
+		for i < n-1 && cdf[i] < target {
+			i++
+		}
+		jump[k] = int32(i)
+	}
+	return &Zipf{rng: rng, cdf: cdf, jump: jump}
 }
 
 // Draw returns the next sample.
 func (z *Zipf) Draw() int {
-	u := z.rng.Float64()
-	// Binary search the CDF.
-	lo, hi := 0, len(z.cdf)-1
+	// Identical to u := z.rng.Float64(), with the mantissa bits kept:
+	// bits/2^53 is exact, so bits>>45 is exactly floor(u·zipfBuckets)
+	// and u lies in [k/B, (k+1)/B) — the answer is in [jump[k],
+	// jump[k+1]] by construction.
+	bits := z.rng.Uint64() >> 11
+	u := float64(bits) / (1 << 53)
+	k := bits >> 45
+	lo, hi := int(z.jump[k]), int(z.jump[k+1])
 	for lo < hi {
 		mid := (lo + hi) / 2
 		if z.cdf[mid] < u {

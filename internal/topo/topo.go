@@ -73,6 +73,19 @@ type T struct {
 	Bundle int
 	// Leaves and Tops are the per-rank switch counts (Nodes / Radix).
 	Leaves, Tops int
+
+	// Route caches, filled lazily. Routes are pure functions of the
+	// endpoints (and, for Turnaround, sel mod Tops·Bundle), and they
+	// are recomputed for every message — the hottest allocation in the
+	// interconnect. Callers must treat returned hop slices as
+	// immutable; the one mutation site (xbar's fault route splicing)
+	// copies via a full slice expression. Caches are per-T and each
+	// simulated machine owns its T, so lazy fill needs no locking.
+	fwdCache, bwdCache, taCache [][]Hop
+	// Switch-only views of the forward/backward routes, cached under
+	// the same immutability contract (the trace-driven simulator walks
+	// them once per miss).
+	swFwdCache, swBwdCache [][]SwitchID
 }
 
 // New builds a two-stage BMIN for nodes endpoints using switches of
@@ -140,30 +153,52 @@ func (t *T) topDownPort(leaf, lane int) Port { return Port(leaf*t.Bundle + lane)
 
 // Forward returns the hop sequence for a processor-to-memory message
 // (the forward path: ReadReq, WriteReq, WriteBack, CopyBack, InvalAck).
+// The returned slice is cached and shared across calls: treat it as
+// immutable.
 func (t *T) Forward(proc, mem int) []Hop {
 	t.checkNode(proc)
 	t.checkNode(mem)
+	if t.fwdCache == nil {
+		t.fwdCache = make([][]Hop, t.Nodes*t.Nodes)
+	}
+	key := proc*t.Nodes + mem
+	if h := t.fwdCache[key]; h != nil {
+		return h
+	}
 	leaf, top := proc/t.Radix, mem/t.Radix
 	c := t.lane(proc, mem)
-	return []Hop{
+	h := []Hop{
 		{Sw: SwitchID{0, leaf}, In: Port(proc % t.Radix), Out: t.upPort(top, c)},
 		{Sw: SwitchID{1, top}, In: t.topDownPort(leaf, c), Out: Port(t.Radix + mem%t.Radix)},
 	}
+	t.fwdCache[key] = h
+	return h
 }
 
 // Backward returns the hop sequence for a memory-to-processor message
 // (the backward path: replies, CtoCReq, Inval, Retry, WBAck, Nack).
 // It is the exact reverse of Forward(proc, mem), so a request and its
 // reply see the same two switches — the path-overlap property.
+// The returned slice is cached and shared across calls: treat it as
+// immutable.
 func (t *T) Backward(mem, proc int) []Hop {
 	t.checkNode(proc)
 	t.checkNode(mem)
+	if t.bwdCache == nil {
+		t.bwdCache = make([][]Hop, t.Nodes*t.Nodes)
+	}
+	key := mem*t.Nodes + proc
+	if h := t.bwdCache[key]; h != nil {
+		return h
+	}
 	leaf, top := proc/t.Radix, mem/t.Radix
 	c := t.lane(proc, mem)
-	return []Hop{
+	h := []Hop{
 		{Sw: SwitchID{1, top}, In: Port(t.Radix + mem%t.Radix), Out: t.topDownPort(leaf, c)},
 		{Sw: SwitchID{0, leaf}, In: t.upPort(top, c), Out: Port(proc % t.Radix)},
 	}
+	t.bwdCache[key] = h
+	return h
 }
 
 // Turnaround returns the hop sequence for a processor-to-processor
@@ -173,9 +208,30 @@ func (t *T) Backward(mem, proc int) []Hop {
 // shares the transaction's tree). If src and dst share a leaf switch
 // the message still turns at the leaf only when no top visit is
 // required — a single-switch route.
+// The returned slice is cached and shared across calls (the route
+// depends on sel only through sel mod Tops·Bundle): treat it as
+// immutable.
 func (t *T) Turnaround(src, dst, sel int) []Hop {
 	t.checkNode(src)
 	t.checkNode(dst)
+	period := t.Tops * t.Bundle
+	s := sel % period
+	if s < 0 {
+		s += period
+	}
+	if t.taCache == nil {
+		t.taCache = make([][]Hop, t.Nodes*t.Nodes*period)
+	}
+	key := (src*t.Nodes+dst)*period + s
+	if h := t.taCache[key]; h != nil {
+		return h
+	}
+	h := t.turnaround(src, dst, s)
+	t.taCache[key] = h
+	return h
+}
+
+func (t *T) turnaround(src, dst, sel int) []Hop {
 	sl, dl := src/t.Radix, dst/t.Radix
 	if sl == dl {
 		// Same leaf: one hop through the shared leaf switch.
@@ -235,21 +291,37 @@ func (t *T) InterSwitchLinks() []Link {
 // traversal order; used by the trace-driven simulator, which models
 // directory placement but not link timing.
 func (t *T) SwitchesForward(proc, mem int) []SwitchID {
+	if t.swFwdCache == nil {
+		t.swFwdCache = make([][]SwitchID, t.Nodes*t.Nodes)
+	}
+	key := proc*t.Nodes + mem
+	if s := t.swFwdCache[key]; s != nil {
+		return s
+	}
 	hops := t.Forward(proc, mem)
 	out := make([]SwitchID, len(hops))
 	for i, h := range hops {
 		out[i] = h.Sw
 	}
+	t.swFwdCache[key] = out
 	return out
 }
 
 // SwitchesBackward lists the switches on the backward path in order.
 func (t *T) SwitchesBackward(mem, proc int) []SwitchID {
+	if t.swBwdCache == nil {
+		t.swBwdCache = make([][]SwitchID, t.Nodes*t.Nodes)
+	}
+	key := mem*t.Nodes + proc
+	if s := t.swBwdCache[key]; s != nil {
+		return s
+	}
 	hops := t.Backward(mem, proc)
 	out := make([]SwitchID, len(hops))
 	for i, h := range hops {
 		out[i] = h.Sw
 	}
+	t.swBwdCache[key] = out
 	return out
 }
 

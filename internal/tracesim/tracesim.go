@@ -191,9 +191,15 @@ type Sim struct {
 	cfg    Config
 	tp     *topo.T
 	caches []*cache.Cache
-	dir    map[uint64]*dent
-	sdirs  []*sdCache
-	clocks []uint64
+	// dir is the home directory. Synthetic traces address a dense
+	// block region starting at zero, so records live in a flat slice
+	// indexed by block number and grown on demand; blocks past
+	// denseDirBlocks (sparse file-driven traces) overflow into dirHi.
+	dir        []dent
+	dirHi      map[uint64]*dent
+	blockShift uint
+	sdirs      []*sdCache
+	clocks     []uint64
 
 	// Profile accumulates per-block (miss, CtoC) counts for Figure 2.
 	Profile *sim.BlockProfile
@@ -210,7 +216,7 @@ func New(cfg Config) (*Sim, error) {
 		cfg:     cfg,
 		tp:      tp,
 		caches:  make([]*cache.Cache, cfg.Procs),
-		dir:     make(map[uint64]*dent),
+		dirHi:   make(map[uint64]*dent),
 		clocks:  make([]uint64, cfg.Procs),
 		Profile: sim.NewBlockProfile(),
 	}
@@ -219,6 +225,9 @@ func New(cfg Config) (*Sim, error) {
 			SizeBytes: cfg.CacheBytes, Ways: cfg.Ways,
 			BlockBytes: cfg.BlockBytes, AccessCycles: cfg.CacheAccess,
 		})
+	}
+	for b := cfg.BlockBytes; b > 1; b >>= 1 {
+		s.blockShift++
 	}
 	if cfg.SDir != nil {
 		if cfg.SDir.Entries <= 0 || cfg.SDir.Ways <= 0 || cfg.SDir.Entries%cfg.SDir.Ways != 0 {
@@ -243,11 +252,24 @@ func MustNew(cfg Config) *Sim {
 
 func (s *Sim) home(b uint64) int { return int(b/uint64(s.cfg.PageBytes)) % s.cfg.Procs }
 
+// denseDirBlocks bounds the flat directory at 2^21 records (~48 MiB
+// fully grown); the synthetic workloads use a few hundred thousand.
+const denseDirBlocks = 1 << 21
+
+// ent returns b's directory record. The returned pointer is
+// invalidated by the next ent or fill call (the dense slice may
+// grow): finish with it before installing blocks.
 func (s *Sim) ent(b uint64) *dent {
-	e, ok := s.dir[b]
+	if idx := b >> s.blockShift; idx < denseDirBlocks {
+		for uint64(len(s.dir)) <= idx {
+			s.dir = append(s.dir, dent{})
+		}
+		return &s.dir[idx]
+	}
+	e, ok := s.dirHi[b]
 	if !ok {
 		e = &dent{}
-		s.dir[b] = e
+		s.dirHi[b] = e
 	}
 	return e
 }

@@ -30,6 +30,15 @@ type Driver struct {
 	refs    [][]Ref // per-proc stream of the current phase
 	idx     []int
 	err     error
+
+	// Prebuilt per-processor callbacks (see Run): the issue/step
+	// closures are allocated once instead of once per reference —
+	// with core.Machine's adapter slots this makes the whole
+	// reference fast path allocation-free.
+	pend      []Ref // reference waiting out its Gap
+	issueFn   []func()
+	readDone  []func(sim.Cycle)
+	writeDone []func(sim.Cycle)
 }
 
 // NewDriver wires a workload onto a machine. The machine must have at
@@ -47,6 +56,16 @@ func (d *Driver) Run() (core.Stats, error) {
 	procs := d.W.Procs()
 	d.idx = make([]int, procs)
 	d.refs = make([][]Ref, procs)
+	d.pend = make([]Ref, procs)
+	d.issueFn = make([]func(), procs)
+	d.readDone = make([]func(sim.Cycle), procs)
+	d.writeDone = make([]func(sim.Cycle), procs)
+	for p := 0; p < procs; p++ {
+		p := p
+		d.issueFn[p] = func() { d.issue(p) }
+		d.readDone[p] = func(lat sim.Cycle) { d.step(p) }
+		d.writeDone[p] = func(stall sim.Cycle) { d.step(p) }
+	}
 	d.startPhase(0)
 	// Machine.Run layers the liveness watchdog, Fail-sink errors, and
 	// panic recovery over the raw engine drain.
@@ -99,17 +118,21 @@ func (d *Driver) step(p int) {
 	}
 	r := d.refs[p][d.idx[p]]
 	d.idx[p]++
-	issue := func() {
-		if r.Write {
-			d.M.Write(p, r.Addr, func(stall sim.Cycle) { d.step(p) })
-		} else {
-			d.M.Read(p, r.Addr, func(lat sim.Cycle) { d.step(p) })
-		}
-	}
+	d.pend[p] = r
 	if r.Gap > 0 {
-		d.M.Eng.After(sim.Cycle(r.Gap), issue)
+		d.M.Eng.After(sim.Cycle(r.Gap), d.issueFn[p])
+		return
+	}
+	d.issue(p)
+}
+
+// issue submits p's pending reference (step parked it in pend[p]).
+func (d *Driver) issue(p int) {
+	r := d.pend[p]
+	if r.Write {
+		d.M.Write(p, r.Addr, d.writeDone[p])
 	} else {
-		issue()
+		d.M.Read(p, r.Addr, d.readDone[p])
 	}
 }
 

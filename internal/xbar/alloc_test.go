@@ -1,0 +1,49 @@
+package xbar
+
+import (
+	"testing"
+
+	"dresar/internal/mesg"
+	"dresar/internal/sim"
+	"dresar/internal/topo"
+)
+
+// TestRoundTripZeroAlloc pins the steady-state budget of a full
+// request/reply round trip through the 4x4 (16-node, radix-4) fabric:
+// with the message pool and the network's tx freelist warm, it must be
+// allocation-free. The per-hop objects this guards: pooled
+// mesg.Message (endpoints), recycled tx wrappers (Send/injectAt), and
+// the injection pending queues' shift-down pop.
+func TestRoundTripZeroAlloc(t *testing.T) {
+	tp := topo.MustNew(16, 4)
+	eng := sim.NewEngine()
+	net := New(eng, tp, Config{})
+	pool := &mesg.Pool{}
+	for i := 0; i < 16; i++ {
+		net.AttachProc(i, func(m *mesg.Message) { pool.Release(m) })
+	}
+	for i := 0; i < 16; i++ {
+		i := i
+		net.AttachMem(i, func(m *mesg.Message) {
+			r := pool.Get()
+			*r = mesg.Message{Kind: mesg.ReadReply, Src: mesg.M(i), Dst: mesg.P(m.Src.Node), Addr: m.Addr, Tx: m.Tx}
+			pool.Release(m)
+			net.Send(r)
+		})
+	}
+	roundTrip := func() {
+		m := pool.Get()
+		*m = mesg.Message{Kind: mesg.ReadReq, Src: mesg.P(3), Dst: mesg.M(12), Addr: 0x1240}
+		net.Send(m)
+		eng.Run(0)
+	}
+	for i := 0; i < 200; i++ {
+		roundTrip() // warm pools, queues, and the engine's buckets
+	}
+	if allocs := testing.AllocsPerRun(500, roundTrip); allocs != 0 {
+		t.Fatalf("round trip through 4x4 switch allocates %v per op, want 0", allocs)
+	}
+	if got := net.Stats.Delivered; got == 0 {
+		t.Fatal("no deliveries recorded")
+	}
+}

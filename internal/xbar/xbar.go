@@ -113,6 +113,24 @@ type tx struct {
 	canon []topo.SwitchID
 }
 
+// newTx hands out a recycled (zeroed) tx, or a fresh one when the
+// freelist is dry.
+func (n *Network) newTx() *tx {
+	if len(n.txFree) == 0 {
+		return &tx{}
+	}
+	t := n.txFree[len(n.txFree)-1]
+	n.txFree = n.txFree[:len(n.txFree)-1]
+	return t
+}
+
+// freeTx returns a finished tx to the freelist. The caller must hold
+// the only reference (the tx has left every queue).
+func (n *Network) freeTx(t *tx) {
+	*t = tx{}
+	n.txFree = append(n.txFree, t)
+}
+
 // onCanon reports whether sw may snoop this message.
 func (t *tx) onCanon(sw topo.SwitchID) bool {
 	if t.canon == nil {
@@ -169,6 +187,7 @@ type outLink struct {
 // links; port 2R is the internal injection block used by the snooper.
 type swc struct {
 	id  topo.SwitchID
+	ord int               // topo.SwitchOrdinal(id), for event-arg encoding
 	in  [][VCsPerPort]vcq // indexed by input port
 	out []outLink         // indexed by output port
 	ups []upstream        // indexed by input port
@@ -194,6 +213,11 @@ type Network struct {
 	// up-ports to memories are modeled inside outLink freeAt.
 	Stats  Stats
 	nextID uint64
+
+	// txFree recycles tx wrappers: one is live per in-flight message,
+	// dying at final-hop delivery or a snoop sink, so the steady-state
+	// send path allocates nothing. Single-threaded like the engine.
+	txFree []*tx
 
 	// Fault state (see faults.go). nFaults gates every fault-aware
 	// branch: while zero, behaviour is bit-identical to the
@@ -248,6 +272,7 @@ func (n *Network) build() {
 	mk := func(id topo.SwitchID) *swc {
 		s := &swc{
 			id:  id,
+			ord: tp.SwitchOrdinal(id),
 			in:  make([][VCsPerPort]vcq, 2*r+1),
 			out: make([]outLink, 2*r),
 			ups: make([]upstream, 2*r+1),
@@ -337,6 +362,63 @@ func (n *Network) route(m *mesg.Message) []topo.Hop {
 // destination node", avoiding out-of-order arrival).
 func vcFor(m *mesg.Message) int { return m.Dst.Node % VCsPerPort }
 
+// Event opcodes for the closure-free scheduling path (sim.Actor). Each
+// former per-hop closure becomes an opcode plus a packed integer
+// argument, so the steady-state hop pipeline schedules without
+// allocating.
+const (
+	// opArrive fills a reserved input-queue slot: data is the *tx, arg
+	// packs ordinal<<32 | port<<16 | vc of the receiving queue.
+	opArrive = iota
+	// opDeliver hands a message to an endpoint handler: data is the
+	// *mesg.Message, arg packs node<<1 | side.
+	opDeliver
+	// opTryOutput re-arbitrates an output port when its link frees:
+	// arg packs ordinal<<32 | port.
+	opTryOutput
+	// opInjArrive lands a snooper-generated message in its switch's
+	// internal injection block: data is the *tx, arg is the ordinal.
+	opInjArrive
+)
+
+// qArg packs the coordinates of one input virtual-channel queue.
+func qArg(ord int, p topo.Port, vc int) uint64 {
+	return uint64(ord)<<32 | uint64(uint16(p))<<16 | uint64(uint16(vc))
+}
+
+// endArg packs an endpoint identity.
+func endArg(e mesg.End) uint64 {
+	arg := uint64(e.Node) << 1
+	if e.Side == mesg.MemSide {
+		arg |= 1
+	}
+	return arg
+}
+
+// OnEvent dispatches the network's scheduled events (sim.Actor).
+func (n *Network) OnEvent(op int, arg uint64, data any) {
+	switch op {
+	case opArrive:
+		sw := n.switches[arg>>32]
+		q := &sw.in[uint16(arg>>16)][uint16(arg)]
+		n.arriveReserved(sw, q, data.(*tx))
+	case opDeliver:
+		e := mesg.End{Side: mesg.ProcSide, Node: int(arg >> 1)}
+		if arg&1 != 0 {
+			e.Side = mesg.MemSide
+		}
+		n.deliverEnd(e, data.(*mesg.Message))
+	case opTryOutput:
+		n.tryOutput(n.switches[arg>>32], topo.Port(uint32(arg)))
+	case opInjArrive:
+		t := data.(*tx)
+		sw := n.switches[arg]
+		t.enqueued = n.eng.Now()
+		sw.in[len(sw.in)-1][vcFor(t.m)].push(t)
+		n.tryOutput(sw, t.hops[0].Out)
+	}
+}
+
 // Send injects m at its source endpoint. Delivery is asynchronous via
 // the attached handler. The message's ID is assigned if zero.
 func (n *Network) Send(m *mesg.Message) {
@@ -352,7 +434,8 @@ func (n *Network) Send(m *mesg.Message) {
 	if !ok {
 		return
 	}
-	t := &tx{m: m, hops: hops, canon: canon, injected: n.eng.Now()}
+	t := n.newTx()
+	t.m, t.hops, t.canon, t.injected = m, hops, canon, n.eng.Now()
 	var il *injLink
 	if m.Src.Side == mesg.ProcSide {
 		il = &n.injProc[m.Src.Node]
@@ -382,14 +465,15 @@ func (n *Network) pumpInjection(il *injLink) {
 		}
 		ser := sim.Cycle(t.m.Flits() * mesg.LinkCyclesPerFlit)
 		il.freeAt = start + ser
-		il.pending = il.pending[1:]
+		// Shift down instead of reslicing forward: the backing array is
+		// reused for the life of the link, so steady-state injection
+		// never reallocates. Pending queues are a handful deep.
+		copy(il.pending, il.pending[1:])
+		il.pending = il.pending[:len(il.pending)-1]
 		arrive := start + ser
 		// Reserve the buffer slot now so concurrent senders see it.
 		q.push(nil) // placeholder; replaced at arrival
-		slotQ := q
-		n.eng.At(arrive, func() {
-			n.arriveReserved(sw, slotQ, t)
-		})
+		n.eng.AtEvent(arrive, n, opArrive, qArg(sw.ord, h.In, vc), t)
 	}
 }
 
@@ -514,6 +598,7 @@ func (n *Network) grant(sw *swc, out topo.Port, q *vcq) bool {
 				n.Trace(fmt.Sprintf("sink@%v", sw.id), now, t.m)
 			}
 			n.afterPop(sw, q)
+			n.freeTx(t)
 			return true
 		}
 	}
@@ -537,18 +622,15 @@ func (n *Network) grant(sw *swc, out topo.Port, q *vcq) bool {
 	arrive := start + n.core + ser
 
 	if ol.toSwitch < 0 {
-		end := ol.toEnd
-		n.eng.At(arrive, func() { n.deliverEnd(end, t.m) })
+		n.eng.AtEvent(arrive, n, opDeliver, endArg(ol.toEnd), t.m)
+		n.freeTx(t) // the message travels on alone; the wrapper is done
 	} else {
-		dsw := n.switches[ol.toSwitch]
 		t.hopIdx++
 		downQ.push(nil) // reserve
-		dq := downQ
-		n.eng.At(arrive, func() { n.arriveReserved(dsw, dq, t) })
+		n.eng.AtEvent(arrive, n, opArrive, qArg(ol.toSwitch, ol.toPort, vcFor(t.m)), t)
 	}
 	// When the link frees, run arbitration again for this output.
-	outPort := out
-	n.eng.At(ol.freeAt, func() { n.tryOutput(sw, outPort) })
+	n.eng.AtEvent(ol.freeAt, n, opTryOutput, uint64(sw.ord)<<32|uint64(uint32(out)), nil)
 	n.afterPop(sw, q)
 	return true
 }
@@ -607,14 +689,9 @@ func (n *Network) injectAt(sw *swc, m *mesg.Message, when sim.Cycle) {
 	if !ok {
 		return
 	}
-	t := &tx{m: m, hops: hops, canon: canon, injected: when, skipSnoopOnce: true}
-	injPort := len(sw.in) - 1
-	q := &sw.in[injPort][vcFor(m)]
-	n.eng.At(when, func() {
-		t.enqueued = n.eng.Now()
-		q.push(t)
-		n.tryOutput(sw, t.hops[0].Out)
-	})
+	t := n.newTx()
+	t.m, t.hops, t.canon, t.injected, t.skipSnoopOnce = m, hops, canon, when, true
+	n.eng.AtEvent(when, n, opInjArrive, uint64(sw.ord), t)
 }
 
 // routeFrom computes a route for a message created inside switch sw.

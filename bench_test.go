@@ -256,7 +256,7 @@ func BenchmarkAblationPlacement(b *testing.B) {
 				b.Fatal(err)
 			}
 			fmt.Printf("  hit split (both): leaf=%d top=%d (the paper targets inter-cluster transfers: top dominates)\n",
-				m.SDir.Stats.LeafHits, m.SDir.Stats.TopHits)
+				m.SDir.TotalStats().LeafHits, m.SDir.TotalStats().TopHits)
 			b.ReportMetric(float64(stats[1].ReadCtoCSwitch)/float64(stats[0].ReadCtoCSwitch+1), "top-only-hit-share")
 		}
 	}
@@ -382,5 +382,29 @@ func BenchmarkAblationBufferDepth(b *testing.B) {
 			b.ReportMetric(float64(s0.Cycles-s1.Cycles)/float64(s0.Cycles), "deep-buffer-gain")
 			b.ReportMetric(float64(s0.Cycles-s2.Cycles)/float64(s0.Cycles), "switch-dir-gain")
 		}
+	}
+}
+
+// --- Sharded engine (DESIGN.md "Parallel execution model") ---
+
+// BenchmarkShardedFFT runs the same FFT cell on the serial engine and
+// on the sharded parallel engine at increasing worker counts. The
+// simulated statistics are cycle-identical at every width (the
+// differential test asserts it); what this measures is the wall-clock
+// cost/benefit of the quantum-barrier machinery, which is a speedup
+// only when real cores back the workers — on a single-CPU host the
+// >1-worker variants report pure coordination overhead.
+func BenchmarkShardedFFT(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var cycles float64
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig().WithSwitchDir(1024)
+				cfg.ShardWorkers = workers
+				s := runKernel(b, cfg, ablationFFT())
+				cycles = float64(s.Cycles)
+			}
+			b.ReportMetric(cycles, "simcycles")
+		})
 	}
 }

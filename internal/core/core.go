@@ -14,6 +14,8 @@ package core
 
 import (
 	"fmt"
+	"os"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -77,6 +79,17 @@ type Config struct {
 	// processor access completes for this many cycles while events
 	// still fire, the run stops with a *StallError. 0 disables.
 	Watchdog sim.Cycle
+
+	// ShardWorkers selects the execution engine: 0 or 1 runs the
+	// machine on the serial engine; >1 partitions it across that many
+	// shards executing in parallel under conservative lookahead-quantum
+	// synchronization (sim.ShardedEngine), with results cycle-identical
+	// to the serial engine at any worker count. When 0, the environment
+	// variable DRESAR_ENGINE=sharded selects sharded execution with a
+	// worker count derived from the host CPU count. The count is capped
+	// at the number of topology units (leaf + top switches). Fault
+	// injection and the protocol monitor require serial execution.
+	ShardWorkers int
 }
 
 // DefaultConfig returns the Table 2 16-node system.
@@ -110,7 +123,15 @@ func (c Config) WithSwitchCache(entries int) Config {
 
 // Machine is one simulated CC-NUMA system.
 type Machine struct {
-	Eng   *sim.Engine
+	// Eng is the control engine: the machine's only engine in serial
+	// mode, and shard 0 of the group in sharded mode (drivers and
+	// other orchestration actors live there).
+	Eng *sim.Engine
+	// Sharded is non-nil when the machine executes on the conservative
+	// parallel engine (Config.ShardWorkers > 1): engs[i] runs shard i
+	// and Eng aliases shard 0.
+	Sharded *sim.ShardedEngine
+
 	Cfg   Config
 	Topo  *topo.T
 	Net   *xbar.Network
@@ -129,24 +150,49 @@ type Machine struct {
 	// nodes and home controllers (the dominant allocation class). It is
 	// nil — pooling off, plain heap allocation — when the protocol
 	// monitor is attached, since the monitor retains message pointers
-	// for its obligation report and recycling would corrupt it.
+	// for its obligation report and recycling would corrupt it. In
+	// sharded mode it is the shard-0 pool; each shard has its own (a
+	// message released on a shard other than its allocator's simply
+	// recycles there — pools only affect allocation reuse, never
+	// simulated behavior).
 	Pool *mesg.Pool
 
 	// Profile accumulates per-block (miss, CtoC) counts for Figure 2.
+	// In sharded mode it is (re)built by Collect from the per-shard
+	// profiles; in serial mode it is live during the run.
 	Profile *sim.BlockProfile
 	// ReadLatHist is the distribution of completed read latencies
-	// (hits included), for percentile reporting.
+	// (hits included), for percentile reporting. Sharded mode populates
+	// it in Collect, like Profile.
 	ReadLatHist sim.Histogram
 
-	version uint64
-	// shadow checker state
-	lastSeen map[uint64]uint64 // (proc<<48|block>>5) -> version observed
-	checkErr error
+	// engs lists the engine of each shard; serial machines have one.
+	// procShard/memShard give the shard of each node's processor-side
+	// and memory-side unit (all zero when serial).
+	engs      []*sim.Engine
+	procShard []int
+	memShard  []int
+
+	// Per-shard state only ever touched by events on that shard:
+	// message pools (nil slice when pooling is off), block profiles,
+	// latency histograms, shadow-checker maps and first violations, and
+	// Fail-sink error lists.
+	pools     []*mesg.Pool
+	profiles  []*sim.BlockProfile
+	hists     []*sim.Histogram
+	lastSeen  []map[uint64]uint64 // (proc<<48|block>>5) -> version observed
+	checkErrs []error
+
+	// Per-node store-version stamp state (see stampFor): cycle of the
+	// last stamp and the intra-cycle counter.
+	stampAt  []sim.Cycle
+	stampCtr []uint64
 
 	// runErrs collects structured failures reported by components
 	// through their Fail sinks (protocol holes, abandoned
-	// transactions); the first one stops the engine.
-	runErrs []error
+	// transactions), one list per shard; the first one stops the
+	// engines.
+	runErrs [][]error
 	// stall is set when the liveness watchdog trips.
 	stall *StallError
 
@@ -186,14 +232,87 @@ func New(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	workers := cfg.ShardWorkers
+	if workers == 0 && os.Getenv("DRESAR_ENGINE") == "sharded" {
+		workers = runtime.NumCPU()
+	}
+	if units := tp.NumSwitches(); workers > units {
+		workers = units
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > 1 {
+		switch {
+		case cfg.Faults.Active():
+			return nil, fmt.Errorf("core: fault injection requires serial execution (got ShardWorkers=%d)", workers)
+		case cfg.NetFaults.Active():
+			return nil, fmt.Errorf("core: network fault injection requires serial execution (got ShardWorkers=%d)", workers)
+		case cfg.CheckProtocol:
+			return nil, fmt.Errorf("core: the protocol monitor requires serial execution (got ShardWorkers=%d)", workers)
+		}
+	}
+	if cfg.Nodes > stampNodeMax+1 {
+		return nil, fmt.Errorf("core: %d nodes exceed the %d-node store-version encoding", cfg.Nodes, stampNodeMax+1)
+	}
+	cfg.ShardWorkers = workers
 	m := &Machine{
-		Eng:     sim.NewEngine(),
 		Cfg:     cfg,
 		Topo:    tp,
 		Profile: sim.NewBlockProfile(),
 	}
+	if workers > 1 {
+		// Route lookups happen concurrently across shards; fill the
+		// topology's lazy route caches now so they are read-only.
+		tp.Precompute()
+		m.Sharded = sim.NewShardedEngine(workers, cfg.Net.Lookahead())
+		m.engs = m.Sharded.Engines()
+		m.Eng = m.engs[0]
+	} else {
+		m.Eng = sim.NewEngine()
+		m.engs = []*sim.Engine{m.Eng}
+	}
+	// Shard assignment: leaf switch k on shard k%W, top switch k on
+	// shard (Leaves+k)%W, NIs co-located with their switch (an endpoint
+	// link is synchronous; see xbar.Network.Shard). At W dividing the
+	// leaf count this pairs leaf k with top k, keeping a node's
+	// processor and its co-indexed memory module on one shard; at
+	// larger W the two stages interleave across all shards.
+	swShard := make([]int, tp.NumSwitches())
+	for k := 0; k < tp.Leaves; k++ {
+		swShard[tp.SwitchOrdinal(topo.SwitchID{Stage: 0, Index: k})] = k % workers
+	}
+	for k := 0; k < tp.Tops; k++ {
+		swShard[tp.SwitchOrdinal(topo.SwitchID{Stage: 1, Index: k})] = (tp.Leaves + k) % workers
+	}
+	m.procShard = make([]int, cfg.Nodes)
+	m.memShard = make([]int, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		m.procShard[i] = swShard[tp.SwitchOrdinal(tp.LeafOf(i))]
+		m.memShard[i] = swShard[tp.SwitchOrdinal(tp.TopOf(i))]
+	}
+	m.profiles = make([]*sim.BlockProfile, workers)
+	m.hists = make([]*sim.Histogram, workers)
+	m.checkErrs = make([]error, workers)
+	m.runErrs = make([][]error, workers)
+	m.stampAt = make([]sim.Cycle, cfg.Nodes)
+	m.stampCtr = make([]uint64, cfg.Nodes)
+	if workers > 1 {
+		for i := range m.profiles {
+			m.profiles[i] = sim.NewBlockProfile()
+			m.hists[i] = &sim.Histogram{}
+		}
+	} else {
+		// Serial mode: the shard-0 slots alias the public fields, so
+		// the profile and histogram stay live during the run.
+		m.profiles[0] = m.Profile
+		m.hists[0] = &m.ReadLatHist
+	}
 	if cfg.CheckCoherence {
-		m.lastSeen = make(map[uint64]uint64)
+		m.lastSeen = make([]map[uint64]uint64, workers)
+		for i := range m.lastSeen {
+			m.lastSeen[i] = make(map[uint64]uint64)
+		}
 	}
 	netCfg := cfg.Net
 	if cfg.SwitchDir != nil {
@@ -220,7 +339,13 @@ func New(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	m.Net = xbar.New(m.Eng, tp, netCfg)
-	m.Net.Fail = m.recordErr
+	if workers > 1 {
+		m.Net.Shard(m.engs, swShard, m.procShard, m.memShard)
+	}
+	// Fabric partition errors (the only Net.Fail source) need downed
+	// elements, which need a fault plan, which is serial-only — so the
+	// shard-0 sink is never raced.
+	m.Net.Fail = m.failFor(0)
 	if cfg.CheckProtocol {
 		m.Monitor = check.New()
 		m.Net.Trace = m.Monitor.Observe
@@ -246,18 +371,23 @@ func New(cfg Config) (*Machine, error) {
 		}
 	}
 	if !cfg.CheckProtocol {
-		m.Pool = &mesg.Pool{}
+		m.pools = make([]*mesg.Pool, workers)
+		for i := range m.pools {
+			m.pools[i] = &mesg.Pool{}
+		}
+		m.Pool = m.pools[0]
 	}
 	m.Nodes = make([]*node.Node, cfg.Nodes)
 	m.Homes = make([]*dirctl.Controller, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		i := i
-		m.Nodes[i] = node.New(m.Eng, i, cfg.Node, send, m.Home, m.stamp)
-		m.Homes[i] = dirctl.New(m.Eng, i, cfg.Dir, send)
-		m.Nodes[i].SetPool(m.Pool)
-		m.Homes[i].SetPool(m.Pool)
-		m.Nodes[i].Fail = m.recordErr
-		m.Homes[i].Fail = m.recordErr
+		m.Nodes[i] = node.New(m.engs[m.procShard[i]], i, cfg.Node, send, m.Home,
+			func() uint64 { return m.stampFor(i) })
+		m.Homes[i] = dirctl.New(m.engs[m.memShard[i]], i, cfg.Dir, send)
+		m.Nodes[i].SetPool(m.poolFor(m.procShard[i]))
+		m.Homes[i].SetPool(m.poolFor(m.memShard[i]))
+		m.Nodes[i].Fail = m.failFor(m.procShard[i])
+		m.Homes[i].Fail = m.failFor(m.memShard[i])
 		m.Net.AttachProc(i, m.Nodes[i].Deliver)
 		m.Net.AttachMem(i, m.Homes[i].Handle)
 	}
@@ -279,22 +409,65 @@ func New(cfg Config) (*Machine, error) {
 	return m, nil
 }
 
-// recordErr is the Fail sink shared by every controller and node:
-// it records the structured error and stops the engine so the run
-// surfaces it instead of cascading.
-func (m *Machine) recordErr(err error) {
-	m.runErrs = append(m.runErrs, err)
-	m.Eng.Stop()
+// failFor builds the Fail sink for components living on the given
+// shard: it records the structured error in that shard's list and
+// stops the engine(s) so the run surfaces it instead of cascading.
+// Per-shard lists keep the sink race-free under sharded execution.
+func (m *Machine) failFor(shard int) func(error) {
+	return func(err error) {
+		m.runErrs[shard] = append(m.runErrs[shard], err)
+		if m.Sharded != nil {
+			m.Sharded.Stop()
+		} else {
+			m.Eng.Stop()
+		}
+	}
+}
+
+// poolFor returns the message pool of the given shard, or nil when
+// pooling is off (protocol monitor attached).
+func (m *Machine) poolFor(shard int) *mesg.Pool {
+	if m.pools == nil {
+		return nil
+	}
+	return m.pools[shard]
 }
 
 // Err returns the first structured failure recorded during the run
-// (nil if none).
+// (nil if none). Shards are scanned in index order, so the choice of
+// "first" does not depend on goroutine interleaving.
 func (m *Machine) Err() error {
-	if len(m.runErrs) > 0 {
-		return m.runErrs[0]
+	for _, errs := range m.runErrs {
+		if len(errs) > 0 {
+			return errs[0]
+		}
 	}
 	return nil
 }
+
+// Now reports the machine clock: the engine clock in serial mode, the
+// newest shard clock in sharded mode (identical to the serial clock at
+// any quiesce point, since both equal the cycle of the last executed
+// event).
+func (m *Machine) Now() sim.Cycle {
+	if m.Sharded != nil {
+		return m.Sharded.Now()
+	}
+	return m.Eng.Now()
+}
+
+// Pending reports scheduled-but-unexecuted events across all engines.
+func (m *Machine) Pending() int {
+	if m.Sharded != nil {
+		return m.Sharded.Pending()
+	}
+	return m.Eng.Pending()
+}
+
+// ProcEngine returns the engine running processor p's shard — the
+// engine on which p's completion callbacks fire, and therefore the one
+// a driver must use to schedule p's next reference.
+func (m *Machine) ProcEngine(p int) *sim.Engine { return m.engs[m.procShard[p]] }
 
 // MustNew panics on error.
 func MustNew(cfg Config) *Machine {
@@ -310,10 +483,38 @@ func (m *Machine) Home(addr uint64) int {
 	return int(addr/uint64(m.Cfg.PageBytes)) % m.Cfg.Nodes
 }
 
-// stamp issues globally monotonic store versions.
-func (m *Machine) stamp() uint64 {
-	m.version++
-	return m.version
+// Store versions are ordered stamps, not payloads: the protocol and
+// the shadow checker only ever compare them. The encoding
+//
+//	cycle<<stampCycleShift | node<<stampNodeShift | counter
+//
+// makes stamping a purely node-local operation — no shared counter for
+// shards to race on — while preserving every ordering the protocol
+// relies on: two stamps of the *same* block are always separated by an
+// ownership transfer through the network, so their cycle fields differ
+// and order them; same-node same-cycle stamps are ordered by the
+// counter. The node field only breaks ties between stamps of different
+// blocks, which no protocol decision compares.
+const (
+	stampNodeShift  = 8
+	stampCycleShift = 16
+	stampCtrMax     = 1<<stampNodeShift - 1
+	stampNodeMax    = 1<<(stampCycleShift-stampNodeShift) - 1
+)
+
+// stampFor issues node p's next store version: strictly increasing per
+// node. Must run on p's shard (it reads the shard clock).
+func (m *Machine) stampFor(p int) uint64 {
+	now := m.engs[m.procShard[p]].Now()
+	if m.stampAt[p] != now {
+		m.stampAt[p] = now
+		m.stampCtr[p] = 0
+	}
+	m.stampCtr[p]++
+	if m.stampCtr[p] > stampCtrMax {
+		panic(fmt.Sprintf("core: P%d issued more than %d store versions in cycle %d", p, stampCtrMax, now))
+	}
+	return uint64(now)<<stampCycleShift | uint64(p)<<stampNodeShift | m.stampCtr[p]
 }
 
 // Read issues a blocking load on processor p. done receives the block
@@ -330,15 +531,16 @@ func (m *Machine) Read(p int, addr uint64, done func(lat sim.Cycle)) {
 func (m *Machine) finishRead(p int, v uint64, class node.ReadClass, lat sim.Cycle) {
 	addr, done := m.rdAddr[p], m.rdDone[p]
 	m.rdDone[p] = nil
-	m.Eng.Progress()
-	m.ReadLatHist.Observe(uint64(lat))
+	sh := m.procShard[p]
+	m.engs[sh].Progress()
+	m.hists[sh].Observe(uint64(lat))
 	if class != node.ReadHit {
 		block := addr &^ 31
 		ctoc := uint64(0)
 		if class == node.ReadCtoCHome || class == node.ReadCtoCSwitch {
 			ctoc = 1
 		}
-		m.Profile.Add(block, 1, ctoc)
+		m.profiles[sh].Add(block, 1, ctoc)
 	}
 	if m.Cfg.CheckCoherence {
 		m.checkRead(p, addr&^31, v)
@@ -359,10 +561,11 @@ func (m *Machine) Write(p int, addr uint64, done func(stall sim.Cycle)) {
 func (m *Machine) finishWrite(p int, v uint64, stall sim.Cycle) {
 	addr, done := m.wrAddr[p], m.wrDone[p]
 	m.wrDone[p] = nil
-	m.Eng.Progress()
+	sh := m.procShard[p]
+	m.engs[sh].Progress()
 	if m.Cfg.CheckCoherence {
 		key := uint64(p)<<48 | (addr&^31)>>5
-		m.lastSeen[key] = v
+		m.lastSeen[sh][key] = v
 	}
 	if done != nil {
 		done(stall)
@@ -370,22 +573,36 @@ func (m *Machine) finishWrite(p int, v uint64, stall sim.Cycle) {
 }
 
 // checkRead enforces per-processor per-block version monotonicity and
-// global boundedness: a read may never travel backwards in time for
-// this processor, nor return a version newer than any issued.
+// boundedness: a read may never travel backwards in time for this
+// processor, nor return a version stamped after the current cycle
+// (stamps embed their issue cycle; see stampFor).
 func (m *Machine) checkRead(p int, block, v uint64) {
-	if m.checkErr != nil {
+	sh := m.procShard[p]
+	if m.checkErrs[sh] != nil {
 		return
 	}
-	if v > m.version {
-		m.checkErr = fmt.Errorf("core: P%d read %#x version %d beyond newest issued %d", p, block, v, m.version)
+	if v>>stampCycleShift > uint64(m.engs[sh].Now()) {
+		m.checkErrs[sh] = fmt.Errorf("core: P%d read %#x version %#x stamped at cycle %d, beyond now %d",
+			p, block, v, v>>stampCycleShift, m.engs[sh].Now())
 		return
 	}
 	key := uint64(p)<<48 | block>>5
-	if prev, ok := m.lastSeen[key]; ok && v < prev {
-		m.checkErr = fmt.Errorf("core: P%d read %#x version %d after observing %d (stale read)", p, block, v, prev)
+	if prev, ok := m.lastSeen[sh][key]; ok && v < prev {
+		m.checkErrs[sh] = fmt.Errorf("core: P%d read %#x version %#x after observing %#x (stale read)", p, block, v, prev)
 		return
 	}
-	m.lastSeen[key] = v
+	m.lastSeen[sh][key] = v
+}
+
+// firstCheckErr returns the first shadow-checker violation in shard
+// order (deterministic at any worker count).
+func (m *Machine) firstCheckErr() error {
+	for _, e := range m.checkErrs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
 }
 
 // Run drains the event engine. Three failure paths produce structured
@@ -405,20 +622,35 @@ func (m *Machine) checkRead(p int, block, v uint64) {
 func (m *Machine) Run(maxCycles sim.Cycle) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("core: panic at cycle %d: %v", m.Eng.Now(), r)
+			if sp, ok := r.(*sim.ShardPanic); ok {
+				err = fmt.Errorf("core: panic at cycle %d on shard %d: %v", m.Now(), sp.Shard, sp.Value)
+				return
+			}
+			err = fmt.Errorf("core: panic at cycle %d: %v", m.Now(), r)
 		}
 	}()
 	if m.Cfg.Watchdog > 0 {
-		m.Eng.SetWatchdog(m.Cfg.Watchdog, func(now, since sim.Cycle) {
+		onStall := func(now, since sim.Cycle) {
 			m.stall = &StallError{
-				Now: now, SinceProgress: since, Pending: m.Eng.Pending(),
+				Now: now, SinceProgress: since, Pending: m.Pending(),
 				Report: m.StallReport(),
 			}
-		})
+		}
+		if m.Sharded != nil {
+			m.Sharded.SetWatchdog(m.Cfg.Watchdog, onStall)
+		} else {
+			m.Eng.SetWatchdog(m.Cfg.Watchdog, onStall)
+		}
 	}
-	if maxCycles <= 0 {
+	switch {
+	case m.Sharded != nil:
+		if maxCycles < 0 {
+			maxCycles = 0
+		}
+		m.Sharded.Run(maxCycles)
+	case maxCycles <= 0:
 		m.Eng.Run(0)
-	} else {
+	default:
 		m.Eng.Drain(maxCycles)
 	}
 	if e := m.Err(); e != nil {
@@ -427,10 +659,10 @@ func (m *Machine) Run(maxCycles sim.Cycle) (err error) {
 	if m.stall != nil {
 		return m.stall
 	}
-	if maxCycles > 0 && m.Eng.Pending() > 0 {
-		return fmt.Errorf("core: watchdog: %d events still pending at cycle %d", m.Eng.Pending(), m.Eng.Now())
+	if maxCycles > 0 && m.Pending() > 0 {
+		return fmt.Errorf("core: watchdog: %d events still pending at cycle %d", m.Pending(), m.Now())
 	}
-	return m.checkErr
+	return m.firstCheckErr()
 }
 
 // StallReport assembles the structured liveness diagnostic: stuck
@@ -510,8 +742,8 @@ func (m *Machine) DumpStuck() string {
 //
 // Call only when Quiesced() is true.
 func (m *Machine) CheckInvariants() error {
-	if m.checkErr != nil {
-		return m.checkErr
+	if e := m.firstCheckErr(); e != nil {
+		return e
 	}
 	type holder struct {
 		owner    int
@@ -530,7 +762,7 @@ func (m *Machine) CheckInvariants() error {
 			switch st {
 			case cache.Modified:
 				if prev, ok := mods[addr]; ok {
-					m.checkErr = fmt.Errorf("core: block %#x Modified at both P%d and P%d", addr, prev.owner, i)
+					m.checkErrs[0] = fmt.Errorf("core: block %#x Modified at both P%d and P%d", addr, prev.owner, i)
 					return
 				}
 				mods[addr] = holder{owner: i, modified: true}
@@ -541,8 +773,8 @@ func (m *Machine) CheckInvariants() error {
 			}
 		})
 	}
-	if m.checkErr != nil {
-		return m.checkErr
+	if e := m.firstCheckErr(); e != nil {
+		return e
 	}
 	modBlocks := make([]uint64, 0, len(mods))
 	for b := range mods {

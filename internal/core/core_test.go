@@ -23,11 +23,11 @@ func TestColdReadLatencyBreakdown(t *testing.T) {
 		t.Fatalf("stats: %+v", s)
 	}
 	// Second read: cache hit, no new traffic.
-	sent := m.Net.Stats.Sent
+	sent := m.Net.TotalStats().Sent
 	m.Read(0, 0x40, func(l sim.Cycle) { lat = l })
 	m.Run(0)
-	if lat != 1 || m.Net.Stats.Sent != sent {
-		t.Fatalf("hit lat=%d sent=%d->%d", lat, sent, m.Net.Stats.Sent)
+	if lat != 1 || m.Net.TotalStats().Sent != sent {
+		t.Fatalf("hit lat=%d sent=%d->%d", lat, sent, m.Net.TotalStats().Sent)
 	}
 }
 
@@ -120,7 +120,7 @@ func TestSwitchDirectoryFasterThanHome(t *testing.T) {
 func TestWriteAfterInterceptedRead(t *testing.T) {
 	m := MustNew(DefaultConfig().WithSwitchDir(1024))
 	m.Cfg.CheckCoherence = true
-	m.lastSeen = map[uint64]uint64{}
+	m.lastSeen = []map[uint64]uint64{{}}
 	m.Write(0, 0x40, nil)
 	m.Run(0)
 	m.Read(1, 0x40, nil) // intercepted CtoC

@@ -103,7 +103,17 @@ func (s Stats) CtoCLatencyShare() float64 {
 // Collect gathers the roll-up from every component.
 func (m *Machine) Collect() Stats {
 	var s Stats
-	s.Cycles = m.Eng.Now()
+	s.Cycles = m.Now()
+	if m.Sharded != nil {
+		// Rebuild the public profile and histogram from the per-shard
+		// slices (serial mode maintains them live; see Machine).
+		m.Profile = sim.NewBlockProfile()
+		m.ReadLatHist = sim.Histogram{}
+		for i := range m.profiles {
+			m.Profile.Merge(m.profiles[i])
+			m.ReadLatHist.Merge(m.hists[i])
+		}
+	}
 	for _, n := range m.Nodes {
 		s.Reads += n.Stats.Reads
 		s.ReadMisses += n.Stats.ReadMisses
@@ -129,25 +139,28 @@ func (m *Machine) Collect() Stats {
 		s.HomeOccupancy += h.Stats.BusyCycles
 	}
 	if m.SDir != nil {
-		s.SDirHits = m.SDir.Stats.Hits
-		s.SDirInserts = m.SDir.Stats.Inserts
-		s.SDirRetries = m.SDir.Stats.RetriesSent
-		s.SDirEvictions = m.SDir.Stats.Evictions
-		s.SDirEntriesLost = m.SDir.Stats.EntriesLost
-		s.SDirPendingLost = m.SDir.Stats.PendingLost
-		s.SDirHomeFallbacks = m.SDir.Stats.HomeFallbacks
+		sd := m.SDir.TotalStats()
+		s.SDirHits = sd.Hits
+		s.SDirInserts = sd.Inserts
+		s.SDirRetries = sd.RetriesSent
+		s.SDirEvictions = sd.Evictions
+		s.SDirEntriesLost = sd.EntriesLost
+		s.SDirPendingLost = sd.PendingLost
+		s.SDirHomeFallbacks = sd.HomeFallbacks
 	}
 	if m.SCa != nil {
-		s.SCacheHits = m.SCa.Stats.Hits
-		s.SCacheInserts = m.SCa.Stats.Inserts
+		sc := m.SCa.TotalStats()
+		s.SCacheHits = sc.Hits
+		s.SCacheInserts = sc.Inserts
 	}
-	s.NetSent = m.Net.Stats.Sent
-	s.NetFlitHops = m.Net.Stats.FlitHops
-	s.NetSunk = m.Net.Stats.Sunk
-	s.LinkRetransmits = m.Net.Stats.Retransmits
-	s.Reroutes = m.Net.Stats.Reroutes
-	s.Unroutable = m.Net.Stats.Unroutable
-	s.DegradedHops = m.Net.Stats.DegradedHops
+	net := m.Net.TotalStats()
+	s.NetSent = net.Sent
+	s.NetFlitHops = net.FlitHops
+	s.NetSunk = net.Sunk
+	s.LinkRetransmits = net.Retransmits
+	s.Reroutes = net.Reroutes
+	s.Unroutable = net.Unroutable
+	s.DegradedHops = net.DegradedHops
 	return s
 }
 

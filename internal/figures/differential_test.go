@@ -1,0 +1,115 @@
+package figures
+
+import (
+	"fmt"
+	"testing"
+
+	"dresar/internal/core"
+	"dresar/internal/trace"
+	"dresar/internal/workload"
+)
+
+// diffWorkloads builds the differential corpus: the five scientific
+// kernels at test scale plus a synthetic commercial trace replayed
+// through the execution driver.
+func diffWorkloads(t *testing.T) map[string]func() workload.Workload {
+	t.Helper()
+	return map[string]func() workload.Workload{
+		"fft":   func() workload.Workload { return workload.NewFFT(4096, 16) },
+		"tc":    func() workload.Workload { return workload.NewTC(64, 16) },
+		"sor":   func() workload.Workload { return workload.NewSOR(128, 3, 16) },
+		"fwa":   func() workload.Workload { return workload.NewFWA(64, 16) },
+		"gauss": func() workload.Workload { return workload.NewGauss(64, 16) },
+		"tpcc": func() workload.Workload {
+			w, err := workload.FromTrace("tpcc", 16, trace.NewSynth(trace.TPCC(20000)), 20000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return w
+		},
+	}
+}
+
+// runDiff executes one workload on a fresh machine with the given
+// worker count and returns the full statistics roll-up plus the
+// profile totals (which exercise the per-shard merge paths).
+func runDiff(t *testing.T, mk func() workload.Workload, cfg core.Config, workers int) (core.Stats, uint64, uint64) {
+	t.Helper()
+	cfg.ShardWorkers = workers
+	cfg.CheckCoherence = true
+	m, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := workload.NewDriver(m, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := d.Run()
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	p, sec := m.Profile.Totals()
+	return s, p, sec
+}
+
+// TestSerialShardedDifferential is the sharded engine's acceptance
+// gate: for every workload in the corpus, the complete core.Stats
+// roll-up — every cycle count, latency sum, and traffic counter — must
+// be identical between the serial engine and the sharded engine at 1,
+// 2, 4 and 8 workers. Any divergence means an ordering in the model
+// became observable and conservative synchronization no longer
+// reproduces the serial run.
+func TestSerialShardedDifferential(t *testing.T) {
+	for _, cfgCase := range []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"base", core.DefaultConfig()},
+		{"sdir", core.DefaultConfig().WithSwitchDir(1024)},
+	} {
+		for name, mk := range diffWorkloads(t) {
+			// The base corpus runs sdir-only except FFT, to bound test
+			// time: the fabric code paths differ only via the snooper.
+			if cfgCase.name == "base" && name != "fft" {
+				continue
+			}
+			t.Run(fmt.Sprintf("%s/%s", cfgCase.name, name), func(t *testing.T) {
+				want, wantP, wantS := runDiff(t, mk, cfgCase.cfg, 1)
+				for _, workers := range []int{2, 4, 8} {
+					got, gotP, gotS := runDiff(t, mk, cfgCase.cfg, workers)
+					if got != want {
+						t.Errorf("workers=%d stats diverge:\n got: %+v\nwant: %+v", workers, got, want)
+					}
+					if gotP != wantP || gotS != wantS {
+						t.Errorf("workers=%d profile totals (%d,%d) != serial (%d,%d)",
+							workers, gotP, gotS, wantP, wantS)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedPaperScaleSmoke runs one paper-scale cell sharded and
+// checks it against the serial run — the full-size configuration the
+// speedup claim is measured on. Skipped under -short.
+func TestShardedPaperScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale differential run")
+	}
+	w, err := workload.ByName("fft", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() workload.Workload { return w }
+	cfg := core.DefaultConfig().WithSwitchDir(1024)
+	want, _, _ := runDiff(t, mk, cfg, 1)
+	got, _, _ := runDiff(t, mk, cfg, 4)
+	if got != want {
+		t.Errorf("paper-scale fft diverges:\n got: %+v\nwant: %+v", got, want)
+	}
+}

@@ -106,12 +106,23 @@ func RunOne(app string, scale Scale, entries int) (Result, error) {
 	return runScientific(app, scale, entries)
 }
 
+// ShardWorkers selects the intra-run execution engine for every
+// execution-driven machine the figure helpers build: 0 defers to the
+// DRESAR_ENGINE environment variable, 1 forces the serial engine, >1
+// runs each cell on the sharded parallel engine with that many
+// workers. Figure values are cycle-identical at any setting (enforced
+// by the serial-vs-sharded differential tests), so this is purely a
+// wall-clock knob — combine with SweepN's pool width bearing in mind
+// the two multiply.
+var ShardWorkers int
+
 func runScientific(app string, scale Scale, entries int) (Result, error) {
 	w, err := ScientificWorkload(app, scale)
 	if err != nil {
 		return Result{}, err
 	}
 	cfg := core.DefaultConfig()
+	cfg.ShardWorkers = ShardWorkers
 	if entries > 0 {
 		cfg = cfg.WithSwitchDir(entries)
 	}
@@ -335,6 +346,9 @@ func FigE1(scale Scale) (string, error) {
 
 // runScientificW runs one prepared workload under cfg.
 func runScientificW(w workload.Workload, cfg core.Config) (core.Stats, error) {
+	if cfg.ShardWorkers == 0 {
+		cfg.ShardWorkers = ShardWorkers
+	}
 	m, err := core.New(cfg)
 	if err != nil {
 		return core.Stats{}, err

@@ -24,8 +24,8 @@ func TestFailOrdinalLosesEverything(t *testing.T) {
 	f.Snoop(sw, rreq(0x40, 3), 10)
 	f.Snoop(sw, rreq(0x40, 4), 11) // bit-vector add: second waiter on 0x40
 	f.Snoop(sw, rreq(0x80, 6), 12)
-	if f.Stats.Hits != 2 || f.Stats.BitVectorAdds != 1 {
-		t.Fatalf("setup stats: %+v", f.Stats)
+	if f.TotalStats().Hits != 2 || f.TotalStats().BitVectorAdds != 1 {
+		t.Fatalf("setup stats: %+v", f.TotalStats())
 	}
 	if n := f.TransientCount(sw); n != 2 {
 		t.Fatalf("TransientCount = %d, want 2", n)
@@ -36,15 +36,15 @@ func TestFailOrdinalLosesEverything(t *testing.T) {
 	if !f.Failed(sw) || !f.Disabled(sw) {
 		t.Fatal("failed switch not flagged")
 	}
-	if f.Stats.EntriesLost != 3 {
-		t.Errorf("EntriesLost = %d, want 3", f.Stats.EntriesLost)
+	if f.TotalStats().EntriesLost != 3 {
+		t.Errorf("EntriesLost = %d, want 3", f.TotalStats().EntriesLost)
 	}
-	if f.Stats.PendingLost != 2 {
-		t.Errorf("PendingLost = %d, want 2", f.Stats.PendingLost)
+	if f.TotalStats().PendingLost != 2 {
+		t.Errorf("PendingLost = %d, want 2", f.TotalStats().PendingLost)
 	}
 	// Requesters 3 and 4 (on 0x40) plus 6 (on 0x80) must re-home.
-	if f.Stats.HomeFallbacks != 3 {
-		t.Errorf("HomeFallbacks = %d, want 3", f.Stats.HomeFallbacks)
+	if f.TotalStats().HomeFallbacks != 3 {
+		t.Errorf("HomeFallbacks = %d, want 3", f.TotalStats().HomeFallbacks)
 	}
 	for _, addr := range []uint64{0x40, 0x80, 0xc0} {
 		if st, _, vec := f.Lookup(sw, addr); st != Inv || vec != 0 {
@@ -57,7 +57,7 @@ func TestFailOrdinalLosesEverything(t *testing.T) {
 
 	// The dead directory is a full bypass: inserts do not land, drains
 	// do not process, every snoop counts as bypassed.
-	before := f.Stats.Bypassed
+	before := f.TotalStats().Bypassed
 	if a := f.Snoop(sw, wreply(0x100, 9), 20); a.Sink || len(a.Generated) != 0 {
 		t.Fatalf("dead directory acted: %+v", a)
 	}
@@ -68,14 +68,14 @@ func TestFailOrdinalLosesEverything(t *testing.T) {
 	if st, _, _ := f.Lookup(sw, 0x100); st != Inv {
 		t.Fatal("dead directory inserted")
 	}
-	if f.Stats.Bypassed != before+2 {
-		t.Errorf("Bypassed = %d, want %d", f.Stats.Bypassed, before+2)
+	if f.TotalStats().Bypassed != before+2 {
+		t.Errorf("Bypassed = %d, want %d", f.TotalStats().Bypassed, before+2)
 	}
 
 	// Idempotent: a second failure report must not double-count losses.
 	f.FailOrdinal(ord)
-	if f.Stats.EntriesLost != 3 || f.Stats.PendingLost != 2 || f.Stats.HomeFallbacks != 3 {
-		t.Errorf("second FailOrdinal changed loss counters: %+v", f.Stats)
+	if f.TotalStats().EntriesLost != 3 || f.TotalStats().PendingLost != 2 || f.TotalStats().HomeFallbacks != 3 {
+		t.Errorf("second FailOrdinal changed loss counters: %+v", f.TotalStats())
 	}
 
 	// Other switches are untouched.
@@ -96,7 +96,7 @@ func TestFailSwitchDelegates(t *testing.T) {
 	if !f.Failed(sw) {
 		t.Fatal("FailSwitch did not flag the switch")
 	}
-	if f.Stats.EntriesLost != 1 || f.Stats.PendingLost != 0 || f.Stats.HomeFallbacks != 0 {
-		t.Fatalf("loss counters: %+v", f.Stats)
+	if f.TotalStats().EntriesLost != 1 || f.TotalStats().PendingLost != 0 || f.TotalStats().HomeFallbacks != 0 {
+		t.Fatalf("loss counters: %+v", f.TotalStats())
 	}
 }

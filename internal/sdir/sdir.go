@@ -108,7 +108,10 @@ func DefaultConfig() Config {
 	return Config{Entries: 1024, Ways: 4, Policy: PolicyRetry, SnoopPorts: 2}
 }
 
-// Stats aggregates fabric-wide switch-directory counters.
+// Stats aggregates switch-directory counters. Each switch's directory
+// keeps its own instance (so shards never share a counter cache line
+// under sharded execution); TotalStats folds them into the fabric-wide
+// roll-up the figures read.
 type Stats struct {
 	Inserts        uint64 // entries created by write replies
 	Hits           uint64 // reads intercepted in MODIFIED state
@@ -135,6 +138,30 @@ type Stats struct {
 	HomeFallbacks uint64 // intercepted requesters re-homed after a switch loss
 }
 
+// add folds o into s.
+func (s *Stats) add(o *Stats) {
+	s.Inserts += o.Inserts
+	s.Hits += o.Hits
+	s.LeafHits += o.LeafHits
+	s.TopHits += o.TopHits
+	s.TransientHits += o.TransientHits
+	s.RetriesSent += o.RetriesSent
+	s.BitVectorAdds += o.BitVectorAdds
+	s.ServedFromCB += o.ServedFromCB
+	s.ServedFromWB += o.ServedFromWB
+	s.WriteNacks += o.WriteNacks
+	s.CtoCSunk += o.CtoCSunk
+	s.Invalidates += o.Invalidates
+	s.Evictions += o.Evictions
+	s.InsertBlocked += o.InsertBlocked
+	s.PendingFull += o.PendingFull
+	s.PortDelayTotal += o.PortDelayTotal
+	s.Bypassed += o.Bypassed
+	s.EntriesLost += o.EntriesLost
+	s.PendingLost += o.PendingLost
+	s.HomeFallbacks += o.HomeFallbacks
+}
+
 // entry is one directory line.
 type entry struct {
 	tag    uint64
@@ -158,6 +185,10 @@ type dir struct {
 	// buffer mode bounds interceptions with it; the disabled-directory
 	// drain path uses it to know when the last obligation resolved.
 	pendingCount int
+
+	// stats is this switch's share of the fabric roll-up; only the
+	// shard running the switch ever touches it.
+	stats Stats
 }
 
 // Fabric implements xbar.Snooper for every switch in a topology.
@@ -167,7 +198,6 @@ type Fabric struct {
 	dirs     []*dir
 	disabled []bool // per-switch faulty flag: bypassed, draining only
 	failed   []bool // per-switch dead flag: bypassed entirely, state lost
-	Stats    Stats
 
 	// Fail, when set, receives a structured *check.ProtocolError when a
 	// message the directory state machine cannot handle reaches it,
@@ -252,7 +282,7 @@ func (f *Fabric) chargePort(d *dir, now sim.Cycle) sim.Cycle {
 	}
 	d.portUsed++
 	delay := sim.Cycle((d.portUsed - 1) / f.cfg.SnoopPorts)
-	f.Stats.PortDelayTotal += uint64(delay)
+	d.stats.PortDelayTotal += uint64(delay)
 	return delay
 }
 
@@ -291,11 +321,11 @@ func (f *Fabric) Snoop(sw topo.SwitchID, m *mesg.Message, now sim.Cycle) xbar.Ac
 		// A dead switch has no directory left at all: nothing to drain,
 		// nothing to intercept. (The xbar also stops snooping at dead
 		// switches; this guard covers fabrics driven without one.)
-		f.Stats.Bypassed++
+		d.stats.Bypassed++
 		return xbar.Action{}
 	}
 	if f.disabled[ord] {
-		f.Stats.Bypassed++
+		d.stats.Bypassed++
 		if !transientOnly(m.Kind) || d.pendingCount == 0 {
 			return xbar.Action{}
 		}
@@ -344,7 +374,7 @@ func (f *Fabric) insert(d *dir, m *mesg.Message) {
 			// An in-flight transfer still owns this entry; do not
 			// clobber its obligations. (Rare: the home granted new
 			// ownership while our copyback is still travelling.)
-			f.Stats.InsertBlocked++
+			d.stats.InsertBlocked++
 			return
 		}
 		d.clock++
@@ -366,15 +396,15 @@ func (f *Fabric) insert(d *dir, m *mesg.Message) {
 		}
 	}
 	if victim == nil {
-		f.Stats.InsertBlocked++
+		d.stats.InsertBlocked++
 		return
 	}
 	if victim.state != Inv {
-		f.Stats.Evictions++
+		d.stats.Evictions++
 	}
 	d.clock++
 	*victim = entry{tag: m.Addr, state: Mod, owner: m.Requester, lru: d.clock}
-	f.Stats.Inserts++
+	d.stats.Inserts++
 }
 
 // readReq intercepts reads to blocks with known dirty owners.
@@ -390,14 +420,14 @@ func (f *Fabric) readReq(d *dir, sw topo.SwitchID, m *mesg.Message) xbar.Action 
 		// Re-route: sink the read, fire a marked CtoC request at the
 		// owner, go TRANSIENT until the copyback passes.
 		if f.cfg.PendingEntries > 0 && d.pendingCount >= f.cfg.PendingEntries {
-			f.Stats.PendingFull++
+			d.stats.PendingFull++
 			return xbar.Action{} // no room to track: let the home serve it
 		}
-		f.Stats.Hits++
+		d.stats.Hits++
 		if sw.Stage == 0 {
-			f.Stats.LeafHits++
+			d.stats.LeafHits++
 		} else {
-			f.Stats.TopHits++
+			d.stats.TopHits++
 		}
 		d.clock++
 		e.state = Trans
@@ -412,15 +442,15 @@ func (f *Fabric) readReq(d *dir, sw topo.SwitchID, m *mesg.Message) xbar.Action 
 			}},
 		}
 	case Trans:
-		f.Stats.TransientHits++
+		d.stats.TransientHits++
 		if f.cfg.Policy == PolicyBitVector {
 			if e.reqVec&(1<<uint(m.Requester)) == 0 {
-				f.Stats.BitVectorAdds++
+				d.stats.BitVectorAdds++
 				e.reqVec |= 1 << uint(m.Requester)
 			}
 			return xbar.Action{Sink: true}
 		}
-		f.Stats.RetriesSent++
+		d.stats.RetriesSent++
 		return xbar.Action{
 			Sink: true,
 			Generated: []*mesg.Message{{
@@ -443,11 +473,11 @@ func (f *Fabric) writeReq(d *dir, m *mesg.Message) xbar.Action {
 	case Inv:
 		// Unreachable: find never returns INVALID entries.
 	case Mod:
-		f.Stats.Invalidates++
+		d.stats.Invalidates++
 		e.state = Inv
 		return xbar.Action{}
 	case Trans:
-		f.Stats.WriteNacks++
+		d.stats.WriteNacks++
 		return xbar.Action{
 			Sink: true,
 			Generated: []*mesg.Message{{
@@ -471,7 +501,7 @@ func (f *Fabric) ctocReq(d *dir, m *mesg.Message) xbar.Action {
 		// Unreachable: find never returns INVALID entries.
 	case Mod:
 		// The transfer will move/downgrade the owner; our entry is stale.
-		f.Stats.Invalidates++
+		d.stats.Invalidates++
 		e.state = Inv
 	case Trans:
 		if m.ForWrite {
@@ -486,7 +516,7 @@ func (f *Fabric) ctocReq(d *dir, m *mesg.Message) xbar.Action {
 		// A read transfer is already in flight from this switch; the
 		// home's pending read completes via the marked copyback (the
 		// home controller re-drives its stalled request then).
-		f.Stats.CtoCSunk++
+		d.stats.CtoCSunk++
 		return xbar.Action{Sink: true}
 	}
 	return xbar.Action{}
@@ -518,14 +548,14 @@ func (f *Fabric) copyBack(d *dir, m *mesg.Message) xbar.Action {
 		var gen []*mesg.Message
 		if e.state == Trans {
 			for _, p := range mesg.SharerList(e.reqVec) {
-				f.Stats.RetriesSent++
+				d.stats.RetriesSent++
 				gen = append(gen, &mesg.Message{
 					Kind: mesg.Retry, Addr: m.Addr, Src: m.Src, Dst: mesg.P(p),
 					Requester: p, Marked: true,
 				})
 			}
 		} else {
-			f.Stats.Invalidates++
+			d.stats.Invalidates++
 		}
 		d.release(e)
 		return xbar.Action{Generated: gen}
@@ -537,7 +567,7 @@ func (f *Fabric) copyBack(d *dir, m *mesg.Message) xbar.Action {
 			if p == first {
 				continue // served by the owner's CtoC reply
 			}
-			f.Stats.ServedFromCB++
+			d.stats.ServedFromCB++
 			m.AddSharer(p)
 			gen = append(gen, &mesg.Message{
 				Kind: mesg.ReadReply, Addr: m.Addr, Src: m.Src, Dst: mesg.P(p),
@@ -545,7 +575,7 @@ func (f *Fabric) copyBack(d *dir, m *mesg.Message) xbar.Action {
 			})
 		}
 	} else {
-		f.Stats.Invalidates++
+		d.stats.Invalidates++
 	}
 	d.release(e)
 	return xbar.Action{Generated: gen}
@@ -560,7 +590,7 @@ func (f *Fabric) writeBack(d *dir, m *mesg.Message) xbar.Action {
 		// Ownership-transfer ack: carries no data and is not a real
 		// replacement; invalidate any stale MODIFIED entry and pass.
 		if e := d.find(m.Addr); e != nil && e.state == Mod {
-			f.Stats.Invalidates++
+			d.stats.Invalidates++
 			e.state = Inv
 		}
 		return xbar.Action{}
@@ -573,7 +603,7 @@ func (f *Fabric) writeBack(d *dir, m *mesg.Message) xbar.Action {
 	if e.state == Trans {
 		reqs := mesg.SharerList(e.reqVec)
 		for i, p := range reqs {
-			f.Stats.ServedFromWB++
+			d.stats.ServedFromWB++
 			if i == 0 {
 				m.Marked = true
 				m.Requester = p
@@ -586,7 +616,7 @@ func (f *Fabric) writeBack(d *dir, m *mesg.Message) xbar.Action {
 			})
 		}
 	} else {
-		f.Stats.Invalidates++
+		d.stats.Invalidates++
 	}
 	d.release(e)
 	return xbar.Action{Generated: gen}
@@ -610,6 +640,17 @@ func (f *Fabric) retry(d *dir, m *mesg.Message) xbar.Action {
 		})
 	}
 	return xbar.Action{Generated: gen}
+}
+
+// TotalStats folds every switch's counters into the fabric-wide
+// roll-up. Call it only when the fabric's shards are not executing (at
+// collection points or after a run).
+func (f *Fabric) TotalStats() Stats {
+	var s Stats
+	for _, d := range f.dirs {
+		s.add(&d.stats)
+	}
+	return s
 }
 
 // Lookup exposes a switch's entry state for tests and invariants.
@@ -668,10 +709,10 @@ func (f *Fabric) FailOrdinal(i int) {
 			if e.state == Inv {
 				continue
 			}
-			f.Stats.EntriesLost++
+			d.stats.EntriesLost++
 			if e.state == Trans {
-				f.Stats.PendingLost++
-				f.Stats.HomeFallbacks += uint64(bits.OnesCount64(e.reqVec))
+				d.stats.PendingLost++
+				d.stats.HomeFallbacks += uint64(bits.OnesCount64(e.reqVec))
 			}
 			e.state = Inv
 			e.reqVec = 0

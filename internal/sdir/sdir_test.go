@@ -53,8 +53,8 @@ func TestWriteReplyInsertsOwnership(t *testing.T) {
 	if st != Mod || owner != 7 {
 		t.Fatalf("entry = %v owner=%d", st, owner)
 	}
-	if f.Stats.Inserts != 1 {
-		t.Fatalf("stats %+v", f.Stats)
+	if f.TotalStats().Inserts != 1 {
+		t.Fatalf("stats %+v", f.TotalStats())
 	}
 	// The same message at a different switch inserts independently.
 	leaf := topo.SwitchID{Stage: 0, Index: 1}
@@ -82,8 +82,8 @@ func TestReadHitSinksAndGeneratesMarkedCtoC(t *testing.T) {
 	if st != Trans || vec != 1<<3 {
 		t.Fatalf("entry after hit = %v vec=%b", st, vec)
 	}
-	if f.Stats.Hits != 1 {
-		t.Fatalf("stats %+v", f.Stats)
+	if f.TotalStats().Hits != 1 {
+		t.Fatalf("stats %+v", f.TotalStats())
 	}
 }
 
@@ -106,8 +106,8 @@ func TestReadInTransientRetryPolicy(t *testing.T) {
 	if a.Generated[0].Dst != mesg.P(5) || !a.Generated[0].Marked {
 		t.Fatalf("retry = %v", a.Generated[0])
 	}
-	if f.Stats.TransientHits != 1 || f.Stats.RetriesSent != 1 {
-		t.Fatalf("stats %+v", f.Stats)
+	if f.TotalStats().TransientHits != 1 || f.TotalStats().RetriesSent != 1 {
+		t.Fatalf("stats %+v", f.TotalStats())
 	}
 }
 
@@ -141,8 +141,8 @@ func TestReadInTransientBitVectorPolicy(t *testing.T) {
 	if st, _, _ := f.Lookup(top0(), 0x40); st != Inv {
 		t.Fatal("entry not released after copyback")
 	}
-	if f.Stats.ServedFromCB != 1 {
-		t.Fatalf("stats %+v", f.Stats)
+	if f.TotalStats().ServedFromCB != 1 {
+		t.Fatalf("stats %+v", f.TotalStats())
 	}
 }
 
@@ -172,8 +172,8 @@ func TestWriteInTransientNacked(t *testing.T) {
 	if g.Kind != mesg.Nack || !g.ForWrite || g.Dst != mesg.P(2) {
 		t.Fatalf("nack = %v", g)
 	}
-	if f.Stats.WriteNacks != 1 {
-		t.Fatalf("stats %+v", f.Stats)
+	if f.TotalStats().WriteNacks != 1 {
+		t.Fatalf("stats %+v", f.TotalStats())
 	}
 }
 
@@ -195,8 +195,8 @@ func TestCtoCReqInvalidatesModifiedAndSinksInTransient(t *testing.T) {
 	if !a.Sink {
 		t.Fatal("home CtoC forward not sunk in TRANSIENT")
 	}
-	if f.Stats.CtoCSunk != 1 {
-		t.Fatalf("stats %+v", f.Stats)
+	if f.TotalStats().CtoCSunk != 1 {
+		t.Fatalf("stats %+v", f.TotalStats())
 	}
 }
 
@@ -223,8 +223,8 @@ func TestWriteBackInTransientServesRequester(t *testing.T) {
 	if st, _, _ := f.Lookup(top0(), 0x40); st != Inv {
 		t.Fatal("entry not released")
 	}
-	if f.Stats.ServedFromWB != 1 {
-		t.Fatalf("stats %+v", f.Stats)
+	if f.TotalStats().ServedFromWB != 1 {
+		t.Fatalf("stats %+v", f.TotalStats())
 	}
 }
 
@@ -257,8 +257,8 @@ func TestEvictionNeverTakesTransient(t *testing.T) {
 	if st, _, _ := f.Lookup(top0(), 0x1000); st != Inv {
 		t.Fatal("insert displaced a TRANSIENT entry")
 	}
-	if f.Stats.InsertBlocked != 1 {
-		t.Fatalf("stats %+v", f.Stats)
+	if f.TotalStats().InsertBlocked != 1 {
+		t.Fatalf("stats %+v", f.TotalStats())
 	}
 	// All four originals must still be transient.
 	for i := 0; i < 4; i++ {
@@ -279,8 +279,8 @@ func TestLRUEviction(t *testing.T) {
 	if st, _, _ := f.Lookup(top0(), 0x20); st != Mod {
 		t.Fatal("MRU evicted")
 	}
-	if f.Stats.Evictions != 1 {
-		t.Fatalf("stats %+v", f.Stats)
+	if f.TotalStats().Evictions != 1 {
+		t.Fatalf("stats %+v", f.TotalStats())
 	}
 }
 
@@ -303,8 +303,8 @@ func TestPortContention(t *testing.T) {
 	if a.ExtraDelay != 0 {
 		t.Fatalf("delay after cycle advance = %d", a.ExtraDelay)
 	}
-	if f.Stats.PortDelayTotal != 4 {
-		t.Fatalf("stats %+v", f.Stats)
+	if f.TotalStats().PortDelayTotal != 4 {
+		t.Fatalf("stats %+v", f.TotalStats())
 	}
 }
 
@@ -347,8 +347,8 @@ func TestPendingBufferCapacityLimitsInterceptions(t *testing.T) {
 	if a3.Sink {
 		t.Fatal("third interception exceeded pending buffer capacity")
 	}
-	if f.Stats.PendingFull != 1 {
-		t.Fatalf("stats %+v", f.Stats)
+	if f.TotalStats().PendingFull != 1 {
+		t.Fatalf("stats %+v", f.TotalStats())
 	}
 	if f.TransientCount(top0()) != 2 {
 		t.Fatalf("transient count = %d", f.TransientCount(top0()))
@@ -443,8 +443,8 @@ func TestPerStageHitAccounting(t *testing.T) {
 	// Leaf-stage interception (owner and requester share leaf 0).
 	f.Snoop(leaf, wreply(0x80, 1), 2)
 	f.Snoop(leaf, rreq(0x80, 2), 3)
-	if f.Stats.TopHits != 1 || f.Stats.LeafHits != 1 || f.Stats.Hits != 2 {
-		t.Fatalf("stats %+v", f.Stats)
+	if f.TotalStats().TopHits != 1 || f.TotalStats().LeafHits != 1 || f.TotalStats().Hits != 2 {
+		t.Fatalf("stats %+v", f.TotalStats())
 	}
 }
 

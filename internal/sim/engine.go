@@ -186,6 +186,16 @@ type Engine struct {
 	onStall      func(now, sinceProgress Cycle)
 	lastProgress Cycle
 	stalled      bool
+
+	// Sharded-execution state (see shard.go). A serial engine has
+	// shard 0, lookahead 0, and an always-empty outbox: Post to any
+	// engine sharing the process is then a plain AtEvent. Under a
+	// ShardedEngine each member engine is owned by one worker
+	// goroutine; cross-engine Posts stage in the outbox and are merged
+	// at the next quantum barrier in (at, srcShard, srcSeq) order.
+	shard     int
+	lookahead Cycle
+	outbox    []outPost
 }
 
 type engineMode uint8

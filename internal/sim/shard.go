@@ -1,0 +1,62 @@
+// Cross-shard event posting: the half of the sharded execution model
+// that lives on the Engine itself. A shard's engine never touches
+// another shard's queue directly — a cross-engine schedule stages in
+// the sender's outbox and is merged into the destination engine at the
+// next quantum barrier by the ShardedEngine coordinator (sharded.go),
+// in (at, srcShard, srcSeq) order. That merge key is independent of
+// goroutine interleaving, which is what makes a sharded run
+// cycle-identical to the serial engine.
+package sim
+
+import "fmt"
+
+// outPost is one staged cross-engine event. seq is the *source*
+// engine's sequence counter at Post time: together with the source
+// shard index it defines the deterministic merge order at the barrier.
+type outPost struct {
+	dst *Engine
+	ev  event
+}
+
+// Shard reports this engine's shard index (0 for a serial engine).
+func (e *Engine) Shard() int { return e.shard }
+
+// Lookahead reports the minimum cross-shard latency this engine
+// enforces on Post (0 for a serial engine, where Post degenerates to
+// AtEvent and needs no lookahead).
+func (e *Engine) Lookahead() Cycle { return e.lookahead }
+
+// setShard brands the engine as shard idx of a sharded group with the
+// given lookahead. Called by NewShardedEngine only.
+func (e *Engine) setShard(idx int, lookahead Cycle) {
+	e.shard = idx
+	e.lookahead = lookahead
+}
+
+// Post schedules a.OnEvent(op, arg, data) at cycle t on dst. When dst
+// is this engine (always true in serial mode, where every actor shares
+// one engine) it is a plain AtEvent. Otherwise the event crosses a
+// shard boundary: it stages in this engine's outbox and reaches dst at
+// the next quantum barrier, which is only sound if t is at least a
+// full lookahead away — the conservative-PDES contract. Posting closer
+// than the lookahead (or with a zero lookahead, i.e. from an engine
+// that is not part of a sharded group) panics: it would require an
+// event to land inside the quantum currently executing on dst.
+func (e *Engine) Post(dst *Engine, t Cycle, a Actor, op int, arg uint64, data any) {
+	if dst == e {
+		e.AtEvent(t, a, op, arg, data)
+		return
+	}
+	if e.lookahead == 0 {
+		panic("sim: cross-engine Post from an unsharded engine (zero lookahead)")
+	}
+	if t < e.now+e.lookahead {
+		panic(fmt.Sprintf("sim: Post at cycle %d violates lookahead %d (now %d)",
+			t, e.lookahead, e.now))
+	}
+	e.outbox = append(e.outbox, outPost{
+		dst: dst,
+		ev:  event{at: t, seq: e.seq, actor: a, op: op, arg: arg, data: data},
+	})
+	e.seq++
+}

@@ -1,0 +1,324 @@
+// Conservative parallel discrete-event execution (PDES) with
+// lookahead-quantum synchronization.
+//
+// A ShardedEngine owns N member Engines, one per worker goroutine.
+// The model partitions actors across shards such that every
+// cross-shard interaction carries a minimum latency L (the lookahead;
+// for the BMIN fabric, the switch core plus one flit time). Execution
+// then advances in lockstep quanta: all shards run their local events
+// inside the window [T, T+Q) with Q = L, stop at the window edge, and
+// meet at a barrier where staged cross-shard events (Engine.Post) are
+// merged into their destination engines. Because a cross-shard event
+// sent from inside [T, T+Q) cannot land before T+Q, no shard can
+// receive an event for a cycle it has already executed — the classic
+// conservative-PDES argument.
+//
+// Determinism: the merge orders staged events by (at, srcShard,
+// srcSeq) — simulated cycle first, then source shard index, then the
+// source engine's scheduling sequence. None of those depend on
+// goroutine scheduling, so the order events enter a destination engine
+// is a pure function of the simulation's own history, and a run is
+// reproducible at any worker count. Cycle-identity with the *serial*
+// engine additionally requires the model to make same-cycle
+// cross-actor event order unobservable (see the coalesced arbitration
+// in package xbar and DESIGN.md "Parallel execution model"); the
+// serial-vs-sharded differential tests in package figures enforce it.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardedEngine coordinates N member engines through quantum barriers.
+// Construct with NewShardedEngine, partition the model across
+// Engines(), schedule initial events, then call Run from one
+// goroutine. The member engines must not be touched while Run is
+// executing except by the model code running on their own shard.
+type ShardedEngine struct {
+	engs    []*Engine
+	quantum Cycle
+
+	stopReq atomic.Bool
+
+	// Barrier state (one sense-reversing barrier reused for both the
+	// window-start and window-end rendezvous).
+	arrived atomic.Int32
+	sense   atomic.Uint32
+
+	// Round state, published by the coordinator before the start
+	// barrier and read by workers after it (the barrier's atomics
+	// provide the happens-before edge).
+	windowEnd Cycle
+	exit      bool
+
+	// Per-worker round results, written before the end barrier.
+	counts []int
+	panics []any
+
+	// Coordinator-level watchdog: per-engine watchdogs cannot tell an
+	// idle shard from a stalled machine, so progress is judged globally
+	// at quantum boundaries from the member engines' Progress marks.
+	watchLimit Cycle
+	onStall    func(now, sinceProgress Cycle)
+	stalled    bool
+}
+
+// NewShardedEngine builds a group of n calendar-queue engines that
+// advance in lockstep quanta of the given lookahead. A zero lookahead
+// is a model error — it would mean two shards can interact within a
+// single cycle, which conservative synchronization cannot order — and
+// panics rather than silently corrupting the simulation.
+func NewShardedEngine(n int, lookahead Cycle) *ShardedEngine {
+	if n <= 0 {
+		panic("sim: NewShardedEngine with no shards")
+	}
+	if lookahead == 0 {
+		panic("sim: NewShardedEngine with zero lookahead")
+	}
+	se := &ShardedEngine{
+		engs:    make([]*Engine, n),
+		quantum: lookahead,
+		counts:  make([]int, n),
+		panics:  make([]any, n),
+	}
+	for i := range se.engs {
+		se.engs[i] = NewCalendarEngine()
+		se.engs[i].setShard(i, lookahead)
+	}
+	return se
+}
+
+// Engines exposes the member engines; index i is shard i. Shard 0 is
+// conventionally the control shard (drivers, monitors).
+func (se *ShardedEngine) Engines() []*Engine { return se.engs }
+
+// Quantum reports the lockstep window length (the lookahead).
+func (se *ShardedEngine) Quantum() Cycle { return se.quantum }
+
+// Now reports the latest cycle any shard has reached. Only meaningful
+// while Run is not executing.
+func (se *ShardedEngine) Now() Cycle {
+	var max Cycle
+	for _, e := range se.engs {
+		if e.now > max {
+			max = e.now
+		}
+	}
+	return max
+}
+
+// Pending reports scheduled-but-unexecuted events across all shards,
+// including cross-shard events still staged in outboxes. Only
+// meaningful while Run is not executing.
+func (se *ShardedEngine) Pending() int {
+	n := 0
+	for _, e := range se.engs {
+		n += e.cnt + len(e.outbox)
+	}
+	return n
+}
+
+// Stop makes Run return at the next quantum barrier. Safe to call
+// from model code on any shard (it is the sharded counterpart of
+// Engine.Stop, at quantum granularity).
+func (se *ShardedEngine) Stop() { se.stopReq.Store(true) }
+
+// Stalled reports whether the coordinator watchdog tripped.
+func (se *ShardedEngine) Stalled() bool { return se.stalled }
+
+// SetWatchdog arms the coordinator-level liveness watchdog: if a new
+// quantum would start limit or more cycles after the newest Progress
+// mark on any member engine, the run stops and onStall (may be nil)
+// fires. limit 0 disarms.
+func (se *ShardedEngine) SetWatchdog(limit Cycle, onStall func(now, sinceProgress Cycle)) {
+	se.watchLimit = limit
+	se.onStall = onStall
+	se.stalled = false
+}
+
+// lastProgress reports the newest Progress mark across shards.
+func (se *ShardedEngine) lastProgress() Cycle {
+	var max Cycle
+	for _, e := range se.engs {
+		if e.lastProgress > max {
+			max = e.lastProgress
+		}
+	}
+	return max
+}
+
+// minPending reports the earliest pending cycle across all shards.
+func (se *ShardedEngine) minPending() (Cycle, bool) {
+	var min Cycle
+	found := false
+	for _, e := range se.engs {
+		if at, ok := e.peek(); ok && (!found || at < min) {
+			min, found = at, true
+		}
+	}
+	return min, found
+}
+
+// barrier is one sense-reversing rendezvous of all shards. Each
+// participant carries its local sense in *local. The atomics give the
+// release the necessary happens-before edges: everything written
+// before wait() by any participant is visible to every participant
+// after wait() returns.
+func (se *ShardedEngine) barrier(local *uint32) {
+	s := *local ^ 1
+	*local = s
+	if int(se.arrived.Add(1)) == len(se.engs) {
+		se.arrived.Store(0)
+		se.sense.Store(s)
+		return
+	}
+	for se.sense.Load() != s {
+		runtime.Gosched()
+	}
+}
+
+// runShard executes one shard's window, converting a model panic into
+// a recorded per-shard panic so the barrier protocol never deadlocks.
+func (se *ShardedEngine) runShard(i int, end Cycle) {
+	defer func() {
+		if r := recover(); r != nil {
+			se.panics[i] = r
+			se.stopReq.Store(true)
+		}
+	}()
+	se.counts[i] = se.engs[i].runWindow(end)
+}
+
+// worker is the loop run by shards 1..n-1; shard 0 runs on the
+// coordinating goroutine inside Run.
+func (se *ShardedEngine) worker(i int, wg *sync.WaitGroup) {
+	defer wg.Done()
+	var sense uint32
+	for {
+		se.barrier(&sense) // window published
+		if se.exit {
+			return
+		}
+		se.runShard(i, se.windowEnd)
+		se.barrier(&sense) // window complete
+	}
+}
+
+// mergeOutboxes drains every shard's staged cross-shard events into
+// their destination engines in (at, srcShard, srcSeq) order. The
+// concatenation below visits shards in index order and each outbox is
+// already in srcSeq order, so a stable sort by cycle alone yields the
+// full deterministic key.
+func (se *ShardedEngine) mergeOutboxes(scratch []outPost) []outPost {
+	all := scratch[:0]
+	for _, e := range se.engs {
+		all = append(all, e.outbox...)
+		for j := range e.outbox {
+			e.outbox[j] = outPost{} // release references
+		}
+		e.outbox = e.outbox[:0]
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].ev.at < all[j].ev.at })
+	for i := range all {
+		p := &all[i]
+		p.dst.AtEvent(p.ev.at, p.ev.actor, p.ev.op, p.ev.arg, p.ev.data)
+	}
+	return all
+}
+
+// Run executes the sharded simulation until every shard is out of
+// events, Stop is called, the watchdog trips, or the next event lies
+// beyond max (max 0 means no bound; like Engine.Drain, the clock never
+// advances past the last executed event's window). It returns the
+// number of events executed. Run must be called from one goroutine at
+// a time; a panic raised by model code on any shard is re-raised here
+// after all workers have parked.
+func (se *ShardedEngine) Run(max Cycle) int {
+	n := len(se.engs)
+	se.stopReq.Store(false)
+	se.exit = false
+	for i := range se.panics {
+		se.panics[i] = nil
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go se.worker(i, &wg)
+	}
+	var sense uint32
+	var scratch []outPost
+	total := 0
+	for {
+		t, ok := se.minPending()
+		stop := !ok || se.stopReq.Load()
+		if !stop && max > 0 && t > max {
+			stop = true
+		}
+		if !stop && se.watchLimit > 0 {
+			if prog := se.lastProgress(); t > prog && t-prog >= se.watchLimit {
+				se.stalled = true
+				stop = true
+				if se.onStall != nil {
+					se.onStall(se.Now(), t-prog)
+				}
+			}
+		}
+		if stop {
+			se.exit = true
+			se.barrier(&sense) // release workers into their exit path
+			break
+		}
+		end := t + se.quantum
+		if max > 0 && end > max+1 {
+			end = max + 1
+		}
+		se.windowEnd = end
+		se.barrier(&sense) // publish window
+		se.runShard(0, end)
+		se.barrier(&sense) // collect window
+		for i := 0; i < n; i++ {
+			total += se.counts[i]
+		}
+		scratch = se.mergeOutboxes(scratch)
+	}
+	wg.Wait()
+	for i, p := range se.panics {
+		if p != nil {
+			panic(&ShardPanic{Shard: i, Value: p})
+		}
+	}
+	return total
+}
+
+// ShardPanic wraps a model panic raised on one shard so the
+// coordinator can re-raise it after the barrier protocol has wound
+// down without losing the original value.
+type ShardPanic struct {
+	Shard int
+	Value any
+}
+
+func (p *ShardPanic) Error() string {
+	return fmt.Sprintf("sim: shard %d panicked: %v", p.Shard, p.Value)
+}
+
+// runWindow executes this engine's events with cycle < end, in (at,
+// seq) order, leaving the clock at the last executed event (or
+// untouched if none qualified). It reports the number of events run.
+func (e *Engine) runWindow(end Cycle) int {
+	e.stopped = false
+	n := 0
+	for !e.stopped {
+		at, ok := e.peek()
+		if !ok || at >= end {
+			break
+		}
+		e.Step()
+		n++
+	}
+	return n
+}

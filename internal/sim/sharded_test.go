@@ -1,0 +1,258 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// pingPong bounces an event between two shards with latency lat,
+// recording each hop, until hops are exhausted.
+type pingPong struct {
+	engs  []*Engine
+	lat   Cycle
+	hops  int
+	trace []uint64 // cycle of each hop, in firing order
+}
+
+func (p *pingPong) OnEvent(op int, arg uint64, data any) {
+	me := int(arg)
+	e := p.engs[me]
+	p.trace = append(p.trace, uint64(e.Now()))
+	if p.hops == 0 {
+		return
+	}
+	p.hops--
+	dst := p.engs[(me+1)%len(p.engs)]
+	e.Post(dst, e.Now()+p.lat, p, 0, uint64((me+1)%len(p.engs)), nil)
+}
+
+// TestShardedPingPong checks the core contract: events crossing shards
+// at exactly the lookahead land on the right cycles in order.
+func TestShardedPingPong(t *testing.T) {
+	se := NewShardedEngine(2, 8)
+	engs := se.Engines()
+	p := &pingPong{engs: engs, lat: 8, hops: 10}
+	engs[0].AtEvent(0, p, 0, 0, nil)
+	n := se.Run(0)
+	if n != 11 {
+		t.Fatalf("executed %d events, want 11", n)
+	}
+	for i, at := range p.trace {
+		if at != uint64(i*8) {
+			t.Fatalf("hop %d fired at cycle %d, want %d", i, at, i*8)
+		}
+	}
+}
+
+// TestShardedBarrierCycleEvent pins the quantum-boundary edge case: a
+// cross-shard event landing exactly at a window-end cycle T+Q must
+// fire at T+Q, after every event the destination shard itself
+// scheduled for T+Q beforehand (pre-scheduled events carry lower
+// sequence numbers than barrier-merged ones).
+func TestShardedBarrierCycleEvent(t *testing.T) {
+	se := NewShardedEngine(2, 8)
+	engs := se.Engines()
+	var order []string
+	local := actorFunc(func(op int, arg uint64, data any) {
+		order = append(order, "local")
+	})
+	remoteHop := actorFunc(func(op int, arg uint64, data any) {
+		order = append(order, "remote")
+	})
+	sender := actorFunc(func(op int, arg uint64, data any) {
+		// Fires on shard 1 at cycle 0; lands on shard 0 exactly at the
+		// first window boundary.
+		engs[1].Post(engs[0], 8, remoteHop, 0, 0, nil)
+	})
+	engs[0].AtEvent(0, actorFunc(func(int, uint64, any) {}), 0, 0, nil)
+	engs[0].AtEvent(8, local, 0, 0, nil) // pre-scheduled for the boundary cycle
+	engs[1].AtEvent(0, sender, 0, 0, nil)
+	se.Run(0)
+	if len(order) != 2 || order[0] != "local" || order[1] != "remote" {
+		t.Fatalf("boundary-cycle order = %v, want [local remote]", order)
+	}
+	if got := engs[0].Now(); got != 8 {
+		t.Fatalf("shard 0 clock = %d, want 8", got)
+	}
+}
+
+type actorFunc func(op int, arg uint64, data any)
+
+func (f actorFunc) OnEvent(op int, arg uint64, data any) { f(op, arg, data) }
+
+// TestPostLookaheadViolationPanics pins the conservative-PDES guard:
+// posting across shards closer than the lookahead must panic loudly
+// instead of silently landing an event in a window the destination may
+// already have executed.
+func TestPostLookaheadViolationPanics(t *testing.T) {
+	se := NewShardedEngine(2, 8)
+	engs := se.Engines()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Post 1 cycle out under lookahead 8 did not panic")
+		}
+	}()
+	engs[0].Post(engs[1], 1, actorFunc(func(int, uint64, any) {}), 0, 0, nil)
+}
+
+// TestPostFromUnshardedPanics pins the zero-lookahead misuse case: a
+// plain serial engine may Post to itself (degenerates to AtEvent) but
+// never to a different engine.
+func TestPostFromUnshardedPanics(t *testing.T) {
+	a, b := NewEngine(), NewEngine()
+	fired := false
+	a.Post(a, 5, actorFunc(func(int, uint64, any) { fired = true }), 0, 0, nil)
+	a.Run(0)
+	if !fired {
+		t.Fatalf("self-Post on a serial engine did not fire")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("cross-engine Post from an unsharded engine did not panic")
+		}
+	}()
+	a.Post(b, 100, actorFunc(func(int, uint64, any) {}), 0, 0, nil)
+}
+
+// TestZeroLookaheadConstructionPanics: a sharded group with zero
+// lookahead cannot order cross-shard interactions.
+func TestZeroLookaheadConstructionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("NewShardedEngine(2, 0) did not panic")
+		}
+	}()
+	NewShardedEngine(2, 0)
+}
+
+// TestShardedMergeDeterminism drives many cross-shard posts landing on
+// the same destination cycles from different source shards and checks
+// the arrival order matches the (at, srcShard, srcSeq) contract.
+func TestShardedMergeDeterminism(t *testing.T) {
+	run := func(workers int) []uint64 {
+		se := NewShardedEngine(workers, 8)
+		engs := se.Engines()
+		var got []uint64
+		sink := actorFunc(func(op int, arg uint64, data any) {
+			got = append(got, arg)
+		})
+		for s := 0; s < workers; s++ {
+			s := s
+			src := actorFunc(func(op int, arg uint64, data any) {
+				// Each shard posts two events to shard 0 for the same cycle.
+				engs[s].Post(engs[0], 16, sink, 0, uint64(s)<<8|0, nil)
+				engs[s].Post(engs[0], 16, sink, 0, uint64(s)<<8|1, nil)
+			})
+			engs[s].AtEvent(0, src, 0, 0, nil)
+		}
+		se.Run(0)
+		return got
+	}
+	got := run(4)
+	want := []uint64{0<<8 | 0, 0<<8 | 1, 1<<8 | 0, 1<<8 | 1, 2<<8 | 0, 2<<8 | 1, 3<<8 | 0, 3<<8 | 1}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merge order[%d] = %d.%d, want %d.%d",
+				i, got[i]>>8, got[i]&0xff, want[i]>>8, want[i]&0xff)
+		}
+	}
+}
+
+// TestShardedStop checks Stop parks the run at a quantum boundary and
+// leaves the group reusable.
+func TestShardedStop(t *testing.T) {
+	se := NewShardedEngine(2, 8)
+	engs := se.Engines()
+	var fired atomic.Int64
+	var self actorFunc
+	self = func(op int, arg uint64, data any) {
+		fired.Add(1)
+		e := engs[int(arg)]
+		if fired.Load() == 5 {
+			se.Stop()
+		}
+		e.AtEvent(e.Now()+1, self, 0, arg, nil)
+	}
+	engs[0].AtEvent(0, self, 0, 0, nil)
+	se.Run(0)
+	if f := fired.Load(); f == 0 || f > 16 {
+		t.Fatalf("stop did not take effect at a quantum boundary: %d events", f)
+	}
+	if se.Pending() == 0 {
+		t.Fatalf("stopped run should leave the rescheduling chain pending")
+	}
+}
+
+// TestShardedWatchdog: a shard scheduling events forever without
+// Progress marks must trip the coordinator watchdog.
+func TestShardedWatchdog(t *testing.T) {
+	se := NewShardedEngine(2, 8)
+	engs := se.Engines()
+	var self actorFunc
+	self = func(op int, arg uint64, data any) {
+		engs[0].AtEvent(engs[0].Now()+4, self, 0, 0, nil)
+	}
+	engs[0].AtEvent(0, self, 0, 0, nil)
+	stallAt := Cycle(0)
+	se.SetWatchdog(1000, func(now, since Cycle) { stallAt = now })
+	se.Run(0)
+	if !se.Stalled() {
+		t.Fatalf("endless no-progress chain did not trip the watchdog")
+	}
+	if stallAt < 900 || stallAt > 1200 {
+		t.Fatalf("watchdog tripped at cycle %d, want ~1000", stallAt)
+	}
+}
+
+// TestShardedPanicPropagates: a model panic on a worker shard must
+// re-raise on the coordinating goroutine as a ShardPanic.
+func TestShardedPanicPropagates(t *testing.T) {
+	se := NewShardedEngine(2, 8)
+	engs := se.Engines()
+	engs[1].AtEvent(0, actorFunc(func(int, uint64, any) {
+		panic("boom")
+	}), 0, 0, nil)
+	// Keep shard 0 busy so the panic races a live coordinator.
+	engs[0].AtEvent(0, actorFunc(func(int, uint64, any) {}), 0, 0, nil)
+	defer func() {
+		r := recover()
+		sp, ok := r.(*ShardPanic)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want *ShardPanic", r, r)
+		}
+		if sp.Shard != 1 || sp.Value != "boom" {
+			t.Fatalf("ShardPanic = %+v", sp)
+		}
+	}()
+	se.Run(0)
+}
+
+// TestSplitDeterministicAndIndependent pins the SplitMix derivation:
+// same parent state + same key = same stream; different keys =
+// different streams; splitting does not perturb the parent.
+func TestSplitDeterministicAndIndependent(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	c1, c2 := a.Split(7), b.Split(7)
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatalf("same (state, key) split diverged at draw %d", i)
+		}
+	}
+	d1, d2 := a.Split(1), a.Split(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if d1.Uint64() == d2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("distinct keys produced %d identical draws", same)
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Fatalf("Split consumed parent randomness")
+	}
+}

@@ -54,12 +54,22 @@ func DefaultConfig() Config {
 	return Config{Entries: 512, Ways: 4}
 }
 
-// Stats counts fabric-wide events.
+// Stats counts switch-cache events. Each switch keeps its own instance
+// (shards never share a counter under sharded execution); TotalStats
+// folds them into the fabric-wide roll-up.
 type Stats struct {
 	Inserts     uint64
 	Hits        uint64 // reads served from a switch cache
 	Invalidates uint64
 	Evictions   uint64
+}
+
+// add folds o into s.
+func (s *Stats) add(o *Stats) {
+	s.Inserts += o.Inserts
+	s.Hits += o.Hits
+	s.Invalidates += o.Invalidates
+	s.Evictions += o.Evictions
 }
 
 type entry struct {
@@ -73,6 +83,10 @@ type dcache struct {
 	sets  [][]entry
 	nsets uint64
 	clock uint64
+
+	// stats is this switch's share of the roll-up; only the shard
+	// running the switch ever touches it.
+	stats Stats
 }
 
 func (d *dcache) find(b uint64) *entry {
@@ -90,7 +104,16 @@ type Fabric struct {
 	cfg    Config
 	tp     *topo.T
 	caches []*dcache
-	Stats  Stats
+}
+
+// TotalStats folds every switch's counters into the fabric-wide
+// roll-up. Call it only when the fabric's shards are not executing.
+func (f *Fabric) TotalStats() Stats {
+	var s Stats
+	for _, d := range f.caches {
+		s.add(&d.stats)
+	}
+	return s
 }
 
 // New builds the fabric.
@@ -140,7 +163,7 @@ func (f *Fabric) Snoop(sw topo.SwitchID, m *mesg.Message, now sim.Cycle) xbar.Ac
 		f.insert(d, m.Addr, m.Data)
 	case mesg.ReadReq:
 		if e := d.find(m.Addr); e != nil {
-			f.Stats.Hits++
+			d.stats.Hits++
 			d.clock++
 			e.lru = d.clock
 			return xbar.Action{
@@ -171,7 +194,7 @@ func (f *Fabric) Snoop(sw topo.SwitchID, m *mesg.Message, now sim.Cycle) xbar.Ac
 		// version newer than the one cached here, so serving later
 		// reads from this entry would hand out stale data.
 		if e := d.find(m.Addr); e != nil {
-			f.Stats.Invalidates++
+			d.stats.Invalidates++
 			e.valid = false
 		}
 	case mesg.InvalAck, mesg.WBAck, mesg.Nack, mesg.Retry:
@@ -197,11 +220,11 @@ func (f *Fabric) insert(d *dcache, b, version uint64) {
 		}
 	}
 	if v.valid && v.tag != b {
-		f.Stats.Evictions++
+		d.stats.Evictions++
 	}
 	d.clock++
 	*v = entry{tag: b, version: version, valid: true, lru: d.clock}
-	f.Stats.Inserts++
+	d.stats.Inserts++
 }
 
 // Lookup exposes an entry for tests.

@@ -61,8 +61,8 @@ func TestInsertAndHit(t *testing.T) {
 	if note.Src != mesg.P(5) {
 		t.Fatalf("note source must be the requester (for the home's fold/purge logic): %v", note.Src)
 	}
-	if f.Stats.Hits != 1 || f.Stats.Inserts != 1 {
-		t.Fatalf("stats %+v", f.Stats)
+	if f.TotalStats().Hits != 1 || f.TotalStats().Inserts != 1 {
+		t.Fatalf("stats %+v", f.TotalStats())
 	}
 }
 
@@ -135,8 +135,8 @@ func TestLRUEviction(t *testing.T) {
 	if _, ok := f.Lookup(top0(), 0x00); !ok {
 		t.Fatal("MRU entry evicted")
 	}
-	if f.Stats.Evictions != 1 {
-		t.Fatalf("stats %+v", f.Stats)
+	if f.TotalStats().Evictions != 1 {
+		t.Fatalf("stats %+v", f.TotalStats())
 	}
 }
 
@@ -173,7 +173,7 @@ func TestCombinedDirSinkShadowsCache(t *testing.T) {
 	if dir.calls != 1 {
 		t.Fatalf("dir calls = %d", dir.calls)
 	}
-	if f.Stats.Hits != 0 {
+	if f.TotalStats().Hits != 0 {
 		t.Fatal("cache served a message the directory sank")
 	}
 }

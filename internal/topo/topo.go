@@ -120,6 +120,24 @@ func MustNew(nodes, radix int) *T {
 	return t
 }
 
+// Precompute eagerly fills the route caches (forward, backward,
+// turnaround) for every node pair. The caches are normally filled
+// lazily on first use, which is fine single-threaded but racy when
+// shards of a parallel run route concurrently — a sharded machine
+// calls this once at construction so all later route lookups are
+// read-only.
+func (t *T) Precompute() {
+	for a := 0; a < t.Nodes; a++ {
+		for b := 0; b < t.Nodes; b++ {
+			t.Forward(a, b)
+			t.Backward(a, b)
+			for s := 0; s < t.Tops*t.Bundle; s++ {
+				t.Turnaround(a, b, s)
+			}
+		}
+	}
+}
+
 // NumSwitches reports the total switch count across both stages.
 func (t *T) NumSwitches() int { return t.Leaves + t.Tops }
 

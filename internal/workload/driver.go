@@ -11,10 +11,19 @@ import (
 // its per-phase reference stream (loads block, stores retire through
 // the write buffer), and phases are separated by barriers.
 //
-// Barriers are modeled as an engine-level rendezvous plus a fixed
-// cost, entered only once the processor's write buffer has drained (a
-// release fence), per DESIGN.md substitution 5: spin-wait traffic is
-// excluded from the read statistics, as in the paper's methodology.
+// Barriers are modeled as a rendezvous at a barrier variable one
+// network hop away plus a fixed cost, entered only once the
+// processor's write buffer has drained (a release fence), per
+// DESIGN.md substitution 5: spin-wait traffic is excluded from the
+// read statistics, as in the paper's methodology.
+//
+// The driver is a sim.Actor so the same code runs serial and sharded:
+// each processor's stepping events live on that processor's engine
+// (core.Machine.ProcEngine), while barrier bookkeeping lives on the
+// control engine (shard 0). The two sides talk through Engine.Post
+// with a one-hop offset — on a serial machine Post degenerates to a
+// local schedule at the same cycle, so the two modes execute the
+// identical event sequence.
 type Driver struct {
 	M *core.Machine
 	W Workload
@@ -25,21 +34,39 @@ type Driver struct {
 	// (deadlock watchdog). 0 means 2^40 cycles.
 	MaxCycles sim.Cycle
 
+	// hop is the modeled distance to the barrier variable: the fabric
+	// lookahead, so that arrival and release notifications satisfy the
+	// cross-shard Post contract.
+	hop sim.Cycle
+
+	// Control-shard state (only events on the control engine touch
+	// these after the run starts).
 	phase   int
 	arrived int
-	refs    [][]Ref // per-proc stream of the current phase
-	idx     []int
-	err     error
 
-	// Prebuilt per-processor callbacks (see Run): the issue/step
-	// closures are allocated once instead of once per reference —
-	// with core.Machine's adapter slots this makes the whole
-	// reference fast path allocation-free.
-	pend      []Ref // reference waiting out its Gap
-	issueFn   []func()
+	// Per-processor state (only events on that processor's shard touch
+	// refs[p]/idx[p]/pend[p] while the processor is running; the
+	// control shard refills refs between phases, while every processor
+	// is parked in the barrier).
+	refs [][]Ref // per-proc stream of the current phase
+	idx  []int
+	pend []Ref // reference waiting out its Gap
+
+	// Prebuilt per-processor completion callbacks (see Run): allocated
+	// once instead of once per reference — with core.Machine's adapter
+	// slots this makes the whole reference fast path allocation-free.
 	readDone  []func(sim.Cycle)
 	writeDone []func(sim.Cycle)
 }
+
+// Driver opcodes (sim.Actor events; arg is the processor index).
+const (
+	opStep    = iota // proc shard: issue p's next reference
+	opIssue          // proc shard: p's Gap elapsed, submit the reference
+	opBarrier        // proc shard: re-check p's write-buffer drain
+	opArrived        // control shard: p reached the barrier
+	opRelease        // control shard: barrier cost paid, open next phase
+)
 
 // NewDriver wires a workload onto a machine. The machine must have at
 // least W.Procs() processors.
@@ -50,29 +77,31 @@ func NewDriver(m *core.Machine, w Workload) (*Driver, error) {
 	return &Driver{M: m, W: w, BarrierCost: 160, MaxCycles: 1 << 40}, nil
 }
 
+// engOf returns the engine processor p's events run on.
+func (d *Driver) engOf(p int) *sim.Engine { return d.M.ProcEngine(p) }
+
 // Run executes all phases to completion and returns the machine's
 // collected statistics.
 func (d *Driver) Run() (core.Stats, error) {
 	procs := d.W.Procs()
+	d.hop = d.M.Net.Lookahead()
 	d.idx = make([]int, procs)
 	d.refs = make([][]Ref, procs)
 	d.pend = make([]Ref, procs)
-	d.issueFn = make([]func(), procs)
 	d.readDone = make([]func(sim.Cycle), procs)
 	d.writeDone = make([]func(sim.Cycle), procs)
 	for p := 0; p < procs; p++ {
 		p := p
-		d.issueFn[p] = func() { d.issue(p) }
 		d.readDone[p] = func(lat sim.Cycle) { d.step(p) }
 		d.writeDone[p] = func(stall sim.Cycle) { d.step(p) }
 	}
-	d.startPhase(0)
+	d.materialize(0)
+	for p := 0; p < procs; p++ {
+		d.engOf(p).AtEvent(0, d, opStep, uint64(p), nil)
+	}
 	// Machine.Run layers the liveness watchdog, Fail-sink errors, and
 	// panic recovery over the raw engine drain.
 	runErr := d.M.Run(d.MaxCycles)
-	if d.err != nil {
-		return d.M.Collect(), d.err
-	}
 	if runErr != nil && d.phase >= d.W.Phases() {
 		// Completed despite a late error (e.g. a trailing fault event):
 		// surface the error, work is done.
@@ -83,17 +112,36 @@ func (d *Driver) Run() (core.Stats, error) {
 			// Wrap (not render) so callers can still unwrap the
 			// structured *core.StallError underneath.
 			return d.M.Collect(), fmt.Errorf("workload: %s stalled in phase %d/%d at cycle %d: %w",
-				d.W.Name(), d.phase, d.W.Phases(), d.M.Eng.Now(), runErr)
+				d.W.Name(), d.phase, d.W.Phases(), d.M.Now(), runErr)
 		}
 		return d.M.Collect(), fmt.Errorf("workload: %s stalled in phase %d/%d at cycle %d:\n%s",
-			d.W.Name(), d.phase, d.W.Phases(), d.M.Eng.Now(), d.M.DumpStuck())
+			d.W.Name(), d.phase, d.W.Phases(), d.M.Now(), d.M.DumpStuck())
 	}
 	return d.M.Collect(), nil
 }
 
-// startPhase materializes every processor's stream for phase ph and
-// kicks off execution.
-func (d *Driver) startPhase(ph int) {
+// OnEvent implements sim.Actor: see the opcode table for which shard
+// each op runs on.
+func (d *Driver) OnEvent(op int, arg uint64, data any) {
+	p := int(arg)
+	switch op {
+	case opStep:
+		d.step(p)
+	case opIssue:
+		d.issue(p)
+	case opBarrier:
+		d.enterBarrier(p)
+	case opArrived:
+		d.arrive()
+	case opRelease:
+		d.release(p) // arg is the phase here, not a processor
+	}
+}
+
+// materialize fills every processor's stream for phase ph. Runs before
+// the engines start (phase 0) or on the control shard while all
+// processors are parked in the barrier (later phases).
+func (d *Driver) materialize(ph int) {
 	d.phase = ph
 	d.arrived = 0
 	for p := 0; p < d.W.Procs(); p++ {
@@ -102,16 +150,10 @@ func (d *Driver) startPhase(ph int) {
 		d.W.Refs(p, ph, func(r Ref) { d.refs[p] = append(d.refs[p], r) })
 		d.idx[p] = 0
 	}
-	for p := 0; p < d.W.Procs(); p++ {
-		d.step(p)
-	}
 }
 
 // step issues processor p's next reference, or enters the barrier.
 func (d *Driver) step(p int) {
-	if d.err != nil {
-		return
-	}
 	if d.idx[p] >= len(d.refs[p]) {
 		d.enterBarrier(p)
 		return
@@ -120,7 +162,7 @@ func (d *Driver) step(p int) {
 	d.idx[p]++
 	d.pend[p] = r
 	if r.Gap > 0 {
-		d.M.Eng.After(sim.Cycle(r.Gap), d.issueFn[p])
+		d.engOf(p).AfterEvent(sim.Cycle(r.Gap), d, opIssue, uint64(p), nil)
 		return
 	}
 	d.issue(p)
@@ -137,15 +179,21 @@ func (d *Driver) issue(p int) {
 }
 
 // enterBarrier waits for p's write buffer to drain (release), then
-// counts p in; the last arrival releases everyone into the next phase.
+// notifies the barrier variable one hop away.
 func (d *Driver) enterBarrier(p int) {
-	n := d.M.Nodes[p]
-	if !n.Quiesced() {
+	eng := d.engOf(p)
+	if !d.M.Nodes[p].Quiesced() {
 		// Poll until outstanding stores complete. The write buffer
 		// drains via message events, so a short re-check is enough.
-		d.M.Eng.After(16, func() { d.enterBarrier(p) })
+		eng.AfterEvent(16, d, opBarrier, uint64(p), nil)
 		return
 	}
+	eng.Post(d.M.Eng, eng.Now()+d.hop, d, opArrived, uint64(p), nil)
+}
+
+// arrive counts a processor into the barrier on the control shard; the
+// last arrival pays the barrier cost and opens the next phase.
+func (d *Driver) arrive() {
 	d.arrived++
 	if d.arrived < d.W.Procs() {
 		return
@@ -155,5 +203,15 @@ func (d *Driver) enterBarrier(p int) {
 		d.phase = next
 		return // workload complete
 	}
-	d.M.Eng.After(d.BarrierCost, func() { d.startPhase(next) })
+	d.M.Eng.AfterEvent(d.BarrierCost, d, opRelease, uint64(next), nil)
+}
+
+// release materializes phase ph and restarts every processor one hop
+// away on its own shard.
+func (d *Driver) release(ph int) {
+	d.materialize(ph)
+	ctl := d.M.Eng
+	for p := 0; p < d.W.Procs(); p++ {
+		ctl.Post(d.engOf(p), ctl.Now()+d.hop, d, opStep, uint64(p), nil)
+	}
 }

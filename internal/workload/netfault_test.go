@@ -23,8 +23,8 @@ func TestFFTZeroNetFaultPins(t *testing.T) {
 		sdirHits uint64
 		flitHops uint64
 	}{
-		{"base", core.DefaultConfig(), 101327, 12672, 0, 72672},
-		{"sdir", core.DefaultConfig().WithSwitchDir(1024), 54087, 11232, 1440, 70656},
+		{"base", core.DefaultConfig(), 100329, 12672, 0, 72672},
+		{"sdir", core.DefaultConfig().WithSwitchDir(1024), 54112, 11232, 1440, 70656},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -43,7 +43,7 @@ func TestRoundTripZeroAlloc(t *testing.T) {
 	if allocs := testing.AllocsPerRun(500, roundTrip); allocs != 0 {
 		t.Fatalf("round trip through 4x4 switch allocates %v per op, want 0", allocs)
 	}
-	if got := net.Stats.Delivered; got == 0 {
+	if got := net.TotalStats().Delivered; got == 0 {
 		t.Fatal("no deliveries recorded")
 	}
 }

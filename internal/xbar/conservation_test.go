@@ -69,7 +69,7 @@ func runConservation(t *testing.T, tp *topo.T, n int, prep func(net *Network, en
 	if !net.Quiesced() {
 		t.Fatalf("%v: network not quiesced", tp)
 	}
-	st := net.Stats
+	st := net.TotalStats()
 	if st.Sent+st.Generated != st.Delivered+st.Sunk+st.Unroutable {
 		t.Fatalf("%v: conservation violated: sent=%d gen=%d delivered=%d sunk=%d unroutable=%d",
 			tp, st.Sent, st.Generated, st.Delivered, st.Sunk, st.Unroutable)
@@ -113,7 +113,7 @@ func TestMessageConservation(t *testing.T) {
 		if !net.Quiesced() {
 			t.Fatalf("%v: network not quiesced", tp)
 		}
-		st := net.Stats
+		st := net.TotalStats()
 		if st.Sent+st.Generated != st.Delivered+st.Sunk {
 			t.Fatalf("%v: conservation violated: sent=%d gen=%d delivered=%d sunk=%d",
 				tp, st.Sent, st.Generated, st.Delivered, st.Sunk)

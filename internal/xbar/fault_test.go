@@ -30,8 +30,8 @@ func TestDownLinkTakesDetour(t *testing.T) {
 	if want := sim.Cycle(4 + 4*8); r.got[0].at != want {
 		t.Fatalf("detour latency = %d, want %d", r.got[0].at, want)
 	}
-	if r.net.Stats.Reroutes != 1 || r.net.Stats.Unroutable != 0 {
-		t.Fatalf("stats: %+v", r.net.Stats)
+	if r.net.TotalStats().Reroutes != 1 || r.net.TotalStats().Unroutable != 0 {
+		t.Fatalf("stats: %+v", r.net.TotalStats())
 	}
 }
 
@@ -63,8 +63,8 @@ func TestDownLinkPrefersBundleLane(t *testing.T) {
 	if want := sim.Cycle(4 + 2*8); got[0].at != want {
 		t.Fatalf("lane-failover latency = %d, want %d", got[0].at, want)
 	}
-	if net.Stats.Reroutes != 1 {
-		t.Fatalf("stats: %+v", net.Stats)
+	if net.TotalStats().Reroutes != 1 {
+		t.Fatalf("stats: %+v", net.TotalStats())
 	}
 }
 
@@ -79,8 +79,8 @@ func TestDownSwitchAvoidedWhenAlternativeExists(t *testing.T) {
 	if len(r.got) != 1 || r.got[0].end != mesg.P(15) {
 		t.Fatalf("deliveries: %+v", r.got)
 	}
-	if r.net.Stats.Reroutes != 1 || r.net.Stats.DegradedHops != 0 {
-		t.Fatalf("stats: %+v", r.net.Stats)
+	if r.net.TotalStats().Reroutes != 1 || r.net.TotalStats().DegradedHops != 0 {
+		t.Fatalf("stats: %+v", r.net.TotalStats())
 	}
 }
 
@@ -97,8 +97,8 @@ func TestDownSwitchDegradedTraversalWhenUnavoidable(t *testing.T) {
 	if len(r.got) != 1 || r.got[0].end != mesg.M(15) {
 		t.Fatalf("deliveries: %+v", r.got)
 	}
-	if r.net.Stats.DegradedHops != 1 {
-		t.Fatalf("degraded hops = %d, want 1", r.net.Stats.DegradedHops)
+	if r.net.TotalStats().DegradedHops != 1 {
+		t.Fatalf("degraded hops = %d, want 1", r.net.TotalStats().DegradedHops)
 	}
 	// Clean 2-hop latency plus one DegradedPenalty at the dead top.
 	if want := sim.Cycle(4 + 2*8 + DegradedPenalty); r.got[0].at != want {
@@ -130,8 +130,8 @@ func TestEndpointLinkDownIsUnroutable(t *testing.T) {
 	if ue.Dst != mesg.P(0) || ue.Kind != mesg.ReadReply || !strings.Contains(ue.Down, "S0.0:out0") {
 		t.Fatalf("error fields: %+v", ue)
 	}
-	if r.net.Stats.Unroutable != 1 {
-		t.Fatalf("stats: %+v", r.net.Stats)
+	if r.net.TotalStats().Unroutable != 1 {
+		t.Fatalf("stats: %+v", r.net.TotalStats())
 	}
 	if !r.net.Quiesced() {
 		t.Fatal("network wedged instead of dropping the unroutable message")
@@ -148,8 +148,8 @@ func TestMidFlightLinkDownReroutes(t *testing.T) {
 	if len(r.got) != 1 || r.got[0].end != mesg.M(15) {
 		t.Fatalf("deliveries: %+v", r.got)
 	}
-	if r.net.Stats.Reroutes == 0 {
-		t.Fatalf("mid-flight fault produced no reroute: %+v", r.net.Stats)
+	if r.net.TotalStats().Reroutes == 0 {
+		t.Fatalf("mid-flight fault produced no reroute: %+v", r.net.TotalStats())
 	}
 }
 
@@ -173,8 +173,8 @@ func TestCorruptionExtendsLinkOccupancy(t *testing.T) {
 	if want := sim.Cycle(20 + 4 + RetxRoundTrip); r.got[0].at != want {
 		t.Fatalf("retransmit latency = %d, want %d", r.got[0].at, want)
 	}
-	if r.net.Stats.Retransmits != 1 {
-		t.Fatalf("stats: %+v", r.net.Stats)
+	if r.net.TotalStats().Retransmits != 1 {
+		t.Fatalf("stats: %+v", r.net.TotalStats())
 	}
 }
 
@@ -187,8 +187,8 @@ func TestLinkRetriesBounded(t *testing.T) {
 	if len(r.got) != 1 {
 		t.Fatalf("message lost to a pathological corrupter: %+v", r.got)
 	}
-	if r.net.Stats.Retransmits != MaxLinkRetries {
-		t.Fatalf("retransmits = %d, want cap %d", r.net.Stats.Retransmits, MaxLinkRetries)
+	if r.net.TotalStats().Retransmits != MaxLinkRetries {
+		t.Fatalf("retransmits = %d, want cap %d", r.net.TotalStats().Retransmits, MaxLinkRetries)
 	}
 }
 
@@ -274,8 +274,8 @@ func FuzzRoute(f *testing.F) {
 		if !net.Quiesced() {
 			t.Fatal("network not quiesced")
 		}
-		if got := net.Stats.Delivered + net.Stats.Unroutable; got != 1 {
-			t.Fatalf("stats outcome = %d: %+v", got, net.Stats)
+		if got := net.TotalStats().Delivered + net.TotalStats().Unroutable; got != 1 {
+			t.Fatalf("stats outcome = %d: %+v", got, net.TotalStats())
 		}
 	})
 }

@@ -192,13 +192,13 @@ func (n *Network) routeOrFail(hops []topo.Hop, m *mesg.Message) ([]topo.Hop, []t
 	}
 	alt := n.altRoute(n.tp.SwitchOrdinal(hops[0].Sw), hops[0].In, m.Dst)
 	if alt == nil {
-		n.Stats.Unroutable++
+		n.doms[0].stats.Unroutable++
 		n.fail(&UnroutableError{At: n.eng.Now(), Kind: m.Kind, Src: m.Src, Dst: m.Dst,
 			From: hops[0].Sw, Down: n.DownReport()})
 		return nil, nil, false
 	}
 	if !sameHops(alt, hops) {
-		n.Stats.Reroutes++
+		n.doms[0].stats.Reroutes++
 	}
 	return alt, switchSet(hops), true
 }
@@ -227,7 +227,7 @@ func (n *Network) fixRoute(t *tx) bool {
 		return false
 	}
 	if !sameHops(alt, rem) {
-		n.Stats.Reroutes++
+		n.doms[0].stats.Reroutes++
 		if t.canon == nil {
 			// First detour: t.hops is still the canonical route.
 			t.canon = switchSet(t.hops)
@@ -334,21 +334,25 @@ func (n *Network) linkRetries(ol *outLink) int {
 	return retries
 }
 
-// dropUnroutable splices an unroutable message out of a queue it
-// already occupies, reports the structured error, and performs the
-// bookkeeping a pop would have done (credit return, head
-// re-arbitration).
-func (n *Network) dropUnroutable(sw *swc, q *vcq, t *tx) {
+// dropUnroutable splices an unroutable message out of input queue
+// (p, v) it already occupies, reports the structured error, and
+// performs the bookkeeping a pop would have done (credit return, arb
+// re-arm). Fault handling is serial-only, so charging the default
+// domain's counters is safe.
+func (n *Network) dropUnroutable(sw *swc, p topo.Port, v int, t *tx) {
+	q := &sw.in[p][v]
 	for i, e := range q.q {
 		if e == t {
 			q.q = append(q.q[:i], q.q[i+1:]...)
+			sw.queued--
 			break
 		}
 	}
-	n.Stats.Unroutable++
+	n.doms[0].stats.Unroutable++
 	n.fail(&UnroutableError{At: n.eng.Now(), Kind: t.m.Kind, Src: t.m.Src, Dst: t.m.Dst,
 		From: t.hops[t.hopIdx].Sw, Down: n.DownReport()})
-	n.afterPop(sw, q)
+	n.afterPop(sw, int(p), v)
+	n.armArb(sw)
 }
 
 // refloodRoutes revalidates every queued or injection-pending
@@ -360,33 +364,37 @@ func (n *Network) dropUnroutable(sw *swc, q *vcq, t *tx) {
 // whole fabric (cheap — fault events are rare — and idempotent).
 func (n *Network) refloodRoutes() {
 	type doomed struct {
-		sw *swc
-		q  *vcq
-		t  *tx
+		sw   *swc
+		p, v int
+		t    *tx
 	}
 	var drops []doomed
 	for _, sw := range n.switches {
 		for p := range sw.in {
 			for v := 0; v < VCsPerPort; v++ {
-				q := &sw.in[p][v]
-				for _, t := range q.q {
+				for _, t := range sw.in[p][v].q {
 					if t != nil && !n.fixRoute(t) {
-						drops = append(drops, doomed{sw, q, t})
+						drops = append(drops, doomed{sw, p, v, t})
 					}
 				}
 			}
 		}
 	}
 	for _, d := range drops {
-		for i, e := range d.q.q {
+		q := &d.sw.in[d.p][d.v]
+		for i, e := range q.q {
 			if e == d.t {
-				d.q.q = append(d.q.q[:i], d.q.q[i+1:]...)
+				q.q = append(q.q[:i], q.q[i+1:]...)
+				d.sw.queued--
 				break
 			}
 		}
-		n.Stats.Unroutable++
+		n.doms[0].stats.Unroutable++
 		n.fail(&UnroutableError{At: n.eng.Now(), Kind: d.t.m.Kind, Src: d.t.m.Src, Dst: d.t.m.Dst,
 			From: d.t.hops[d.t.hopIdx].Sw, Down: n.DownReport()})
+		// Sender-side flow control: the vacated slot must hand its
+		// credit back upstream or the feeding link would leak capacity.
+		n.afterPop(d.sw, d.p, d.v)
 	}
 	for _, arr := range [][]injLink{n.injProc, n.injMem} {
 		for i := range arr {
@@ -397,7 +405,7 @@ func (n *Network) refloodRoutes() {
 					kept = append(kept, t)
 					continue
 				}
-				n.Stats.Unroutable++
+				n.doms[0].stats.Unroutable++
 				n.fail(&UnroutableError{At: n.eng.Now(), Kind: t.m.Kind, Src: t.m.Src, Dst: t.m.Dst,
 					From: t.hops[0].Sw, Down: n.DownReport()})
 			}
@@ -405,9 +413,7 @@ func (n *Network) refloodRoutes() {
 		}
 	}
 	for _, sw := range n.switches {
-		for out := range sw.out {
-			n.tryOutput(sw, topo.Port(out))
-		}
+		n.armArb(sw)
 	}
 	for i := range n.injProc {
 		n.pumpInjection(&n.injProc[i])

@@ -10,11 +10,27 @@
 // serialization: a message that wins arbitration occupies its output
 // link for flits×4 cycles and is available at the next switch after
 // the 4-cycle core delay plus serialization. Bounded per-VC input
-// queues exert backpressure on upstream switches (credit flow
-// control). This preserves the paper-relevant behaviour — ordering,
-// contention, serialization, and where each message is processed —
-// without simulating individual flit hops (see DESIGN.md substitution
-// 4).
+// queues exert backpressure on upstream switches via sender-side
+// credit counters: a switch holds VCQueueMsgs credits per downstream
+// (link, VC), consumes one per grant, and regains it CreditLatency
+// cycles after the downstream slot drains (credit-flit serialization
+// plus the receiving switch core). This preserves the paper-relevant
+// behaviour — ordering, contention, serialization, and where each
+// message is processed — without simulating individual flit hops (see
+// DESIGN.md substitution 4).
+//
+// Every coupling between two switches therefore carries a minimum
+// latency: message arrivals pay core + serialization, credit returns
+// pay CreditLatency = core + one flit time. That uniform floor is the
+// lookahead the sharded engine (sim.ShardedEngine) exploits: switches
+// may live on different shard engines, exchanging arrivals and
+// credits through cross-shard Posts, and the quantum-synchronized run
+// is cycle-identical to the serial one. To keep same-cycle event
+// order unobservable, arbitration is coalesced: arrivals and credits
+// only land state and arm a per-switch arbitration pass that runs
+// after every landing of that cycle (the engine fires same-cycle
+// events in scheduling order, so a pass armed *during* cycle T runs
+// after everything pre-scheduled for T).
 //
 // A Snooper (the switch directory, package sdir) may be attached to
 // every switch. It observes each Table-1 message as the message is
@@ -92,6 +108,68 @@ type Stats struct {
 	DegradedHops uint64 // traversals of a dead (degraded-forwarding) switch
 }
 
+// add accumulates o into s (per-domain roll-up, see TotalStats).
+func (s *Stats) add(o *Stats) {
+	s.Sent += o.Sent
+	s.Delivered += o.Delivered
+	s.Sunk += o.Sunk
+	s.Generated += o.Generated
+	s.FlitHops += o.FlitHops
+	s.QueueWait += o.QueueWait
+	s.Retransmits += o.Retransmits
+	s.Reroutes += o.Reroutes
+	s.Unroutable += o.Unroutable
+	s.DegradedHops += o.DegradedHops
+}
+
+// domain is the slice of network state owned by one engine (one shard
+// goroutine, or the whole network in serial mode): its stats shard,
+// its tx freelist, and its message-ID stream. Nothing in a domain is
+// ever touched from another shard's engine, so the sharded run needs
+// no locks on the hot path.
+type domain struct {
+	eng   *sim.Engine
+	shard int
+	stats Stats
+	// txFree recycles tx wrappers: one is live per in-flight message,
+	// dying at final-hop delivery or a snoop sink, so the steady-state
+	// send path allocates nothing. A tx may be freed into a different
+	// domain than it was allocated from (it travels with the message);
+	// freelists only ever shrink and grow on their own engine.
+	txFree []*tx
+	// nextID feeds message-ID assignment. IDs carry the domain's shard
+	// index in the low byte so streams from different shards never
+	// collide; IDs are only ever compared for equality (dedup maps), so
+	// the encoding is unobservable in simulation results.
+	nextID uint64
+}
+
+// newTx hands out a recycled (zeroed) tx, or a fresh one when the
+// freelist is dry.
+func (d *domain) newTx() *tx {
+	if len(d.txFree) == 0 {
+		return &tx{}
+	}
+	t := d.txFree[len(d.txFree)-1]
+	d.txFree = d.txFree[:len(d.txFree)-1]
+	return t
+}
+
+// freeTx returns a finished tx to the freelist. The caller must hold
+// the only reference (the tx has left every queue).
+func (d *domain) freeTx(t *tx) {
+	*t = tx{}
+	d.txFree = append(d.txFree, t)
+}
+
+// assignID gives m a fresh network ID from this domain's stream.
+func (d *domain) assignID(m *mesg.Message) {
+	if m.ID == 0 {
+		d.nextID++
+		m.ID = d.nextID<<8 | uint64(d.shard+1)
+	}
+}
+
 // tx is a message in flight with its residual route.
 type tx struct {
 	m        *mesg.Message
@@ -111,24 +189,6 @@ type tx struct {
 	// state created at a detour-only switch would never resolve and
 	// would bounce its requesters forever.
 	canon []topo.SwitchID
-}
-
-// newTx hands out a recycled (zeroed) tx, or a fresh one when the
-// freelist is dry.
-func (n *Network) newTx() *tx {
-	if len(n.txFree) == 0 {
-		return &tx{}
-	}
-	t := n.txFree[len(n.txFree)-1]
-	n.txFree = n.txFree[:len(n.txFree)-1]
-	return t
-}
-
-// freeTx returns a finished tx to the freelist. The caller must hold
-// the only reference (the tx has left every queue).
-func (n *Network) freeTx(t *tx) {
-	*t = tx{}
-	n.txFree = append(n.txFree, t)
 }
 
 // onCanon reports whether sw may snoop this message.
@@ -162,8 +222,8 @@ func (v *vcq) pop() *tx {
 }
 
 // upstream identifies who feeds a given switch input port, so a
-// freed buffer slot can re-trigger the upstream arbiter (credit
-// return). fromSwitch == -1 means an endpoint injection link.
+// freed buffer slot can return credit to the upstream arbiter.
+// fromSwitch == -1 means an endpoint injection link.
 type upstream struct {
 	fromSwitch int // ordinal; -1 for endpoint
 	fromPort   topo.Port
@@ -176,6 +236,10 @@ type outLink struct {
 	toSwitch int       // ordinal of downstream switch; -1 if endpoint
 	toPort   topo.Port // input port on downstream switch
 	toEnd    mesg.End  // endpoint, when toSwitch == -1
+	// credit counts free downstream buffer slots per VC for
+	// switch-to-switch links (sender-side flow control). Endpoint
+	// delivery links are uncredited: the NI always accepts.
+	credit [VCsPerPort]int
 	// down marks a hard link failure (see faults.go); corrupt, when
 	// non-nil, decides per transmission attempt whether the receiver's
 	// checksum rejects it and forces a link-level retransmit.
@@ -188,9 +252,24 @@ type outLink struct {
 type swc struct {
 	id  topo.SwitchID
 	ord int               // topo.SwitchOrdinal(id), for event-arg encoding
+	dom *domain           // owning shard domain (serial: the one domain)
 	in  [][VCsPerPort]vcq // indexed by input port
 	out []outLink         // indexed by output port
 	ups []upstream        // indexed by input port
+	// arbArmed/arbAt coalesce arbitration: the first landing (arrival,
+	// credit, injection, link-free) of a cycle schedules one opArb pass
+	// for this switch at that cycle; later landings see it armed. The
+	// pass therefore always observes the cycle's complete state, which
+	// makes same-cycle landing order unobservable — the keystone of
+	// serial/sharded equivalence.
+	arbArmed bool
+	arbAt    sim.Cycle
+	// queued counts landed (non-placeholder) entries across all input
+	// queues. Placeholders never lead real entries within a queue, so
+	// queued == 0 means no arbitration candidate can exist and armArb
+	// skips the pass — the common case for credit returns and link-free
+	// triggers landing on a switch whose traffic already drained.
+	queued int
 	// down marks whole-switch failure: the directory snoop is dead and
 	// traversals pay DegradedPenalty (see faults.go).
 	down bool
@@ -198,30 +277,29 @@ type swc struct {
 
 // Network is the full BMIN with endpoint attachment points.
 type Network struct {
-	eng      *sim.Engine
-	tp       *topo.T
-	cfg      Config
-	core     sim.Cycle
-	switches []*swc
-	procH    []Handler
-	memH     []Handler
+	eng       *sim.Engine // serial/diagnostics engine (doms[0] before sharding)
+	tp        *topo.T
+	cfg       Config
+	core      sim.Cycle
+	creditLat sim.Cycle
+	switches  []*swc
+	procH     []Handler
+	memH      []Handler
 	// injq serializes endpoint injection: per endpoint-link pending
 	// messages (unbounded: the NI's outbound queue) plus link state.
 	injProc []injLink
 	injMem  []injLink
-	// delivery links from leaf down-ports to processors and top
-	// up-ports to memories are modeled inside outLink freeAt.
-	Stats  Stats
-	nextID uint64
 
-	// txFree recycles tx wrappers: one is live per in-flight message,
-	// dying at final-hop delivery or a snoop sink, so the steady-state
-	// send path allocates nothing. Single-threaded like the engine.
-	txFree []*tx
+	// doms holds one state domain per engine; swc.dom and
+	// procDom/memDom index into it. Serial mode has exactly one.
+	doms    []*domain
+	procDom []*domain
+	memDom  []*domain
 
 	// Fault state (see faults.go). nFaults gates every fault-aware
 	// branch: while zero, behaviour is bit-identical to the
-	// fault-oblivious fabric.
+	// fault-oblivious fabric. Fault injection is a serial-only feature
+	// (core rejects fault plans in sharded mode).
 	nFaults      int
 	downLinks    []topo.Link
 	downSwitches []topo.SwitchID
@@ -232,7 +310,8 @@ type Network struct {
 	Fail func(error)
 
 	// Trace, when set, observes every message lifecycle event:
-	// "send", "sink", "gen", "deliver". For debugging protocols.
+	// "send", "sink", "gen", "deliver". For debugging protocols;
+	// serial-only (core rejects Trace in sharded mode).
 	Trace func(event string, at sim.Cycle, m *mesg.Message)
 }
 
@@ -249,18 +328,91 @@ func New(eng *sim.Engine, tp *topo.T, cfg Config) *Network {
 	if cfg.VCQueueMsgs == 0 {
 		cfg.VCQueueMsgs = DefaultVCQueueMsgs
 	}
+	d := &domain{eng: eng}
 	n := &Network{
-		eng:     eng,
-		tp:      tp,
-		cfg:     cfg,
-		core:    cfg.CoreCycles,
-		procH:   make([]Handler, tp.Nodes),
-		memH:    make([]Handler, tp.Nodes),
-		injProc: make([]injLink, tp.Nodes),
-		injMem:  make([]injLink, tp.Nodes),
+		eng:       eng,
+		tp:        tp,
+		cfg:       cfg,
+		core:      cfg.CoreCycles,
+		creditLat: cfg.CoreCycles + mesg.LinkCyclesPerFlit,
+		procH:     make([]Handler, tp.Nodes),
+		memH:      make([]Handler, tp.Nodes),
+		injProc:   make([]injLink, tp.Nodes),
+		injMem:    make([]injLink, tp.Nodes),
+		doms:      []*domain{d},
+		procDom:   make([]*domain, tp.Nodes),
+		memDom:    make([]*domain, tp.Nodes),
+	}
+	for i := 0; i < tp.Nodes; i++ {
+		n.procDom[i] = d
+		n.memDom[i] = d
 	}
 	n.build()
 	return n
+}
+
+// Lookahead reports the minimum latency of any switch-to-switch
+// coupling (message arrival or credit return): the conservative-PDES
+// lookahead a sharded run of this network may use as its quantum.
+func (n *Network) Lookahead() sim.Cycle { return n.creditLat }
+
+// Lookahead reports the sharding lookahead a network built from this
+// configuration will have, without constructing it: the machine needs
+// the value to size its engine group before the network exists.
+func (c Config) Lookahead() sim.Cycle {
+	core := c.CoreCycles
+	if core == 0 {
+		core = DefaultCoreCycles
+	}
+	return core + mesg.LinkCyclesPerFlit
+}
+
+// Shard partitions the fabric across per-shard engines: engs[i] runs
+// shard i, swShard assigns each switch ordinal, and procShard/memShard
+// assign each node's processor-side and memory-side NI. Endpoint links
+// are synchronous (injection reserves buffer slots directly), so every
+// NI must be co-located with the switch it attaches to; switch-to-
+// switch links may cross shards because both directions (arrivals and
+// credits) carry at least Lookahead() cycles. Must be called before
+// any traffic is injected.
+func (n *Network) Shard(engs []*sim.Engine, swShard, procShard, memShard []int) {
+	n.doms = make([]*domain, len(engs))
+	for i, e := range engs {
+		n.doms[i] = &domain{eng: e, shard: i}
+	}
+	for _, sw := range n.switches {
+		sw.dom = n.doms[swShard[sw.ord]]
+	}
+	for i := 0; i < n.tp.Nodes; i++ {
+		leaf := n.tp.SwitchOrdinal(n.tp.LeafOf(i))
+		top := n.tp.SwitchOrdinal(n.tp.TopOf(i))
+		if procShard[i] != swShard[leaf] {
+			panic(fmt.Sprintf("xbar: proc %d on shard %d but its leaf switch on %d", i, procShard[i], swShard[leaf]))
+		}
+		if memShard[i] != swShard[top] {
+			panic(fmt.Sprintf("xbar: mem %d on shard %d but its top switch on %d", i, memShard[i], swShard[top]))
+		}
+		n.procDom[i] = n.doms[procShard[i]]
+		n.memDom[i] = n.doms[memShard[i]]
+	}
+}
+
+// TotalStats rolls up the per-domain stats shards. Call it only when
+// the engines are quiescent (between runs or at a barrier).
+func (n *Network) TotalStats() Stats {
+	var s Stats
+	for _, d := range n.doms {
+		s.add(&d.stats)
+	}
+	return s
+}
+
+// endDom returns the domain owning an endpoint NI.
+func (n *Network) endDom(e mesg.End) *domain {
+	if e.Side == mesg.ProcSide {
+		return n.procDom[e.Node]
+	}
+	return n.memDom[e.Node]
 }
 
 // build wires switches and links from the topology.
@@ -273,6 +425,7 @@ func (n *Network) build() {
 		s := &swc{
 			id:  id,
 			ord: tp.SwitchOrdinal(id),
+			dom: n.doms[0],
 			in:  make([][VCsPerPort]vcq, 2*r+1),
 			out: make([]outLink, 2*r),
 			ups: make([]upstream, 2*r+1),
@@ -332,6 +485,16 @@ func (n *Network) build() {
 			s.ups[r+u] = upstream{fromSwitch: -1, end: mesg.M(memN)}
 		}
 	}
+	// Seed sender-side credits on every switch-to-switch link.
+	for _, s := range n.switches {
+		for p := range s.out {
+			if s.out[p].toSwitch >= 0 {
+				for v := 0; v < VCsPerPort; v++ {
+					s.out[p].credit[v] = n.cfg.VCQueueMsgs
+				}
+			}
+		}
+	}
 }
 
 // AttachProc registers the handler for node i's processor interface.
@@ -367,21 +530,33 @@ func vcFor(m *mesg.Message) int { return m.Dst.Node % VCsPerPort }
 // argument, so the steady-state hop pipeline schedules without
 // allocating.
 const (
-	// opArrive fills a reserved input-queue slot: data is the *tx, arg
-	// packs ordinal<<32 | port<<16 | vc of the receiving queue.
+	// opArrive lands a message in an input queue: data is the *tx, arg
+	// packs ordinal<<32 | port<<16 | vc of the receiving queue. For
+	// endpoint-fed ports it fills the slot reserved at injection; for
+	// switch-fed ports it pushes (space is guaranteed by the sender's
+	// credit).
 	opArrive = iota
 	// opDeliver hands a message to an endpoint handler: data is the
 	// *mesg.Message, arg packs node<<1 | side.
 	opDeliver
-	// opTryOutput re-arbitrates an output port when its link frees:
-	// arg packs ordinal<<32 | port.
-	opTryOutput
+	// opArbTrigger arms the coalesced arbitration pass for a switch
+	// when its output link frees: arg packs ordinal<<32 | port (the
+	// port is informational; the pass sweeps every output).
+	opArbTrigger
+	// opArb runs one coalesced arbitration pass: arg is the ordinal.
+	// Scheduled at the current cycle by armArb, so it fires after
+	// every landing already scheduled for this cycle.
+	opArb
+	// opCredit returns one buffer credit to an upstream output link:
+	// arg packs ordinal<<32 | outPort<<16 | vc.
+	opCredit
 	// opInjArrive lands a snooper-generated message in its switch's
 	// internal injection block: data is the *tx, arg is the ordinal.
 	opInjArrive
 )
 
-// qArg packs the coordinates of one input virtual-channel queue.
+// qArg packs the coordinates of one input virtual-channel queue (or,
+// for opCredit, one output link and VC).
 func qArg(ord int, p topo.Port, vc int) uint64 {
 	return uint64(ord)<<32 | uint64(uint16(p))<<16 | uint64(uint16(vc))
 }
@@ -400,42 +575,47 @@ func (n *Network) OnEvent(op int, arg uint64, data any) {
 	switch op {
 	case opArrive:
 		sw := n.switches[arg>>32]
-		q := &sw.in[uint16(arg>>16)][uint16(arg)]
-		n.arriveReserved(sw, q, data.(*tx))
+		p := topo.Port(uint16(arg >> 16))
+		n.arrive(sw, p, int(uint16(arg)), data.(*tx))
 	case opDeliver:
 		e := mesg.End{Side: mesg.ProcSide, Node: int(arg >> 1)}
 		if arg&1 != 0 {
 			e.Side = mesg.MemSide
 		}
 		n.deliverEnd(e, data.(*mesg.Message))
-	case opTryOutput:
-		n.tryOutput(n.switches[arg>>32], topo.Port(uint32(arg)))
+	case opArbTrigger:
+		n.armArb(n.switches[arg>>32])
+	case opArb:
+		n.runArb(n.switches[arg])
+	case opCredit:
+		sw := n.switches[arg>>32]
+		sw.out[uint16(arg>>16)].credit[uint16(arg)]++
+		n.armArb(sw)
 	case opInjArrive:
 		t := data.(*tx)
 		sw := n.switches[arg]
-		t.enqueued = n.eng.Now()
+		t.enqueued = sw.dom.eng.Now()
 		sw.in[len(sw.in)-1][vcFor(t.m)].push(t)
-		n.tryOutput(sw, t.hops[0].Out)
+		sw.queued++
+		n.armArb(sw)
 	}
 }
 
 // Send injects m at its source endpoint. Delivery is asynchronous via
 // the attached handler. The message's ID is assigned if zero.
 func (n *Network) Send(m *mesg.Message) {
-	if m.ID == 0 {
-		n.nextID++
-		m.ID = n.nextID
-	}
-	n.Stats.Sent++
+	dom := n.endDom(m.Src)
+	dom.assignID(m)
+	dom.stats.Sent++
 	if n.Trace != nil {
-		n.Trace("send", n.eng.Now(), m)
+		n.Trace("send", dom.eng.Now(), m)
 	}
 	hops, canon, ok := n.routeOrFail(n.route(m), m)
 	if !ok {
 		return
 	}
-	t := n.newTx()
-	t.m, t.hops, t.canon, t.injected = m, hops, canon, n.eng.Now()
+	t := dom.newTx()
+	t.m, t.hops, t.canon, t.injected = m, hops, canon, dom.eng.Now()
 	var il *injLink
 	if m.Src.Side == mesg.ProcSide {
 		il = &n.injProc[m.Src.Node]
@@ -447,7 +627,9 @@ func (n *Network) Send(m *mesg.Message) {
 }
 
 // pumpInjection moves pending endpoint messages onto the first
-// switch's input queue as link time and buffer space allow.
+// switch's input queue as link time and buffer space allow. The NI and
+// its switch always share a domain (enforced by Shard), so the direct
+// queue reservation is shard-safe.
 func (n *Network) pumpInjection(il *injLink) {
 	for len(il.pending) > 0 {
 		t := il.pending[0]
@@ -458,7 +640,8 @@ func (n *Network) pumpInjection(il *injLink) {
 		if q.full() {
 			return // retried when the queue drains (credit return)
 		}
-		now := n.eng.Now()
+		eng := sw.dom.eng
+		now := eng.Now()
 		start := now
 		if il.freeAt > start {
 			start = il.freeAt
@@ -473,60 +656,132 @@ func (n *Network) pumpInjection(il *injLink) {
 		arrive := start + ser
 		// Reserve the buffer slot now so concurrent senders see it.
 		q.push(nil) // placeholder; replaced at arrival
-		n.eng.AtEvent(arrive, n, opArrive, qArg(sw.ord, h.In, vc), t)
+		eng.AtEvent(arrive, n, opArrive, qArg(sw.ord, h.In, vc), t)
 	}
 }
 
-// arriveReserved fills the reserved placeholder slot with t and kicks
-// arbitration. Reservation keeps capacity accounting exact while the
-// message is on the wire.
-func (n *Network) arriveReserved(sw *swc, q *vcq, t *tx) {
-	for i, e := range q.q {
-		if e == nil {
-			t.enqueued = n.eng.Now()
-			q.q[i] = t
-			break
+// arrive lands t in input queue (p, v) of sw: endpoint-fed ports fill
+// the placeholder reserved at injection, switch-fed ports push into
+// space the sender's credit guaranteed. It then arms arbitration; the
+// decision itself runs in the coalesced end-of-landings pass.
+func (n *Network) arrive(sw *swc, p topo.Port, v int, t *tx) {
+	q := &sw.in[p][v]
+	t.enqueued = sw.dom.eng.Now()
+	if sw.ups[p].fromSwitch < 0 {
+		for i, e := range q.q {
+			if e == nil {
+				q.q[i] = t
+				break
+			}
 		}
+	} else {
+		q.push(t)
 	}
+	sw.queued++
 	if n.faulty() && !n.fixRoute(t) {
 		// A fault landed while the message was on the wire and its
 		// destination did not survive it.
-		n.dropUnroutable(sw, q, t)
+		n.dropUnroutable(sw, p, v, t)
 		return
 	}
-	n.tryOutput(sw, t.hops[t.hopIdx].Out)
+	n.armArb(sw)
+}
+
+// armArb schedules sw's coalesced arbitration pass for the current
+// cycle, once: the first landing of the cycle arms it, later landings
+// find it armed. Because the engine fires same-cycle events in
+// scheduling order, the pass runs after every landing of this cycle,
+// so it always sees the cycle's complete queue/credit/link state.
+func (n *Network) armArb(sw *swc) {
+	if sw.queued == 0 {
+		return // no candidate can exist; nothing to arbitrate
+	}
+	eng := sw.dom.eng
+	now := eng.Now()
+	if sw.arbArmed && sw.arbAt == now {
+		return
+	}
+	sw.arbArmed, sw.arbAt = true, now
+	eng.AtEvent(now, n, opArb, uint64(sw.ord), nil)
+}
+
+// runArb is one coalesced arbitration pass over all of sw's outputs,
+// iterated to a fixpoint: a grant may free a queue whose new head
+// wants a different output, so sweeping until no output grants is the
+// event-coupled equivalent of the old grant-chain recursion.
+func (n *Network) runArb(sw *swc) {
+	sw.arbArmed = false
+	now := sw.dom.eng.Now()
+	for {
+		// One scan over the queue heads tells us which outputs have any
+		// candidate at all; only those pay a pickOldest pass. Decisions
+		// stay lazy per output (tryOutput rescans at its turn), so heads
+		// exposed by an earlier grant in the same sweep are seen by
+		// later outputs exactly as a full sweep would see them; a head
+		// exposed for an output not in this sweep's mask is caught by
+		// the next fixpoint iteration at the same cycle.
+		var wanted uint64
+		if len(sw.out) > 64 {
+			wanted = ^uint64(0) // mask can't cover the ports; full sweep
+		} else {
+			for p := range sw.in {
+				for v := 0; v < VCsPerPort; v++ {
+					q := &sw.in[p][v]
+					if q.empty() || q.head() == nil {
+						continue
+					}
+					h := q.head()
+					wanted |= 1 << uint(h.hops[h.hopIdx].Out)
+				}
+			}
+		}
+		granted := false
+		for out := range sw.out {
+			if wanted&(1<<uint(out)) == 0 || sw.out[out].freeAt > now {
+				continue
+			}
+			if n.tryOutput(sw, topo.Port(out)) {
+				granted = true
+			}
+		}
+		if !granted {
+			return
+		}
+	}
 }
 
 // tryOutput runs arbitration for one output port of one switch: while
 // the link is free, grant the oldest head-of-queue message wanting
-// this output whose downstream buffer has room.
-func (n *Network) tryOutput(sw *swc, out topo.Port) {
-	now := n.eng.Now()
+// this output whose downstream buffer credit allows it. It reports
+// whether at least one message was granted.
+func (n *Network) tryOutput(sw *swc, out topo.Port) bool {
+	eng := sw.dom.eng
 	ol := &sw.out[out]
-	if ol.freeAt > now {
-		// Busy: a completion event is already scheduled to retry.
-		return
-	}
+	any := false
 	for {
-		best := n.pickOldest(sw, out)
-		if best == nil {
-			return
+		if ol.freeAt > eng.Now() {
+			// Busy: an opArbTrigger is already scheduled for freeAt.
+			return any
 		}
-		if !n.grant(sw, out, best) {
-			return // head blocked on downstream space; retried on credit
+		p, v, ok := n.pickOldest(sw, out)
+		if !ok {
+			return any
 		}
-		if sw.out[out].freeAt > n.eng.Now() {
-			return // link now busy; completion event will resume
+		if !n.grant(sw, out, p, v) {
+			return any // head blocked on downstream credit; retried on credit return
 		}
+		any = true
 	}
 }
 
-// pickOldest returns the queue whose head is the oldest message
-// destined for out, or nil. Heads blocked by a full downstream buffer
-// are skipped (they will be retried on credit return), implementing
-// virtual-channel flow control.
-func (n *Network) pickOldest(sw *swc, out topo.Port) *vcq {
-	var best *vcq
+// pickOldest returns the input queue (port, vc) whose head is the
+// oldest message destined for out. Heads blocked by exhausted credit
+// are not skipped: age order holds the output for them (the grant
+// attempt fails and the port waits for credit), preserving the
+// paper's age-based arbitration fairness.
+func (n *Network) pickOldest(sw *swc, out topo.Port) (int, int, bool) {
+	bp, bv := 0, 0
+	found := false
 	var bestAge sim.Cycle
 	for p := range sw.in {
 		for v := 0; v < VCsPerPort; v++ {
@@ -538,34 +793,33 @@ func (n *Network) pickOldest(sw *swc, out topo.Port) *vcq {
 			if h.hops[h.hopIdx].Out != out {
 				continue
 			}
-			if best == nil || h.injected < bestAge {
-				best = q
+			if !found || h.injected < bestAge {
+				bp, bv, found = p, v, true
 				bestAge = h.injected
 			}
 		}
 	}
-	return best
+	return bp, bv, found
 }
 
-// grant moves the head of q across output port out. It returns false
-// if the downstream buffer has no room (the grant is abandoned and
-// retried when credit returns).
-func (n *Network) grant(sw *swc, out topo.Port, q *vcq) bool {
+// grant moves the head of input queue (p, v) across output port out.
+// It returns false if the downstream link has no buffer credit (the
+// grant is abandoned and retried when credit returns).
+func (n *Network) grant(sw *swc, out topo.Port, p, v int) bool {
+	q := &sw.in[p][v]
 	t := q.head()
 	ol := &sw.out[out]
-	// Check downstream space before snooping: a blocked message has
+	dom := sw.dom
+	eng := dom.eng
+	// Check downstream credit before snooping: a blocked message has
 	// not yet entered the switch pipeline.
-	var downQ *vcq
-	if ol.toSwitch >= 0 {
-		dsw := n.switches[ol.toSwitch]
-		downQ = &dsw.in[ol.toPort][vcFor(t.m)]
-		if downQ.full() {
-			return false
-		}
+	if ol.toSwitch >= 0 && ol.credit[vcFor(t.m)] == 0 {
+		return false
 	}
 	q.pop()
-	now := n.eng.Now()
-	n.Stats.QueueWait += uint64(now - t.enqueued)
+	sw.queued--
+	now := eng.Now()
+	dom.stats.QueueWait += uint64(now - t.enqueued)
 
 	// Snoop: the switch directory (and/or switch cache) observes the
 	// message in parallel with the switch core (Section 4.2). The
@@ -578,7 +832,7 @@ func (n *Network) grant(sw *swc, out topo.Port, q *vcq) bool {
 		// dead, so the snoop is skipped and the traversal pays the
 		// maintenance-bypass penalty.
 		extra = DegradedPenalty
-		n.Stats.DegradedHops++
+		dom.stats.DegradedHops++
 		t.skipSnoopOnce = false
 	} else if t.skipSnoopOnce {
 		t.skipSnoopOnce = false
@@ -586,35 +840,35 @@ func (n *Network) grant(sw *swc, out topo.Port, q *vcq) bool {
 		act := n.cfg.Snoop.Snoop(sw.id, t.m, now)
 		extra = act.ExtraDelay
 		for _, g := range act.Generated {
-			n.Stats.Generated++
+			dom.stats.Generated++
 			if n.Trace != nil {
 				n.Trace(fmt.Sprintf("gen@%v", sw.id), now, g)
 			}
 			n.injectAt(sw, g, now+extra)
 		}
 		if act.Sink {
-			n.Stats.Sunk++
+			dom.stats.Sunk++
 			if n.Trace != nil {
 				n.Trace(fmt.Sprintf("sink@%v", sw.id), now, t.m)
 			}
-			n.afterPop(sw, q)
-			n.freeTx(t)
+			n.afterPop(sw, p, v)
+			dom.freeTx(t)
 			return true
 		}
 	}
 
 	start := now + extra
 	ser := sim.Cycle(t.m.Flits() * mesg.LinkCyclesPerFlit)
-	n.Stats.FlitHops += uint64(t.m.Flits())
+	dom.stats.FlitHops += uint64(t.m.Flits())
 	if ol.corrupt != nil {
 		if retries := n.linkRetries(ol); retries > 0 {
 			// Corrupted transmissions are rejected by the receiver's
 			// per-flit checksum and replayed from the sender's replay
 			// buffer; the link stays occupied for the nack round trip
-			// plus each re-serialization. The downstream reservation is
-			// untouched, so credit accounting is unaffected.
-			n.Stats.Retransmits += uint64(retries)
-			n.Stats.FlitHops += uint64(retries * t.m.Flits())
+			// plus each re-serialization. The downstream credit is
+			// untouched, so flow-control accounting is unaffected.
+			dom.stats.Retransmits += uint64(retries)
+			dom.stats.FlitHops += uint64(retries * t.m.Flits())
 			ser += sim.Cycle(retries) * (ser + RetxRoundTrip)
 		}
 	}
@@ -622,76 +876,59 @@ func (n *Network) grant(sw *swc, out topo.Port, q *vcq) bool {
 	arrive := start + n.core + ser
 
 	if ol.toSwitch < 0 {
-		n.eng.AtEvent(arrive, n, opDeliver, endArg(ol.toEnd), t.m)
-		n.freeTx(t) // the message travels on alone; the wrapper is done
+		eng.Post(n.endDom(ol.toEnd).eng, arrive, n, opDeliver, endArg(ol.toEnd), t.m)
+		dom.freeTx(t) // the message travels on alone; the wrapper is done
 	} else {
 		t.hopIdx++
-		downQ.push(nil) // reserve
-		n.eng.AtEvent(arrive, n, opArrive, qArg(ol.toSwitch, ol.toPort, vcFor(t.m)), t)
+		ol.credit[vcFor(t.m)]--
+		eng.Post(n.switches[ol.toSwitch].dom.eng, arrive, n,
+			opArrive, qArg(ol.toSwitch, ol.toPort, vcFor(t.m)), t)
 	}
-	// When the link frees, run arbitration again for this output.
-	n.eng.AtEvent(ol.freeAt, n, opTryOutput, uint64(sw.ord)<<32|uint64(uint32(out)), nil)
-	n.afterPop(sw, q)
+	// When the link frees, arm arbitration again for this switch.
+	eng.AtEvent(ol.freeAt, n, opArbTrigger, uint64(sw.ord)<<32|uint64(uint32(out)), nil)
+	n.afterPop(sw, p, v)
 	return true
 }
 
-// afterPop performs the two wakeups a dequeue requires: return credit
-// upstream, and re-arbitrate for the new head's output port (which may
-// differ from the popped message's).
-func (n *Network) afterPop(sw *swc, q *vcq) {
-	n.creditReturn(sw, q)
-	if !q.empty() {
-		if h := q.head(); h != nil {
-			n.tryOutput(sw, h.hops[h.hopIdx].Out)
-		}
+// afterPop returns the drained slot of input queue (p, v) to whoever
+// feeds it: an endpoint injection link is pumped synchronously (always
+// same-domain), an upstream switch receives a credit event after
+// CreditLatency cycles (credit-flit serialization plus its core) —
+// possibly across shards. Head re-arbitration is the arb pass's job.
+func (n *Network) afterPop(sw *swc, p, v int) {
+	if p == len(sw.in)-1 {
+		// Internal injection block: the snooper's queue has no
+		// upstream; nothing to notify.
+		return
 	}
-}
-
-// creditReturn notifies whoever feeds the queue we just drained that a
-// buffer slot is available.
-func (n *Network) creditReturn(sw *swc, q *vcq) {
-	// Identify the input port owning q.
-	for p := range sw.in {
-		for v := 0; v < VCsPerPort; v++ {
-			if &sw.in[p][v] == q {
-				up := sw.ups[p]
-				if p == len(sw.in)-1 {
-					// Internal injection block: the snooper's queue has no
-					// upstream; nothing to notify.
-					return
-				}
-				if up.fromSwitch < 0 {
-					var il *injLink
-					if up.end.Side == mesg.ProcSide {
-						il = &n.injProc[up.end.Node]
-					} else {
-						il = &n.injMem[up.end.Node]
-					}
-					n.pumpInjection(il)
-				} else {
-					usw := n.switches[up.fromSwitch]
-					n.tryOutput(usw, up.fromPort)
-				}
-				return
-			}
+	up := sw.ups[p]
+	if up.fromSwitch < 0 {
+		var il *injLink
+		if up.end.Side == mesg.ProcSide {
+			il = &n.injProc[up.end.Node]
+		} else {
+			il = &n.injMem[up.end.Node]
 		}
+		n.pumpInjection(il)
+		return
 	}
+	eng := sw.dom.eng
+	eng.Post(n.switches[up.fromSwitch].dom.eng, eng.Now()+n.creditLat, n,
+		opCredit, qArg(up.fromSwitch, up.fromPort, v), nil)
 }
 
 // injectAt places a snooper-generated message in this switch's
 // internal injection block, with its route computed from this switch.
 func (n *Network) injectAt(sw *swc, m *mesg.Message, when sim.Cycle) {
-	if m.ID == 0 {
-		n.nextID++
-		m.ID = n.nextID
-	}
+	dom := sw.dom
+	dom.assignID(m)
 	hops, canon, ok := n.routeOrFail(n.routeFrom(sw.id, m), m)
 	if !ok {
 		return
 	}
-	t := n.newTx()
+	t := dom.newTx()
 	t.m, t.hops, t.canon, t.injected, t.skipSnoopOnce = m, hops, canon, when, true
-	n.eng.AtEvent(when, n, opInjArrive, uint64(sw.ord), t)
+	dom.eng.AtEvent(when, n, opInjArrive, uint64(sw.ord), t)
 }
 
 // routeFrom computes a route for a message created inside switch sw.
@@ -757,9 +994,10 @@ func (n *Network) viaLeaf(from topo.SwitchID, leaf, memNode int, inj topo.Port) 
 
 // deliverEnd hands a message to the endpoint handler.
 func (n *Network) deliverEnd(e mesg.End, m *mesg.Message) {
-	n.Stats.Delivered++
+	dom := n.endDom(e)
+	dom.stats.Delivered++
 	if n.Trace != nil {
-		n.Trace("deliver", n.eng.Now(), m)
+		n.Trace("deliver", dom.eng.Now(), m)
 	}
 	var h Handler
 	if e.Side == mesg.ProcSide {
@@ -774,6 +1012,8 @@ func (n *Network) deliverEnd(e mesg.End, m *mesg.Message) {
 }
 
 // Quiesced reports whether the network holds no in-flight messages.
+// In sharded mode it reads every shard's queues, so it may only be
+// called while the shard engines are stopped (between runs).
 func (n *Network) Quiesced() bool {
 	for i := range n.injProc {
 		if len(n.injProc[i].pending) > 0 || len(n.injMem[i].pending) > 0 {

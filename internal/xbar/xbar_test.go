@@ -124,8 +124,8 @@ func TestAllPairsDelivered(t *testing.T) {
 	if !r.net.Quiesced() {
 		t.Fatal("network not quiesced after drain")
 	}
-	if r.net.Stats.Sent != uint64(n) || r.net.Stats.Delivered != uint64(n) {
-		t.Fatalf("stats: %+v", r.net.Stats)
+	if r.net.TotalStats().Sent != uint64(n) || r.net.TotalStats().Delivered != uint64(n) {
+		t.Fatalf("stats: %+v", r.net.TotalStats())
 	}
 }
 
@@ -239,8 +239,8 @@ func TestSnooperSinkAndGenerate(t *testing.T) {
 	if s.snooped != 3 {
 		t.Fatalf("snooped = %d, want 3", s.snooped)
 	}
-	if r.net.Stats.Sunk != 1 || r.net.Stats.Generated != 1 {
-		t.Fatalf("stats: %+v", r.net.Stats)
+	if r.net.TotalStats().Sunk != 1 || r.net.TotalStats().Generated != 1 {
+		t.Fatalf("stats: %+v", r.net.TotalStats())
 	}
 }
 

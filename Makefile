@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check build test test-race test-race-sharded vet lint bench bench-short bench-compare figures figures-paper fuzz fuzz-short clean
+.PHONY: all check build test test-race test-race-sharded vet lint bench bench-short bench-compare figures figures-paper fuzz fuzz-short e2e clean
 
 all: check
 
@@ -42,22 +42,23 @@ test-race-sharded:
 	go test -race -run 'Sharded|Differential' ./internal/sim/... ./internal/figures/...
 
 # One iteration of every benchmark, including the figure regenerators,
-# the design-space ablations (reduced inputs), and the sharded-engine
-# scaling points. The results are rendered into BENCH_5.json via
+# the design-space ablations (reduced inputs), the sharded-engine
+# scaling points, and the serving layer's submit-to-result latency
+# (cached vs uncached). The results are rendered into BENCH_6.json via
 # cmd/benchjson after an informational comparison against the committed
 # copy; commit the refreshed file when a perf change is intentional.
-# BENCH_4.json stays in the tree as the pre-sharding record.
+# BENCH_5.json stays in the tree as the pre-serving record.
 bench:
 	go build -o bin/benchjson ./cmd/benchjson
 	go test -run '^$$' -bench . -benchmem -benchtime 1x ./... > bench.out
-	bin/benchjson -in bench.out -out BENCH_5.json -baseline BENCH_5.json
+	bin/benchjson -in bench.out -out BENCH_6.json -baseline BENCH_6.json
 
 # Diff two committed benchmark documents directly — no fresh bench run.
 # Defaults to the previous record against the current one; override
 # with OLD=/NEW=, and set TOLERANCE=pct to turn the report into a gate
 # (exit 1 when any |delta| on ns/op, B/op, or allocs/op exceeds it).
-OLD ?= BENCH_4.json
-NEW ?= BENCH_5.json
+OLD ?= BENCH_5.json
+NEW ?= BENCH_6.json
 TOLERANCE ?= 0
 bench-compare:
 	go build -o bin/benchjson ./cmd/benchjson
@@ -66,7 +67,7 @@ bench-compare:
 # The CI perf gate: the Figure 8 sweep benchmark (the run that pays
 # for the shared ScaleSmall sweep, so its ns/op and Msimcycles/sec are
 # honest) plus the scheduler hot-path microbenchmark, best of
-# $(BENCH_COUNT) runs, compared against the committed BENCH_5.json.
+# $(BENCH_COUNT) runs, compared against the committed BENCH_6.json.
 # The sweep repeats in separate processes because the figure
 # benchmarks share one sync.Once sweep per process. Informational by
 # default; ENFORCE=1 makes a >10% throughput or allocation regression
@@ -79,7 +80,7 @@ bench-short:
 		go test -run '^$$' -bench 'Fig8' -benchmem -benchtime 1x . || exit 1; \
 	done > bench_short.out
 	go test -run '^$$' -bench EngineScheduleRun -benchmem -count $(BENCH_COUNT) ./internal/sim >> bench_short.out
-	bin/benchjson -in bench_short.out -out bench_short.json -baseline BENCH_5.json $(if $(ENFORCE),-enforce)
+	bin/benchjson -in bench_short.out -out bench_short.json -baseline BENCH_6.json $(if $(ENFORCE),-enforce)
 
 # The paper's result figures at reduced scale (fast) and full scale.
 figures:
@@ -87,6 +88,12 @@ figures:
 
 figures-paper:
 	go run ./cmd/figures -scale paper -csv results/paper | tee results/figures_paper.txt
+
+# End-to-end smoke of the serving layer: race-built dresar-served
+# driven by dresar-load over real HTTP — cold run, byte-identical
+# cache hits, mid-run cancellation, SIGTERM drain.
+e2e:
+	sh scripts/e2e.sh
 
 # Extended randomized protocol validation.
 fuzz:

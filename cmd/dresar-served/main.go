@@ -1,0 +1,111 @@
+// Command dresar-served serves simulation sweeps over HTTP: a bounded
+// worker pool runs figures sweeps as jobs with per-job deadlines,
+// client cancellation, typed engine-failure reporting, and a
+// crash-safe content-addressed result cache.
+//
+// Usage:
+//
+//	dresar-served [-addr :8080] [-workers 2] [-queue 16] [-cache DIR]
+//	              [-deadline 2m] [-max-deadline 10m] [-drain 30s]
+//	              [-addr-file PATH]
+//
+// SIGINT/SIGTERM begin a graceful drain: in-flight jobs get -drain to
+// finish, stragglers are cancelled through the engines' cooperative
+// stop checks, and the process exits once every goroutine is joined.
+// -addr-file writes the bound address (useful with -addr :0 in
+// scripts and e2e tests) once the listener is up.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"dresar/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	workers := flag.Int("workers", 2, "concurrent jobs")
+	queue := flag.Int("queue", 16, "admission queue depth (beyond it, submits are shed with 429)")
+	cacheDir := flag.String("cache", "", "crash-safe result cache directory (empty = no cache)")
+	deadline := flag.Duration("deadline", 2*time.Minute, "default per-job deadline")
+	maxDeadline := flag.Duration("max-deadline", 10*time.Minute, "cap on client-requested deadlines")
+	sweepWorkers := flag.Int("sweep-workers", runtime.GOMAXPROCS(0), "cap on per-job cell parallelism")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget before forcing cancellation")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "dresar-served: ", log.LstdFlags)
+	srv, err := serve.NewServer(serve.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheDir:        *cacheDir,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		MaxSweepWorkers: *sweepWorkers,
+		Logf:            logger.Printf,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	if *addrFile != "" {
+		if err := writeAddrFile(*addrFile, ln.Addr().String()); err != nil {
+			logger.Fatal(err)
+		}
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	logger.Printf("listening on %s (workers=%d queue=%d cache=%q)",
+		ln.Addr(), *workers, *queue, *cacheDir)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		logger.Printf("%s: draining for up to %s", sig, *drain)
+	case err := <-errc:
+		logger.Fatalf("listener failed: %v", err)
+	}
+
+	// Stop accepting connections, then drain the job pool: in-flight
+	// work finishes inside the drain budget or is cancelled through
+	// the engines' cooperative stop checks.
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(shutCtx); err != nil {
+		logger.Printf("drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	logger.Printf("drained cleanly")
+}
+
+// writeAddrFile publishes the bound address atomically so a watching
+// script never reads a half-written file.
+func writeAddrFile(path, addr string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

@@ -63,16 +63,17 @@ var scope = map[string]bool{
 // goAllowedFuncs is the scoped goroutine exception registry: package
 // path -> exact function names (methods spelled "(*Recv).Name") whose
 // bodies may start goroutines. Admitted are only the two places where
-// goroutines provably cannot perturb simulated behavior: SweepN joins
-// independent single-threaded simulations before returning, and the
-// sharded coordinator's Run confines cross-shard interaction to the
-// deterministic quantum-barrier merge. A `go` statement anywhere else
-// in a scope package — including elsewhere in these two packages — is
-// flagged; every other rule (map order, wall clock, global rand)
-// applies inside the admitted functions too. "sweep" is the fixture.
+// goroutines provably cannot perturb simulated behavior: SweepCtx
+// (which SweepN wraps) joins independent single-threaded simulations
+// before returning, and the sharded coordinator's Run confines
+// cross-shard interaction to the deterministic quantum-barrier merge.
+// A `go` statement anywhere else in a scope package — including
+// elsewhere in these two packages — is flagged; every other rule (map
+// order, wall clock, global rand) applies inside the admitted
+// functions too. "sweep" is the fixture.
 var goAllowedFuncs = map[string]map[string]bool{
 	"dresar/internal/sim":     {"(*ShardedEngine).Run": true},
-	"dresar/internal/figures": {"SweepN": true},
+	"dresar/internal/figures": {"SweepCtx": true},
 	"sweep":                   {"pool": true},
 }
 

@@ -2,7 +2,10 @@
 // Stats counters every way the analyzer distinguishes.
 package a
 
-import "dresar/internal/xbar"
+import (
+	"dresar/internal/fault"
+	"dresar/internal/xbar"
+)
 
 // increments are the legal cross-package writes.
 func increments(s *xbar.Stats) {
@@ -25,15 +28,16 @@ func subAssign(s *xbar.Stats) {
 	s.FlitHops -= 1 // want `statlint: -= to dresar/internal/xbar\.Stats field`
 }
 
-// wholeReset overwrites every counter at once.
-func wholeReset(c *xbar.Network) {
-	c.Stats = xbar.Stats{} // want `statlint: assignment to dresar/internal/xbar\.Stats field`
+// wholeReset overwrites every counter at once (through fault's
+// exported Stats field; xbar's moved behind per-domain shards).
+func wholeReset(in *fault.Injector) {
+	in.Stats = fault.Stats{} // want `statlint: assignment to dresar/internal/fault\.Stats field`
 }
 
 // snapshot copies counters into a local — reading is fine.
-func snapshot(c *xbar.Network) uint64 {
-	s := c.Stats
-	return s.Sent
+func snapshot(in *fault.Injector) uint64 {
+	s := in.Stats
+	return s.NetCorrupted
 }
 
 // suppressed: the //lint:ignore marker must drop the finding.

@@ -188,6 +188,10 @@ type Machine struct {
 	stampAt  []sim.Cycle
 	stampCtr []uint64
 
+	// stopCheck is the cooperative-cancellation probe installed via
+	// SetStopCheck; Run forwards it to whichever engine executes.
+	stopCheck func() bool
+
 	// runErrs collects structured failures reported by components
 	// through their Fail sinks (protocol holes, abandoned
 	// transactions), one list per shard; the first one stops the
@@ -225,6 +229,29 @@ func (e *StallError) Error() string {
 	return fmt.Sprintf("core: liveness watchdog: no progress for %d cycles at cycle %d (%d events pending)\n%s",
 		e.SinceProgress, e.Now, e.Pending, e.Report)
 }
+
+// AbortError reports a cooperative cancellation: the stop probe
+// installed with SetStopCheck tripped and Run wound the engines down
+// (serial: within 64 events; sharded: within one lookahead quantum).
+// The machine's statistics up to Now remain collectable — callers that
+// want the partial run call Collect after seeing this error.
+type AbortError struct {
+	Now     sim.Cycle // cycle at which the run stopped
+	Pending int       // events still queued when stopped
+}
+
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("core: run aborted by stop check at cycle %d (%d events pending)", e.Now, e.Pending)
+}
+
+// SetStopCheck installs (or, with nil, removes) a cooperative
+// cancellation probe for subsequent Run calls: the executing engine
+// polls fn (serial: every few events; sharded: once per quantum) and,
+// when it reports true, stops cleanly — worker goroutines joined,
+// barriers released — and Run returns an *AbortError with the partial
+// state intact. fn must be safe to call while other goroutines flip
+// its source; ctx.Err() != nil and atomic-flag loads both qualify.
+func (m *Machine) SetStopCheck(fn func() bool) { m.stopCheck = fn }
 
 // New builds a machine.
 func New(cfg Config) (*Machine, error) {
@@ -623,7 +650,9 @@ func (m *Machine) Run(maxCycles sim.Cycle) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if sp, ok := r.(*sim.ShardPanic); ok {
-				err = fmt.Errorf("core: panic at cycle %d on shard %d: %v", m.Now(), sp.Shard, sp.Value)
+				// Wrap (not render) so errors.As still surfaces the
+				// typed *sim.ShardPanic to serving-layer callers.
+				err = fmt.Errorf("core: panic at cycle %d: %w", m.Now(), sp)
 				return
 			}
 			err = fmt.Errorf("core: panic at cycle %d: %v", m.Now(), r)
@@ -642,6 +671,11 @@ func (m *Machine) Run(maxCycles sim.Cycle) (err error) {
 			m.Eng.SetWatchdog(m.Cfg.Watchdog, onStall)
 		}
 	}
+	if m.Sharded != nil {
+		m.Sharded.SetStopCheck(m.stopCheck)
+	} else {
+		m.Eng.SetStopCheck(m.stopCheck)
+	}
 	switch {
 	case m.Sharded != nil:
 		if maxCycles < 0 {
@@ -658,6 +692,13 @@ func (m *Machine) Run(maxCycles sim.Cycle) (err error) {
 	}
 	if m.stall != nil {
 		return m.stall
+	}
+	aborted := m.Eng.Aborted()
+	if m.Sharded != nil {
+		aborted = m.Sharded.Aborted()
+	}
+	if aborted {
+		return &AbortError{Now: m.Now(), Pending: m.Pending()}
 	}
 	if maxCycles > 0 && m.Pending() > 0 {
 		return fmt.Errorf("core: watchdog: %d events still pending at cycle %d", m.Pending(), m.Now())

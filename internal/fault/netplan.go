@@ -67,8 +67,12 @@ func (p NetPlan) TopologyFaults() bool {
 // Keys: seed, corruptlink=<sw>:<out> (repeatable), corruptrate
 // (permille), corruptcount, linkdown=<sw>:<out>@<cycle> (repeatable),
 // switchdown=<sw>@<cycle> (repeatable). Unknown keys, malformed
-// values, duplicate scalar keys, and rate/count settings without a
-// corruptlink are rejected with a descriptive error. An empty spec
+// values, duplicate scalar keys, repeated faults on the same element
+// (two linkdowns of one link silently coalesce in the fabric, two
+// corruptlink oracles on one link overwrite each other — both are
+// almost certainly typos), and rate/count settings without a
+// corruptlink are rejected with a descriptive error; every error path
+// returns the zero plan, never a partially-applied one. An empty spec
 // yields the zero (inactive) plan.
 func ParseNetPlan(spec string) (NetPlan, error) {
 	var p NetPlan
@@ -77,6 +81,7 @@ func ParseNetPlan(spec string) (NetPlan, error) {
 		return p, nil
 	}
 	seen := map[string]bool{}
+	usedLink := map[string]bool{} // "corruptlink 0:5" / "linkdown 0:5" / "switchdown 6"
 	for _, field := range strings.Split(spec, ",") {
 		kv := strings.SplitN(strings.TrimSpace(field), "=", 2)
 		if len(kv) != 2 {
@@ -110,6 +115,11 @@ func ParseNetPlan(spec string) (NetPlan, error) {
 			if err != nil {
 				return NetPlan{}, fmt.Errorf("fault: bad corruptlink %q: %v", val, err)
 			}
+			id := fmt.Sprintf("corruptlink %d:%d", l.Sw, l.Out)
+			if usedLink[id] {
+				return NetPlan{}, fmt.Errorf("fault: duplicate corruptlink %d:%d", l.Sw, l.Out)
+			}
+			usedLink[id] = true
 			p.CorruptLinks = append(p.CorruptLinks, l)
 		case "linkdown":
 			at, rest, err := splitAt(val)
@@ -120,6 +130,11 @@ func ParseNetPlan(spec string) (NetPlan, error) {
 			if err != nil {
 				return NetPlan{}, fmt.Errorf("fault: bad linkdown %q: %v", val, err)
 			}
+			id := fmt.Sprintf("linkdown %d:%d", l.Sw, l.Out)
+			if usedLink[id] {
+				return NetPlan{}, fmt.Errorf("fault: duplicate linkdown of link %d:%d", l.Sw, l.Out)
+			}
+			usedLink[id] = true
 			p.LinkDowns = append(p.LinkDowns, LinkFault{Link: l, At: at})
 		case "switchdown":
 			at, rest, err := splitAt(val)
@@ -130,6 +145,11 @@ func ParseNetPlan(spec string) (NetPlan, error) {
 			if err != nil || sw < 0 {
 				return NetPlan{}, fmt.Errorf("fault: bad switchdown %q: want <switch>@<cycle>", val)
 			}
+			id := fmt.Sprintf("switchdown %d", sw)
+			if usedLink[id] {
+				return NetPlan{}, fmt.Errorf("fault: duplicate switchdown of switch %d", sw)
+			}
+			usedLink[id] = true
 			p.SwitchDowns = append(p.SwitchDowns, SwitchFault{Sw: sw, At: at})
 		default:
 			return NetPlan{}, fmt.Errorf("fault: unknown net-fault key %q (want seed, corruptlink, corruptrate, corruptcount, linkdown, switchdown)", key)

@@ -32,9 +32,96 @@ func TestParseNetPlan(t *testing.T) {
 }
 
 func TestParseNetPlanEmpty(t *testing.T) {
+	// A genuinely empty spec is the inactive plan — the CLI default.
 	p, err := ParseNetPlan("   ")
 	if err != nil || p.Active() {
 		t.Fatalf("empty spec: plan=%+v err=%v", p, err)
+	}
+	// A spec with content-free fields (bare commas, blank fields) is a
+	// malformed plan, not an empty one: rejected, never half-applied.
+	for _, bad := range []string{",", " , ", "linkdown=1:4@5000,", ",seed=9"} {
+		if p, err := ParseNetPlan(bad); err == nil {
+			t.Errorf("ParseNetPlan(%q) accepted: %+v", bad, p)
+		}
+	}
+}
+
+// TestParseNetPlanDuplicates: repeated faults on the same fabric
+// element are typos, not schedules — the parser rejects them instead
+// of letting two linkdowns coalesce or two corruption oracles
+// overwrite each other.
+func TestParseNetPlanDuplicates(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string
+	}{
+		{"linkdown=1:4@5000,linkdown=1:4@8000", "duplicate linkdown"},
+		{"switchdown=6@100,switchdown=6@200", "duplicate switchdown"},
+		{"corruptlink=0:5,corruptlink=0:5", "duplicate corruptlink"},
+	}
+	for _, tc := range cases {
+		p, err := ParseNetPlan(tc.spec)
+		if err == nil {
+			t.Errorf("ParseNetPlan(%q) accepted", tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseNetPlan(%q) error %q does not mention %q", tc.spec, err, tc.want)
+		}
+		if !reflect.DeepEqual(p, NetPlan{}) {
+			t.Errorf("ParseNetPlan(%q) returned partially-applied plan %+v with its error", tc.spec, p)
+		}
+	}
+	// The same elements at distinct addresses stay legal.
+	if _, err := ParseNetPlan("linkdown=1:4@5000,linkdown=1:5@5000,switchdown=6@100,switchdown=7@100"); err != nil {
+		t.Errorf("distinct elements rejected: %v", err)
+	}
+}
+
+// TestParseNetPlanNeverPartial: every rejection path must return the
+// zero plan — a caller that ignores the error (or logs and continues)
+// must not end up with half a fault schedule applied to the fabric.
+func TestParseNetPlanNeverPartial(t *testing.T) {
+	for _, bad := range []string{
+		"linkdown=1:4@5000,bogus=1",        // valid fault then unknown key
+		"corruptlink=0:5,corruptrate=9999", // valid link then bad rate
+		"switchdown=6@100,switchdown=abc",  // valid fault then garbage
+		"seed=9,linkdown=1:4@5000,seed=9",  // trailing duplicate scalar
+		"linkdown=1:4@5000 trailing",       // trailing garbage inside a value
+	} {
+		p, err := ParseNetPlan(bad)
+		if err == nil {
+			t.Errorf("ParseNetPlan(%q) accepted", bad)
+			continue
+		}
+		if !reflect.DeepEqual(p, NetPlan{}) {
+			t.Errorf("ParseNetPlan(%q) returned non-zero plan %+v with its error", bad, p)
+		}
+	}
+}
+
+// TestNetPlanValidateOutOfRange: switch ordinals and ports just past
+// every boundary of the 16-node, radix-4 topology (8 switches, 8
+// ports) are rejected by Validate for each fault class.
+func TestNetPlanValidateOutOfRange(t *testing.T) {
+	tp := topo.MustNew(16, 4)
+	cases := []struct {
+		name string
+		plan NetPlan
+	}{
+		{"corruptlink switch", NetPlan{CorruptLinks: []topo.Link{{Sw: tp.NumSwitches(), Out: 0}}}},
+		{"corruptlink port", NetPlan{CorruptLinks: []topo.Link{{Sw: 0, Out: topo.Port(2 * tp.Radix)}}}},
+		{"linkdown switch", NetPlan{LinkDowns: []LinkFault{{Link: topo.Link{Sw: 99, Out: 0}, At: 1}}}},
+		{"linkdown port", NetPlan{LinkDowns: []LinkFault{{Link: topo.Link{Sw: 0, Out: 99}, At: 1}}}},
+		{"switchdown high", NetPlan{SwitchDowns: []SwitchFault{{Sw: tp.NumSwitches(), At: 1}}}},
+		{"switchdown negative", NetPlan{SwitchDowns: []SwitchFault{{Sw: -1, At: 1}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.plan.Validate(tp); err == nil {
+			t.Errorf("%s: accepted %+v", tc.name, tc.plan)
+		} else if !strings.Contains(err.Error(), "out of range") {
+			t.Errorf("%s: error %q does not say out of range", tc.name, err)
+		}
 	}
 }
 

@@ -11,11 +11,14 @@
 package figures
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
 	"dresar/internal/core"
+	"dresar/internal/sim"
 	"dresar/internal/trace"
 	"dresar/internal/tracesim"
 	"dresar/internal/workload"
@@ -100,10 +103,29 @@ func (r Result) CtoC() uint64 { return r.CtoCHome + r.CtoCSwitch }
 
 // RunOne executes one (app, entries) cell.
 func RunOne(app string, scale Scale, entries int) (Result, error) {
+	return RunOneCtx(context.Background(), app, scale, entries)
+}
+
+// RunOneCtx executes one (app, entries) cell under a cancellation
+// context: the simulation polls ctx cooperatively (serial engine:
+// every few events; sharded: once per lookahead quantum; trace-driven:
+// every few thousand records) and a cancelled or deadline-exceeded
+// context aborts the run with a *core.AbortError, wrapped so
+// errors.As finds it, alongside the partial Result measured so far.
+func RunOneCtx(ctx context.Context, app string, scale Scale, entries int) (Result, error) {
 	if Commercial(app) {
-		return runCommercial(app, scale, entries)
+		return runCommercial(ctx, app, scale, entries)
 	}
-	return runScientific(app, scale, entries)
+	return runScientific(ctx, app, scale, entries)
+}
+
+// stopProbe converts ctx into an engine stop check, or nil for
+// contexts that can never be cancelled (no polling overhead then).
+func stopProbe(ctx context.Context) func() bool {
+	if ctx.Done() == nil {
+		return nil
+	}
+	return func() bool { return ctx.Err() != nil }
 }
 
 // ShardWorkers selects the intra-run execution engine for every
@@ -116,7 +138,7 @@ func RunOne(app string, scale Scale, entries int) (Result, error) {
 // the two multiply.
 var ShardWorkers int
 
-func runScientific(app string, scale Scale, entries int) (Result, error) {
+func runScientific(ctx context.Context, app string, scale Scale, entries int) (Result, error) {
 	w, err := ScientificWorkload(app, scale)
 	if err != nil {
 		return Result{}, err
@@ -130,22 +152,30 @@ func runScientific(app string, scale Scale, entries int) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	m.SetStopCheck(stopProbe(ctx))
 	d, err := workload.NewDriver(m, w)
 	if err != nil {
 		return Result{}, err
 	}
 	s, err := d.Run()
-	if err != nil {
-		return Result{}, err
-	}
-	return Result{
+	r := Result{
 		App: app, Entries: entries,
 		Reads: s.Reads, ReadMisses: s.ReadMisses, Clean: s.ReadClean,
 		CtoCHome: s.ReadCtoCHome, CtoCSwitch: s.ReadCtoCSwitch,
 		AvgReadLat: s.AvgReadLatency(), CtoCLatShare: s.CtoCLatencyShare(),
 		ReadStall:  uint64(s.ReadStall),
 		ExecCycles: uint64(s.Cycles),
-	}, nil
+	}
+	if err != nil {
+		// An abort keeps its partial Result (the driver collected the
+		// machine before returning); other failures discard it.
+		var abort *core.AbortError
+		if errors.As(err, &abort) {
+			return r, err
+		}
+		return Result{}, err
+	}
+	return r, nil
 }
 
 func synthFor(app string, scale Scale) trace.SynthConfig {
@@ -155,7 +185,7 @@ func synthFor(app string, scale Scale) trace.SynthConfig {
 	return trace.TPCC(traceRefs(scale))
 }
 
-func runCommercial(app string, scale Scale, entries int) (Result, error) {
+func runCommercial(ctx context.Context, app string, scale Scale, entries int) (Result, error) {
 	cfg := tracesim.DefaultConfig()
 	if entries > 0 {
 		cfg = cfg.WithSDir(entries)
@@ -164,15 +194,21 @@ func runCommercial(app string, scale Scale, entries int) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	s.Stop = stopProbe(ctx)
 	st := s.Run(trace.NewSynth(synthFor(app, scale)))
-	return Result{
+	r := Result{
 		App: app, Entries: entries,
 		Reads: st.Reads, ReadMisses: st.ReadMisses, Clean: st.Clean,
 		CtoCHome: st.CtoCHome, CtoCSwitch: st.CtoCSwitch,
 		AvgReadLat: st.AvgReadLatency(), CtoCLatShare: st.CtoCLatencyShare(),
 		ReadStall:  st.ReadStall,
 		ExecCycles: st.ExecCycles,
-	}, nil
+	}
+	if s.Stopped() {
+		return r, fmt.Errorf("figures: %s/%d trace run aborted: %w", app, entries,
+			&core.AbortError{Now: sim.Cycle(st.ExecCycles)})
+	}
+	return r, nil
 }
 
 // Sweep runs every app at every directory size (including the base)

@@ -1,8 +1,13 @@
 package figures
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"strings"
 	"testing"
+
+	"dresar/internal/core"
 )
 
 // TestSweepNMatchesSerial pins the parallel sweep's core guarantee:
@@ -58,6 +63,51 @@ func TestSweepNCanonicalError(t *testing.T) {
 		want := fmt.Sprintf("%s/%d: ", apps[0], sizes[0])
 		if got := err.Error(); len(got) < len(want) || got[:len(want)] != want {
 			t.Errorf("workers=%d: error %q does not lead with canonical first cell %q", workers, got, want)
+		}
+	}
+}
+
+// TestSweepCtxCancelled: a cancelled context aborts the sweep with a
+// typed *core.AbortError — every cell either stops cooperatively or
+// never starts — instead of running the full sweep.
+func TestSweepCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the sweep begins
+	_, err := SweepCtx(ctx, ScaleSmall, []string{"fft", "tpcc"}, []int{0, 512}, 2)
+	if err == nil {
+		t.Fatalf("cancelled sweep returned no error")
+	}
+	var abort *core.AbortError
+	if !errors.As(err, &abort) {
+		t.Fatalf("cancelled sweep returned %v, want wrapped *core.AbortError", err)
+	}
+}
+
+// TestSweepCtxPanicRecovered: a panic inside one cell must not crash
+// the process (the serving layer shares it with every other job); it
+// surfaces as the sweep's canonical *CellPanic error, beating any
+// abort errors from sibling cells.
+func TestSweepCtxPanicRecovered(t *testing.T) {
+	runCellHook = func(app string, entries int) {
+		if app == "fft" && entries == 512 {
+			panic("injected cell failure")
+		}
+	}
+	defer func() { runCellHook = nil }()
+	for _, workers := range []int{1, 4} {
+		_, err := SweepN(ScaleSmall, []string{"fft"}, []int{0, 512}, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: sweep with panicking cell returned no error", workers)
+		}
+		var cp *CellPanic
+		if !errors.As(err, &cp) {
+			t.Fatalf("workers=%d: error %v, want wrapped *CellPanic", workers, err)
+		}
+		if cp.App != "fft" || cp.Entries != 512 {
+			t.Fatalf("panic attributed to %s/%d, want fft/512", cp.App, cp.Entries)
+		}
+		if !strings.Contains(cp.Value.(string), "injected") || cp.Stack == "" {
+			t.Fatalf("CellPanic lost the panic value or stack: %+v", cp.Value)
 		}
 	}
 }

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+)
+
+// measure runs fn reps times and reports p50/p99 latency plus
+// throughput under the given metric prefix.
+func measure(b *testing.B, prefix string, reps int, fn func() error) {
+	b.Helper()
+	lats := make([]time.Duration, 0, reps*b.N)
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			if err := fn(); err != nil {
+				b.Fatal(err)
+			}
+			lats = append(lats, time.Since(t0))
+		}
+	}
+	wall := time.Since(start)
+	sort.Slice(lats, func(a, c int) bool { return lats[a] < lats[c] })
+	pct := func(p float64) float64 {
+		return float64(lats[int(p*float64(len(lats)-1))])
+	}
+	b.ReportMetric(pct(0.50), prefix+"-p50-ns")
+	b.ReportMetric(pct(0.99), prefix+"-p99-ns")
+	b.ReportMetric(float64(len(lats))/wall.Seconds(), prefix+"-jobs/sec")
+}
+
+// BenchmarkServeCachedSubmitToResult measures the fast path the cache
+// buys: submit-to-result of a sweep already on disk, through the full
+// HTTP stack. One real fft simulation warms the cache; every measured
+// request is a verified read of the crash-safe entry.
+func BenchmarkServeCachedSubmitToResult(b *testing.B) {
+	s, err := NewServer(Config{Workers: 2, CacheDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	c := &Client{Base: ts.URL}
+	ctx := context.Background()
+	spec := JobSpec{Apps: []string{"fft"}, Sizes: []int{0}}
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, st.ID, 10*time.Millisecond); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	measure(b, "cached", 50, func() error {
+		st, err := c.Submit(ctx, spec)
+		if err != nil {
+			return err
+		}
+		_, err = c.Result(ctx, st.ID)
+		return err
+	})
+}
+
+// BenchmarkServeUncachedSubmitToResult measures the slow path: each
+// request runs the real fft/base simulation through the job queue,
+// worker pool, and engine cancellation plumbing (armed but never
+// tripped — this prices the stop-check overhead too).
+func BenchmarkServeUncachedSubmitToResult(b *testing.B) {
+	s, err := NewServer(Config{Workers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	c := &Client{Base: ts.URL}
+	ctx := context.Background()
+	spec := JobSpec{Apps: []string{"fft"}, Sizes: []int{0}}
+	b.ResetTimer()
+	measure(b, "uncached", 3, func() error {
+		st, err := c.Submit(ctx, spec)
+		if err != nil {
+			return err
+		}
+		if _, err := c.Wait(ctx, st.ID, 5*time.Millisecond); err != nil {
+			return err
+		}
+		_, err = c.Result(ctx, st.ID)
+		return err
+	})
+}

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// CacheKey derives the content address of a canonicalized spec: the
+// SHA-256 of a versioned canonical JSON rendering of every field that
+// can change simulated results (scale, apps, sizes — the workloads
+// carry their own fixed seeds; worker counts are wall-clock-only and
+// excluded). Determinism of both engines makes this sound: identical
+// keys imply byte-identical result payloads.
+func CacheKey(spec JobSpec) string {
+	canon := struct {
+		V     int      `json:"v"`
+		Scale string   `json:"scale"`
+		Apps  []string `json:"apps"`
+		Sizes []int    `json:"sizes"`
+	}{V: 1, Scale: spec.Scale, Apps: spec.Apps, Sizes: spec.Sizes}
+	b, err := json.Marshal(canon)
+	if err != nil {
+		// Marshalling a struct of strings and ints cannot fail.
+		panic(fmt.Sprintf("serve: canonical spec marshal: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// cacheEntry is the on-disk envelope: the payload plus enough
+// self-description to verify it. SHA256 is the hex digest of exactly
+// the Payload bytes; Key repeats the content address so a renamed or
+// cross-linked file is detected.
+type cacheEntry struct {
+	Key     string          `json:"key"`
+	SHA256  string          `json:"sha256"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// CacheStats are the cache's monotonic counters.
+type CacheStats struct {
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Writes      uint64 `json:"writes"`
+	Quarantined uint64 `json:"quarantined"`
+}
+
+// Cache is the crash-safe content-addressed run cache. Crash-safety
+// invariants:
+//
+//   - an entry becomes visible only through write-to-temp + fsync +
+//     atomic rename (+ directory fsync), so a crash — kill -9
+//     included — at any instant leaves either no entry or a complete
+//     one, never a readable torn write;
+//   - every read re-verifies the embedded SHA-256 against the payload
+//     and the key against the filename; anything that fails is
+//     quarantined (moved aside for forensics), counted, and treated
+//     as a miss — corrupt bytes are never trusted, and the
+//     deterministic engines simply recompute;
+//   - leftover temp files from crashed writers are swept on open.
+type Cache struct {
+	dir string
+	mu  sync.Mutex // serializes same-process writers; readers are lock-free
+
+	hits, misses, writes, quarantined atomic.Uint64
+}
+
+// OpenCache opens (creating if needed) a cache rooted at dir and
+// sweeps temp files abandoned by crashed writers.
+func OpenCache(dir string) (*Cache, error) {
+	for _, d := range []string{dir, filepath.Join(dir, "objects"), filepath.Join(dir, "quarantine")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: cache dir: %w", err)
+		}
+	}
+	c := &Cache{dir: dir}
+	// Abandoned temp files are invisible to Get (never renamed in),
+	// but sweeping them keeps the directory from growing forever.
+	matches, _ := filepath.Glob(filepath.Join(dir, "objects", tmpPrefix+"*"))
+	for _, m := range matches {
+		os.Remove(m)
+	}
+	return c, nil
+}
+
+const tmpPrefix = ".tmp-"
+
+// path maps a key to its entry file.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, "objects", key+".json")
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Writes:      c.writes.Load(),
+		Quarantined: c.quarantined.Load(),
+	}
+}
+
+// Get returns the verified payload for key, or ok=false on a miss.
+// A present-but-corrupt entry (torn write that somehow became
+// visible, bit rot, truncation, wrong key) is quarantined and
+// reported as a miss.
+func (c *Cache) Get(key string) (payload []byte, ok bool) {
+	if c == nil {
+		return nil, false
+	}
+	raw, err := os.ReadFile(c.path(key))
+	if err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	var ent cacheEntry
+	if err := json.Unmarshal(raw, &ent); err != nil {
+		c.quarantine(key, "undecodable")
+		return nil, false
+	}
+	sum := sha256.Sum256(ent.Payload)
+	if ent.Key != key || ent.SHA256 != hex.EncodeToString(sum[:]) {
+		c.quarantine(key, "checksum")
+		return nil, false
+	}
+	c.hits.Add(1)
+	return ent.Payload, true
+}
+
+// quarantine moves a corrupt entry aside — never deletes it (it is
+// evidence), never leaves it where a later Get would re-trust it.
+func (c *Cache) quarantine(key, why string) {
+	c.quarantined.Add(1)
+	c.misses.Add(1)
+	dst := filepath.Join(c.dir, "quarantine",
+		fmt.Sprintf("%s.%s.%d", key, why, time.Now().UnixNano()))
+	if err := os.Rename(c.path(key), dst); err != nil {
+		// Rename failed (e.g. raced with another quarantine): remove
+		// so the corrupt bytes cannot be served.
+		os.Remove(c.path(key))
+	}
+}
+
+// Put stores payload under key with the crash-safe protocol. A
+// concurrent or earlier writer winning the rename is fine: determinism
+// means both wrote identical bytes, so first-writer-wins is correct.
+func (c *Cache) Put(key string, payload []byte) error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := os.Stat(c.path(key)); err == nil {
+		return nil // already present; identical by determinism
+	}
+	sum := sha256.Sum256(payload)
+	ent := cacheEntry{Key: key, SHA256: hex.EncodeToString(sum[:]), Payload: payload}
+	raw, err := json.Marshal(ent)
+	if err != nil {
+		return fmt.Errorf("serve: cache entry marshal: %w", err)
+	}
+	objects := filepath.Join(c.dir, "objects")
+	tmp, err := os.CreateTemp(objects, tmpPrefix+key+"-*")
+	if err != nil {
+		return fmt.Errorf("serve: cache temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: cache write: %w", err)
+	}
+	// fsync before rename: the entry's bytes must be durable before
+	// the entry becomes visible, or a power cut could expose a name
+	// pointing at unwritten data.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: cache fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("serve: cache close: %w", err)
+	}
+	if err := os.Rename(tmpName, c.path(key)); err != nil {
+		return fmt.Errorf("serve: cache rename: %w", err)
+	}
+	// fsync the directory so the rename itself survives a crash.
+	if d, err := os.Open(objects); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	c.writes.Add(1)
+	return nil
+}
+
+// Len counts committed entries (test and metrics helper).
+func (c *Cache) Len() int {
+	matches, _ := filepath.Glob(filepath.Join(c.dir, "objects", "*.json"))
+	n := 0
+	for _, m := range matches {
+		if !strings.HasPrefix(filepath.Base(m), tmpPrefix) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCacheKeyCanonical(t *testing.T) {
+	a := JobSpec{Scale: "Small", Apps: []string{"tc", "fft", "fft"}, Sizes: []int{512, 0, 512}}
+	b := JobSpec{Scale: "small", Apps: []string{"fft", "tc"}, Sizes: []int{0, 512},
+		Workers: 7, DeadlineMS: 9000}
+	for _, s := range []*JobSpec{&a, &b} {
+		if err := s.Canonicalize(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if CacheKey(a) != CacheKey(b) {
+		t.Fatalf("canonically equal specs keyed differently:\n%s\n%s", CacheKey(a), CacheKey(b))
+	}
+	c := b
+	c.Sizes = []int{0, 1024}
+	if CacheKey(b) == CacheKey(c) {
+		t.Fatalf("different sizes share a key")
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("ab", 32)
+	if _, ok := c.Get(key); ok {
+		t.Fatal("hit on empty cache")
+	}
+	payload := []byte(`{"rows":[1,2,3]}`)
+	if err := c.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q ok=%v, want %q", got, ok, payload)
+	}
+	// A second Put of the same key is a no-op (first writer wins).
+	if err := c.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Writes != 1 || st.Quarantined != 0 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 miss, 1 write", st)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+// corrupt flips one byte inside the stored payload of key's entry.
+func corrupt(t *testing.T, dir, key string) {
+	t.Helper()
+	p := filepath.Join(dir, "objects", key+".json")
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := bytes.Index(raw, []byte(`"payload"`))
+	if i < 0 {
+		t.Fatalf("no payload field in %s", raw)
+	}
+	raw[i+12]++ // a byte inside the payload value
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheCorruptEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("cd", 32)
+	if err := c.Put(key, []byte(`{"v":"data"}`)); err != nil {
+		t.Fatal(err)
+	}
+	corrupt(t, dir, key)
+	if _, ok := c.Get(key); ok {
+		t.Fatal("corrupt entry served")
+	}
+	// The entry is gone from objects/ and preserved in quarantine/.
+	if _, err := os.Stat(filepath.Join(dir, "objects", key+".json")); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry still in objects/: %v", err)
+	}
+	q, _ := filepath.Glob(filepath.Join(dir, "quarantine", key+".*"))
+	if len(q) != 1 {
+		t.Fatalf("quarantine holds %v, want one entry for %s", q, key)
+	}
+	if st := c.Stats(); st.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d, want 1", st.Quarantined)
+	}
+	// A re-Put recovers service for the key.
+	if err := c.Put(key, []byte(`{"v":"data"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); !ok {
+		t.Fatal("re-put entry not served")
+	}
+}
+
+func TestCacheUndecodableQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("ef", 32)
+	// A torn write that somehow became visible: truncated JSON.
+	if err := os.WriteFile(filepath.Join(dir, "objects", key+".json"), []byte(`{"key":"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("undecodable entry served")
+	}
+	q, _ := filepath.Glob(filepath.Join(dir, "quarantine", key+".undecodable.*"))
+	if len(q) != 1 {
+		t.Fatalf("quarantine holds %v", q)
+	}
+}
+
+func TestCacheWrongKeyQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("01", 32)
+	other := strings.Repeat("02", 32)
+	if err := c.Put(key, []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-link the entry under the wrong name: the embedded key no
+	// longer matches the filename, so it must not be served.
+	if err := os.Rename(filepath.Join(dir, "objects", key+".json"),
+		filepath.Join(dir, "objects", other+".json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(other); ok {
+		t.Fatal("cross-linked entry served under wrong key")
+	}
+}
+
+// TestCacheCrashedWriterInvisible models kill -9 mid-write: the temp
+// file exists (partially written, never renamed), and must be both
+// invisible to Get and swept by the next OpenCache.
+func TestCacheCrashedWriterInvisible(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("34", 32)
+	tmp := filepath.Join(dir, "objects", tmpPrefix+key+"-123456")
+	if err := os.WriteFile(tmp, []byte(`{"key":"`+key+`","sha`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("unrenamed temp file served")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len counts temp files: %d", c.Len())
+	}
+	// Restart after the crash: the abandoned temp is swept.
+	if _, err := OpenCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("abandoned temp survived reopen: %v", err)
+	}
+}
+
+// TestCacheEntryEnvelope pins the on-disk format: a versioned JSON
+// envelope whose sha256 covers exactly the payload bytes.
+func TestCacheEntryEnvelope(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("56", 32)
+	if err := c.Put(key, []byte(`{"x":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "objects", key+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ent cacheEntry
+	if err := json.Unmarshal(raw, &ent); err != nil {
+		t.Fatal(err)
+	}
+	if ent.Key != key || len(ent.SHA256) != 64 || string(ent.Payload) != `{"x":2}` {
+		t.Fatalf("envelope = %+v", ent)
+	}
+}

@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// countGoroutines polls until the goroutine count settles at or below
+// want, reporting the final count.
+func countGoroutines(want int) int {
+	deadline := time.Now().Add(5 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > want && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+// TestE2ERealSweepCacheRoundTrip runs the full stack with real
+// simulations: HTTP API, retrying client, real figures sweep, disk
+// cache. The second, reordered submission of the same work must be a
+// cache hit with a byte-identical payload — the paper's determinism
+// claim made load-bearing.
+func TestE2ERealSweepCacheRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulations in -short mode")
+	}
+	base := runtime.NumGoroutine()
+	s, err := NewServer(Config{Workers: 2, CacheDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	c := &Client{Base: ts.URL}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	st1, err := c.Submit(ctx, JobSpec{Apps: []string{"fft"}, Sizes: []int{0, 256}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin1, err := c.Wait(ctx, st1.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin1.State != StateDone || fin1.Cached {
+		t.Fatalf("first job = %+v err = %+v", fin1, fin1.Error)
+	}
+	p1, err := c.Result(ctx, st1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := c.Submit(ctx, JobSpec{Apps: []string{"fft"}, Sizes: []int{256, 0}, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.State != StateDone || !st2.Cached {
+		t.Fatalf("second job not an immediate cache hit: %+v", st2)
+	}
+	p2, err := c.Result(ctx, st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p1, p2) {
+		t.Fatalf("cached payload differs:\n%s\n%s", p1, p2)
+	}
+	if cs := s.CacheStats(); cs.Hits != 1 || cs.Writes != 1 {
+		t.Fatalf("cache stats = %+v", cs)
+	}
+
+	ts.Close()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n := countGoroutines(base); n > base {
+		t.Errorf("goroutines leaked: %d at start, %d after shutdown", base, n)
+	}
+}
+
+// TestE2ECancelMidRun cancels a real trace-driven job mid-simulation:
+// the cooperative stop checks must wind it down far faster than the
+// run would have taken, with the typed aborted error and no leaked
+// goroutines after drain.
+func TestE2ECancelMidRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulations in -short mode")
+	}
+	base := runtime.NumGoroutine()
+	s, err := NewServer(Config{Workers: 1, CacheDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	c := &Client{Base: ts.URL}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// tpcc/small runs a 2M-reference trace (~hundreds of ms): long
+	// enough to reliably catch mid-run, short enough for CI.
+	st, err := c.Submit(ctx, JobSpec{Apps: []string{"tpcc"}, Sizes: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, ok := s.Get(st.ID)
+	if !ok {
+		t.Fatal("submitted job not registered")
+	}
+	waitState(t, j, StateRunning)
+	time.Sleep(20 * time.Millisecond) // into the trace loop
+	t0 := time.Now()
+	if _, err := c.Cancel(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	fin, err := c.Wait(ctx, st.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windDown := time.Since(t0)
+	if fin.State != StateCanceled || fin.Error == nil || fin.Error.Kind != KindAborted || fin.Error.Reason != "canceled" {
+		t.Fatalf("cancelled job = %+v err = %+v", fin, fin.Error)
+	}
+	// The stop check polls every ~1024 trace records; a full run takes
+	// hundreds of ms, so a cooperative wind-down must be much shorter.
+	if windDown > 2*time.Second {
+		t.Errorf("cancel took %s — stop checks not reaching the engine", windDown)
+	}
+	// A cancelled run must never populate the cache.
+	if cs := s.CacheStats(); cs.Writes != 0 {
+		t.Errorf("cancelled job wrote %d cache entries", cs.Writes)
+	}
+	// Fetching the result of a canceled job yields the typed error.
+	if _, err := c.Result(ctx, st.ID); err == nil {
+		t.Error("result of canceled job succeeded")
+	} else if je, ok := err.(*JobError); !ok || je.Kind != KindAborted {
+		t.Errorf("canceled result err = %v, want typed aborted", err)
+	}
+
+	ts.Close()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n := countGoroutines(base); n > base {
+		t.Errorf("goroutines leaked: %d at start, %d after shutdown", base, n)
+	}
+}
+
+// TestE2EDrainUnderLoad: shutdown while real jobs are queued and
+// running must complete inside the drain budget with every job in a
+// terminal state.
+func TestE2EDrainUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulations in -short mode")
+	}
+	base := runtime.NumGoroutine()
+	s, err := NewServer(Config{Workers: 1, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []*Job
+	for i := 0; i < 3; i++ {
+		j, je := s.Submit(JobSpec{Apps: []string{"tpcc"}, Sizes: []int{0}, Workers: 1})
+		if je != nil {
+			t.Fatal(je)
+		}
+		jobs = append(jobs, j)
+	}
+	waitState(t, jobs[0], StateRunning)
+	// A short drain deadline forces cancellation of the backlog.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	for i, j := range jobs {
+		if st := j.Status(); !st.State.Terminal() {
+			t.Errorf("job %d non-terminal after shutdown: %+v", i, st)
+		}
+	}
+	if n := countGoroutines(base); n > base {
+		t.Errorf("goroutines leaked: %d at start, %d after shutdown", base, n)
+	}
+}

@@ -1,0 +1,609 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dresar/internal/figures"
+)
+
+// Config sizes the server's failure domains.
+type Config struct {
+	// Workers is the number of jobs simulated concurrently (the worker
+	// pool size). <= 0 means 2.
+	Workers int
+	// QueueDepth bounds the admission queue; a submit that finds it
+	// full is shed with 429 + Retry-After rather than queued without
+	// bound. <= 0 means 16.
+	QueueDepth int
+	// CacheDir roots the crash-safe run cache; "" disables caching.
+	CacheDir string
+	// DefaultDeadline applies to jobs that set no deadline_ms (0 means
+	// 2 minutes); MaxDeadline caps client-requested deadlines (0 means
+	// 10 minutes).
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// MaxSweepWorkers caps the per-job cell-level parallelism a client
+	// may request. <= 0 means GOMAXPROCS.
+	MaxSweepWorkers int
+	// MaxJobs bounds the in-memory job registry; beyond it the oldest
+	// terminal jobs are evicted. <= 0 means 1024.
+	MaxJobs int
+	// Logf receives server diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 2 * time.Minute
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 10 * time.Minute
+	}
+	if c.MaxSweepWorkers <= 0 {
+		c.MaxSweepWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// Server owns the worker pool, admission queue, job registry, and run
+// cache. Every goroutine it starts is joined by Shutdown.
+type Server struct {
+	cfg   Config
+	cache *Cache
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // insertion order, for terminal-job eviction
+	nextID   uint64
+	closed   bool // queue closed; no further enqueues
+	inFlight int  // queued + running jobs
+
+	draining atomic.Bool
+	ewmaNS   atomic.Int64 // smoothed job duration, for Retry-After
+
+	// sweep runs a job's cells; figures.SweepCtx in production, a
+	// fake in the unit tests that exercise scheduling and failure
+	// classification without real simulations.
+	sweep func(ctx context.Context, scale figures.Scale, apps []string, sizes []int, workers int) (map[string]map[int]figures.Result, error)
+}
+
+// NewServer builds a server and starts its worker pool.
+func NewServer(cfg Config) (*Server, error) {
+	cfg.fill()
+	s := &Server{
+		cfg:   cfg,
+		queue: make(chan *Job, cfg.QueueDepth),
+		jobs:  map[string]*Job{},
+		sweep: figures.SweepCtx,
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	if cfg.CacheDir != "" {
+		c, err := OpenCache(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		s.cache = c
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.runJob(j)
+			}
+		}()
+	}
+	return s, nil
+}
+
+// CacheStats exposes the run cache counters (zero value when caching
+// is disabled).
+func (s *Server) CacheStats() CacheStats {
+	if s.cache == nil {
+		return CacheStats{}
+	}
+	return s.cache.Stats()
+}
+
+// newJob registers a job, evicting the oldest terminal jobs beyond the
+// registry bound.
+func (s *Server) newJob(spec JobSpec, key string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	j := &Job{
+		ID:        fmt.Sprintf("j%06d", s.nextID),
+		Key:       key,
+		spec:      spec,
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	for len(s.jobs) > s.cfg.MaxJobs {
+		evicted := false
+		for i, id := range s.order {
+			old := s.jobs[id]
+			if old != nil && old.Status().State.Terminal() {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break // every registered job is live; keep them all
+		}
+	}
+	return j
+}
+
+// Submit admits a job: canonicalize, serve from cache when possible,
+// otherwise enqueue — or shed with a Retry-After estimate if the
+// admission queue is full.
+func (s *Server) Submit(spec JobSpec) (*Job, *JobError) {
+	if err := spec.Canonicalize(); err != nil {
+		return nil, &JobError{Kind: KindBadRequest, Message: err.Error()}
+	}
+	if s.draining.Load() {
+		return nil, &JobError{Kind: KindDraining, Message: "server is draining"}
+	}
+	key := CacheKey(spec)
+	if payload, ok := s.cache.Get(key); ok {
+		j := s.newJob(spec, key)
+		j.mu.Lock()
+		j.state = StateRunning
+		j.started = j.submitted
+		j.mu.Unlock()
+		j.finish(StateDone, nil, payload, true)
+		return j, nil
+	}
+	nj := s.newJob(spec, key)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		nj.finish(StateCanceled, &JobError{Kind: KindDraining, Message: "server is draining"}, nil, false)
+		return nil, &JobError{Kind: KindDraining, Message: "server is draining"}
+	}
+	select {
+	case s.queue <- nj:
+		s.inFlight++
+		s.mu.Unlock()
+		return nj, nil
+	default:
+		s.mu.Unlock()
+		nj.finish(StateFailed, &JobError{Kind: KindOverloaded, Message: "admission queue full"}, nil, false)
+		retry := s.retryAfter()
+		return nil, &JobError{
+			Kind:        KindOverloaded,
+			Message:     fmt.Sprintf("admission queue full (%d queued)", len(s.queue)),
+			RetryAfterS: retry,
+		}
+	}
+}
+
+// retryAfter estimates, from the smoothed job duration and the current
+// backlog, how long a shed client should wait before retrying.
+func (s *Server) retryAfter() int {
+	ewma := time.Duration(s.ewmaNS.Load())
+	if ewma <= 0 {
+		return 1
+	}
+	backlog := len(s.queue) + 1
+	est := ewma * time.Duration(backlog) / time.Duration(s.cfg.Workers)
+	sec := int((est + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
+}
+
+// observe folds a finished job's duration into the EWMA (alpha 1/4).
+func (s *Server) observe(d time.Duration) {
+	for {
+		old := s.ewmaNS.Load()
+		nw := int64(d)
+		if old > 0 {
+			nw = old + (int64(d)-old)/4
+		}
+		if s.ewmaNS.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// jobDone decrements the in-flight count.
+func (s *Server) jobDone() {
+	s.mu.Lock()
+	s.inFlight--
+	s.mu.Unlock()
+}
+
+// runJob executes one queued job under its deadline and the server's
+// base context, classifying every failure into the typed vocabulary.
+func (s *Server) runJob(j *Job) {
+	defer s.jobDone()
+	j.mu.Lock()
+	if j.state.Terminal() { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	spec := j.spec
+	j.state = StateRunning
+	j.started = time.Now()
+	deadline := s.cfg.DefaultDeadline
+	if spec.DeadlineMS > 0 {
+		deadline = time.Duration(spec.DeadlineMS) * time.Millisecond
+	}
+	if deadline > s.cfg.MaxDeadline {
+		deadline = s.cfg.MaxDeadline
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, deadline)
+	j.cancel = func(string) { cancel() }
+	j.mu.Unlock()
+	defer cancel()
+
+	if s.baseCtx.Err() != nil { // shutting down: don't start new work
+		j.finish(StateCanceled,
+			&JobError{Kind: KindAborted, Message: "job aborted before completion", Reason: "canceled"},
+			nil, false)
+		return
+	}
+
+	workers := spec.Workers
+	if workers <= 0 || workers > s.cfg.MaxSweepWorkers {
+		workers = s.cfg.MaxSweepWorkers
+	}
+	start := time.Now()
+	sweep, err := s.sweep(ctx, spec.scale(), spec.Apps, spec.Sizes, workers)
+	dur := time.Since(start)
+	if err != nil {
+		je := classify(err, s.abortReason(j, ctx))
+		state := StateFailed
+		if je.Kind == KindAborted && je.Reason == "canceled" {
+			state = StateCanceled
+		}
+		s.cfg.Logf("serve: job %s %s: %v", j.ID, state, err)
+		j.finish(state, je, nil, false)
+		return
+	}
+	s.observe(dur)
+	payload, perr := resultPayload(spec, sweep)
+	if perr != nil {
+		j.finish(StateFailed, &JobError{Kind: KindInternal, Message: perr.Error()}, nil, false)
+		return
+	}
+	if err := s.cache.Put(j.Key, payload); err != nil {
+		// A cache write failure degrades to uncached service, never
+		// fails the job — the result itself is sound.
+		s.cfg.Logf("serve: cache put %s: %v", j.Key, err)
+	}
+	j.finish(StateDone, nil, payload, false)
+}
+
+// abortReason distinguishes why an aborted job stopped: an explicit
+// client cancel (or server drain) vs its own deadline.
+func (s *Server) abortReason(j *Job, ctx context.Context) string {
+	j.mu.Lock()
+	cancelled := j.cancelled
+	j.mu.Unlock()
+	switch {
+	case cancelled || s.baseCtx.Err() != nil:
+		return "canceled"
+	case ctx.Err() == context.DeadlineExceeded:
+		return "deadline"
+	default:
+		return ""
+	}
+}
+
+// resultPayload renders the canonical result document: the canonical
+// spec (wall-clock knobs zeroed) plus rows in (app, size) canonical
+// order. Determinism end to end: identical specs yield byte-identical
+// payloads, which the cache-hit e2e test asserts literally.
+func resultPayload(spec JobSpec, sweep map[string]map[int]figures.Result) ([]byte, error) {
+	spec.Workers = 0
+	spec.DeadlineMS = 0
+	type row struct {
+		App    string         `json:"app"`
+		Size   int            `json:"size"`
+		Result figures.Result `json:"result"`
+	}
+	doc := struct {
+		V    int     `json:"v"`
+		Spec JobSpec `json:"spec"`
+		Rows []row   `json:"rows"`
+	}{V: 1, Spec: spec}
+	apps := append([]string{}, spec.Apps...)
+	sort.Strings(apps)
+	sizes := append([]int{}, spec.Sizes...)
+	sort.Ints(sizes)
+	for _, app := range apps {
+		for _, n := range sizes {
+			r, ok := sweep[app][n]
+			if !ok {
+				return nil, fmt.Errorf("serve: sweep missing cell %s/%d", app, n)
+			}
+			doc.Rows = append(doc.Rows, row{App: app, Size: n, Result: r})
+		}
+	}
+	return json.Marshal(doc)
+}
+
+// Get looks up a job by ID.
+func (s *Server) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel requests cancellation: a queued job is finished immediately;
+// a running job gets its context cancelled and winds down at the
+// engine's next stop-check poll (within one lookahead quantum on the
+// sharded engine).
+func (s *Server) Cancel(id string) (*Job, *JobError) {
+	j, ok := s.Get(id)
+	if !ok {
+		return nil, &JobError{Kind: KindNotFound, Message: fmt.Sprintf("no job %q", id)}
+	}
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return j, nil // idempotent
+	}
+	j.cancelled = true
+	if j.state == StateQueued {
+		j.mu.Unlock()
+		// The worker that eventually dequeues it sees the terminal
+		// state and drops it.
+		j.finish(StateCanceled,
+			&JobError{Kind: KindAborted, Message: "job aborted before completion", Reason: "canceled"},
+			nil, false)
+		return j, nil
+	}
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel("canceled")
+	}
+	return j, nil
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// InFlight counts queued plus running jobs.
+func (s *Server) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inFlight
+}
+
+// Shutdown drains gracefully: stop admitting, let in-flight jobs
+// finish until ctx expires, then cancel the stragglers through the
+// same cooperative stop-check path a client cancel uses, and join
+// every worker. Always returns with the pool joined.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	drained := s.waitIdle(ctx)
+	if !drained {
+		// Force: running jobs abort within an engine poll interval;
+		// queued jobs are marked canceled by the workers or below.
+		s.baseCancel()
+		force, fcancel := context.WithTimeout(context.Background(), 10*time.Second)
+		drained = s.waitIdle(force)
+		fcancel()
+	}
+	s.mu.Lock()
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+	// Workers have exited; anything still on the registry in a
+	// non-terminal state (shouldn't happen once drained) is canceled.
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		j.finish(StateCanceled,
+			&JobError{Kind: KindAborted, Message: "server shut down", Reason: "canceled"},
+			nil, false)
+	}
+	s.mu.Unlock()
+	s.baseCancel()
+	if !drained {
+		return fmt.Errorf("serve: shutdown forced with jobs still in flight")
+	}
+	return nil
+}
+
+// waitIdle polls until no job is queued or running, or ctx expires.
+func (s *Server) waitIdle(ctx context.Context) bool {
+	for {
+		if s.InFlight() == 0 {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return s.InFlight() == 0
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// httpStatus maps an error kind to its HTTP status.
+func httpStatus(kind string) int {
+	switch kind {
+	case KindBadRequest:
+		return http.StatusBadRequest
+	case KindOverloaded:
+		return http.StatusTooManyRequests
+	case KindDraining:
+		return http.StatusServiceUnavailable
+	case KindNotFound:
+		return http.StatusNotFound
+	case KindNotReady:
+		return http.StatusConflict
+	case KindAborted:
+		return http.StatusGone
+	default:
+		// Typed engine failures (stall, shard_panic, unroutable, panic,
+		// internal) are job outcomes, reported on the job that failed:
+		// the request itself succeeded, the simulation did not.
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// writeJSON writes v with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes a typed JobError, with Retry-After for sheds.
+func writeError(w http.ResponseWriter, je *JobError) {
+	if je.RetryAfterS > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(je.RetryAfterS))
+	}
+	writeJSON(w, httpStatus(je.Kind), struct {
+		Error *JobError `json:"error"`
+	}{je})
+}
+
+// Metrics is the server's observability snapshot.
+type Metrics struct {
+	Jobs     int        `json:"jobs"`
+	InFlight int        `json:"in_flight"`
+	Queue    int        `json:"queue"`
+	Draining bool       `json:"draining"`
+	EWMAMS   int64      `json:"ewma_job_ms"`
+	Cache    CacheStats `json:"cache"`
+}
+
+// Handler builds the HTTP API.
+//
+//	POST /v1/jobs             submit a JobSpec        -> 202 JobStatus
+//	GET  /v1/jobs/{id}        job status              -> 200 JobStatus
+//	GET  /v1/jobs/{id}/result result payload          -> 200 canonical JSON
+//	POST /v1/jobs/{id}/cancel request cancellation    -> 202 JobStatus
+//	GET  /healthz             liveness                -> 200 always
+//	GET  /readyz              readiness               -> 200, 503 draining
+//	GET  /v1/metrics          Metrics                 -> 200
+//
+// Failures are typed JSON bodies ({"error":{"kind":...}}), never bare
+// 500s: 400 bad_request, 429 overloaded (+Retry-After), 503 draining,
+// 404 not_found, 409 not_ready, 410 aborted, 422 engine failures.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeError(w, &JobError{Kind: KindBadRequest, Message: "bad spec: " + err.Error()})
+			return
+		}
+		j, je := s.Submit(spec)
+		if je != nil {
+			writeError(w, je)
+			return
+		}
+		st := j.Status()
+		code := http.StatusAccepted
+		if st.State == StateDone { // cache hit completes synchronously
+			code = http.StatusOK
+		}
+		writeJSON(w, code, st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := s.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, &JobError{Kind: KindNotFound, Message: "no such job"})
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Status())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := s.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, &JobError{Kind: KindNotFound, Message: "no such job"})
+			return
+		}
+		st := j.Status()
+		switch {
+		case !st.State.Terminal():
+			writeError(w, &JobError{Kind: KindNotReady, Message: "job still " + string(st.State)})
+		case st.State == StateDone:
+			j.mu.Lock()
+			payload := j.result
+			j.mu.Unlock()
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(payload)
+		default:
+			je := st.Error
+			if je == nil {
+				je = &JobError{Kind: KindInternal, Message: "job failed without a recorded error"}
+			}
+			writeError(w, je)
+		}
+	})
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		j, je := s.Cancel(r.PathValue("id"))
+		if je != nil {
+			writeError(w, je)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, j.Status())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			writeError(w, &JobError{Kind: KindDraining, Message: "draining"})
+			return
+		}
+		w.Write([]byte("ready\n"))
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		m := Metrics{Jobs: len(s.jobs), InFlight: s.inFlight}
+		s.mu.Unlock()
+		m.Queue = len(s.queue)
+		m.Draining = s.draining.Load()
+		m.EWMAMS = s.ewmaNS.Load() / int64(time.Millisecond)
+		m.Cache = s.CacheStats()
+		writeJSON(w, http.StatusOK, m)
+	})
+	return mux
+}

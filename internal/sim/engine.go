@@ -178,6 +178,17 @@ type Engine struct {
 
 	stopped bool
 
+	// Cooperative-cancellation state: stopCheck, when non-nil, is
+	// polled by the run loops every stopPollEvents executed events. A
+	// true return stops the innermost loop like Stop and marks the
+	// engine aborted, so callers can distinguish "cancelled from
+	// outside" from "ran out of events". The check must be safe to
+	// call from this goroutine while other goroutines flip its source
+	// (an atomic flag or context.Context qualifies).
+	stopCheck func() bool
+	stopPoll  int
+	aborted   bool
+
 	// Liveness watchdog state: components mark forward progress via
 	// Progress(); the run loops stop when the clock advances watchLimit
 	// cycles past the last mark while events are still firing (a
@@ -359,6 +370,48 @@ func (e *Engine) pop() event {
 	return ev
 }
 
+// stopPollEvents is the cancellation poll interval of the serial run
+// loops, in executed events. Small enough that a cancelled run stops
+// within microseconds of wall clock, large enough that the per-event
+// cost is one integer increment.
+const stopPollEvents = 64
+
+// SetStopCheck installs (or, with nil, removes) the cooperative
+// cancellation probe: the run loops poll fn every stopPollEvents
+// events and stop as if Stop had been called when it reports true,
+// additionally marking the engine Aborted. fn is called from the
+// goroutine executing the run loop; a context.Context's Err or an
+// atomic flag read are both safe sources. Arming resets the Aborted
+// mark.
+func (e *Engine) SetStopCheck(fn func() bool) {
+	e.stopCheck = fn
+	e.stopPoll = 0
+	e.aborted = false
+}
+
+// Aborted reports whether the last run loop was stopped by the
+// cancellation probe installed with SetStopCheck (sticky until the
+// next SetStopCheck call).
+func (e *Engine) Aborted() bool { return e.aborted }
+
+// checkStop polls the cancellation probe at its sampling interval. It
+// reports whether the run loop must stop.
+func (e *Engine) checkStop() bool {
+	if e.stopCheck == nil {
+		return false
+	}
+	if e.stopPoll++; e.stopPoll < stopPollEvents {
+		return false
+	}
+	e.stopPoll = 0
+	if e.stopCheck() {
+		e.aborted = true
+		e.stopped = true
+		return true
+	}
+	return false
+}
+
 // SetWatchdog arms the liveness watchdog: if the clock advances limit
 // cycles beyond the last Progress() mark while Run/RunUntil/Drain are
 // still executing events, the loop stops and onStall (may be nil) is
@@ -421,7 +474,7 @@ func (e *Engine) Run(limit int) int {
 	n := 0
 	for !e.stopped && e.Step() {
 		n++
-		if e.checkWatchdog() {
+		if e.checkWatchdog() || e.checkStop() {
 			break
 		}
 		if limit > 0 && n >= limit {
@@ -443,7 +496,7 @@ func (e *Engine) RunUntil(t Cycle) int {
 		}
 		e.Step()
 		n++
-		if e.checkWatchdog() {
+		if e.checkWatchdog() || e.checkStop() {
 			return n
 		}
 	}
@@ -475,7 +528,7 @@ func (e *Engine) Drain(max Cycle) int {
 		}
 		e.Step()
 		n++
-		if e.checkWatchdog() {
+		if e.checkWatchdog() || e.checkStop() {
 			break
 		}
 	}

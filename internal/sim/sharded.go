@@ -44,6 +44,13 @@ type ShardedEngine struct {
 
 	stopReq atomic.Bool
 
+	// Cooperative cancellation: stopCheck is polled by the coordinator
+	// once per quantum, so a cancelled run winds down — workers parked,
+	// barrier released, outboxes merged — within one lookahead quantum
+	// of the cancel point. See Engine.SetStopCheck for the contract.
+	stopCheck func() bool
+	aborted   bool
+
 	// Barrier state (one sense-reversing barrier reused for both the
 	// window-start and window-end rendezvous).
 	arrived atomic.Int32
@@ -129,6 +136,20 @@ func (se *ShardedEngine) Stop() { se.stopReq.Store(true) }
 
 // Stalled reports whether the coordinator watchdog tripped.
 func (se *ShardedEngine) Stalled() bool { return se.stalled }
+
+// SetStopCheck installs (or, with nil, removes) the cooperative
+// cancellation probe, polled by the coordinating goroutine before each
+// quantum. A true return stops the run at that barrier and marks it
+// Aborted; all worker goroutines exit through the normal barrier
+// release, so no shard is left parked. Arming resets the Aborted mark.
+func (se *ShardedEngine) SetStopCheck(fn func() bool) {
+	se.stopCheck = fn
+	se.aborted = false
+}
+
+// Aborted reports whether the last Run was stopped by the cancellation
+// probe (sticky until the next SetStopCheck call).
+func (se *ShardedEngine) Aborted() bool { return se.aborted }
 
 // SetWatchdog arms the coordinator-level liveness watchdog: if a new
 // quantum would start limit or more cycles after the newest Progress
@@ -255,6 +276,10 @@ func (se *ShardedEngine) Run(max Cycle) int {
 	for {
 		t, ok := se.minPending()
 		stop := !ok || se.stopReq.Load()
+		if !stop && se.stopCheck != nil && se.stopCheck() {
+			se.aborted = true
+			stop = true
+		}
 		if !stop && max > 0 && t > max {
 			stop = true
 		}

@@ -204,7 +204,22 @@ type Sim struct {
 	// Profile accumulates per-block (miss, CtoC) counts for Figure 2.
 	Profile *sim.BlockProfile
 	Stats   Stats
+
+	// Stop, when non-nil, is the cooperative-cancellation probe: Run
+	// polls it every stopPollRefs processed records and returns early
+	// with the partial Stats when it reports true (Stopped then
+	// reports the truncation). Same contract as sim.Engine's stop
+	// check: safe to read while another goroutine flips its source.
+	Stop    func() bool
+	stopped bool
 }
+
+// stopPollRefs is Run's cancellation poll interval in trace records.
+const stopPollRefs = 1024
+
+// Stopped reports whether the last Run returned early because the
+// Stop probe tripped, making its Stats a partial measurement.
+func (s *Sim) Stopped() bool { return s.stopped }
 
 // New builds a simulator from cfg.
 func New(cfg Config) (*Sim, error) {
@@ -291,14 +306,27 @@ func (s *Sim) sdInsertBackward(b uint64, home, owner int) {
 	}
 }
 
-// Run processes the whole trace and returns the stats.
+// Run processes the whole trace and returns the stats. When the Stop
+// probe is set and trips, Run returns the partial stats accumulated so
+// far and Stopped reports true.
 func (s *Sim) Run(src trace.Source) Stats {
+	s.stopped = false
+	poll := 0
 	for {
 		rec, ok := src.Next()
 		if !ok {
 			break
 		}
 		s.step(rec)
+		if s.Stop != nil {
+			if poll++; poll >= stopPollRefs {
+				poll = 0
+				if s.Stop() {
+					s.stopped = true
+					break
+				}
+			}
+		}
 	}
 	for _, c := range s.clocks {
 		if c > s.Stats.ExecCycles {

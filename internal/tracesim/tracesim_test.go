@@ -271,3 +271,25 @@ func TestCtoCLatencyShareExceedsCountShare(t *testing.T) {
 		t.Fatalf("dirty latency share of misses (%.3f) should exceed count share (%.3f)", dirtyOfMiss, count)
 	}
 }
+
+// TestRunStopProbe: the trace-driven simulator's cooperative stop —
+// Run returns the partial stats within one poll interval of the probe
+// tripping and marks the run Stopped.
+func TestRunStopProbe(t *testing.T) {
+	s := MustNew(DefaultConfig())
+	polls := 0
+	s.Stop = func() bool { polls++; return polls >= 2 }
+	st := s.Run(trace.NewSynth(trace.TPCC(1_000_000)))
+	if !s.Stopped() {
+		t.Fatalf("Stopped() false after the probe tripped")
+	}
+	// Two poll intervals of 1024 records each.
+	if st.Refs == 0 || st.Refs > 2*1024 {
+		t.Fatalf("processed %d refs, want (0, 2048]", st.Refs)
+	}
+	// A fresh run with no probe processes everything and clears the mark.
+	s2 := MustNew(DefaultConfig())
+	if st2 := s2.Run(trace.NewSynth(trace.TPCC(10_000))); st2.Refs != 10_000 || s2.Stopped() {
+		t.Fatalf("unprobed run: refs=%d stopped=%v", st2.Refs, s2.Stopped())
+	}
+}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 
 	"dresar/internal/core"
@@ -102,6 +103,15 @@ func (d *Driver) Run() (core.Stats, error) {
 	// Machine.Run layers the liveness watchdog, Fail-sink errors, and
 	// panic recovery over the raw engine drain.
 	runErr := d.M.Run(d.MaxCycles)
+	var abort *core.AbortError
+	if errors.As(runErr, &abort) {
+		// Cooperative cancellation, not a protocol failure: return the
+		// partial statistics alongside the typed abort so the serving
+		// layer can report progress-at-kill. Wrapped with %w so
+		// errors.As still finds the *core.AbortError underneath.
+		return d.M.Collect(), fmt.Errorf("workload: %s aborted in phase %d/%d: %w",
+			d.W.Name(), d.phase, d.W.Phases(), runErr)
+	}
 	if runErr != nil && d.phase >= d.W.Phases() {
 		// Completed despite a late error (e.g. a trailing fault event):
 		// surface the error, work is done.

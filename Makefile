@@ -91,7 +91,10 @@ figures-paper:
 
 # End-to-end smoke of the serving layer: race-built dresar-served
 # driven by dresar-load over real HTTP — cold run, byte-identical
-# cache hits, mid-run cancellation, SIGTERM drain.
+# cache hits, mid-run cancellation, SIGTERM drain — then the crash
+# harness: kill -9 mid-run, journal-tail corruption, restart-resume
+# with exactly-once verification, and a multi-tenant soak against a
+# byte-bounded cache.
 e2e:
 	sh scripts/e2e.sh
 
@@ -100,12 +103,14 @@ fuzz:
 	DRESAR_FUZZ_SEEDS=2000 go test ./internal/core -run TestFuzzProtocol -timeout 30m
 
 # Short coverage-guided fuzzing of the fault-recovery surfaces: routing
-# under arbitrary link/switch deaths, and flit reassembly under
-# arbitrary corruption patterns. Offline and deterministic enough for
-# the default gate; crashes land in testdata/fuzz/ as usual.
+# under arbitrary link/switch deaths, flit reassembly under arbitrary
+# corruption patterns, and the job-journal decoder under torn /
+# bit-flipped / duplicated segment bytes. Offline and deterministic
+# enough for the default gate; crashes land in testdata/fuzz/ as usual.
 fuzz-short:
 	go test -run '^$$' -fuzz FuzzRoute -fuzztime 10s ./internal/xbar
 	go test -run '^$$' -fuzz FuzzFlitReassembly -fuzztime 10s ./internal/flit
+	go test -run '^$$' -fuzz FuzzJournalReplay -fuzztime 10s ./internal/serve
 
 clean:
 	go clean ./...

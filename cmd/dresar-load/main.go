@@ -7,24 +7,39 @@
 // -cancel-after cancels each job mid-run and asserts the typed
 // aborted outcome.
 //
+// It also provides the durability-harness modes: -submit-only records
+// accepted job IDs to a file and exits without waiting (the pre-crash
+// half of the kill -9 e2e), -wait-ids polls a recorded ID list until
+// every job is terminal (the post-restart half), and -soak runs many
+// concurrent clients across multiple tenants with random cancellations
+// for a wall-clock duration, asserting every accepted job reaches a
+// terminal state (sheds and throttles are counted, not failed).
+//
 // Usage:
 //
 //	dresar-load -base http://127.0.0.1:8080 [-n 8] [-c 2]
 //	            [-apps fft,tc] [-sizes 0,512] [-scale small]
 //	            [-deadline-ms 0] [-expect-cached] [-cancel-after 100ms]
-//	            [-out result.json] [-verify result.json]
+//	            [-out result.json] [-verify result.json] [-tenant NAME]
+//	dresar-load -submit-only -ids-file ids.txt [-n 8] ...
+//	dresar-load -wait-ids ids.txt [-timeout 2m]
+//	dresar-load -soak [-duration 10s] [-tenants 4] [-clients 16]
+//	            [-cancel-frac 0.1]
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dresar/internal/serve"
@@ -43,7 +58,24 @@ func main() {
 	cancelAfter := flag.Duration("cancel-after", 0, "cancel each job this long after submit and expect a typed abort")
 	outFile := flag.String("out", "", "write the first result payload to this file")
 	verifyFile := flag.String("verify", "", "fail unless every result payload is byte-identical to this file")
+	tenant := flag.String("tenant", "", "X-Dresar-Tenant header for every request")
+	submitOnly := flag.Bool("submit-only", false, "submit jobs and exit without waiting (crash-harness pre-half)")
+	idsFile := flag.String("ids-file", "", "with -submit-only: record accepted job IDs here, one per line")
+	waitIDs := flag.String("wait-ids", "", "poll the job IDs in this file until every one is terminal, then exit")
+	expectDone := flag.Bool("expect-done", false, "with -wait-ids: additionally require every job to end done, not failed/canceled")
+	soak := flag.Bool("soak", false, "run the multi-tenant soak: concurrent clients, mixed tenants, random cancels")
+	soakDuration := flag.Duration("duration", 10*time.Second, "with -soak: wall-clock run time")
+	soakTenants := flag.Int("tenants", 4, "with -soak: number of distinct tenants")
+	soakClients := flag.Int("clients", 16, "with -soak: concurrent client goroutines")
+	cancelFrac := flag.Float64("cancel-frac", 0.1, "with -soak: fraction of jobs to cancel mid-flight")
 	flag.Parse()
+
+	if *waitIDs != "" {
+		os.Exit(runWaitIDs(*base, *waitIDs, *timeout, *expectDone))
+	}
+	if *soak {
+		os.Exit(runSoak(*base, *soakDuration, *soakTenants, *soakClients, *cancelFrac, *timeout))
+	}
 
 	var sizes []int
 	for _, s := range strings.Split(*sizesStr, ",") {
@@ -58,6 +90,9 @@ func main() {
 		Apps:       strings.Split(*appsStr, ","),
 		Sizes:      sizes,
 		DeadlineMS: *deadlineMS,
+	}
+	if *submitOnly {
+		os.Exit(runSubmitOnly(*base, *tenant, spec, *n, *idsFile))
 	}
 	var golden []byte
 	if *verifyFile != "" {
@@ -84,7 +119,7 @@ func main() {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			c := &serve.Client{Base: *base}
+			c := &serve.Client{Base: *base, Tenant: *tenant}
 			ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 			defer cancel()
 			t0 := time.Now()
@@ -191,6 +226,175 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runSubmitOnly submits n jobs and exits without waiting — the
+// pre-crash half of the kill -9 harness. Job i's spec appends a
+// distinct extra size so every job is unique work (no cache dedupe on
+// the first pass) and the recovered server has real re-running to do;
+// the stride of 4 keeps every size a valid 4-way directory geometry.
+// Accepted IDs are recorded one per line for a later -wait-ids pass.
+func runSubmitOnly(base, tenant string, spec serve.JobSpec, n int, idsFile string) int {
+	c := &serve.Client{Base: base, Tenant: tenant}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	var ids []string
+	for i := 0; i < n; i++ {
+		s := spec
+		s.Sizes = append(append([]int{}, spec.Sizes...), 1024+4*i)
+		st, err := c.Submit(ctx, s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dresar-load: submit %d: %v\n", i, err)
+			return 1
+		}
+		ids = append(ids, st.ID)
+	}
+	fmt.Printf("submitted=%d\n", len(ids))
+	if idsFile != "" {
+		if err := os.WriteFile(idsFile, []byte(strings.Join(ids, "\n")+"\n"), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dresar-load:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// runWaitIDs polls every job ID in idsFile until each is terminal —
+// the post-restart half of the crash harness. A job the server no
+// longer knows, or one still live at the deadline, fails the run:
+// accepted work must never be lost or wedged by a crash.
+func runWaitIDs(base, idsFile string, timeout time.Duration, expectDone bool) int {
+	f, err := os.Open(idsFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dresar-load:", err)
+		return 1
+	}
+	defer f.Close()
+	var ids []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if id := strings.TrimSpace(sc.Text()); id != "" {
+			ids = append(ids, id)
+		}
+	}
+	c := &serve.Client{Base: base}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	states := map[serve.JobState]int{}
+	code := 0
+	for _, id := range ids {
+		fin, err := c.Wait(ctx, id, 20*time.Millisecond)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dresar-load: job %s never reached a terminal state: %v\n", id, err)
+			code = 1
+			continue
+		}
+		states[fin.State]++
+		if expectDone && fin.State != serve.StateDone {
+			msg := ""
+			if fin.Error != nil {
+				msg = fin.Error.Message
+			}
+			fmt.Fprintf(os.Stderr, "dresar-load: job %s ended %s: %s\n", id, fin.State, msg)
+			code = 1
+		}
+	}
+	fmt.Printf("waited=%d states=%v\n", len(ids), states)
+	return code
+}
+
+// runSoak floods the server from many concurrent clients spread across
+// tenants, cancelling a fraction of jobs mid-flight. Sheds (quota /
+// overloaded) are expected under pressure and counted, not failed; the
+// invariant asserted is that every accepted job reaches a terminal
+// state and no request errors out untyped.
+func runSoak(base string, dur time.Duration, tenants, clients int, cancelFrac float64, timeout time.Duration) int {
+	if tenants < 1 {
+		tenants = 1
+	}
+	pool := []serve.JobSpec{
+		{Apps: []string{"fft"}, Sizes: []int{0}},
+		{Apps: []string{"fft"}, Sizes: []int{512}},
+		{Apps: []string{"tc"}, Sizes: []int{0, 512}},
+		{Apps: []string{"fft", "tc"}, Sizes: []int{128}},
+	}
+	var submitted, terminal, cachedHits, cancels, shed, errs atomic.Int64
+	states := make([]map[serve.JobState]int, clients) // per-client, merged at the end
+	deadline := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i) + 1))
+			st := map[serve.JobState]int{}
+			states[i] = st
+			c := &serve.Client{
+				Base:        base,
+				Tenant:      fmt.Sprintf("soak-%d", i%tenants),
+				MaxRetries:  1,
+				BaseBackoff: 5 * time.Millisecond,
+				MaxBackoff:  50 * time.Millisecond,
+				Rand:        rng,
+			}
+			for time.Now().Before(deadline) {
+				spec := pool[rng.Intn(len(pool))]
+				ctx, cancel := context.WithTimeout(context.Background(), timeout)
+				js, err := c.Submit(ctx, spec)
+				if err != nil {
+					if je, ok := err.(*serve.JobError); ok &&
+						(je.Kind == serve.KindQuota || je.Kind == serve.KindOverloaded || je.Kind == serve.KindDraining) {
+						shed.Add(1)
+						time.Sleep(time.Duration(rng.Intn(20)+5) * time.Millisecond)
+					} else {
+						errs.Add(1)
+						fmt.Fprintf(os.Stderr, "dresar-load: soak submit: %v\n", err)
+					}
+					cancel()
+					continue
+				}
+				submitted.Add(1)
+				if rng.Float64() < cancelFrac {
+					time.Sleep(time.Duration(rng.Intn(5)) * time.Millisecond)
+					if _, err := c.Cancel(ctx, js.ID); err == nil {
+						cancels.Add(1)
+					}
+				}
+				fin, err := c.Wait(ctx, js.ID, 10*time.Millisecond)
+				if err != nil {
+					errs.Add(1)
+					fmt.Fprintf(os.Stderr, "dresar-load: soak job %s stuck: %v\n", js.ID, err)
+					cancel()
+					continue
+				}
+				terminal.Add(1)
+				st[fin.State]++
+				if fin.Cached {
+					cachedHits.Add(1)
+				}
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	merged := map[serve.JobState]int{}
+	for _, st := range states {
+		for k, v := range st {
+			merged[k] += v
+		}
+	}
+	fmt.Printf("soak: submitted=%d terminal=%d states=%v cached=%d cancels=%d shed=%d errs=%d\n",
+		submitted.Load(), terminal.Load(), merged, cachedHits.Load(), cancels.Load(), shed.Load(), errs.Load())
+	if errs.Load() > 0 || terminal.Load() != submitted.Load() {
+		fmt.Fprintf(os.Stderr, "dresar-load: soak failed: %d errors, %d/%d jobs terminal\n",
+			errs.Load(), terminal.Load(), submitted.Load())
+		return 1
+	}
+	if submitted.Load() == 0 {
+		fmt.Fprintln(os.Stderr, "dresar-load: soak submitted nothing (all shed?)")
+		return 1
+	}
+	return 0
 }
 
 func max(a, b int) int {

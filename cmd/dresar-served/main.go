@@ -1,27 +1,41 @@
 // Command dresar-served serves simulation sweeps over HTTP: a bounded
 // worker pool runs figures sweeps as jobs with per-job deadlines,
-// client cancellation, typed engine-failure reporting, and a
-// crash-safe content-addressed result cache.
+// client cancellation, typed engine-failure reporting, per-tenant
+// admission quotas with weighted-fair dispatch, a crash-safe
+// content-addressed result cache bounded by LRU eviction, and a
+// write-ahead job journal that makes accepted work survive kill -9.
 //
 // Usage:
 //
 //	dresar-served [-addr :8080] [-workers 2] [-queue 16] [-cache DIR]
+//	              [-cache-max-bytes N] [-quarantine-max-bytes N]
+//	              [-journal DIR] [-tenant-rate R] [-tenant-burst B]
 //	              [-deadline 2m] [-max-deadline 10m] [-drain 30s]
 //	              [-addr-file PATH]
+//	dresar-served -check-journal DIR [-require-terminal]
+//
+// Logs are JSON lines on stderr (one object per event: job id, tenant,
+// state transitions, recovery report), so a supervisor can parse them.
 //
 // SIGINT/SIGTERM begin a graceful drain: in-flight jobs get -drain to
 // finish, stragglers are cancelled through the engines' cooperative
 // stop checks, and the process exits once every goroutine is joined.
 // -addr-file writes the bound address (useful with -addr :0 in
 // scripts and e2e tests) once the listener is up.
+//
+// -check-journal replays a journal directory read-only and prints its
+// recovery report as JSON; with -require-terminal it exits non-zero
+// unless every journaled job reached a terminal state exactly once —
+// the e2e crash harness's post-mortem assertion.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -35,50 +49,71 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
 	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
 	workers := flag.Int("workers", 2, "concurrent jobs")
-	queue := flag.Int("queue", 16, "admission queue depth (beyond it, submits are shed with 429)")
+	queue := flag.Int("queue", 16, "per-tenant admission queue depth (beyond it, submits are shed with 429)")
 	cacheDir := flag.String("cache", "", "crash-safe result cache directory (empty = no cache)")
+	cacheMax := flag.Int64("cache-max-bytes", 0, "cache byte budget; over it, entries are evicted LRU (0 = unbounded)")
+	quarMax := flag.Int64("quarantine-max-bytes", 0, "cache quarantine byte budget, trimmed oldest-first (0 = unbounded)")
+	journalDir := flag.String("journal", "", "write-ahead job journal directory (empty = no durability)")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant admission rate in submits/s (0 = unlimited)")
+	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant admission burst (0 = derived from rate)")
 	deadline := flag.Duration("deadline", 2*time.Minute, "default per-job deadline")
 	maxDeadline := flag.Duration("max-deadline", 10*time.Minute, "cap on client-requested deadlines")
 	sweepWorkers := flag.Int("sweep-workers", runtime.GOMAXPROCS(0), "cap on per-job cell parallelism")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget before forcing cancellation")
+	checkJournal := flag.String("check-journal", "", "replay this journal read-only, print its report, and exit")
+	requireTerminal := flag.Bool("require-terminal", false, "with -check-journal: fail unless every job is terminal exactly once")
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "dresar-served: ", log.LstdFlags)
+	if *checkJournal != "" {
+		os.Exit(runCheckJournal(*checkJournal, *requireTerminal))
+	}
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	srv, err := serve.NewServer(serve.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		CacheDir:        *cacheDir,
-		DefaultDeadline: *deadline,
-		MaxDeadline:     *maxDeadline,
-		MaxSweepWorkers: *sweepWorkers,
-		Logf:            logger.Printf,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		CacheDir:           *cacheDir,
+		CacheMaxBytes:      *cacheMax,
+		QuarantineMaxBytes: *quarMax,
+		JournalDir:         *journalDir,
+		TenantRate:         *tenantRate,
+		TenantBurst:        *tenantBurst,
+		DefaultDeadline:    *deadline,
+		MaxDeadline:        *maxDeadline,
+		MaxSweepWorkers:    *sweepWorkers,
+		Log:                logger,
+		Logf: func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...))
+		},
 	})
 	if err != nil {
-		logger.Fatal(err)
+		fatal(logger, "startup failed", err)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		logger.Fatal(err)
+		fatal(logger, "listen failed", err)
 	}
 	if *addrFile != "" {
 		if err := writeAddrFile(*addrFile, ln.Addr().String()); err != nil {
-			logger.Fatal(err)
+			fatal(logger, "addr-file write failed", err)
 		}
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := serve.NewHTTPServer(srv.Handler(), serve.HTTPTimeouts{})
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	logger.Printf("listening on %s (workers=%d queue=%d cache=%q)",
-		ln.Addr(), *workers, *queue, *cacheDir)
+	logger.Info("listening", "addr", ln.Addr().String(),
+		"workers", *workers, "queue", *queue,
+		"cache", *cacheDir, "cache_max_bytes", *cacheMax,
+		"journal", *journalDir, "tenant_rate", *tenantRate)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		logger.Printf("%s: draining for up to %s", sig, *drain)
+		logger.Info("draining", "signal", sig.String(), "budget", drain.String())
 	case err := <-errc:
-		logger.Fatalf("listener failed: %v", err)
+		fatal(logger, "listener failed", err)
 	}
 
 	// Stop accepting connections, then drain the job pool: in-flight
@@ -87,13 +122,35 @@ func main() {
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := hs.Shutdown(shutCtx); err != nil {
-		logger.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err.Error())
 	}
 	if err := srv.Shutdown(shutCtx); err != nil {
-		logger.Printf("drain incomplete: %v", err)
+		logger.Error("drain incomplete", "err", err.Error())
 		os.Exit(1)
 	}
-	logger.Printf("drained cleanly")
+	logger.Info("drained cleanly")
+}
+
+// runCheckJournal replays dir read-only, prints the recovery report as
+// JSON on stdout, and returns the process exit code. CheckJournal
+// fails on duplicate finishes always, and on non-terminal jobs when
+// requireTerminal is set — the exactly-once assertion the crash
+// harness runs after a kill -9 / restart cycle.
+func runCheckJournal(dir string, requireTerminal bool) int {
+	report, err := serve.CheckJournal(dir, requireTerminal)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(report)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dresar-served: check-journal:", err)
+		return 1
+	}
+	return 0
+}
+
+func fatal(logger *slog.Logger, msg string, err error) {
+	logger.Error(msg, "err", err.Error())
+	os.Exit(1)
 }
 
 // writeAddrFile publishes the bound address atomically so a watching

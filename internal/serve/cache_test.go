@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestCacheKeyCanonical(t *testing.T) {
@@ -29,7 +30,7 @@ func TestCacheKeyCanonical(t *testing.T) {
 }
 
 func TestCacheRoundTrip(t *testing.T) {
-	c, err := OpenCache(t.TempDir())
+	c, err := OpenCache(t.TempDir(), 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func corrupt(t *testing.T, dir, key string) {
 
 func TestCacheCorruptEntryQuarantined(t *testing.T) {
 	dir := t.TempDir()
-	c, err := OpenCache(dir)
+	c, err := OpenCache(dir, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestCacheCorruptEntryQuarantined(t *testing.T) {
 
 func TestCacheUndecodableQuarantined(t *testing.T) {
 	dir := t.TempDir()
-	c, err := OpenCache(dir)
+	c, err := OpenCache(dir, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestCacheUndecodableQuarantined(t *testing.T) {
 
 func TestCacheWrongKeyQuarantined(t *testing.T) {
 	dir := t.TempDir()
-	c, err := OpenCache(dir)
+	c, err := OpenCache(dir, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestCacheWrongKeyQuarantined(t *testing.T) {
 // invisible to Get and swept by the next OpenCache.
 func TestCacheCrashedWriterInvisible(t *testing.T) {
 	dir := t.TempDir()
-	c, err := OpenCache(dir)
+	c, err := OpenCache(dir, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestCacheCrashedWriterInvisible(t *testing.T) {
 		t.Fatalf("Len counts temp files: %d", c.Len())
 	}
 	// Restart after the crash: the abandoned temp is swept.
-	if _, err := OpenCache(dir); err != nil {
+	if _, err := OpenCache(dir, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
@@ -185,7 +186,7 @@ func TestCacheCrashedWriterInvisible(t *testing.T) {
 // envelope whose sha256 covers exactly the payload bytes.
 func TestCacheEntryEnvelope(t *testing.T) {
 	dir := t.TempDir()
-	c, err := OpenCache(dir)
+	c, err := OpenCache(dir, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,5 +204,164 @@ func TestCacheEntryEnvelope(t *testing.T) {
 	}
 	if ent.Key != key || len(ent.SHA256) != 64 || string(ent.Payload) != `{"x":2}` {
 		t.Fatalf("envelope = %+v", ent)
+	}
+}
+
+// putSized stores a payload of n bytes under key.
+func putSized(t *testing.T, c *Cache, key string, n int) {
+	t.Helper()
+	payload := append([]byte(`{"p":"`), bytes.Repeat([]byte("x"), n)...)
+	payload = append(payload, '"', '}')
+	if err := c.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheLRUEviction is the byte-budget contract: recency is
+// rebuilt from mtimes across a restart, a Get refreshes it, and the
+// entry evicted to make room is the least recently used — not the
+// oldest written.
+func TestCacheLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{
+		strings.Repeat("a1", 32), strings.Repeat("b2", 32), strings.Repeat("c3", 32),
+	}
+	for _, k := range keys {
+		putSized(t, c, k, 64)
+	}
+	entrySize := c.Stats().Bytes / 3
+	if entrySize == 0 || c.Stats().Bytes%3 != 0 {
+		t.Fatalf("entries not uniform: total %d", c.Stats().Bytes)
+	}
+	// Age the entries on disk: a1 oldest, b2 middle, c3 newest. The
+	// reopened cache must reconstruct this order from mtimes alone.
+	now := time.Now()
+	for i, k := range keys {
+		old := now.Add(-time.Duration(3-i) * time.Hour)
+		if err := os.Chtimes(filepath.Join(dir, "objects", k+".json"), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c2, err := OpenCache(dir, entrySize*3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.Stats(); st.Entries != 3 || st.Evictions != 0 {
+		t.Fatalf("reopen within budget evicted: %+v", st)
+	}
+	// Touch the oldest-written entry: it becomes the most recent, so
+	// the eviction victim below must be b2, not a1.
+	if _, ok := c2.Get(keys[0]); !ok {
+		t.Fatal("a1 missing after reopen")
+	}
+	putSized(t, c2, strings.Repeat("d4", 32), 64)
+	st := c2.Stats()
+	if st.Evictions != 1 || st.Bytes > entrySize*3 {
+		t.Fatalf("stats after over-budget put = %+v", st)
+	}
+	if _, ok := c2.Get(keys[1]); ok {
+		t.Fatal("LRU victim b2 still served; recency ignored")
+	}
+	for _, k := range []string{keys[0], keys[2], strings.Repeat("d4", 32)} {
+		if _, ok := c2.Get(k); !ok {
+			t.Fatalf("entry %s evicted out of LRU order", k[:8])
+		}
+	}
+}
+
+// TestCacheOpenEnforcesBudget: a directory already over budget is
+// trimmed (oldest first) at open, before any traffic.
+func TestCacheOpenEnforcesBudget(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{strings.Repeat("e5", 32), strings.Repeat("f6", 32)}
+	for _, k := range keys {
+		putSized(t, c, k, 64)
+	}
+	entrySize := c.Stats().Bytes / 2
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, "objects", keys[0]+".json"), old, old); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenCache(dir, entrySize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c2.Stats()
+	if st.Entries != 1 || st.Bytes > entrySize || st.Evictions != 1 {
+		t.Fatalf("open-time trim stats = %+v", st)
+	}
+	if _, ok := c2.Get(keys[0]); ok {
+		t.Fatal("older entry survived open-time trim")
+	}
+	if _, ok := c2.Get(keys[1]); !ok {
+		t.Fatal("newer entry lost at open-time trim")
+	}
+}
+
+// TestCacheQuarantineBounded: quarantined evidence is itself trimmed
+// oldest-first against its byte cap, so corruption cannot fill the
+// disk twice over.
+func TestCacheQuarantineBounded(t *testing.T) {
+	dir := t.TempDir()
+	entryBytes := int64(0)
+	{
+		probe, err := OpenCache(dir, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		putSized(t, probe, strings.Repeat("00", 32), 64)
+		entryBytes = probe.Stats().Bytes
+		os.Remove(filepath.Join(dir, "objects", strings.Repeat("00", 32)+".json"))
+	}
+	// Budget: two quarantined entries, not three.
+	c, err := OpenCache(dir, 0, entryBytes*2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{strings.Repeat("11", 32), strings.Repeat("22", 32), strings.Repeat("33", 32)}
+	now := time.Now()
+	for i, k := range keys {
+		putSized(t, c, k, 64)
+		corrupt(t, dir, k)
+		// Stagger mtimes so trim order is deterministic: 11 oldest.
+		old := now.Add(-time.Duration(len(keys)-i) * time.Hour)
+		if err := os.Chtimes(filepath.Join(dir, "objects", k+".json"), old, old); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := c.Get(k); ok {
+			t.Fatalf("corrupt entry %s served", k[:8])
+		}
+	}
+	if st := c.Stats(); st.Quarantined != 3 {
+		t.Fatalf("Quarantined = %d, want 3", st.Quarantined)
+	}
+	q, _ := filepath.Glob(filepath.Join(dir, "quarantine", "*"))
+	var total int64
+	for _, f := range q {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += st.Size()
+	}
+	if total > entryBytes*2 {
+		t.Fatalf("quarantine holds %d bytes, budget %d", total, entryBytes*2)
+	}
+	if len(q) != 2 {
+		t.Fatalf("quarantine holds %d files, want 2 (oldest trimmed): %v", len(q), q)
+	}
+	for _, f := range q {
+		if strings.HasPrefix(filepath.Base(f), keys[0]) {
+			t.Fatalf("oldest quarantine file survived trim: %v", q)
+		}
 	}
 }

@@ -19,6 +19,8 @@ import (
 type Client struct {
 	// Base is the server root, e.g. "http://127.0.0.1:8080".
 	Base string
+	// Tenant, when set, is sent as X-Dresar-Tenant on every request.
+	Tenant string
 	// HTTP is the transport; nil uses a client with a 30s timeout.
 	HTTP *http.Client
 	// MaxRetries bounds retry attempts per call (0 means 5).
@@ -117,6 +119,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any, raw
 		if payload != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		if c.Tenant != "" {
+			req.Header.Set(TenantHeader, c.Tenant)
+		}
 		resp, err := c.http().Do(req)
 		if err != nil {
 			lastErr = err // transport failure: retry
@@ -203,6 +208,24 @@ func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
 		return nil, err
 	}
 	return raw, nil
+}
+
+// List fetches every job the server still has registered.
+func (c *Client) List(ctx context.Context) ([]JobStatus, error) {
+	var out struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out, nil); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+// Stats fetches the server's /stats snapshot.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var st Stats
+	err := c.do(ctx, http.MethodGet, "/stats", nil, &st, nil)
+	return st, err
 }
 
 // Wait polls until the job is terminal or ctx expires.

@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+)
+
+// HTTPTimeouts bound how long a single connection can hold server
+// resources. Zero fields take the listed defaults; negative fields
+// disable that timeout (tests only).
+type HTTPTimeouts struct {
+	// ReadHeader bounds slow-header (slowloris) clients. Default 5s.
+	ReadHeader time.Duration
+	// Read bounds the whole request read, body included. Default 1m.
+	Read time.Duration
+	// Idle bounds keep-alive connections between requests. Default 2m.
+	Idle time.Duration
+}
+
+func (t *HTTPTimeouts) fill() {
+	if t.ReadHeader == 0 {
+		t.ReadHeader = 5 * time.Second
+	}
+	if t.Read == 0 {
+		t.Read = time.Minute
+	}
+	if t.Idle == 0 {
+		t.Idle = 2 * time.Minute
+	}
+	for _, d := range []*time.Duration{&t.ReadHeader, &t.Read, &t.Idle} {
+		if *d < 0 {
+			*d = 0
+		}
+	}
+}
+
+// NewHTTPServer wraps handler in an http.Server hardened against slow
+// and hung clients: header, full-read, and idle timeouts plus a header
+// size cap, complementing the per-request MaxBytesReader on bodies.
+// Write timeouts are intentionally omitted — result payloads can be
+// large and job polls cheap, and the read/idle bounds already prevent
+// a dead peer from pinning a connection forever.
+func NewHTTPServer(h http.Handler, t HTTPTimeouts) *http.Server {
+	t.fill()
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: t.ReadHeader,
+		ReadTimeout:       t.Read,
+		IdleTimeout:       t.Idle,
+		MaxHeaderBytes:    1 << 20,
+	}
+}

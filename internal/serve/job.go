@@ -151,6 +151,7 @@ func (s JobState) Terminal() bool {
 const (
 	KindBadRequest = "bad_request" // malformed spec
 	KindOverloaded = "overloaded"  // admission queue full, retry later
+	KindQuota      = "quota"       // tenant over its admission rate, retry later
 	KindDraining   = "draining"    // server shutting down
 	KindNotFound   = "not_found"   // no such job
 	KindNotReady   = "not_ready"   // result requested before completion
@@ -236,8 +237,9 @@ func firstLine(s string) string {
 
 // Job is one tracked submission.
 type Job struct {
-	ID  string
-	Key string
+	ID     string
+	Key    string
+	Tenant string
 
 	mu        sync.Mutex
 	spec      JobSpec
@@ -251,12 +253,18 @@ type Job struct {
 	finished  time.Time
 	result    []byte
 	done      chan struct{}
+
+	// onFinish, when set, observes the single terminal transition
+	// (outside j.mu): the server uses it to journal the transition
+	// and update per-tenant accounting.
+	onFinish func(j *Job, prev, state JobState, err *JobError, cached bool)
 }
 
 // JobStatus is the wire form of a job's state.
 type JobStatus struct {
 	ID        string    `json:"id"`
 	Key       string    `json:"key"`
+	Tenant    string    `json:"tenant,omitempty"`
 	Spec      JobSpec   `json:"spec"`
 	State     JobState  `json:"state"`
 	Cached    bool      `json:"cached"`
@@ -271,7 +279,7 @@ func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return JobStatus{
-		ID: j.ID, Key: j.Key, Spec: j.spec, State: j.state,
+		ID: j.ID, Key: j.Key, Tenant: j.Tenant, Spec: j.spec, State: j.state,
 		Cached: j.cached, Error: j.err,
 		Submitted: j.submitted, Started: j.started, Finished: j.finished,
 	}
@@ -280,17 +288,26 @@ func (j *Job) Status() JobStatus {
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
-// finish moves the job to a terminal state exactly once.
+// finish moves the job to a terminal state exactly once, then fires
+// the server's terminal-transition hook outside the job lock (the
+// hook takes the server lock and appends to the journal; holding j.mu
+// across it would invert the server's mu -> j.mu lock order).
 func (j *Job) finish(state JobState, err *JobError, result []byte, cached bool) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.state.Terminal() {
+		j.mu.Unlock()
 		return
 	}
+	prev := j.state
 	j.state = state
 	j.err = err
 	j.result = result
 	j.cached = cached
 	j.finished = time.Now()
+	hook := j.onFinish
 	close(j.done)
+	j.mu.Unlock()
+	if hook != nil {
+		hook(j, prev, state, err, cached)
+	}
 }

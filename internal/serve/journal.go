@@ -1,0 +1,455 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The write-ahead job journal makes the job lifecycle itself durable:
+// every submit/start/finish transition is appended as a length+CRC
+// framed record and fsynced before the server acts on it, so a crash
+// at any instant — kill -9 included — loses at most the record being
+// written, never an acknowledged one. On restart the server replays
+// the journal, re-registers terminal jobs, and re-enqueues everything
+// that never reached a terminal state; completed work dedupes through
+// the content-addressed run cache, so a replayed job whose result
+// survived the crash finishes instantly and byte-identically.
+//
+// Failure model (same discipline as the run cache): torn tails are
+// expected, not fatal. A record that fails its length or CRC check
+// ends the readable prefix of its segment; the unreadable suffix is
+// quarantined for forensics and — on the active segment — truncated
+// away so appends resume from a clean offset. Records are applied
+// idempotently, so duplicated or reordered records (a crashed writer
+// retrying, a segment replayed twice) cannot corrupt replay state.
+
+// journal frame: [4B little-endian payload length][4B CRC-32 (IEEE) of
+// payload][payload JSON]. The length is bounded so a bit-flipped
+// header cannot drive a multi-gigabyte allocation.
+const (
+	journalFrameHeader = 8
+	journalMaxRecord   = 1 << 20
+	journalSegPrefix   = "seg-"
+	journalSegSuffix   = ".wal"
+)
+
+// journal ops. Submit carries the full spec (the durable copy of the
+// work); start and finish are transition markers.
+const (
+	opSubmit = "submit"
+	opStart  = "start"
+	opFinish = "finish"
+)
+
+// journalRecord is the JSON payload of one frame.
+type journalRecord struct {
+	V      int      `json:"v"`
+	Op     string   `json:"op"`
+	Job    string   `json:"job"`
+	Tenant string   `json:"tenant,omitempty"`
+	Key    string   `json:"key,omitempty"`
+	Spec   *JobSpec `json:"spec,omitempty"`
+	State  JobState `json:"state,omitempty"`
+	Cached bool     `json:"cached,omitempty"`
+	// ErrKind records the typed failure kind for non-done finishes.
+	ErrKind string `json:"err_kind,omitempty"`
+	// UnixMS is the wall-clock append time, for forensics only —
+	// replay never depends on it.
+	UnixMS int64 `json:"t,omitempty"`
+}
+
+// ReplayedJob is one job's state as reconstructed from the journal.
+type ReplayedJob struct {
+	ID       string
+	Tenant   string
+	Key      string
+	Spec     JobSpec
+	HasSpec  bool
+	State    JobState
+	Cached   bool
+	ErrKind  string
+	Finishes int // terminal records seen; >1 is an exactly-once violation
+}
+
+// RecoveryReport summarizes one replay: what was read, what was
+// salvaged, and what recovery work the server owes.
+type RecoveryReport struct {
+	Segments          int    `json:"segments"`
+	Records           int    `json:"records"`
+	CorruptFrames     int    `json:"corrupt_frames"`
+	QuarantinedBytes  int64  `json:"quarantined_bytes"`
+	TruncatedTail     bool   `json:"truncated_tail"`
+	Jobs              int    `json:"jobs"`
+	Terminal          int    `json:"terminal"`
+	Requeued          int    `json:"requeued"`
+	DuplicateFinishes int    `json:"duplicate_finishes"`
+	OrphanTransitions int    `json:"orphan_transitions"` // start/finish with no surviving submit spec
+	Err               string `json:"err,omitempty"`
+}
+
+// JournalStats are the journal's monotonic counters.
+type JournalStats struct {
+	Appends   uint64 `json:"appends"`
+	Rotations uint64 `json:"rotations"`
+	Segment   int    `json:"segment"`
+	Bytes     int64  `json:"bytes"`
+}
+
+// Journal is the append side. Appends are serialized and fsynced; the
+// segment rotates once it crosses segBytes so no single file grows
+// without bound and old history stays immutable.
+type Journal struct {
+	dir      string
+	segBytes int64
+
+	mu   sync.Mutex
+	f    *os.File
+	seg  int
+	size int64
+
+	appends   atomic.Uint64
+	rotations atomic.Uint64
+}
+
+// segPath names segment n.
+func segPath(dir string, n int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%08d%s", journalSegPrefix, n, journalSegSuffix))
+}
+
+// listSegments returns the segment numbers present in dir, ascending.
+func listSegments(dir string) ([]int, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, journalSegPrefix+"*"+journalSegSuffix))
+	if err != nil {
+		return nil, err
+	}
+	var segs []int
+	for _, m := range matches {
+		base := filepath.Base(m)
+		numStr := strings.TrimSuffix(strings.TrimPrefix(base, journalSegPrefix), journalSegSuffix)
+		n, err := strconv.Atoi(numStr)
+		if err != nil {
+			continue // foreign file; ignore
+		}
+		segs = append(segs, n)
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+// OpenJournal opens (creating if needed) the journal at dir, replays
+// every segment, heals the active segment's torn tail (quarantine +
+// truncate), and returns the append handle plus the replayed job map
+// and a recovery report. segBytes <= 0 means 4 MiB.
+func OpenJournal(dir string, segBytes int64) (*Journal, map[string]*ReplayedJob, RecoveryReport, error) {
+	if segBytes <= 0 {
+		segBytes = 4 << 20
+	}
+	for _, d := range []string{dir, filepath.Join(dir, "quarantine")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, nil, RecoveryReport{}, fmt.Errorf("serve: journal dir: %w", err)
+		}
+	}
+	jobs, report, err := replayJournal(dir, true)
+	if err != nil {
+		return nil, nil, report, err
+	}
+	j := &Journal{dir: dir, segBytes: segBytes}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, nil, report, fmt.Errorf("serve: journal scan: %w", err)
+	}
+	j.seg = 1
+	if len(segs) > 0 {
+		j.seg = segs[len(segs)-1]
+	}
+	f, err := os.OpenFile(segPath(dir, j.seg), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, report, fmt.Errorf("serve: journal open: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, report, fmt.Errorf("serve: journal stat: %w", err)
+	}
+	j.f, j.size = f, st.Size()
+	return j, jobs, report, nil
+}
+
+// ReplayJournal replays dir read-only — no healing, no truncation —
+// for offline verification (dresar-served -check-journal).
+func ReplayJournal(dir string) (map[string]*ReplayedJob, RecoveryReport, error) {
+	return replayJournal(dir, false)
+}
+
+// replayJournal reads every segment in order and folds the records
+// into per-job state. With heal set, the unreadable suffix of a
+// corrupt segment is copied into quarantine/ and — for the active
+// (last) segment — truncated so the next append starts clean.
+func replayJournal(dir string, heal bool) (map[string]*ReplayedJob, RecoveryReport, error) {
+	var report RecoveryReport
+	jobs := map[string]*ReplayedJob{}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return jobs, report, fmt.Errorf("serve: journal scan: %w", err)
+	}
+	report.Segments = len(segs)
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		if err := replaySegment(dir, seg, last, heal, jobs, &report); err != nil {
+			return jobs, report, err
+		}
+	}
+	for _, rj := range jobs {
+		report.Jobs++
+		if rj.State.Terminal() {
+			report.Terminal++
+		} else {
+			report.Requeued++
+		}
+		if rj.Finishes > 1 {
+			report.DuplicateFinishes += rj.Finishes - 1
+		}
+		if !rj.HasSpec {
+			report.OrphanTransitions++
+		}
+	}
+	return jobs, report, nil
+}
+
+// replaySegment applies one segment's readable prefix to jobs. A bad
+// frame ends the prefix: everything after it is unreadable (framing is
+// lost), so it is quarantined in one piece.
+func replaySegment(dir string, seg int, last, heal bool, jobs map[string]*ReplayedJob, report *RecoveryReport) error {
+	path := segPath(dir, seg)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("serve: journal read %s: %w", path, err)
+	}
+	off := 0
+	for off < len(raw) {
+		rest := raw[off:]
+		if len(rest) < journalFrameHeader {
+			break // torn header
+		}
+		length := binary.LittleEndian.Uint32(rest[:4])
+		crc := binary.LittleEndian.Uint32(rest[4:8])
+		if length == 0 || length > journalMaxRecord || int(length) > len(rest)-journalFrameHeader {
+			break // implausible or truncated payload
+		}
+		payload := rest[journalFrameHeader : journalFrameHeader+int(length)]
+		if crc32.ChecksumIEEE(payload) != crc {
+			break // bit rot or torn write
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(payload, &rec); err != nil || rec.Job == "" {
+			break // framed but undecodable: treat like corruption
+		}
+		applyRecord(jobs, &rec)
+		report.Records++
+		off += journalFrameHeader + int(length)
+	}
+	if off == len(raw) {
+		return nil // clean segment
+	}
+	report.CorruptFrames++
+	report.QuarantinedBytes += int64(len(raw) - off)
+	if !heal {
+		return nil
+	}
+	qname := fmt.Sprintf("%s.%d.%d.corrupt", filepath.Base(path), off, time.Now().UnixNano())
+	qpath := filepath.Join(dir, "quarantine", qname)
+	if err := os.WriteFile(qpath, raw[off:], 0o644); err != nil {
+		return fmt.Errorf("serve: journal quarantine: %w", err)
+	}
+	if last {
+		// Heal the active segment so appends resume from the end of
+		// the readable prefix.
+		if err := os.Truncate(path, int64(off)); err != nil {
+			return fmt.Errorf("serve: journal truncate: %w", err)
+		}
+		report.TruncatedTail = true
+	}
+	return nil
+}
+
+// applyRecord folds one record into the replay state, idempotently: a
+// duplicated submit re-asserts the same spec, a transition for an
+// already-terminal job only bumps the duplicate counter, and
+// transitions arriving before their submit (possible when the submit
+// sits in a quarantined region) still leave a traceable job.
+func applyRecord(jobs map[string]*ReplayedJob, rec *journalRecord) {
+	rj := jobs[rec.Job]
+	if rj == nil {
+		rj = &ReplayedJob{ID: rec.Job, State: StateQueued, Tenant: DefaultTenant}
+		jobs[rec.Job] = rj
+	}
+	if rec.Tenant != "" {
+		rj.Tenant = rec.Tenant
+	}
+	if rec.Key != "" {
+		rj.Key = rec.Key
+	}
+	switch rec.Op {
+	case opSubmit:
+		if rec.Spec != nil {
+			rj.Spec = *rec.Spec
+			rj.HasSpec = true
+		}
+	case opStart:
+		if !rj.State.Terminal() {
+			rj.State = StateRunning
+		}
+	case opFinish:
+		rj.Finishes++
+		if rj.State.Terminal() {
+			return // duplicate terminal record: counted, not applied
+		}
+		if rec.State.Terminal() {
+			rj.State = rec.State
+			rj.Cached = rec.Cached
+			rj.ErrKind = rec.ErrKind
+		}
+	}
+}
+
+// Stats snapshots the appender's counters.
+func (j *Journal) Stats() JournalStats {
+	if j == nil {
+		return JournalStats{}
+	}
+	j.mu.Lock()
+	seg, size := j.seg, j.size
+	j.mu.Unlock()
+	return JournalStats{
+		Appends:   j.appends.Load(),
+		Rotations: j.rotations.Load(),
+		Segment:   seg,
+		Bytes:     size,
+	}
+}
+
+// Append frames, writes, and fsyncs one record, rotating the segment
+// afterwards when it has crossed the size threshold. The record is
+// durable when Append returns nil.
+func (j *Journal) Append(rec journalRecord) error {
+	if j == nil {
+		return nil
+	}
+	rec.V = 1
+	rec.UnixMS = time.Now().UnixMilli()
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("serve: journal marshal: %w", err)
+	}
+	if len(payload) > journalMaxRecord {
+		return fmt.Errorf("serve: journal record %d bytes exceeds %d", len(payload), journalMaxRecord)
+	}
+	frame := make([]byte, journalFrameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[journalFrameHeader:], payload)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("serve: journal closed")
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("serve: journal write: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("serve: journal fsync: %w", err)
+	}
+	j.size += int64(len(frame))
+	j.appends.Add(1)
+	if j.size >= j.segBytes {
+		if err := j.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rotateLocked closes the active segment and opens the next one,
+// fsyncing the directory so the new name survives a crash.
+func (j *Journal) rotateLocked() error {
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("serve: journal rotate close: %w", err)
+	}
+	j.seg++
+	f, err := os.OpenFile(segPath(j.dir, j.seg), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("serve: journal rotate open: %w", err)
+	}
+	if d, err := os.Open(j.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	j.f, j.size = f, 0
+	j.rotations.Add(1)
+	return nil
+}
+
+// Close closes the active segment. Appends after Close fail.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// CheckJournal is the exactly-once verifier behind
+// `dresar-served -check-journal`: it replays dir read-only and returns
+// an error when any job carries more than one terminal record, or —
+// with requireTerminal — when any job never reached a terminal state.
+func CheckJournal(dir string, requireTerminal bool) (RecoveryReport, error) {
+	jobs, report, err := ReplayJournal(dir)
+	if err != nil {
+		return report, err
+	}
+	if report.DuplicateFinishes > 0 {
+		ids := duplicateIDs(jobs)
+		return report, fmt.Errorf("serve: journal check: %d duplicate terminal records (jobs %s)",
+			report.DuplicateFinishes, strings.Join(ids, ", "))
+	}
+	if requireTerminal && report.Requeued > 0 {
+		var ids []string
+		for id, rj := range jobs {
+			if !rj.State.Terminal() {
+				ids = append(ids, id)
+			}
+		}
+		sort.Strings(ids)
+		return report, fmt.Errorf("serve: journal check: %d jobs never reached a terminal state (%s)",
+			len(ids), strings.Join(ids, ", "))
+	}
+	return report, nil
+}
+
+func duplicateIDs(jobs map[string]*ReplayedJob) []string {
+	var ids []string
+	for id, rj := range jobs {
+		if rj.Finishes > 1 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -4,10 +4,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,12 +22,24 @@ type Config struct {
 	// Workers is the number of jobs simulated concurrently (the worker
 	// pool size). <= 0 means 2.
 	Workers int
-	// QueueDepth bounds the admission queue; a submit that finds it
-	// full is shed with 429 + Retry-After rather than queued without
-	// bound. <= 0 means 16.
+	// QueueDepth bounds each tenant's admission sub-queue; a submit
+	// that finds its tenant's queue full is shed with 429 +
+	// Retry-After rather than queued without bound. <= 0 means 16.
 	QueueDepth int
 	// CacheDir roots the crash-safe run cache; "" disables caching.
 	CacheDir string
+	// CacheMaxBytes bounds the run cache's objects/ directory;
+	// exceeding it evicts entries LRU-by-bytes. <= 0 means unbounded.
+	CacheMaxBytes int64
+	// QuarantineMaxBytes bounds the cache's quarantine/ directory
+	// (oldest evidence deleted first). <= 0 means unbounded.
+	QuarantineMaxBytes int64
+	// JournalDir roots the write-ahead job journal; "" disables
+	// durability (a crash then drops queued and running jobs).
+	JournalDir string
+	// JournalSegmentBytes sets the journal's segment-rotation
+	// threshold. <= 0 means 4 MiB.
+	JournalSegmentBytes int64
 	// DefaultDeadline applies to jobs that set no deadline_ms (0 means
 	// 2 minutes); MaxDeadline caps client-requested deadlines (0 means
 	// 10 minutes).
@@ -37,7 +51,21 @@ type Config struct {
 	// MaxJobs bounds the in-memory job registry; beyond it the oldest
 	// terminal jobs are evicted. <= 0 means 1024.
 	MaxJobs int
-	// Logf receives server diagnostics; nil discards them.
+	// TenantRate is the default per-tenant admission rate in
+	// submits/second (token bucket; TenantBurst deep). 0 means
+	// unlimited; individual tenants override via Tenants.
+	TenantRate  float64
+	TenantBurst int
+	// TenantQueueDepth bounds each tenant's sub-queue; <= 0 inherits
+	// QueueDepth.
+	TenantQueueDepth int
+	// Tenants pre-provisions per-tenant weights/rates; tenants not
+	// listed are created on first use with the defaults above.
+	Tenants map[string]TenantConfig
+	// Log receives structured events (job transitions, recovery,
+	// drain); nil falls back to Logf.
+	Log *slog.Logger
+	// Logf receives unstructured diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
 
@@ -47,6 +75,12 @@ func (c *Config) fill() {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 16
+	}
+	if c.TenantQueueDepth <= 0 {
+		c.TenantQueueDepth = c.QueueDepth
+	}
+	if c.JournalSegmentBytes <= 0 {
+		c.JournalSegmentBytes = 4 << 20
 	}
 	if c.DefaultDeadline <= 0 {
 		c.DefaultDeadline = 2 * time.Minute
@@ -65,27 +99,32 @@ func (c *Config) fill() {
 	}
 }
 
-// Server owns the worker pool, admission queue, job registry, and run
-// cache. Every goroutine it starts is joined by Shutdown.
+// Server owns the worker pool, the per-tenant admission queues, the
+// job registry, the write-ahead journal, and the run cache. Every
+// goroutine it starts is joined by Shutdown.
 type Server struct {
-	cfg   Config
-	cache *Cache
+	cfg     Config
+	cache   *Cache
+	journal *Journal
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	queue chan *Job
-	wg    sync.WaitGroup
+	wg sync.WaitGroup
 
 	mu       sync.Mutex
+	cond     *sync.Cond // signals workers: work queued or server closing
+	tenants  map[string]*tenantState
 	jobs     map[string]*Job
 	order    []string // insertion order, for terminal-job eviction
 	nextID   uint64
-	closed   bool // queue closed; no further enqueues
+	closed   bool // no further dispatch; workers exit when queues drain
 	inFlight int  // queued + running jobs
 
 	draining atomic.Bool
 	ewmaNS   atomic.Int64 // smoothed job duration, for Retry-After
+
+	recovery *RecoveryReport // startup replay report (nil: no journal)
 
 	// sweep runs a job's cells; figures.SweepCtx in production, a
 	// fake in the unit tests that exercise scheduling and failure
@@ -93,33 +132,194 @@ type Server struct {
 	sweep func(ctx context.Context, scale figures.Scale, apps []string, sizes []int, workers int) (map[string]map[int]figures.Result, error)
 }
 
-// NewServer builds a server and starts its worker pool.
+// NewServer builds a server, replays its journal (re-registering
+// terminal jobs and re-enqueueing interrupted ones), and starts its
+// worker pool.
 func NewServer(cfg Config) (*Server, error) {
 	cfg.fill()
 	s := &Server{
-		cfg:   cfg,
-		queue: make(chan *Job, cfg.QueueDepth),
-		jobs:  map[string]*Job{},
-		sweep: figures.SweepCtx,
+		cfg:     cfg,
+		tenants: map[string]*tenantState{},
+		jobs:    map[string]*Job{},
+		sweep:   figures.SweepCtx,
 	}
+	s.cond = sync.NewCond(&s.mu)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	if cfg.CacheDir != "" {
-		c, err := OpenCache(cfg.CacheDir)
+		c, err := OpenCache(cfg.CacheDir, cfg.CacheMaxBytes, cfg.QuarantineMaxBytes)
 		if err != nil {
 			return nil, err
 		}
 		s.cache = c
 	}
+	if cfg.JournalDir != "" {
+		j, replayed, report, err := OpenJournal(cfg.JournalDir, cfg.JournalSegmentBytes)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = j
+		s.recovery = &report
+		s.recover(replayed)
+		s.logEvent("journal recovered",
+			"segments", report.Segments, "records", report.Records,
+			"jobs", report.Jobs, "terminal", report.Terminal,
+			"requeued", report.Requeued, "corrupt_frames", report.CorruptFrames,
+			"quarantined_bytes", report.QuarantinedBytes,
+			"duplicate_finishes", report.DuplicateFinishes)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			for j := range s.queue {
-				s.runJob(j)
-			}
-		}()
+		go s.worker()
 	}
 	return s, nil
+}
+
+// logEvent emits one structured event, falling back to Logf when no
+// slog handler is configured.
+func (s *Server) logEvent(msg string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log.Info(msg, args...)
+		return
+	}
+	s.cfg.Logf("serve: %s %v", msg, args)
+}
+
+// recover re-registers every journaled job: terminal ones come back
+// queryable (results re-attached from the cache when still present),
+// interrupted ones are re-enqueued — completed work that reached the
+// cache before the crash dedupes into an instant, byte-identical
+// finish.
+func (s *Server) recover(replayed map[string]*ReplayedJob) {
+	ids := make([]string, 0, len(replayed))
+	for id := range replayed {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids) // deterministic re-enqueue order
+	var maxID uint64
+	for _, id := range ids {
+		if n, err := strconv.ParseUint(strings.TrimPrefix(id, "j"), 10, 64); err == nil && n > maxID {
+			maxID = n
+		}
+	}
+	s.mu.Lock()
+	s.nextID = maxID
+	s.mu.Unlock()
+
+	for _, id := range ids {
+		rj := replayed[id]
+		j := &Job{
+			ID:        rj.ID,
+			Key:       rj.Key,
+			Tenant:    rj.Tenant,
+			spec:      rj.Spec,
+			state:     StateQueued,
+			submitted: time.Now(),
+			done:      make(chan struct{}),
+		}
+		if rj.State.Terminal() {
+			// Historical job: visible to status queries, never re-run.
+			j.state = rj.State
+			j.cached = rj.Cached
+			j.finished = time.Now()
+			if rj.ErrKind != "" {
+				j.err = &JobError{Kind: rj.ErrKind, Message: "replayed from journal"}
+			}
+			if rj.State == StateDone && rj.Key != "" {
+				if payload, ok := s.cache.Get(rj.Key); ok {
+					j.result = payload
+				}
+			}
+			close(j.done)
+			s.registerRecovered(j, rj, false)
+			continue
+		}
+		if !rj.HasSpec {
+			// The submit record was lost in a quarantined region; there
+			// is nothing runnable to recover. Fail it explicitly so the
+			// ID resolves rather than dangling forever.
+			j.onFinish = s.jobFinished
+			s.registerRecovered(j, rj, false)
+			j.finish(StateFailed, &JobError{Kind: KindInternal,
+				Message: "journal submit record lost to corruption; resubmit"}, nil, false)
+			continue
+		}
+		j.onFinish = s.jobFinished
+		s.registerRecovered(j, rj, true)
+		// Dedupe through the content-addressed cache: a job whose
+		// result survived the crash finishes without re-running.
+		if payload, ok := s.cache.Get(j.Key); ok {
+			s.logEvent("job recovered from cache", "job", j.ID, "tenant", j.Tenant)
+			j.started = j.submitted
+			j.finish(StateDone, nil, payload, true)
+			continue
+		}
+		s.logEvent("job requeued", "job", j.ID, "tenant", j.Tenant, "was", string(rj.State))
+		s.enqueueRecovered(j)
+	}
+}
+
+// registerRecovered places a replayed job in the registry and folds it
+// into its tenant's counters. live marks jobs that will run again.
+func (s *Server) registerRecovered(j *Job, rj *ReplayedJob, live bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	ts := s.tenantLocked(j.Tenant)
+	ts.stats.Submitted++
+	if !live {
+		switch rj.State {
+		case StateDone:
+			ts.stats.Done++
+		case StateFailed:
+			ts.stats.Failed++
+		case StateCanceled:
+			ts.stats.Canceled++
+		}
+	}
+	s.evictTerminalLocked()
+}
+
+// enqueueRecovered puts a recovered job back on its tenant's queue,
+// bypassing admission control: durability beats rate limits for work
+// the server already accepted.
+func (s *Server) enqueueRecovered(j *Job) {
+	s.mu.Lock()
+	ts := s.tenantLocked(j.Tenant)
+	ts.queue = append(ts.queue, j)
+	ts.stats.Queued++
+	s.inFlight++
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// worker pulls jobs off the tenant queues (weighted round-robin) until
+// the server closes and the queues drain.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		j := s.nextJob()
+		if j == nil {
+			return
+		}
+		s.runJob(j)
+	}
+}
+
+// nextJob blocks until a job is dispatchable or the server has closed
+// with nothing left to drain.
+func (s *Server) nextJob() *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if j := s.pickLocked(); j != nil {
+			return j
+		}
+		if s.closed {
+			return nil
+		}
+		s.cond.Wait()
+	}
 }
 
 // CacheStats exposes the run cache counters (zero value when caching
@@ -131,22 +331,10 @@ func (s *Server) CacheStats() CacheStats {
 	return s.cache.Stats()
 }
 
-// newJob registers a job, evicting the oldest terminal jobs beyond the
-// registry bound.
-func (s *Server) newJob(spec JobSpec, key string) *Job {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.nextID++
-	j := &Job{
-		ID:        fmt.Sprintf("j%06d", s.nextID),
-		Key:       key,
-		spec:      spec,
-		state:     StateQueued,
-		submitted: time.Now(),
-		done:      make(chan struct{}),
-	}
-	s.jobs[j.ID] = j
-	s.order = append(s.order, j.ID)
+// evictTerminalLocked trims the registry to MaxJobs by evicting the
+// oldest terminal jobs; live jobs are never dropped, so the registry
+// can exceed the bound only when every member is still in flight.
+func (s *Server) evictTerminalLocked() {
 	for len(s.jobs) > s.cfg.MaxJobs {
 		evicted := false
 		for i, id := range s.order {
@@ -162,51 +350,168 @@ func (s *Server) newJob(spec JobSpec, key string) *Job {
 			break // every registered job is live; keep them all
 		}
 	}
+}
+
+// newJob registers a job for tenant, evicting the oldest terminal jobs
+// beyond the registry bound.
+func (s *Server) newJob(tenant string, spec JobSpec, key string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	j := &Job{
+		ID:        fmt.Sprintf("j%06d", s.nextID),
+		Key:       key,
+		Tenant:    tenant,
+		spec:      spec,
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+		onFinish:  s.jobFinished,
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.tenantLocked(tenant).stats.Submitted++
+	s.evictTerminalLocked()
 	return j
 }
 
-// Submit admits a job: canonicalize, serve from cache when possible,
-// otherwise enqueue — or shed with a Retry-After estimate if the
-// admission queue is full.
+// jobFinished is every job's terminal-transition hook (invoked exactly
+// once, outside the job's lock): journal the transition, update tenant
+// accounting, and log it.
+func (s *Server) jobFinished(j *Job, prev, state JobState, err *JobError, cached bool) {
+	errKind := ""
+	if err != nil {
+		errKind = err.Kind
+	}
+	if jerr := s.journal.Append(journalRecord{
+		Op: opFinish, Job: j.ID, Tenant: j.Tenant, Key: j.Key,
+		State: state, Cached: cached, ErrKind: errKind,
+	}); jerr != nil {
+		// Availability over durability for the terminal record: the
+		// job finished; a replay would re-run it and dedupe via cache.
+		s.cfg.Logf("serve: journal finish %s: %v", j.ID, jerr)
+	}
+	s.mu.Lock()
+	ts := s.tenantLocked(j.Tenant)
+	if prev == StateRunning {
+		ts.stats.Running--
+	}
+	switch state {
+	case StateDone:
+		ts.stats.Done++
+		if cached {
+			ts.stats.CacheHits++
+		}
+	case StateFailed:
+		ts.stats.Failed++
+	case StateCanceled:
+		ts.stats.Canceled++
+	}
+	s.mu.Unlock()
+	s.logEvent("job finished", "job", j.ID, "tenant", j.Tenant,
+		"state", string(state), "err_kind", errKind, "cached", cached)
+}
+
+// Submit admits a job for the default tenant.
 func (s *Server) Submit(spec JobSpec) (*Job, *JobError) {
+	return s.SubmitAs(DefaultTenant, spec)
+}
+
+// SubmitAs admits a job: canonicalize, rate-limit the tenant, journal
+// the submission, serve from cache when possible, otherwise enqueue on
+// the tenant's sub-queue — or shed with a Retry-After estimate when
+// the tenant is over its rate or its queue is full.
+func (s *Server) SubmitAs(tenant string, spec JobSpec) (*Job, *JobError) {
+	if err := validTenant(tenant); err != nil {
+		return nil, &JobError{Kind: KindBadRequest, Message: err.Error()}
+	}
 	if err := spec.Canonicalize(); err != nil {
 		return nil, &JobError{Kind: KindBadRequest, Message: err.Error()}
 	}
 	if s.draining.Load() {
 		return nil, &JobError{Kind: KindDraining, Message: "server is draining"}
 	}
+
+	// Token-bucket admission: a tenant over its sustained rate is
+	// throttled before any work (journal append, cache read) happens
+	// on its behalf.
+	s.mu.Lock()
+	ts := s.tenantLocked(tenant)
+	ok, wait := ts.bucket.take(time.Now())
+	if !ok {
+		ts.stats.Throttled++
+		s.mu.Unlock()
+		sec := int((wait + time.Second - 1) / time.Second)
+		if sec < 1 {
+			sec = 1
+		}
+		return nil, &JobError{
+			Kind:        KindQuota,
+			Message:     fmt.Sprintf("tenant %q over its admission rate", tenant),
+			RetryAfterS: sec,
+		}
+	}
+	s.mu.Unlock()
+
 	key := CacheKey(spec)
 	if payload, ok := s.cache.Get(key); ok {
-		j := s.newJob(spec, key)
+		j := s.newJob(tenant, spec, key)
+		if err := s.journalSubmit(j); err != nil {
+			j.finish(StateFailed, err, nil, false)
+			return nil, err
+		}
 		j.mu.Lock()
-		j.state = StateRunning
 		j.started = j.submitted
 		j.mu.Unlock()
 		j.finish(StateDone, nil, payload, true)
 		return j, nil
 	}
-	nj := s.newJob(spec, key)
+
+	nj := s.newJob(tenant, spec, key)
+	if err := s.journalSubmit(nj); err != nil {
+		nj.finish(StateFailed, err, nil, false)
+		return nil, err
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		nj.finish(StateCanceled, &JobError{Kind: KindDraining, Message: "server is draining"}, nil, false)
 		return nil, &JobError{Kind: KindDraining, Message: "server is draining"}
 	}
-	select {
-	case s.queue <- nj:
-		s.inFlight++
-		s.mu.Unlock()
-		return nj, nil
-	default:
+	ts = s.tenantLocked(tenant)
+	if len(ts.queue) >= ts.depth {
+		queued := len(ts.queue)
+		ts.stats.Shed++
 		s.mu.Unlock()
 		nj.finish(StateFailed, &JobError{Kind: KindOverloaded, Message: "admission queue full"}, nil, false)
 		retry := s.retryAfter()
 		return nil, &JobError{
 			Kind:        KindOverloaded,
-			Message:     fmt.Sprintf("admission queue full (%d queued)", len(s.queue)),
+			Message:     fmt.Sprintf("tenant %q admission queue full (%d queued)", tenant, queued),
 			RetryAfterS: retry,
 		}
 	}
+	ts.queue = append(ts.queue, nj)
+	ts.stats.Queued++
+	s.inFlight++
+	s.mu.Unlock()
+	s.cond.Signal()
+	s.logEvent("job submitted", "job", nj.ID, "tenant", tenant, "key", key)
+	return nj, nil
+}
+
+// journalSubmit makes the submission durable before the job becomes
+// runnable. Unlike transition records, a submit append failure is
+// surfaced to the client: accepting work the journal cannot record
+// would break the restart-resume contract.
+func (s *Server) journalSubmit(j *Job) *JobError {
+	spec := j.spec
+	if err := s.journal.Append(journalRecord{
+		Op: opSubmit, Job: j.ID, Tenant: j.Tenant, Key: j.Key, Spec: &spec,
+	}); err != nil {
+		return &JobError{Kind: KindInternal, Message: "journal append: " + err.Error()}
+	}
+	return nil
 }
 
 // retryAfter estimates, from the smoothed job duration and the current
@@ -216,7 +521,7 @@ func (s *Server) retryAfter() int {
 	if ewma <= 0 {
 		return 1
 	}
-	backlog := len(s.queue) + 1
+	backlog := s.queuedTotal() + 1
 	est := ewma * time.Duration(backlog) / time.Duration(s.cfg.Workers)
 	sec := int((est + time.Second - 1) / time.Second)
 	if sec < 1 {
@@ -228,8 +533,22 @@ func (s *Server) retryAfter() int {
 	return sec
 }
 
+// queuedTotal counts jobs across all tenant queues.
+func (s *Server) queuedTotal() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, ts := range s.tenants {
+		n += len(ts.queue)
+	}
+	return n
+}
+
 // observe folds a finished job's duration into the EWMA (alpha 1/4).
 func (s *Server) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
 	for {
 		old := s.ewmaNS.Load()
 		nw := int64(d)
@@ -272,6 +591,14 @@ func (s *Server) runJob(j *Job) {
 	j.cancel = func(string) { cancel() }
 	j.mu.Unlock()
 	defer cancel()
+
+	s.mu.Lock()
+	s.tenantLocked(j.Tenant).stats.Running++
+	s.mu.Unlock()
+	if err := s.journal.Append(journalRecord{Op: opStart, Job: j.ID, Tenant: j.Tenant}); err != nil {
+		s.cfg.Logf("serve: journal start %s: %v", j.ID, err)
+	}
+	s.logEvent("job started", "job", j.ID, "tenant", j.Tenant)
 
 	if s.baseCtx.Err() != nil { // shutting down: don't start new work
 		j.finish(StateCanceled,
@@ -368,6 +695,22 @@ func (s *Server) Get(id string) (*Job, bool) {
 	return j, ok
 }
 
+// List snapshots every registered job, sorted by ID.
+func (s *Server) List() []JobStatus {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
 // Cancel requests cancellation: a queued job is finished immediately;
 // a running job gets its context cancelled and winds down at the
 // engine's next stop-check poll (within one lookahead quantum on the
@@ -410,6 +753,10 @@ func (s *Server) InFlight() int {
 	return s.inFlight
 }
 
+// Recovery returns the startup journal-replay report (nil when the
+// server runs without a journal).
+func (s *Server) Recovery() *RecoveryReport { return s.recovery }
+
 // Shutdown drains gracefully: stop admitting, let in-flight jobs
 // finish until ctx expires, then cancel the stragglers through the
 // same cooperative stop-check path a client cancel uses, and join
@@ -427,19 +774,26 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.mu.Lock()
 	s.closed = true
-	close(s.queue)
 	s.mu.Unlock()
+	s.cond.Broadcast()
 	s.wg.Wait()
 	// Workers have exited; anything still on the registry in a
 	// non-terminal state (shouldn't happen once drained) is canceled.
 	s.mu.Lock()
+	stragglers := make([]*Job, 0)
 	for _, j := range s.jobs {
+		stragglers = append(stragglers, j)
+	}
+	s.mu.Unlock()
+	for _, j := range stragglers {
 		j.finish(StateCanceled,
 			&JobError{Kind: KindAborted, Message: "server shut down", Reason: "canceled"},
 			nil, false)
 	}
-	s.mu.Unlock()
 	s.baseCancel()
+	if err := s.journal.Close(); err != nil {
+		s.cfg.Logf("serve: journal close: %v", err)
+	}
 	if !drained {
 		return fmt.Errorf("serve: shutdown forced with jobs still in flight")
 	}
@@ -465,7 +819,7 @@ func httpStatus(kind string) int {
 	switch kind {
 	case KindBadRequest:
 		return http.StatusBadRequest
-	case KindOverloaded:
+	case KindOverloaded, KindQuota:
 		return http.StatusTooManyRequests
 	case KindDraining:
 		return http.StatusServiceUnavailable
@@ -500,32 +854,84 @@ func writeError(w http.ResponseWriter, je *JobError) {
 	}{je})
 }
 
-// Metrics is the server's observability snapshot.
-type Metrics struct {
-	Jobs     int        `json:"jobs"`
-	InFlight int        `json:"in_flight"`
-	Queue    int        `json:"queue"`
-	Draining bool       `json:"draining"`
-	EWMAMS   int64      `json:"ewma_job_ms"`
-	Cache    CacheStats `json:"cache"`
+// Stats is the server's observability snapshot: global gauges,
+// per-tenant accounting, and the cache/journal counters.
+type Stats struct {
+	Jobs     int                    `json:"jobs"`
+	InFlight int                    `json:"in_flight"`
+	Queue    int                    `json:"queue"`
+	Draining bool                   `json:"draining"`
+	EWMAMS   int64                  `json:"ewma_job_ms"`
+	Tenants  map[string]TenantStats `json:"tenants"`
+	Cache    CacheStats             `json:"cache"`
+	Journal  JournalStats           `json:"journal"`
+	Recovery *RecoveryReport        `json:"recovery,omitempty"`
 }
+
+// StatsSnapshot assembles the /stats document.
+func (s *Server) StatsSnapshot() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Jobs:     len(s.jobs),
+		InFlight: s.inFlight,
+		Tenants:  map[string]TenantStats{},
+	}
+	for name, ts := range s.tenants {
+		t := ts.stats
+		t.Weight = ts.weight
+		t.Queued = len(ts.queue)
+		st.Queue += len(ts.queue)
+		st.Tenants[name] = t
+	}
+	s.mu.Unlock()
+	st.Draining = s.draining.Load()
+	st.EWMAMS = s.ewmaNS.Load() / int64(time.Millisecond)
+	st.Cache = s.CacheStats()
+	st.Journal = s.journal.Stats()
+	st.Recovery = s.recovery
+	return st
+}
+
+// tenantOf extracts and validates the request's tenant.
+func tenantOf(r *http.Request) (string, *JobError) {
+	tenant := r.Header.Get(TenantHeader)
+	if tenant == "" {
+		return DefaultTenant, nil
+	}
+	if err := validTenant(tenant); err != nil {
+		return "", &JobError{Kind: KindBadRequest, Message: err.Error()}
+	}
+	return tenant, nil
+}
+
+// TenantHeader names the HTTP header carrying the tenant identity.
+const TenantHeader = "X-Dresar-Tenant"
 
 // Handler builds the HTTP API.
 //
 //	POST /v1/jobs             submit a JobSpec        -> 202 JobStatus
+//	GET  /v1/jobs             list registered jobs    -> 200 {jobs:[...]}
 //	GET  /v1/jobs/{id}        job status              -> 200 JobStatus
 //	GET  /v1/jobs/{id}/result result payload          -> 200 canonical JSON
 //	POST /v1/jobs/{id}/cancel request cancellation    -> 202 JobStatus
 //	GET  /healthz             liveness                -> 200 always
 //	GET  /readyz              readiness               -> 200, 503 draining
-//	GET  /v1/metrics          Metrics                 -> 200
+//	GET  /stats               Stats                   -> 200
+//	GET  /v1/metrics          Stats (alias)           -> 200
 //
-// Failures are typed JSON bodies ({"error":{"kind":...}}), never bare
-// 500s: 400 bad_request, 429 overloaded (+Retry-After), 503 draining,
-// 404 not_found, 409 not_ready, 410 aborted, 422 engine failures.
+// Submissions carry their tenant in X-Dresar-Tenant (DefaultTenant
+// when absent). Failures are typed JSON bodies ({"error":{...}}),
+// never bare 500s: 400 bad_request, 429 overloaded/quota
+// (+Retry-After), 503 draining, 404 not_found, 409 not_ready, 410
+// aborted, 422 engine failures.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		tenant, te := tenantOf(r)
+		if te != nil {
+			writeError(w, te)
+			return
+		}
 		var spec JobSpec
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 		dec.DisallowUnknownFields()
@@ -533,7 +939,7 @@ func (s *Server) Handler() http.Handler {
 			writeError(w, &JobError{Kind: KindBadRequest, Message: "bad spec: " + err.Error()})
 			return
 		}
-		j, je := s.Submit(spec)
+		j, je := s.SubmitAs(tenant, spec)
 		if je != nil {
 			writeError(w, je)
 			return
@@ -544,6 +950,11 @@ func (s *Server) Handler() http.Handler {
 			code = http.StatusOK
 		}
 		writeJSON(w, code, st)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Jobs []JobStatus `json:"jobs"`
+		}{s.List()})
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		j, ok := s.Get(r.PathValue("id"))
@@ -567,6 +978,13 @@ func (s *Server) Handler() http.Handler {
 			j.mu.Lock()
 			payload := j.result
 			j.mu.Unlock()
+			if payload == nil {
+				// A journal-replayed job whose result has since been
+				// evicted from the cache: done, but no bytes to serve.
+				writeError(w, &JobError{Kind: KindNotFound,
+					Message: "result evicted from cache; resubmit the spec"})
+				return
+			}
 			w.Header().Set("Content-Type", "application/json")
 			w.Write(payload)
 		default:
@@ -595,15 +1013,10 @@ func (s *Server) Handler() http.Handler {
 		}
 		w.Write([]byte("ready\n"))
 	})
-	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
-		s.mu.Lock()
-		m := Metrics{Jobs: len(s.jobs), InFlight: s.inFlight}
-		s.mu.Unlock()
-		m.Queue = len(s.queue)
-		m.Draining = s.draining.Load()
-		m.EWMAMS = s.ewmaNS.Load() / int64(time.Millisecond)
-		m.Cache = s.CacheStats()
-		writeJSON(w, http.StatusOK, m)
-	})
+	stats := func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.StatsSnapshot())
+	}
+	mux.HandleFunc("GET /stats", stats)
+	mux.HandleFunc("GET /v1/metrics", stats)
 	return mux
 }

@@ -2,7 +2,11 @@
 # End-to-end smoke of the serving layer with real binaries and real
 # simulations: the server is built with the race detector, exercised
 # through dresar-load (cold run, cache-hit byte-identity, mid-run
-# cancellation), then drained with SIGTERM and required to exit 0.
+# cancellation), drained with SIGTERM and required to exit 0 — then
+# the durability harness: submit work, kill -9 the server mid-run,
+# corrupt the journal tail, restart over the same directories, and
+# require every submitted job to reach a terminal state exactly once,
+# followed by a multi-tenant soak against a byte-bounded cache.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -13,31 +17,35 @@ go build -o bin/dresar-load ./cmd/dresar-load
 tmp=$(mktemp -d)
 server_pid=""
 cleanup() {
-    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    [ -n "$server_pid" ] && kill -9 "$server_pid" 2>/dev/null || true
     rm -rf "$tmp"
 }
 trap cleanup EXIT INT TERM
 
-bin/dresar-served -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
-    -cache "$tmp/cache" -workers 2 -queue 8 -drain 30s 2>"$tmp/server.log" &
-server_pid=$!
+# wait_addr FILE PID: block until the server publishes its address.
+wait_addr() {
+    i=0
+    while [ ! -s "$1" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "e2e: server never published its address" >&2
+            cat "$tmp/server.log" >&2
+            exit 1
+        fi
+        kill -0 "$2" 2>/dev/null || {
+            echo "e2e: server died on startup" >&2
+            cat "$tmp/server.log" >&2
+            exit 1
+        }
+        sleep 0.1
+    done
+}
 
-# Wait for the listener (the addr file is written atomically).
-i=0
-while [ ! -s "$tmp/addr" ]; do
-    i=$((i + 1))
-    if [ "$i" -gt 100 ]; then
-        echo "e2e: server never published its address" >&2
-        cat "$tmp/server.log" >&2
-        exit 1
-    fi
-    kill -0 "$server_pid" 2>/dev/null || {
-        echo "e2e: server died on startup" >&2
-        cat "$tmp/server.log" >&2
-        exit 1
-    }
-    sleep 0.1
-done
+bin/dresar-served -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+    -cache "$tmp/cache" -journal "$tmp/journal" \
+    -workers 2 -queue 8 -drain 30s 2>"$tmp/server.log" &
+server_pid=$!
+wait_addr "$tmp/addr" "$server_pid"
 base="http://$(cat "$tmp/addr")"
 echo "e2e: server at $base"
 
@@ -67,4 +75,90 @@ grep -q "drained cleanly" "$tmp/server.log" || {
     cat "$tmp/server.log" >&2
     exit 1
 }
+
+echo "e2e: journal of the drained server is terminal exactly-once"
+bin/dresar-served -check-journal "$tmp/journal" -require-terminal >"$tmp/check1.json" || {
+    echo "e2e: clean drain left a non-terminal journal" >&2
+    cat "$tmp/check1.json" >&2
+    exit 1
+}
+
+# ---- crash-recovery: kill -9 mid-run, corrupt the tail, restart ----
+
+echo "e2e: crash harness: submit jobs, then kill -9 mid-run"
+rm -f "$tmp/addr"
+bin/dresar-served -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+    -cache "$tmp/cache2" -journal "$tmp/journal2" \
+    -workers 2 -queue 32 -drain 30s 2>"$tmp/server.log" &
+server_pid=$!
+wait_addr "$tmp/addr" "$server_pid"
+base="http://$(cat "$tmp/addr")"
+
+bin/dresar-load -base "$base" -submit-only -ids-file "$tmp/ids.txt" \
+    -n 6 -apps tpcc -sizes 0
+sleep 0.5
+kill -9 "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+# A torn frame at the tail of the newest segment, as a real power cut
+# would leave: the restart must quarantine it, never crash on it.
+newest_wal=$(ls "$tmp/journal2"/seg-*.wal | sort | tail -1)
+printf 'GARBAGE-TORN-FRAME' >>"$newest_wal"
+
+echo "e2e: restart over the crashed state"
+rm -f "$tmp/addr"
+bin/dresar-served -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+    -cache "$tmp/cache2" -journal "$tmp/journal2" \
+    -cache-max-bytes 65536 -quarantine-max-bytes 65536 \
+    -tenant-rate 200 -tenant-burst 50 \
+    -workers 2 -queue 32 -drain 30s 2>"$tmp/server2.log" &
+server_pid=$!
+wait_addr "$tmp/addr" "$server_pid"
+base="http://$(cat "$tmp/addr")"
+
+grep -q "journal recovered" "$tmp/server2.log" || {
+    echo "e2e: restart did not report journal recovery" >&2
+    cat "$tmp/server2.log" >&2
+    exit 1
+}
+
+echo "e2e: every pre-crash job must reach a terminal state (and succeed)"
+bin/dresar-load -base "$base" -wait-ids "$tmp/ids.txt" -expect-done -timeout 2m
+
+echo "e2e: multi-tenant soak against the byte-bounded cache"
+bin/dresar-load -base "$base" -soak -duration 10s -tenants 4 -clients 16 \
+    -cancel-frac 0.1
+
+echo "e2e: cache integrity after crash + soak (no checksum failures)"
+stats=$(curl -sf "$base/stats")
+if command -v jq >/dev/null 2>&1; then
+    quarantined=$(printf '%s' "$stats" | jq '.cache.quarantined')
+else
+    quarantined=$(printf '%s' "$stats" | grep -o '"quarantined":[0-9]*' | head -1 | cut -d: -f2)
+fi
+if [ "$quarantined" != "0" ]; then
+    echo "e2e: cache quarantined $quarantined entries after crash + soak" >&2
+    printf '%s\n' "$stats" >&2
+    exit 1
+fi
+
+echo "e2e: drain the recovered server"
+kill -TERM "$server_pid"
+status=0
+wait "$server_pid" || status=$?
+server_pid=""
+if [ "$status" -ne 0 ]; then
+    echo "e2e: recovered server exited $status on drain" >&2
+    cat "$tmp/server2.log" >&2
+    exit 1
+fi
+
+echo "e2e: post-crash journal is terminal exactly-once"
+bin/dresar-served -check-journal "$tmp/journal2" -require-terminal >"$tmp/check2.json" || {
+    echo "e2e: crash/restart violated exactly-once" >&2
+    cat "$tmp/check2.json" >&2
+    exit 1
+}
+
 echo "e2e: PASS"

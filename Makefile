@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check build test test-race test-race-sharded vet lint bench bench-short bench-compare figures figures-paper fuzz fuzz-short e2e clean
+.PHONY: all check build test test-race test-race-sharded vet lint lint-json bench bench-short bench-compare figures figures-paper fuzz fuzz-short e2e clean
 
 all: check
 
@@ -17,12 +17,21 @@ vet:
 	go vet ./...
 
 # The project analyzers (docs/ANALYSIS.md): determinism, protocol-enum
-# exhaustiveness, message ownership, counter monotonicity. Running the
-# tool through `go vet -vettool=` gets per-package result caching keyed
-# on the tool binary's hash.
+# exhaustiveness, message ownership, counter monotonicity, plus the
+# CFG/dataflow checks over the concurrent core (shard isolation, lock
+# discipline, cancellation, fsync ordering). Running the tool through
+# `go vet -vettool=` gets per-package result caching keyed on the tool
+# binary's hash.
 lint:
 	go build -o bin/dresar-lint ./cmd/dresar-lint
 	go vet -vettool=$(CURDIR)/bin/dresar-lint ./...
+
+# Machine-readable findings for the CI artifact: standalone mode (no
+# vet cache) always writes lint.json, even when it then exits nonzero
+# on findings.
+lint-json:
+	go build -o bin/dresar-lint ./cmd/dresar-lint
+	bin/dresar-lint -json ./... > lint.json
 
 test:
 	go test ./...
@@ -37,9 +46,13 @@ test-race:
 # the race detector, which is the proof that the quantum-barrier
 # protocol has no unsynchronized cross-shard access. Split out from
 # the fast path because it is the single longest race run; CI gives it
-# a dedicated job.
+# a dedicated job, and the same job carries a full race pass over the
+# serving layer (the other concurrency-dense package, and the one the
+# lockheld/ctxflow analyzers guard statically — the dynamic check
+# keeps the static one honest).
 test-race-sharded:
 	go test -race -run 'Sharded|Differential' ./internal/sim/... ./internal/figures/...
+	go test -race ./internal/serve/...
 
 # One iteration of every benchmark, including the figure regenerators,
 # the design-space ablations (reduced inputs), the sharded-engine

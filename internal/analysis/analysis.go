@@ -108,6 +108,16 @@ func runPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info
 		}
 		kept = append(kept, d)
 	}
+	// A marker that suppressed nothing is itself a finding: stale
+	// ignores would otherwise silently mask future regressions. These
+	// diagnostics are not themselves suppressible.
+	names := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		names[a.Name] = true
+	}
+	for _, d := range sup.unused(fset, names) {
+		kept = append(kept, d)
+	}
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i].Position, kept[j].Position
 		if a.Filename != b.Filename {
@@ -123,11 +133,19 @@ func runPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info
 
 // suppressions indexes //lint:ignore comments by file and line.
 type suppressions struct {
-	byLine map[string]map[int][]string // filename -> line -> analyzer names
+	byLine  map[string]map[int][]*marker // filename -> line -> markers
+	markers []*marker                    // in source order
+}
+
+// marker is one //lint:ignore comment.
+type marker struct {
+	name string // analyzer name, or "all"
+	pos  token.Pos
+	used bool // it suppressed at least one diagnostic
 }
 
 func newSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
-	s := &suppressions{byLine: make(map[string]map[int][]string)}
+	s := &suppressions{byLine: make(map[string]map[int][]*marker)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -143,10 +161,12 @@ func newSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
 				pos := fset.Position(c.Pos())
 				m := s.byLine[pos.Filename]
 				if m == nil {
-					m = make(map[int][]string)
+					m = make(map[int][]*marker)
 					s.byLine[pos.Filename] = m
 				}
-				m[pos.Line] = append(m[pos.Line], fields[1])
+				mk := &marker{name: fields[1], pos: c.Pos()}
+				m[pos.Line] = append(m[pos.Line], mk)
+				s.markers = append(s.markers, mk)
 			}
 		}
 	}
@@ -155,17 +175,45 @@ func newSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
 
 // matches reports whether a diagnostic from analyzer at position is
 // suppressed: the marker may sit on the flagged line or the line above.
+// Every marker that covers the diagnostic is recorded as used.
 func (s *suppressions) matches(pos token.Position, analyzer string) bool {
 	m := s.byLine[pos.Filename]
 	if m == nil {
 		return false
 	}
+	hit := false
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, name := range m[line] {
-			if name == analyzer || name == "all" {
-				return true
+		for _, mk := range m[line] {
+			if mk.name == analyzer || mk.name == "all" {
+				mk.used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
+}
+
+// unused returns a diagnostic for every marker that suppressed nothing
+// this run. Only markers naming an analyzer that actually ran (or
+// "all") are judged — a partial run cannot tell whether another
+// analyzer's marker is stale. Test files are exempt, matching
+// Pass.SourceFiles.
+func (s *suppressions) unused(fset *token.FileSet, ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, mk := range s.markers {
+		if mk.used || (!ran[mk.name] && mk.name != "all") {
+			continue
+		}
+		pos := fset.Position(mk.pos)
+		if strings.HasSuffix(pos.Filename, "_test.go") {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      mk.pos,
+			Position: pos,
+			Analyzer: "suppress",
+			Message:  fmt.Sprintf("unused //lint:ignore %s suppression: no %s finding on this or the next line", mk.name, mk.name),
+		})
+	}
+	return out
 }

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ExprString renders small expressions for diagnostics and for
+// canonical lock/handle naming ("s.mu", "tmp", "j.f"). It is the
+// shared form of the renderer the original analyzers grew privately.
+func ExprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return ExprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return ExprString(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + ExprString(e.X)
+	case *ast.ParenExpr:
+		return "(" + ExprString(e.X) + ")"
+	case *ast.CallExpr:
+		return ExprString(e.Fun) + "(...)"
+	default:
+		return "expression"
+	}
+}
+
+// CalleeFunc resolves a call expression to the *types.Func it
+// statically invokes — a package-level function, a method, or an
+// imported function. Calls through function values, interfaces with
+// unknown dynamic type... resolve to the interface method object,
+// which is still useful for name/receiver matching; truly dynamic
+// calls (stored closures, function-typed fields) return nil.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// LocalCallees collects the package-local functions and methods a body
+// statically calls (the call-graph edge set every reachability-based
+// analyzer shares). Calls inside nested function literals are included:
+// a literal defined here is overwhelmingly likely to run on behalf of
+// this function, and the analyzers using this are conservative
+// (reachability over-approximation).
+func LocalCallees(pass *Pass, body ast.Node) []*types.Func {
+	var out []*types.Func
+	seen := map[*types.Func]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg() != pass.Pkg || seen[fn] {
+			return true
+		}
+		seen[fn] = true
+		out = append(out, fn)
+		return true
+	})
+	return out
+}
+
+// NamedRecv reports the receiver's named-type name of a method object
+// ("Journal" for func (j *Journal) Append), or "" for non-methods.
+func NamedRecv(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// RecvPkgPath reports the package path of a method's receiver type, or
+// "" when it has none (non-method, builtin receiver).
+func RecvPkgPath(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+		return named.Obj().Pkg().Path()
+	}
+	return ""
+}
+
+// FieldClass renders the "Type.field" class of a field selector like
+// s.mu — the key the lock-order and shared-state registries use. ok is
+// false when expr is not a field selection on a named type.
+func FieldClass(info *types.Info, expr ast.Expr) (string, bool) {
+	sel, isSel := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false
+	}
+	selection, found := info.Selections[sel]
+	if !found || selection.Kind() != types.FieldVal {
+		return "", false
+	}
+	t := selection.Recv()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", false
+	}
+	return named.Obj().Name() + "." + sel.Sel.Name, true
+}

@@ -1,0 +1,430 @@
+// Package cfg builds intra-procedural control-flow graphs over Go AST
+// function bodies, in the spirit of golang.org/x/tools/go/cfg but
+// dependency-free like the rest of the analysis suite. The analyzers
+// that need path sensitivity (lockheld's held-mutex facts, fsyncorder's
+// file-handle automaton) solve a forward dataflow problem over these
+// graphs (see flow.go) instead of approximating control flow from raw
+// syntax.
+//
+// Block granularity: every block holds a list of ast.Nodes in execution
+// order. Compound statements are decomposed — an *ast.IfStmt never
+// appears as a node; its Init and Cond do, and its branches become
+// separate blocks — with one deliberate exception: *ast.SelectStmt
+// appears whole as the node of its dispatch block (that is where the
+// select blocks, which is the fact analyzers care about), while each
+// clause's body statements still get their own blocks. Analyses must
+// therefore treat a SelectStmt node shallowly and never descend into
+// its clause bodies, or they will visit those statements twice.
+//
+// Edge shape:
+//
+//   - Entry is a dedicated empty block (no predecessors) and Exit a
+//     dedicated empty block (no successors);
+//   - return statements and panic(...) calls edge to Exit and end their
+//     block (ExitKind records which); code after them lands in an
+//     unreachable block so node ownership stays single-valued;
+//   - for/range loops contribute the usual head/body/post/done diamond,
+//     with `for { ... }` (nil condition) omitting the head->done edge —
+//     an intentionally unreachable Exit, which the differential test in
+//     cfg_test.go recognizes;
+//   - defer statements are ordinary nodes in their block and are also
+//     collected in CFG.Defers so exit-sensitive analyses (lockheld's
+//     deferred-unlock accounting) can apply them at return sites.
+package cfg
+
+import "go/ast"
+
+// Block is one straight-line run of nodes.
+type Block struct {
+	Index int
+	// Kind labels the block's structural role ("entry", "if.then",
+	// "for.head", ...) for debugging and tests.
+	Kind  string
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+	// ExitKind is set on blocks with an edge to Exit: "return",
+	// "panic", or "falloff" (control falling off the end of the body).
+	ExitKind string
+}
+
+// CFG is one function body's graph.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+	// Defers lists every defer statement in the body, in syntactic
+	// order (which is reverse execution order at function exit).
+	Defers []*ast.DeferStmt
+}
+
+// New builds the CFG of a function body. A nil body (declaration
+// without definition) yields a trivial entry->exit graph.
+func New(body *ast.BlockStmt) *CFG {
+	b := &builder{g: &CFG{}}
+	b.g.Entry = b.newBlock("entry")
+	b.g.Exit = b.newBlock("exit")
+	first := b.newBlock("body")
+	b.edge(b.g.Entry, first)
+	b.cur = first
+	if body != nil {
+		b.stmts(body.List)
+	}
+	b.cur.ExitKind = "falloff"
+	b.edge(b.cur, b.g.Exit)
+	return b.g
+}
+
+// loopFrame records one enclosing breakable/continuable construct.
+type loopFrame struct {
+	label string
+	brk   *Block
+	cont  *Block // nil for switch/select frames
+}
+
+type builder struct {
+	g   *CFG
+	cur *Block
+
+	frames []loopFrame
+	// labels maps a label name to its target block (get-or-create, so
+	// forward gotos resolve without a second pass).
+	labels map[string]*Block
+	// pendingLabel carries a just-seen statement label into the loop or
+	// switch it annotates, so `break L` / `continue L` resolve.
+	pendingLabel string
+	// fallTarget is the next case clause's block while walking a switch
+	// clause body (fallthrough's destination), nil elsewhere.
+	fallTarget *Block
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+func (b *builder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// terminate ends the current path (after return/panic/break/...): any
+// following statements land in a fresh block with no predecessors,
+// keeping them owned without making them reachable.
+func (b *builder) terminate() {
+	b.cur = b.newBlock("unreachable")
+}
+
+func (b *builder) labelBlock(name string) *Block {
+	if b.labels == nil {
+		b.labels = map[string]*Block{}
+	}
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock("label." + name)
+	b.labels[name] = blk
+	return blk
+}
+
+// takeLabel consumes the pending statement label (set by LabeledStmt
+// for the construct that immediately follows it).
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// frame finds the innermost frame matching label ("" means innermost
+// of any; continue requires a loop frame).
+func (b *builder) frame(label string, needCont bool) *loopFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needCont && f.cont == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+func (b *builder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	// A label annotates only the statement it prefixes; clear it unless
+	// that statement consumes it below.
+	switch s.(type) {
+	case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+	default:
+		defer func() { b.pendingLabel = "" }()
+	}
+
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.cur.ExitKind = "panic"
+			b.edge(b.cur, b.g.Exit)
+			b.terminate()
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur.ExitKind = "return"
+		b.edge(b.cur, b.g.Exit)
+		b.terminate()
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.g.Defers = append(b.g.Defers, s)
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body)
+
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+
+	case nil:
+		// tolerated: optional Init/Post slots passed through
+
+	default:
+		// Assign, Decl, IncDec, Send, Go, Empty: straight-line nodes.
+		b.add(s)
+	}
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	b.add(s)
+	switch s.Tok.String() {
+	case "break":
+		if f := b.frame(label, false); f != nil {
+			b.edge(b.cur, f.brk)
+		}
+		b.terminate()
+	case "continue":
+		if f := b.frame(label, true); f != nil {
+			b.edge(b.cur, f.cont)
+		}
+		b.terminate()
+	case "goto":
+		if label != "" {
+			b.edge(b.cur, b.labelBlock(label))
+		}
+		b.terminate()
+	case "fallthrough":
+		if b.fallTarget != nil {
+			b.edge(b.cur, b.fallTarget)
+		}
+		b.terminate()
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	then := b.newBlock("if.then")
+	b.edge(cond, then)
+	b.cur = then
+	b.stmt(s.Body)
+	thenEnd := b.cur
+	done := b.newBlock("if.done")
+	if s.Else != nil {
+		els := b.newBlock("if.else")
+		b.edge(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		b.edge(b.cur, done)
+	} else {
+		b.edge(cond, done)
+	}
+	b.edge(thenEnd, done)
+	b.cur = done
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock("for.head")
+	b.edge(b.cur, head)
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+	}
+	body := b.newBlock("for.body")
+	done := b.newBlock("for.done")
+	b.edge(head, body)
+	if s.Cond != nil {
+		// for { ... } has no head->done edge: without a break, Exit is
+		// genuinely unreachable.
+		b.edge(head, done)
+	}
+	cont := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		post.Nodes = append(post.Nodes, s.Post)
+		b.edge(post, head)
+		cont = post
+	}
+	b.frames = append(b.frames, loopFrame{label: label, brk: done, cont: cont})
+	b.cur = body
+	b.stmt(s.Body)
+	b.edge(b.cur, cont)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = done
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock("range.head")
+	// The head's node is the ranged expression; the per-iteration
+	// key/value assignment is not modeled as a separate node.
+	head.Nodes = append(head.Nodes, s.X)
+	b.edge(b.cur, head)
+	body := b.newBlock("range.body")
+	done := b.newBlock("range.done")
+	b.edge(head, body)
+	b.edge(head, done)
+	b.frames = append(b.frames, loopFrame{label: label, brk: done, cont: head})
+	b.cur = body
+	b.stmt(s.Body)
+	b.edge(b.cur, head)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = done
+}
+
+// switchStmt handles both expression and type switches: init/tag (or
+// the type-switch assign) evaluate in the dispatch block, each case
+// clause gets its own block, and fallthrough edges to the next clause.
+func (b *builder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt) {
+	label := b.takeLabel()
+	if init != nil {
+		b.stmt(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	head := b.cur
+	done := b.newBlock("switch.done")
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock("case")
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, done)
+	}
+	b.frames = append(b.frames, loopFrame{label: label, brk: done})
+	savedFall := b.fallTarget
+	for i, cc := range clauses {
+		b.edge(head, blocks[i])
+		for _, e := range cc.List {
+			blocks[i].Nodes = append(blocks[i].Nodes, e)
+		}
+		if i+1 < len(clauses) {
+			b.fallTarget = blocks[i+1]
+		} else {
+			b.fallTarget = nil
+		}
+		b.cur = blocks[i]
+		b.stmts(cc.Body)
+		b.edge(b.cur, done)
+	}
+	b.fallTarget = savedFall
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = done
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	// The whole SelectStmt is the dispatch block's node (shallow
+	// contract: see the package comment); clause bodies get blocks.
+	b.add(s)
+	head := b.cur
+	done := b.newBlock("select.done")
+	b.frames = append(b.frames, loopFrame{label: label, brk: done})
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		cb := b.newBlock("select.case")
+		b.edge(head, cb)
+		b.cur = cb
+		b.stmts(cc.Body)
+		b.edge(b.cur, done)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	// select{} with no clauses blocks forever: done keeps no
+	// predecessors and Exit may become unreachable, which the
+	// differential test recognizes.
+	b.cur = done
+}
+
+// isPanicCall reports whether e is a call to the builtin panic. Purely
+// syntactic (the cfg package is types-free); shadowing `panic` would
+// fool it, which no dresar package does.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

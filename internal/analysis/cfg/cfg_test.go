@@ -1,0 +1,474 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// parseFunc parses one function body from src (a complete file) and
+// returns the named declaration.
+func parseFunc(t *testing.T, src, name string) (*token.FileSet, *ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fset, fd
+		}
+	}
+	t.Fatalf("no func %s", name)
+	return nil, nil
+}
+
+// reachable walks successor edges from g.Entry.
+func reachable(g *CFG) map[*Block]bool {
+	seen := map[*Block]bool{g.Entry: true}
+	work := []*Block{g.Entry}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}
+
+func TestIfShape(t *testing.T) {
+	_, fd := parseFunc(t, `package p
+func f(c bool) int {
+	x := 1
+	if c {
+		x = 2
+	} else {
+		x = 3
+	}
+	return x
+}`, "f")
+	g := New(fd.Body)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	// Exactly one block carries a return edge.
+	returns := 0
+	for _, b := range g.Blocks {
+		if b.ExitKind == "return" {
+			returns++
+		}
+	}
+	if returns != 1 {
+		t.Fatalf("return blocks = %d, want 1", returns)
+	}
+}
+
+func TestEarlyReturnSkipsJoin(t *testing.T) {
+	_, fd := parseFunc(t, `package p
+func f(c bool) int {
+	if c {
+		return 1
+	}
+	return 2
+}`, "f")
+	g := New(fd.Body)
+	returns := 0
+	for _, b := range g.Blocks {
+		if b.ExitKind == "return" {
+			returns++
+		}
+	}
+	if returns != 2 {
+		t.Fatalf("return blocks = %d, want 2", returns)
+	}
+}
+
+func TestInfiniteLoopExitUnreachable(t *testing.T) {
+	_, fd := parseFunc(t, `package p
+func f() {
+	for {
+		g()
+	}
+}
+func g() {}`, "f")
+	g := New(fd.Body)
+	if reachable(g)[g.Exit] {
+		t.Fatal("exit should be unreachable through for {}")
+	}
+}
+
+func TestBreakReachesExit(t *testing.T) {
+	_, fd := parseFunc(t, `package p
+func f() {
+	for {
+		if g() {
+			break
+		}
+	}
+}
+func g() bool { return false }`, "f")
+	g := New(fd.Body)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("break should make exit reachable")
+	}
+}
+
+func TestLabeledBreakAndGoto(t *testing.T) {
+	_, fd := parseFunc(t, `package p
+func f(n int) int {
+	s := 0
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j > i {
+				continue outer
+			}
+			if s > 100 {
+				break outer
+			}
+			s += j
+		}
+	}
+	if s == 0 {
+		goto end
+	}
+	s++
+end:
+	return s
+}`, "f")
+	g := New(fd.Body)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	checkInvariants(t, "labeled", fd, g, false)
+}
+
+func TestDefersCollected(t *testing.T) {
+	_, fd := parseFunc(t, `package p
+func f() {
+	defer g()
+	if true {
+		defer g()
+	}
+}
+func g() {}`, "f")
+	g := New(fd.Body)
+	if len(g.Defers) != 2 {
+		t.Fatalf("defers = %d, want 2", len(g.Defers))
+	}
+}
+
+func TestPanicEdgesToExit(t *testing.T) {
+	_, fd := parseFunc(t, `package p
+func f(c bool) {
+	if !c {
+		panic("no")
+	}
+}`, "f")
+	g := New(fd.Body)
+	panics := 0
+	for _, b := range g.Blocks {
+		if b.ExitKind == "panic" {
+			panics++
+		}
+	}
+	if panics != 1 {
+		t.Fatalf("panic blocks = %d, want 1", panics)
+	}
+}
+
+func TestSelectShallow(t *testing.T) {
+	_, fd := parseFunc(t, `package p
+func f(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case <-b:
+		return 0
+	}
+}`, "f")
+	g := New(fd.Body)
+	// The select statement appears exactly once, as a whole node, and
+	// its clause bodies own their statements in separate blocks.
+	selects, returns := 0, 0
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.SelectStmt); ok {
+				selects++
+			}
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				returns++
+			}
+		}
+	}
+	if selects != 1 || returns != 2 {
+		t.Fatalf("selects = %d returns = %d, want 1 and 2", selects, returns)
+	}
+}
+
+// mustFlow is a trivial must-analysis over int facts used to pin the
+// solver's merge behavior: Transfer counts assignments, Merge takes the
+// minimum (intersection-like).
+type mustFlow struct{}
+
+func (mustFlow) Entry() Fact { return 0 }
+func (mustFlow) Transfer(n ast.Node, f Fact) Fact {
+	if _, ok := n.(*ast.AssignStmt); ok {
+		return f.(int) + 1
+	}
+	return f
+}
+func (mustFlow) Merge(a, b Fact) Fact { return min(a.(int), b.(int)) }
+func (mustFlow) Equal(a, b Fact) bool { return a.(int) == b.(int) }
+
+func TestSolveMergesAtJoin(t *testing.T) {
+	_, fd := parseFunc(t, `package p
+func f(c bool) int {
+	x := 0
+	if c {
+		x = 1
+		x = 2
+	}
+	return x
+}`, "f")
+	g := New(fd.Body)
+	in := Solve(g, mustFlow{})
+	got, ok := in[g.Exit]
+	if !ok {
+		t.Fatal("exit not solved")
+	}
+	// Paths carry 1 (skip) and 3 (through the then-branch) assignments;
+	// the must-merge keeps 1.
+	if got.(int) != 1 {
+		t.Fatalf("exit in-fact = %v, want 1", got)
+	}
+}
+
+func TestReachingDefsUnionAtJoin(t *testing.T) {
+	src := `package p
+func f(c bool) int {
+	x := 1
+	if c {
+		x = 2
+	}
+	return x
+}`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "rd.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Defs: make(map[*ast.Ident]types.Object),
+		Uses: make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatal(err)
+	}
+	var fd *ast.FuncDecl
+	for _, d := range file.Decls {
+		if x, ok := d.(*ast.FuncDecl); ok {
+			fd = x
+		}
+	}
+	g := New(fd.Body)
+	defs := ReachingDefs(g, info)
+	exitDefs, ok := defs[g.Exit]
+	if !ok {
+		t.Fatal("exit not solved")
+	}
+	var xObj types.Object
+	for id, obj := range info.Defs {
+		if id.Name == "x" {
+			xObj = obj
+		}
+	}
+	if xObj == nil {
+		t.Fatal("no object for x")
+	}
+	// Both the initial definition and the conditional reassignment
+	// reach the return: a may-union of two positions.
+	if got := len(exitDefs[xObj]); got != 2 {
+		t.Fatalf("reaching defs of x at exit = %d, want 2", got)
+	}
+}
+
+// checkInvariants asserts the structural contract every CFG must obey;
+// the differential test below applies it to every function body in the
+// packages the new analyzers guard.
+func checkInvariants(t *testing.T, name string, owner ast.Node, g *CFG, topLevel bool) {
+	t.Helper()
+	if len(g.Entry.Preds) != 0 {
+		t.Errorf("%s: entry has %d preds", name, len(g.Entry.Preds))
+	}
+	if len(g.Exit.Succs) != 0 {
+		t.Errorf("%s: exit has %d succs", name, len(g.Exit.Succs))
+	}
+	inGraph := map[*Block]bool{}
+	for i, b := range g.Blocks {
+		if b.Index != i {
+			t.Errorf("%s: block %d carries index %d", name, i, b.Index)
+		}
+		if inGraph[b] {
+			t.Errorf("%s: block %d listed twice", name, i)
+		}
+		inGraph[b] = true
+	}
+	// Succ/pred symmetry, with every edge endpoint owned by the graph.
+	type edge struct{ from, to *Block }
+	fwd := map[edge]int{}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if !inGraph[s] {
+				t.Errorf("%s: edge to foreign block", name)
+			}
+			fwd[edge{b, s}]++
+		}
+	}
+	for _, b := range g.Blocks {
+		for _, p := range b.Preds {
+			if !inGraph[p] {
+				t.Errorf("%s: pred edge from foreign block", name)
+			}
+			fwd[edge{p, b}]--
+		}
+	}
+	for e, n := range fwd {
+		if n != 0 {
+			t.Errorf("%s: asymmetric edge %d->%d (count %d)", name, e.from.Index, e.to.Index, n)
+		}
+	}
+	// Every node is owned by exactly one block.
+	owned := map[ast.Node]int{}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			owned[n]++
+		}
+	}
+	for n, c := range owned {
+		if c != 1 {
+			t.Errorf("%s: node %T owned by %d blocks", name, n, c)
+		}
+	}
+	// Exit is reachable unless the body contains a recognized
+	// diverging construct: an infinite `for {}` or an empty select.
+	if !reachable(g)[g.Exit] && !hasDivergingLoop(owner) {
+		t.Errorf("%s: exit unreachable without an infinite loop", name)
+	}
+	// Every defer inside the body (its own FuncLits excluded) appears
+	// in g.Defers.
+	var body *ast.BlockStmt
+	switch o := owner.(type) {
+	case *ast.FuncDecl:
+		body = o.Body
+	case *ast.FuncLit:
+		body = o.Body
+	}
+	want := countDefers(body)
+	if len(g.Defers) != want {
+		t.Errorf("%s: collected %d defers, body has %d", name, len(g.Defers), want)
+	}
+	_ = topLevel
+}
+
+// countDefers counts defer statements directly inside body, not those
+// belonging to nested function literals.
+func countDefers(body *ast.BlockStmt) int {
+	n := 0
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// hasDivergingLoop reports whether the function body contains a
+// construct that legitimately never falls through: `for {}` (nil
+// condition, possibly with breaks that were all on dead paths) or an
+// empty select.
+func hasDivergingLoop(owner ast.Node) bool {
+	found := false
+	ast.Inspect(owner, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if n.Cond == nil {
+				found = true
+			}
+		case *ast.SelectStmt:
+			if len(n.Body.List) == 0 {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// TestDifferentialServeSim builds a CFG for every function declaration
+// and function literal in internal/serve and internal/sim — the
+// packages the concurrency analyzers guard — and checks the structural
+// invariants on each. The analyzer foundation gets the same
+// differential treatment the calendar queue got: real-code shapes, not
+// hand-picked fixtures.
+func TestDifferentialServeSim(t *testing.T) {
+	dirs := []string{
+		filepath.Join("..", "..", "serve"),
+		filepath.Join("..", "..", "sim"),
+	}
+	funcs := 0
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			path := filepath.Join(dir, e.Name())
+			fset := token.NewFileSet()
+			file, err := parser.ParseFile(fset, path, nil, 0)
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body == nil {
+						return true
+					}
+					name := fmt.Sprintf("%s:%s", e.Name(), n.Name.Name)
+					checkInvariants(t, name, n, New(n.Body), true)
+					funcs++
+				case *ast.FuncLit:
+					pos := fset.Position(n.Pos())
+					name := fmt.Sprintf("%s:%d:func-literal", e.Name(), pos.Line)
+					checkInvariants(t, name, n, New(n.Body), false)
+					funcs++
+				}
+				return true
+			})
+		}
+	}
+	if funcs < 100 {
+		t.Fatalf("differential walked only %d functions; expected the serve+sim corpus (>100)", funcs)
+	}
+	t.Logf("checked %d function bodies", funcs)
+}

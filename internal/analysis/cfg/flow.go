@@ -1,0 +1,195 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Fact is one analysis's abstract state. Facts must be treated as
+// immutable: Transfer and Merge return fresh values (copy-on-write)
+// rather than mutating their arguments, because a block's out-fact
+// flows into several successors.
+type Fact any
+
+// Flow defines one forward dataflow problem. The solver never passes a
+// nil fact into Transfer or Equal; Merge is only called with two facts
+// from visited paths. Lattices must have finite height or the solver
+// will not terminate.
+type Flow interface {
+	// Entry is the fact at function entry.
+	Entry() Fact
+	// Transfer applies one block node to the incoming fact.
+	Transfer(n ast.Node, f Fact) Fact
+	// Merge joins the facts of two converging paths.
+	Merge(a, b Fact) Fact
+	// Equal reports whether two facts are the same (fixpoint test).
+	Equal(a, b Fact) bool
+}
+
+// Solve runs the worklist algorithm over g and returns each reachable
+// block's in-fact. Unreachable blocks (dead code, the body of `for {}`
+// viewed from outside) are absent from the result.
+func Solve(g *CFG, fl Flow) map[*Block]Fact {
+	in := map[*Block]Fact{g.Entry: fl.Entry()}
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		out := in[b]
+		for _, n := range b.Nodes {
+			out = fl.Transfer(n, out)
+		}
+		for _, s := range b.Succs {
+			prev, seen := in[s]
+			next := out
+			if seen {
+				next = fl.Merge(prev, out)
+			}
+			if !seen || !fl.Equal(prev, next) {
+				in[s] = next
+				if !queued[s] {
+					work = append(work, s)
+					queued[s] = true
+				}
+			}
+		}
+	}
+	return in
+}
+
+// Replay re-applies a block's transfer node by node, calling visit with
+// the fact *before* each node — the per-node precision pass analyzers
+// run after Solve has fixed the block in-facts. It returns the block's
+// out-fact.
+func Replay(b *Block, in Fact, fl Flow, visit func(n ast.Node, before Fact)) Fact {
+	f := in
+	for _, n := range b.Nodes {
+		if visit != nil {
+			visit(n, f)
+		}
+		f = fl.Transfer(n, f)
+	}
+	return f
+}
+
+// Defs maps a variable to the set of positions that may have last
+// assigned it — the classic reaching-definitions fact.
+type Defs map[types.Object]map[token.Pos]bool
+
+// clone copies d one level deep at key obj (copy-on-write helper).
+func (d Defs) set(obj types.Object, pos token.Pos) Defs {
+	out := make(Defs, len(d)+1)
+	for k, v := range d {
+		out[k] = v
+	}
+	out[obj] = map[token.Pos]bool{pos: true}
+	return out
+}
+
+// reachFlow is the reaching-definitions problem: a may-analysis whose
+// merge is union.
+type reachFlow struct {
+	info *types.Info
+}
+
+func (r reachFlow) Entry() Fact { return Defs{} }
+
+func (r reachFlow) Transfer(n ast.Node, f Fact) Fact {
+	d := f.(Defs)
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			if obj := r.defObj(lhs); obj != nil {
+				d = d.set(obj, n.Pos())
+			}
+		}
+	case *ast.IncDecStmt:
+		if obj := r.defObj(n.X); obj != nil {
+			d = d.set(obj, n.Pos())
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if obj := r.info.Defs[name]; obj != nil {
+						d = d.set(obj, name.Pos())
+					}
+				}
+			}
+		}
+	}
+	return d
+}
+
+// defObj resolves a plain-identifier assignment target; selector,
+// index, and deref targets define no local variable.
+func (r reachFlow) defObj(lhs ast.Expr) types.Object {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := r.info.Defs[id]; obj != nil {
+		return obj
+	}
+	return r.info.Uses[id]
+}
+
+func (r reachFlow) Merge(a, b Fact) Fact {
+	da, db := a.(Defs), b.(Defs)
+	out := make(Defs, len(da))
+	for obj, poss := range da {
+		m := make(map[token.Pos]bool, len(poss))
+		for p := range poss {
+			m[p] = true
+		}
+		out[obj] = m
+	}
+	for obj, poss := range db {
+		m := out[obj]
+		if m == nil {
+			m = map[token.Pos]bool{}
+			out[obj] = m
+		}
+		for p := range poss {
+			m[p] = true
+		}
+	}
+	return out
+}
+
+func (r reachFlow) Equal(a, b Fact) bool {
+	da, db := a.(Defs), b.(Defs)
+	if len(da) != len(db) {
+		return false
+	}
+	for obj, pa := range da {
+		pb, ok := db[obj]
+		if !ok || len(pa) != len(pb) {
+			return false
+		}
+		for p := range pa {
+			if !pb[p] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ReachingDefs solves reaching definitions over g and returns each
+// reachable block's in-fact.
+func ReachingDefs(g *CFG, info *types.Info) map[*Block]Defs {
+	raw := Solve(g, reachFlow{info: info})
+	out := make(map[*Block]Defs, len(raw))
+	for b, f := range raw {
+		out[b] = f.(Defs)
+	}
+	return out
+}

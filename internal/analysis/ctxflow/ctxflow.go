@@ -1,0 +1,288 @@
+// Package ctxflow checks that every blocking operation on the serving
+// request path is cancellable. A "request path" function is one
+// reachable (over package-local static calls) from a cancellation
+// root: a function taking a context.Context or *http.Request, or a
+// handler function literal (registered via HandleFunc/Handle or shaped
+// like an http.HandlerFunc). Inside that closure the analyzer flags:
+//
+//   - time.Sleep — sleeps cannot be interrupted; select on ctx.Done()
+//     and time.After instead;
+//   - bare channel sends/receives outside a select — unbounded waits
+//     with no escape hatch;
+//   - selects with no cancellation case — no ctx.Done()-style call, no
+//     done/stop/quit channel, no default.
+//
+// A select case is recognized as a cancellation case when its comm
+// receives from a call named Done (ctx.Done(), engine stop channels)
+// or from a channel whose name contains done/stop/quit. Goroutines
+// spawned from request-path code are exempt: they outlive the request
+// and block their own context, not the handler's (lockheld and the
+// race CI job cover them).
+//
+// The scope is internal/serve — the layer with HTTP deadlines to
+// honor. The simulator's cooperative stop-check polling (Engine.Run's
+// stopEvery) is a different cancellation protocol with its own checks.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dresar/internal/analysis"
+)
+
+// Analyzer is the ctxflow instance.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "check that blocking operations reachable from the serve request path are cancellable",
+	Run:  run,
+}
+
+// scope lists the audited packages; fixture packages (non-dresar
+// paths) are always in scope.
+var scope = map[string]bool{
+	"dresar/internal/serve": true,
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// bodies maps each package function to its declaration body.
+	bodies map[*types.Func]*ast.BlockStmt
+	// reachable is the request-path closure.
+	reachable map[*types.Func]bool
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	path := pass.Pkg.Path()
+	if !scope[path] && strings.HasPrefix(path, "dresar/") {
+		return nil, nil
+	}
+	c := &checker{
+		pass:      pass,
+		bodies:    map[*types.Func]*ast.BlockStmt{},
+		reachable: map[*types.Func]bool{},
+	}
+
+	var work []*types.Func
+	var rootLits []*ast.FuncLit
+	for _, f := range pass.SourceFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			c.bodies[obj] = fd.Body
+			if isRootFunc(obj) {
+				work = append(work, obj)
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit := c.rootLit(n); lit != nil {
+					rootLits = append(rootLits, lit)
+					// The literal's local callees enter the closure even
+					// when its enclosing function is not itself a root.
+					for _, callee := range analysis.LocalCallees(pass, lit.Body) {
+						if !c.reachable[callee] {
+							c.reachable[callee] = true
+							work = append(work, callee)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	for _, fn := range work {
+		c.reachable[fn] = true
+	}
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		body := c.bodies[fn]
+		if body == nil {
+			continue
+		}
+		for _, callee := range analysis.LocalCallees(pass, body) {
+			if !c.reachable[callee] {
+				c.reachable[callee] = true
+				work = append(work, callee)
+			}
+		}
+	}
+
+	// Report over every reachable declaration; root literals are walked
+	// separately only when their enclosing declaration is not already
+	// covered.
+	walked := map[*ast.BlockStmt]bool{}
+	for fn, body := range c.bodies {
+		if c.reachable[fn] {
+			c.check(body)
+			walked[body] = true
+		}
+	}
+	for _, lit := range rootLits {
+		if !c.covered(lit, walked) {
+			c.check(lit.Body)
+		}
+	}
+	return nil, nil
+}
+
+// covered reports whether lit sits inside an already-walked body.
+func (c *checker) covered(lit *ast.FuncLit, walked map[*ast.BlockStmt]bool) bool {
+	for body := range walked {
+		if body.Pos() <= lit.Pos() && lit.End() <= body.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// rootLit recognizes handler function literals: arguments of
+// HandleFunc/Handle registrations, or literals with the
+// (http.ResponseWriter, *http.Request) shape.
+func (c *checker) rootLit(n ast.Node) *ast.FuncLit {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "HandleFunc" && sel.Sel.Name != "Handle") {
+			return nil
+		}
+		for _, arg := range n.Args {
+			if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+				return lit
+			}
+		}
+	case *ast.FuncLit:
+		if tv, ok := c.pass.TypesInfo.Types[n]; ok {
+			if sig, ok := tv.Type.(*types.Signature); ok && isHandlerSig(sig) {
+				return n
+			}
+		}
+	}
+	return nil
+}
+
+func isHandlerSig(sig *types.Signature) bool {
+	if sig.Params().Len() != 2 {
+		return false
+	}
+	return sig.Params().At(0).Type().String() == "net/http.ResponseWriter" &&
+		sig.Params().At(1).Type().String() == "*net/http.Request"
+}
+
+// isRootFunc reports whether fn takes a context.Context or
+// *http.Request parameter.
+func isRootFunc(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		switch sig.Params().At(i).Type().String() {
+		case "context.Context", "*net/http.Request":
+			return true
+		}
+	}
+	return false
+}
+
+// check walks one request-path body, descending into synchronous
+// function literals but not into spawned goroutines, and treating
+// select statements structurally (comm clauses are where channels may
+// legitimately block).
+func (c *checker) check(n ast.Node) {
+	ast.Inspect(n, func(child ast.Node) bool {
+		switch child := child.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			if !cancellableSelect(child) {
+				c.pass.Reportf(child.Pos(), "select in request-path code has no cancellation case (ctx.Done(), a done/stop/quit channel, or default)")
+			}
+			for _, cl := range child.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok {
+					for _, st := range cc.Body {
+						c.check(st)
+					}
+				}
+			}
+			return false
+		case *ast.SendStmt:
+			c.pass.Reportf(child.Pos(), "bare channel send in request-path code: wrap in a select with a ctx.Done()/stop case")
+		case *ast.UnaryExpr:
+			if child.Op.String() == "<-" {
+				c.pass.Reportf(child.Pos(), "bare channel receive in request-path code: wrap in a select with a ctx.Done()/stop case")
+			}
+		case *ast.CallExpr:
+			if fn := analysis.CalleeFunc(c.pass.TypesInfo, child); fn != nil &&
+				fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+				c.pass.Reportf(child.Pos(), "time.Sleep in request-path code is not cancellable: select on ctx.Done() and time.After instead")
+			}
+		}
+		return true
+	})
+}
+
+// cancellableSelect reports whether the select can always make
+// progress or be cancelled.
+func cancellableSelect(s *ast.SelectStmt) bool {
+	for _, cl := range s.Body.List {
+		cc, ok := cl.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return true // default: never blocks
+		}
+		if ch := commChannel(cc.Comm); ch != nil && isCancelChannel(ch) {
+			return true
+		}
+	}
+	return false
+}
+
+// commChannel extracts the channel expression of a select comm.
+func commChannel(comm ast.Stmt) ast.Expr {
+	switch comm := comm.(type) {
+	case *ast.SendStmt:
+		return comm.Chan
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(comm.X).(*ast.UnaryExpr); ok {
+			return u.X
+		}
+	case *ast.AssignStmt:
+		if len(comm.Rhs) == 1 {
+			if u, ok := ast.Unparen(comm.Rhs[0]).(*ast.UnaryExpr); ok {
+				return u.X
+			}
+		}
+	}
+	return nil
+}
+
+// isCancelChannel recognizes cancellation sources: a call whose method
+// is named Done (ctx.Done(), Job.Done()), or a channel whose rendered
+// name mentions done/stop/quit.
+func isCancelChannel(ch ast.Expr) bool {
+	if call, ok := ast.Unparen(ch).(*ast.CallExpr); ok {
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.SelectorExpr:
+			return fun.Sel.Name == "Done"
+		case *ast.Ident:
+			return fun.Name == "Done"
+		}
+		return false
+	}
+	name := strings.ToLower(analysis.ExprString(ch))
+	for _, tag := range []string{"done", "stop", "quit"} {
+		if strings.Contains(name, tag) {
+			return true
+		}
+	}
+	return false
+}

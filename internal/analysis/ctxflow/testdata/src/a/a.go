@@ -1,0 +1,70 @@
+// Package a is the ctxflow fixture: functions taking a
+// context.Context or *http.Request, and handler literals, are
+// cancellation roots; everything they statically call is request-path.
+package a
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	wait(r.Context(), nil)
+	w.WriteHeader(http.StatusOK)
+}
+
+func wait(ctx context.Context, ch chan int) {
+	select { // ok: ctx.Done() case
+	case <-ctx.Done():
+	case <-ch:
+	}
+	<-ch                    // want `bare channel receive in request-path code`
+	ch <- 1                 // want `bare channel send in request-path code`
+	time.Sleep(time.Second) // want `time\.Sleep in request-path code is not cancellable`
+	select {                // want `select in request-path code has no cancellation case`
+	case <-ch:
+	}
+	select { // ok: default never blocks
+	case <-ch:
+	default:
+	}
+	helper(ch)
+}
+
+// helper is reachable from wait, so its bare receive is request-path.
+func helper(ch chan int) {
+	<-ch // want `bare channel receive in request-path code`
+}
+
+// waitStop's select escapes through a recognized stop channel.
+func waitStop(ctx context.Context, stopc, ch chan int) {
+	select { // ok: stop channel case
+	case <-stopc:
+	case <-ch:
+	}
+}
+
+// spawn's goroutine outlives the request; its blocking is the
+// goroutine's own affair, not the handler's.
+func spawn(ctx context.Context, ch chan int) {
+	go func() {
+		<-ch
+	}()
+}
+
+// offline is not reachable from any root: bare ops are fine here.
+func offline(ch chan int) {
+	<-ch
+	time.Sleep(time.Millisecond)
+}
+
+// mux registers a handler literal, which is a root even though mux
+// itself is not.
+func mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("/x", func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(time.Millisecond) // want `time\.Sleep in request-path code is not cancellable`
+	})
+	return m
+}

@@ -1,0 +1,428 @@
+// Package fsyncorder enforces the durability write discipline that
+// `dresar-served -check-journal` and the run cache's crash-safety
+// tests depend on: new data is published by create → write → Sync →
+// Close → os.Rename → directory sync, in that order. The check is a
+// dataflow automaton over *os.File handles on the CFG layer
+// (internal/analysis/cfg): each handle accumulates dirty (written
+// since the last Sync), synced, and closed facts; renames of a
+// tracked temp handle consume it and arm a pending directory-sync
+// obligation. Flagged:
+//
+//   - writing or syncing a handle after Close;
+//   - os.Rename of a handle that still has unsynced writes, or that
+//     is not yet closed — a crash after such a rename can expose a
+//     name pointing at unwritten data;
+//   - returning success (`return nil`) while a handle has unsynced
+//     writes — the record was ACKed but is not durable;
+//   - returning success after a rename with no directory sync
+//     anywhere after it — the new name itself may not survive;
+//   - os.WriteFile, which bypasses the protocol entirely (suppress
+//     with //lint:ignore fsyncorder for best-effort forensic copies).
+//
+// Facts merge may-style for dirty and the pending rename obligation
+// is discharged by a Sync attempt on any path — matching the repo's
+// best-effort `if d, err := os.Open(dir); err == nil { d.Sync(); ... }`
+// idiom, where a failed directory open is deliberately not an error.
+// The scope is internal/serve (journal.go, cache.go); fixture
+// packages are always in scope.
+package fsyncorder
+
+import (
+	"go/ast"
+	"strings"
+
+	"dresar/internal/analysis"
+	"dresar/internal/analysis/cfg"
+)
+
+// Analyzer is the fsyncorder instance.
+var Analyzer = &analysis.Analyzer{
+	Name: "fsyncorder",
+	Doc:  "enforce the create→write→sync→close→rename→dir-sync durability order on os.File handles",
+	Run:  run,
+}
+
+var scope = map[string]bool{
+	"dresar/internal/serve": true,
+}
+
+// handleState is the automaton state of one tracked file handle.
+type handleState struct {
+	dirty  bool // written since last Sync
+	synced bool // Sync has happened on every path
+	closed bool // Close has happened on every path
+}
+
+// fact is the automaton state at one program point.
+type fact struct {
+	handles map[string]handleState
+	links   map[string]string // name variable -> handle (tmpName := tmp.Name())
+	// pendingDirSync is armed by a rename of a tracked handle and
+	// discharged by any later Sync attempt.
+	pendingDirSync bool
+}
+
+func (f fact) clone() fact {
+	out := fact{
+		handles:        make(map[string]handleState, len(f.handles)),
+		links:          make(map[string]string, len(f.links)),
+		pendingDirSync: f.pendingDirSync,
+	}
+	for k, v := range f.handles {
+		out.handles[k] = v
+	}
+	for k, v := range f.links {
+		out.links[k] = v
+	}
+	return out
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	path := pass.Pkg.Path()
+	if !scope[path] && strings.HasPrefix(path, "dresar/") {
+		return nil, nil
+	}
+	c := &checker{pass: pass}
+	for _, f := range pass.SourceFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkBody(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					c.checkBody(lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+func (c *checker) checkBody(body *ast.BlockStmt) {
+	g := cfg.New(body)
+	in := cfg.Solve(g, flow{c: c})
+	for _, b := range g.Blocks {
+		f, reachable := in[b]
+		if !reachable {
+			continue
+		}
+		cfg.Replay(b, f, flow{c: c}, func(n ast.Node, before cfg.Fact) {
+			c.checkNode(n, before.(fact))
+		})
+	}
+}
+
+// fileOp is one recognized handle operation.
+type fileOp struct {
+	kind   string // "create", "link", "write", "sync", "close", "rename", "writefile", "reset"
+	handle string // tracked handle name ("" for writefile)
+	target string // link target variable for "link"
+	node   ast.Node
+}
+
+// checkNode reports violations at one node given the incoming fact,
+// applying the node's own ops in sequence so several ops inside one
+// statement (an if-init write, a condition) see each other.
+func (c *checker) checkNode(n ast.Node, f fact) {
+	if ret, ok := n.(*ast.ReturnStmt); ok && allNil(ret) {
+		for name, h := range f.handles {
+			if h.dirty {
+				c.pass.Reportf(ret.Pos(), "returning success while %s has unsynced writes (missing Sync before the return)", name)
+			}
+		}
+		if f.pendingDirSync {
+			c.pass.Reportf(ret.Pos(), "returning success after os.Rename without a directory sync: the new name may not survive a crash")
+		}
+		return
+	}
+	c.scan(n, &f, func(op fileOp, cur *fact) {
+		h := cur.handles[op.handle]
+		switch op.kind {
+		case "write":
+			if h.closed {
+				c.pass.Reportf(op.node.Pos(), "write to %s after Close", op.handle)
+			}
+		case "sync":
+			if h.closed {
+				c.pass.Reportf(op.node.Pos(), "Sync of %s after Close", op.handle)
+			}
+		case "rename":
+			if h.dirty {
+				c.pass.Reportf(op.node.Pos(), "os.Rename publishes %s before its writes are synced (missing %s.Sync())", op.handle, op.handle)
+			}
+			if !h.closed {
+				c.pass.Reportf(op.node.Pos(), "os.Rename publishes %s before it is closed", op.handle)
+			}
+		case "writefile":
+			c.pass.Reportf(op.node.Pos(), "os.WriteFile bypasses the write→sync→close→rename durability protocol: write a temp file, Sync, Close, then os.Rename (or suppress for best-effort data)")
+		}
+	})
+}
+
+// allNil reports whether every result of ret is the literal nil — the
+// "success return" shape the dirty-handle and pending-dir-sync rules
+// key on.
+func allNil(ret *ast.ReturnStmt) bool {
+	if len(ret.Results) == 0 {
+		return false
+	}
+	for _, r := range ret.Results {
+		id, ok := ast.Unparen(r).(*ast.Ident)
+		if !ok || id.Name != "nil" {
+			return false
+		}
+	}
+	return true
+}
+
+// scan extracts the node's handle operations in source order, applying
+// each to cur after reporting through visit. It is the single
+// interpretation of a node shared by Transfer (visit discards) and
+// checkNode (visit reports). Nested function literals, goroutines, and
+// select internals are skipped per the cfg shallow contract.
+func (c *checker) scan(n ast.Node, cur *fact, visit func(op fileOp, cur *fact)) {
+	switch n.(type) {
+	case *ast.SelectStmt, *ast.DeferStmt:
+		return
+	}
+	apply := func(op fileOp) {
+		visit(op, cur)
+		h := cur.handles[op.handle]
+		next := cur.clone()
+		switch op.kind {
+		case "create", "reset":
+			next.handles[op.handle] = handleState{}
+		case "link":
+			next.links[op.target] = op.handle
+		case "write":
+			h.dirty, h.synced = true, false
+			next.handles[op.handle] = h
+		case "sync":
+			h.dirty, h.synced = false, true
+			next.handles[op.handle] = h
+			next.pendingDirSync = false
+		case "close":
+			h.closed = true
+			next.handles[op.handle] = h
+		case "rename":
+			delete(next.handles, op.handle) // consumed: published under its final name
+			next.pendingDirSync = true
+		}
+		*cur = next
+	}
+
+	ast.Inspect(n, func(child ast.Node) bool {
+		switch child := child.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.AssignStmt:
+			// Creation, linking, and reassignment patterns are handled
+			// at the assignment level; the contained calls must not
+			// also be interpreted generically, so recurse manually.
+			c.assign(child, cur, apply)
+			return false
+		case *ast.CallExpr:
+			c.call(child, cur, apply)
+		}
+		return true
+	})
+}
+
+// assign interprets one assignment: handle creation (os.Open* family),
+// name links (h.Name()), reassignment resets, and any file-method
+// calls buried in its right-hand side.
+func (c *checker) assign(a *ast.AssignStmt, cur *fact, apply func(fileOp)) {
+	// First interpret nested calls (e.g. `_, err := tmp.Write(raw)`).
+	for _, rhs := range a.Rhs {
+		ast.Inspect(rhs, func(child ast.Node) bool {
+			switch child := child.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				c.call(child, cur, apply)
+			}
+			return true
+		})
+	}
+	if len(a.Rhs) != 1 {
+		// Multi-value tuple assignment (j.f, j.size = f, 0): reset any
+		// tracked handle target.
+		for _, lhs := range a.Lhs {
+			name := analysis.ExprString(lhs)
+			if _, tracked := cur.handles[name]; tracked {
+				apply(fileOp{kind: "reset", handle: name, node: a})
+			}
+		}
+		return
+	}
+	call, ok := ast.Unparen(a.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	target := analysis.ExprString(a.Lhs[0])
+	if fn := analysis.CalleeFunc(c.pass.TypesInfo, call); fn != nil && fn.Pkg() != nil {
+		if fn.Pkg().Path() == "os" && analysis.NamedRecv(fn) == "" {
+			switch fn.Name() {
+			case "Open", "OpenFile", "Create", "CreateTemp":
+				apply(fileOp{kind: "create", handle: target, node: a})
+				return
+			}
+		}
+		if analysis.RecvPkgPath(fn) == "os" && analysis.NamedRecv(fn) == "File" && fn.Name() == "Name" {
+			if h := c.handleOf(call, cur); h != "" {
+				apply(fileOp{kind: "link", handle: h, target: target, node: a})
+				return
+			}
+		}
+	}
+	if _, tracked := cur.handles[target]; tracked {
+		apply(fileOp{kind: "reset", handle: target, node: a})
+	}
+}
+
+// call interprets one call expression: os.File method ops, os.Rename,
+// os.WriteFile.
+func (c *checker) call(call *ast.CallExpr, cur *fact, apply func(fileOp)) {
+	fn := analysis.CalleeFunc(c.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if analysis.RecvPkgPath(fn) == "os" && analysis.NamedRecv(fn) == "File" {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		name := analysis.ExprString(sel.X)
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteAt", "ReadFrom":
+			apply(fileOp{kind: "write", handle: name, node: call})
+		case "Sync":
+			apply(fileOp{kind: "sync", handle: name, node: call})
+		case "Close":
+			apply(fileOp{kind: "close", handle: name, node: call})
+		}
+		return
+	}
+	if fn.Pkg().Path() != "os" || analysis.NamedRecv(fn) != "" {
+		return
+	}
+	switch fn.Name() {
+	case "WriteFile":
+		apply(fileOp{kind: "writefile", node: call})
+	case "Rename":
+		if len(call.Args) != 2 {
+			return
+		}
+		if h := c.resolveHandle(call.Args[0], cur); h != "" {
+			apply(fileOp{kind: "rename", handle: h, node: call})
+		}
+	}
+}
+
+// resolveHandle maps a rename source expression to a tracked handle:
+// a linked name variable, the handle itself, or an inline h.Name()
+// call.
+func (c *checker) resolveHandle(src ast.Expr, cur *fact) string {
+	if call, ok := ast.Unparen(src).(*ast.CallExpr); ok {
+		return c.handleOf(call, cur)
+	}
+	name := analysis.ExprString(ast.Unparen(src))
+	if h, ok := cur.links[name]; ok {
+		return h
+	}
+	if _, ok := cur.handles[name]; ok {
+		return name
+	}
+	return ""
+}
+
+// handleOf resolves an h.Name() call to its tracked handle.
+func (c *checker) handleOf(call *ast.CallExpr, cur *fact) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Name" {
+		return ""
+	}
+	name := analysis.ExprString(sel.X)
+	if _, ok := cur.handles[name]; ok {
+		return name
+	}
+	return ""
+}
+
+// flow adapts the automaton to the cfg dataflow interface.
+type flow struct {
+	c *checker
+}
+
+func (fl flow) Entry() cfg.Fact {
+	return fact{handles: map[string]handleState{}, links: map[string]string{}}
+}
+
+func (fl flow) Transfer(n ast.Node, f cfg.Fact) cfg.Fact {
+	cur := f.(fact)
+	fl.c.scan(n, &cur, func(fileOp, *fact) {})
+	return cur
+}
+
+// Merge joins two paths: dirty is may (union), synced/closed are must
+// (intersection), links union, and the pending dir-sync obligation is
+// discharged when any path discharged it (the repo's directory sync is
+// deliberately best-effort).
+func (fl flow) Merge(a, b cfg.Fact) cfg.Fact {
+	fa, fb := a.(fact), b.(fact)
+	out := fact{
+		handles:        map[string]handleState{},
+		links:          map[string]string{},
+		pendingDirSync: fa.pendingDirSync && fb.pendingDirSync,
+	}
+	for name, ha := range fa.handles {
+		if hb, ok := fb.handles[name]; ok {
+			out.handles[name] = handleState{
+				dirty:  ha.dirty || hb.dirty,
+				synced: ha.synced && hb.synced,
+				closed: ha.closed && hb.closed,
+			}
+		} else {
+			out.handles[name] = ha
+		}
+	}
+	for name, hb := range fb.handles {
+		if _, ok := fa.handles[name]; !ok {
+			out.handles[name] = hb
+		}
+	}
+	for k, v := range fa.links {
+		out.links[k] = v
+	}
+	for k, v := range fb.links {
+		out.links[k] = v
+	}
+	return out
+}
+
+func (fl flow) Equal(a, b cfg.Fact) bool {
+	fa, fb := a.(fact), b.(fact)
+	if fa.pendingDirSync != fb.pendingDirSync ||
+		len(fa.handles) != len(fb.handles) || len(fa.links) != len(fb.links) {
+		return false
+	}
+	for name, ha := range fa.handles {
+		hb, ok := fb.handles[name]
+		if !ok || ha != hb {
+			return false
+		}
+	}
+	for k, v := range fa.links {
+		if fb.links[k] != v {
+			return false
+		}
+	}
+	return true
+}

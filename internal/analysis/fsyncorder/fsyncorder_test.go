@@ -1,0 +1,12 @@
+package fsyncorder_test
+
+import (
+	"testing"
+
+	"dresar/internal/analysis/analysistest"
+	"dresar/internal/analysis/fsyncorder"
+)
+
+func TestFsyncorder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), fsyncorder.Analyzer, "a")
+}

@@ -1,0 +1,149 @@
+// Package a is the fsyncorder fixture: the analyzer tracks *os.File
+// handles through create → write → Sync → Close → os.Rename →
+// directory-sync and flags any shortcut.
+package a
+
+import (
+	"os"
+)
+
+// goodPut is the canonical crash-safe publish protocol: no findings.
+func goodPut(dir string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, "x-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(name, dir+"/final"); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// missingSync renames while the handle still has unsynced writes.
+func missingSync(dir string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, "x-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	tmp.Write(data)
+	tmp.Close()
+	if err := os.Rename(name, dir+"/final"); err != nil { // want `os\.Rename publishes tmp before its writes are synced`
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// missingClose renames an open handle.
+func missingClose(dir string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, "x-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	tmp.Write(data)
+	tmp.Sync()
+	if err := os.Rename(name, dir+"/final"); err != nil { // want `os\.Rename publishes tmp before it is closed`
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// missingDirSync renames correctly but never syncs the directory.
+func missingDirSync(dir string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, "x-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	tmp.Write(data)
+	tmp.Sync()
+	tmp.Close()
+	if err := os.Rename(name, dir+"/final"); err != nil {
+		return err
+	}
+	return nil // want `returning success after os\.Rename without a directory sync`
+}
+
+// appendGood is the journal idiom: write then fsync a long-lived
+// field handle before acknowledging.
+type J struct {
+	f *os.File
+}
+
+func (j *J) appendGood(data []byte) error {
+	if _, err := j.f.Write(data); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// appendNoSync acknowledges a write that never reached the disk.
+func (j *J) appendNoSync(data []byte) error {
+	if _, err := j.f.Write(data); err != nil {
+		return err
+	}
+	return nil // want `returning success while j\.f has unsynced writes`
+}
+
+// rotate reassigns the field handle; the assignment resets its state.
+func (j *J) rotate(dir string) error {
+	if err := j.f.Close(); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(dir+"/next", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	j.f = f
+	return nil
+}
+
+// useAfterClose exercises the closed-handle rules.
+func useAfterClose(f *os.File, data []byte) {
+	f.Close()
+	f.Write(data) // want `write to f after Close`
+}
+
+func syncAfterClose(f *os.File) {
+	f.Close()
+	f.Sync() // want `Sync of f after Close`
+}
+
+// lazy bypasses the protocol entirely.
+func lazy(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `os\.WriteFile bypasses the write→sync→close→rename durability protocol`
+}
+
+// forensics shows the sanctioned escape hatch for best-effort copies.
+func forensics(path string, data []byte) {
+	//lint:ignore fsyncorder quarantine copies are best-effort forensics
+	os.WriteFile(path, data, 0o644)
+}

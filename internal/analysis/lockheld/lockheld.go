@@ -1,0 +1,524 @@
+// Package lockheld enforces dresar-served's mutex discipline with a
+// path-sensitive "held locks" dataflow over the CFG layer (internal/
+// analysis/cfg). Three families of rules:
+//
+//   - Pairing: every sync.Mutex/RWMutex Lock must be matched by an
+//     Unlock (explicit or deferred) on every CFG path; unlocking a
+//     mutex that is not held, locking one that already is, and an
+//     explicit Unlock shadowed by a pending deferred Unlock are all
+//     flagged.
+//
+//   - Lock order: internal/serve's hierarchy is declared in lockOrder
+//     (registry Server.mu → per-job Job.mu → Cache.mu); acquiring a
+//     ranked mutex while holding one of equal or higher rank — directly
+//     or through a package-local call, via per-function summaries — is
+//     a deadlock risk and is flagged.
+//
+//   - No blocking under a ranked mutex: channel send/receive, blocking
+//     select, time.Sleep, (*os.File).Sync, Journal.Append,
+//     http.ResponseWriter writes, and WaitGroup.Wait must not execute
+//     while a ranked mutex is held (again including through local
+//     calls). sync.Cond.Wait is exempt — it releases its mutex while
+//     parked, and Server.nextJob depends on exactly that.
+//
+// Journal.mu is deliberately absent from the ranked table: Append
+// holding it across Write+Sync IS the journal's serialization point
+// (records must reach the disk in sequence order for -check-journal to
+// replay); ranking it would outlaw the design the analyzer exists to
+// protect. The held-fact lattice is a must-analysis: facts merge by
+// intersection, so conditionally-held locks are treated as not held —
+// which internal/serve's straight-line lock regions never rely on.
+package lockheld
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"dresar/internal/analysis"
+	"dresar/internal/analysis/cfg"
+)
+
+// Analyzer is the lockheld instance.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockheld",
+	Doc:  "check Lock/Unlock pairing on all CFG paths, the serve lock-order hierarchy, and absence of blocking operations under ranked mutexes",
+	Run:  run,
+}
+
+// scope lists the packages whose lock regions the analyzer audits.
+// Fixture packages (non-dresar paths) are always in scope so the
+// analyzer is testable.
+var scope = map[string]bool{
+	"dresar/internal/serve": true,
+}
+
+// lockOrder declares each package's mutex hierarchy as "Type.field" →
+// rank; locks must be acquired in strictly increasing rank. "a" is the
+// fixture package.
+var lockOrder = map[string]map[string]int{
+	"dresar/internal/serve": {
+		"Server.mu": 1, // registry: jobs, tenants, eviction order
+		"Job.mu":    2, // per-job state/result
+		"Cache.mu":  3, // run-cache index
+	},
+	"a": {
+		"Reg.mu":  1,
+		"Item.mu": 2,
+		"Disk.mu": 3,
+	},
+}
+
+// heldLock is one mutex on the held stack.
+type heldLock struct {
+	name     string // canonical expression, e.g. "s.mu"
+	class    string // "Type.field", "" when not a field selection
+	rank     int    // lockOrder rank, 0 when unranked
+	deferred bool   // a deferred Unlock is pending for it
+}
+
+// lockFact is the ordered list of locks held on entry to a node.
+type lockFact []heldLock
+
+func (f lockFact) find(name string) int {
+	for i := len(f) - 1; i >= 0; i-- {
+		if f[i].name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func (f lockFact) maxRanked() (heldLock, bool) {
+	var best heldLock
+	found := false
+	for _, h := range f {
+		if h.rank > 0 && (!found || h.rank > best.rank) {
+			best, found = h, true
+		}
+	}
+	return best, found
+}
+
+// lockOp is one mutex operation extracted from a node.
+type lockOp struct {
+	kind string // "lock", "unlock", "deferunlock"
+	name string
+	pos  token.Pos
+	call *ast.CallExpr
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	ranks     map[string]int
+	summaries map[*types.Func]*summary
+}
+
+// summary is the interprocedural over-approximation of one
+// package-local function: the ranked lock classes it may acquire
+// (transitively) and whether it may execute a blocking operation.
+type summary struct {
+	acquires map[string]int // class -> rank
+	blocks   string         // description of one blocking op, "" if none
+	callees  []*types.Func
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	path := pass.Pkg.Path()
+	if !scope[path] && strings.HasPrefix(path, "dresar/") {
+		return nil, nil
+	}
+	c := &checker{
+		pass:  pass,
+		ranks: lockOrder[path],
+	}
+	c.buildSummaries()
+	for _, f := range pass.SourceFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkBody(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					c.checkBody(lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// buildSummaries computes the per-function summaries by fixpoint over
+// the package-local static call graph.
+func (c *checker) buildSummaries() {
+	c.summaries = map[*types.Func]*summary{}
+	for _, f := range c.pass.SourceFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := c.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			s := &summary{acquires: map[string]int{}}
+			c.scan(fd.Body, func(op lockOp) {
+				if op.kind != "lock" {
+					return
+				}
+				if class, rank := c.classify(op.call); rank > 0 {
+					s.acquires[class] = rank
+				}
+			}, func(desc string, _ token.Pos) {
+				if s.blocks == "" {
+					s.blocks = desc
+				}
+			})
+			s.callees = analysis.LocalCallees(c.pass, fd.Body)
+			c.summaries[obj] = s
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, s := range c.summaries {
+			for _, callee := range s.callees {
+				cs := c.summaries[callee]
+				if cs == nil {
+					continue
+				}
+				for class, rank := range cs.acquires {
+					if _, ok := s.acquires[class]; !ok {
+						s.acquires[class] = rank
+						changed = true
+					}
+				}
+				if s.blocks == "" && cs.blocks != "" {
+					s.blocks = "call to " + callee.Name() + ": " + cs.blocks
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// checkBody solves the held-locks dataflow over one function (or
+// function literal) body and replays each reachable block for
+// reporting.
+func (c *checker) checkBody(body *ast.BlockStmt) {
+	g := cfg.New(body)
+	in := cfg.Solve(g, flow{c: c})
+	for _, b := range g.Blocks {
+		fact, reachable := in[b]
+		if !reachable {
+			continue
+		}
+		out := cfg.Replay(b, fact, flow{c: c}, func(n ast.Node, before cfg.Fact) {
+			c.checkNode(n, before.(lockFact))
+		})
+		if b.ExitKind == "falloff" && len(b.Succs) > 0 {
+			c.reportLeaks(body.End(), out.(lockFact), "function exit")
+		}
+	}
+}
+
+// checkNode reports everything wrong at one node given the locks held
+// before it executes.
+func (c *checker) checkNode(n ast.Node, held lockFact) {
+	if ret, ok := n.(*ast.ReturnStmt); ok {
+		c.reportLeaks(ret.Pos(), held, "return")
+	}
+
+	// Pairing and order violations at each mutex op, applying ops
+	// in sequence so several ops in one node (lock;unlock in one
+	// statement list collapsed into one block node cannot happen, but
+	// lock in an init statement can precede uses) see each other.
+	cur := held
+	c.scan(n, func(op lockOp) {
+		switch op.kind {
+		case "lock":
+			class, rank := c.classify(op.call)
+			if i := cur.find(op.name); i >= 0 {
+				c.pass.Reportf(op.pos, "%s locked while already held on this path (missing Unlock?)", op.name)
+			} else if rank > 0 {
+				if top, ok := cur.maxRanked(); ok && rank <= top.rank {
+					c.pass.Reportf(op.pos, "lock order violation: acquiring %s (rank %d) while holding %s (rank %d)", op.name, rank, top.name, top.rank)
+				}
+			}
+			cur = append(cur[:len(cur):len(cur)], heldLock{name: op.name, class: class, rank: rank})
+		case "unlock":
+			i := cur.find(op.name)
+			switch {
+			case i < 0:
+				c.pass.Reportf(op.pos, "Unlock of %s which is not held on this path", op.name)
+			case cur[i].deferred:
+				c.pass.Reportf(op.pos, "explicit Unlock of %s shadowed by a pending deferred Unlock (double unlock at return)", op.name)
+				cur = remove(cur, i)
+			default:
+				cur = remove(cur, i)
+			}
+		case "deferunlock":
+			if i := cur.find(op.name); i >= 0 {
+				cur = markDeferred(cur, i)
+			}
+		}
+	}, func(desc string, pos token.Pos) {
+		if top, ok := cur.maxRanked(); ok {
+			c.pass.Reportf(pos, "blocking operation (%s) while holding %s", desc, top.name)
+		}
+	})
+
+	// Interprocedural: calls into package-local functions that may
+	// block or acquire out of order.
+	if top, ok := cur.maxRanked(); ok {
+		c.scanCalls(n, func(call *ast.CallExpr) {
+			fn := analysis.CalleeFunc(c.pass.TypesInfo, call)
+			if fn == nil {
+				return
+			}
+			if _, direct := blockingCall(c.pass.TypesInfo, call); direct {
+				return // already reported by the direct scan
+			}
+			s := c.summaries[fn]
+			if s == nil {
+				return
+			}
+			if s.blocks != "" {
+				c.pass.Reportf(call.Pos(), "call to %s may block (%s) while holding %s", fn.Name(), s.blocks, top.name)
+			}
+			for class, rank := range s.acquires {
+				if rank <= top.rank && class != top.class {
+					c.pass.Reportf(call.Pos(), "lock order violation: call to %s may acquire %s (rank %d) while holding %s (rank %d)", fn.Name(), class, rank, top.name, top.rank)
+				}
+			}
+		})
+	}
+}
+
+func (c *checker) reportLeaks(pos token.Pos, held lockFact, where string) {
+	for _, h := range held {
+		if !h.deferred {
+			c.pass.Reportf(pos, "%s while holding %s: no Unlock or deferred Unlock on this path", where, h.name)
+		}
+	}
+}
+
+func remove(f lockFact, i int) lockFact {
+	out := make(lockFact, 0, len(f)-1)
+	out = append(out, f[:i]...)
+	return append(out, f[i+1:]...)
+}
+
+func markDeferred(f lockFact, i int) lockFact {
+	out := make(lockFact, len(f))
+	copy(out, f)
+	out[i].deferred = true
+	return out
+}
+
+// classify resolves a lock call's "Type.field" class and rank.
+func (c *checker) classify(call *ast.CallExpr) (string, int) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", 0
+	}
+	class, ok := analysis.FieldClass(c.pass.TypesInfo, sel.X)
+	if !ok {
+		return "", 0
+	}
+	return class, c.ranks[class]
+}
+
+// mutexOp recognizes a sync.Mutex/RWMutex Lock/Unlock call and returns
+// the operation plus the receiver expression. TryLock variants are
+// ignored: their acquisition is conditional, which a must-analysis
+// cannot track (and the audited packages never use them).
+func mutexOp(info *types.Info, call *ast.CallExpr) (op string, recv ast.Expr, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", nil, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = "lock"
+	case "Unlock", "RUnlock":
+		op = "unlock"
+	default:
+		return "", nil, false
+	}
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", nil, false
+	}
+	switch analysis.NamedRecv(fn) {
+	case "Mutex", "RWMutex":
+		return op, sel.X, true
+	}
+	return "", nil, false
+}
+
+// scan walks one CFG node (shallowly with respect to nested function
+// literals, go statements, and select clause bodies — see the cfg
+// package contract) and reports, in source order, every mutex
+// operation to onLock and every blocking operation to onBlock.
+func (c *checker) scan(n ast.Node, onLock func(lockOp), onBlock func(string, token.Pos)) {
+	info := c.pass.TypesInfo
+	if sel, ok := n.(*ast.SelectStmt); ok {
+		// Shallow: the select itself blocks unless it has a default
+		// clause; its clause bodies live in their own CFG blocks.
+		if !selectHasDefault(sel) {
+			onBlock("blocking select", sel.Pos())
+		}
+		return
+	}
+	if def, ok := n.(*ast.DeferStmt); ok {
+		if op, recv, ok := mutexOp(info, def.Call); ok && op == "unlock" {
+			onLock(lockOp{kind: "deferunlock", name: analysis.ExprString(recv), pos: def.Pos(), call: def.Call})
+		}
+		// Deferred calls run at exit, not here; nothing else to scan.
+		return
+	}
+	ast.Inspect(n, func(child ast.Node) bool {
+		switch child := child.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			// Separate execution contexts: literals are analyzed as
+			// their own units; a spawned goroutine does not block or
+			// hold for its spawner.
+			return false
+		case *ast.SendStmt:
+			onBlock("channel send", child.Pos())
+		case *ast.UnaryExpr:
+			if child.Op == token.ARROW {
+				onBlock("channel receive", child.Pos())
+			}
+		case *ast.CallExpr:
+			if op, recv, ok := mutexOp(info, child); ok {
+				onLock(lockOp{kind: op, name: analysis.ExprString(recv), pos: child.Pos(), call: child})
+				return true
+			}
+			if desc, ok := blockingCall(info, child); ok {
+				onBlock(desc, child.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// scanCalls visits the node's call expressions under the same
+// shallow-traversal rules as scan.
+func (c *checker) scanCalls(n ast.Node, visit func(*ast.CallExpr)) {
+	switch n.(type) {
+	case *ast.SelectStmt, *ast.DeferStmt:
+		// Clause bodies have their own blocks; deferred calls run at
+		// exit with whatever is held there, which the pairing rules
+		// already constrain.
+		return
+	}
+	ast.Inspect(n, func(child ast.Node) bool {
+		switch child := child.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			visit(child)
+		}
+		return true
+	})
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// blockingCall recognizes the banned may-block calls. sync.Cond.Wait
+// is deliberately not here: it releases its mutex while parked.
+func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil {
+		return "", false
+	}
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	recv := analysis.NamedRecv(fn)
+	switch {
+	case pkg == "time" && fn.Name() == "Sleep":
+		return "time.Sleep", true
+	case pkg == "os" && recv == "File" && fn.Name() == "Sync":
+		return "file Sync", true
+	case pkg == "sync" && recv == "WaitGroup" && fn.Name() == "Wait":
+		return "WaitGroup.Wait", true
+	case pkg == "net/http" && recv == "ResponseWriter" && (fn.Name() == "Write" || fn.Name() == "WriteHeader"):
+		return "HTTP response write", true
+	case recv == "Journal" && fn.Name() == "Append":
+		return "journal Append (fsync)", true
+	}
+	return "", false
+}
+
+// flow adapts the checker to the cfg dataflow interface. Transfer is
+// pure — all reporting happens in the Replay pass after Solve fixes
+// the block in-facts, so worklist revisits never duplicate findings.
+type flow struct {
+	c *checker
+}
+
+func (fl flow) Entry() cfg.Fact { return lockFact(nil) }
+
+func (fl flow) Transfer(n ast.Node, f cfg.Fact) cfg.Fact {
+	cur := f.(lockFact)
+	fl.c.scan(n, func(op lockOp) {
+		switch op.kind {
+		case "lock":
+			class, rank := fl.c.classify(op.call)
+			cur = append(cur[:len(cur):len(cur)], heldLock{name: op.name, class: class, rank: rank})
+		case "unlock":
+			if i := cur.find(op.name); i >= 0 {
+				cur = remove(cur, i)
+			}
+		case "deferunlock":
+			if i := cur.find(op.name); i >= 0 {
+				cur = markDeferred(cur, i)
+			}
+		}
+	}, func(string, token.Pos) {})
+	return cur
+}
+
+// Merge intersects: a lock is held after a join only if both paths
+// hold it (must-analysis), and its unlock is deferred only if both
+// paths deferred it.
+func (fl flow) Merge(a, b cfg.Fact) cfg.Fact {
+	fa, fb := a.(lockFact), b.(lockFact)
+	var out lockFact
+	for _, ha := range fa {
+		if i := fb.find(ha.name); i >= 0 {
+			h := ha
+			h.deferred = ha.deferred && fb[i].deferred
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func (fl flow) Equal(a, b cfg.Fact) bool {
+	fa, fb := a.(lockFact), b.(lockFact)
+	if len(fa) != len(fb) {
+		return false
+	}
+	for i := range fa {
+		if fa[i] != fb[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,12 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"dresar/internal/analysis/analysistest"
+	"dresar/internal/analysis/lockheld"
+)
+
+func TestLockheld(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockheld.Analyzer, "a")
+}

@@ -1,0 +1,209 @@
+// Package a is the lockheld fixture: lock-order ranks are declared in
+// the analyzer's lockOrder table as Reg.mu=1, Item.mu=2, Disk.mu=3.
+package a
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type Reg struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	m     map[string]int
+	ready bool
+}
+
+type Item struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Disk struct {
+	mu sync.Mutex
+}
+
+type Journal struct{}
+
+func (*Journal) Append() error { return nil }
+
+// --- clean patterns: no findings ---
+
+func balanced(r *Reg) {
+	r.mu.Lock()
+	r.m["k"] = 1
+	r.mu.Unlock()
+}
+
+func deferred(r *Reg) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.m)
+}
+
+func branchUnlock(r *Reg, stop bool) {
+	r.mu.Lock()
+	if stop {
+		r.mu.Unlock()
+		return
+	}
+	r.m["x"]++
+	r.mu.Unlock()
+}
+
+func goodOrder(r *Reg, it *Item, d *Disk) {
+	r.mu.Lock()
+	it.mu.Lock()
+	d.mu.Lock()
+	d.mu.Unlock()
+	it.mu.Unlock()
+	r.mu.Unlock()
+}
+
+func condWaitOK(r *Reg) {
+	r.mu.Lock()
+	for !r.ready {
+		r.cond.Wait() // Cond.Wait releases the mutex while parked
+	}
+	r.mu.Unlock()
+}
+
+func selectDefaultOK(r *Reg, ch chan int) {
+	r.mu.Lock()
+	select {
+	case v := <-ch:
+		r.m["v"] = v
+	default:
+	}
+	r.mu.Unlock()
+}
+
+func spawnOK(r *Reg, ch chan int) {
+	r.mu.Lock()
+	go func() {
+		ch <- 1 // separate goroutine: does not block the lock holder
+	}()
+	r.mu.Unlock()
+}
+
+func suppressed(r *Reg, ch chan int) {
+	r.mu.Lock()
+	//lint:ignore lockheld fixture proves the suppression marker works
+	ch <- 1
+	r.mu.Unlock()
+}
+
+// --- pairing violations ---
+
+func leakReturn(r *Reg, stop bool) {
+	r.mu.Lock()
+	if stop {
+		return // want `return while holding r\.mu: no Unlock or deferred Unlock on this path`
+	}
+	r.mu.Unlock()
+}
+
+func leakFalloff(r *Reg) {
+	r.mu.Lock()
+	r.m["x"] = 1
+} // want `function exit while holding r\.mu`
+
+func doubleLock(r *Reg) {
+	r.mu.Lock()
+	r.mu.Lock() // want `r\.mu locked while already held on this path`
+	r.mu.Unlock()
+	r.mu.Unlock()
+}
+
+func unlockNotHeld(r *Reg) {
+	r.mu.Unlock() // want `Unlock of r\.mu which is not held on this path`
+}
+
+func doubleUnlock(r *Reg) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m["x"] = 1
+	r.mu.Unlock() // want `explicit Unlock of r\.mu shadowed by a pending deferred Unlock`
+}
+
+// --- lock-order violations ---
+
+func badOrder(r *Reg, it *Item) {
+	it.mu.Lock()
+	r.mu.Lock() // want `lock order violation: acquiring r\.mu \(rank 1\) while holding it\.mu \(rank 2\)`
+	r.mu.Unlock()
+	it.mu.Unlock()
+}
+
+// --- blocking operations under a ranked mutex ---
+
+func sendUnderLock(r *Reg, ch chan int) {
+	r.mu.Lock()
+	ch <- 1 // want `blocking operation \(channel send\) while holding r\.mu`
+	r.mu.Unlock()
+}
+
+func recvUnderLock(r *Reg, ch chan int) {
+	r.mu.Lock()
+	<-ch // want `blocking operation \(channel receive\) while holding r\.mu`
+	r.mu.Unlock()
+}
+
+func sleepUnderLock(it *Item) {
+	it.mu.Lock()
+	time.Sleep(time.Millisecond) // want `blocking operation \(time\.Sleep\) while holding it\.mu`
+	it.mu.Unlock()
+}
+
+func syncUnderLock(d *Disk, f *os.File) {
+	d.mu.Lock()
+	f.Sync() // want `blocking operation \(file Sync\) while holding d\.mu`
+	d.mu.Unlock()
+}
+
+func appendUnderLock(r *Reg, jn *Journal) {
+	r.mu.Lock()
+	jn.Append() // want `blocking operation \(journal Append \(fsync\)\) while holding r\.mu`
+	r.mu.Unlock()
+}
+
+func selectUnderLock(r *Reg, ch chan int) {
+	r.mu.Lock()
+	select { // want `blocking operation \(blocking select\) while holding r\.mu`
+	case v := <-ch:
+		r.m["v"] = v
+	}
+	r.mu.Unlock()
+}
+
+// --- interprocedural (per-function summaries) ---
+
+func netIO(ch chan int) {
+	ch <- 1
+}
+
+func callsBlocker(r *Reg, ch chan int) {
+	r.mu.Lock()
+	netIO(ch) // want `call to netIO may block \(channel send\) while holding r\.mu`
+	r.mu.Unlock()
+}
+
+func lockReg(r *Reg) {
+	r.mu.Lock()
+	r.mu.Unlock()
+}
+
+func callsLower(r *Reg, d *Disk) {
+	d.mu.Lock()
+	lockReg(r) // want `lock order violation: call to lockReg may acquire Reg\.mu \(rank 1\) while holding d\.mu \(rank 3\)`
+	d.mu.Unlock()
+}
+
+func viaHelper(r *Reg) { lockReg(r) }
+
+func callsTransitive(it *Item, r *Reg) {
+	it.mu.Lock()
+	viaHelper(r) // want `lock order violation: call to viaHelper may acquire Reg\.mu \(rank 1\) while holding it\.mu \(rank 2\)`
+	it.mu.Unlock()
+}

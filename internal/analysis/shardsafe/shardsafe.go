@@ -1,0 +1,315 @@
+// Package shardsafe guards the sharded PDES engine's isolation
+// contract: code running on a shard-worker goroutine may touch only
+// its own lane. Cross-shard effects must flow through the stamped
+// outbox (Engine.Post) and the coordinator's barrier merge — that is
+// what makes a sharded run replay cycle-for-cycle equal to the
+// single-threaded engine.
+//
+// "Shard context" is every function spawned by a `go` statement in a
+// scope package plus everything those functions reach over static
+// package-local calls (goroutine closures included). Inside that
+// closure the analyzer flags:
+//
+//   - writes to fields of an engine-shared type (sharedTypes), unless
+//     the written element is indexed by a parameter of the shard
+//     function — the se.counts[i] per-lane convention, where the shard
+//     index pins the write to the worker's own slot;
+//   - writes to package-level variables;
+//   - channel operations — the engine's cross-shard path is the
+//     outbox, not ad-hoc channels, which would order results by
+//     scheduler whim;
+//   - math/rand calls — worker randomness must come from the engine's
+//     seeded SplitMix streams or replay diverges.
+//
+// Method calls on shared fields (se.stopReq.Store, se.arrived.Add)
+// are not writes in the AST and are deliberately not flagged: the
+// atomics are the barrier protocol. Anywhere in scope — shard context
+// or not — a goroutine closure that captures an enclosing loop
+// variable is flagged: the engine's convention is `go se.worker(i,
+// ...)`, passing the shard identity as an argument visible at the
+// spawn site.
+package shardsafe
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dresar/internal/analysis"
+)
+
+// Analyzer is the shardsafe instance.
+var Analyzer = &analysis.Analyzer{
+	Name: "shardsafe",
+	Doc:  "forbid engine-shared state writes, channel ops, and unseeded randomness in shard-worker goroutine context",
+	Run:  run,
+}
+
+var scope = map[string]bool{
+	"dresar/internal/sim": true,
+}
+
+// sharedTypes names, per package, the types whose state is shared
+// across shards ("a" is the fixture).
+var sharedTypes = map[string]map[string]bool{
+	"dresar/internal/sim": {"ShardedEngine": true},
+	"a":                   {"Coord": true},
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	shared map[string]bool
+	decls  map[*types.Func]*ast.FuncDecl
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	path := pass.Pkg.Path()
+	if !scope[path] && strings.HasPrefix(path, "dresar/") {
+		return nil, nil
+	}
+	c := &checker{
+		pass:   pass,
+		shared: sharedTypes[path],
+		decls:  map[*types.Func]*ast.FuncDecl{},
+	}
+	var roots []*types.Func
+	var litRoots []*ast.FuncLit
+	for _, f := range pass.SourceFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				c.decls[obj] = fd
+			}
+			c.checkLoopCapture(fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+					litRoots = append(litRoots, lit)
+					return true
+				}
+				if fn := analysis.CalleeFunc(pass.TypesInfo, g.Call); fn != nil && fn.Pkg() == pass.Pkg {
+					roots = append(roots, fn)
+				}
+				return true
+			})
+		}
+	}
+
+	// Transitive closure of shard context over package-local calls.
+	inContext := map[*types.Func]bool{}
+	work := roots
+	for _, lit := range litRoots {
+		for _, callee := range analysis.LocalCallees(pass, lit.Body) {
+			work = append(work, callee)
+		}
+	}
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		if inContext[fn] {
+			continue
+		}
+		inContext[fn] = true
+		if fd := c.decls[fn]; fd != nil {
+			work = append(work, analysis.LocalCallees(pass, fd.Body)...)
+		}
+	}
+
+	for fn := range inContext {
+		fd := c.decls[fn]
+		if fd == nil {
+			continue
+		}
+		c.checkShard(fd.Body, c.paramObjs(fd.Type, nil))
+	}
+	for _, lit := range litRoots {
+		c.checkShard(lit.Body, c.paramObjs(lit.Type, nil))
+	}
+	return nil, nil
+}
+
+// paramObjs collects the parameter objects of a function type,
+// extending base (the enclosing shard function's parameters, for
+// nested literals).
+func (c *checker) paramObjs(ft *ast.FuncType, base map[types.Object]bool) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for obj := range base {
+		out[obj] = true
+	}
+	if ft == nil || ft.Params == nil {
+		return out
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if obj := c.pass.TypesInfo.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// checkShard walks one shard-context body. Nested function literals
+// run on the shard goroutine (deferred recovers, sort closures) and
+// are walked with the enclosing parameters still considered lane
+// indices; nested go statements spawn their own roots and are
+// collected globally, so they are skipped here.
+func (c *checker) checkShard(body ast.Node, params map[types.Object]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.FuncLit:
+			c.checkShard(n.Body, c.paramObjs(n.Type, params))
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				c.checkWrite(lhs, params)
+			}
+		case *ast.IncDecStmt:
+			c.checkWrite(n.X, params)
+		case *ast.SendStmt:
+			c.pass.Reportf(n.Pos(), "channel send in shard context: cross-shard data must flow through the stamped outbox (Engine.Post) and barrier merge")
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				c.pass.Reportf(n.Pos(), "channel receive in shard context: cross-shard data must flow through the stamped outbox (Engine.Post) and barrier merge")
+			}
+		case *ast.CallExpr:
+			if fn := analysis.CalleeFunc(c.pass.TypesInfo, n); fn != nil && fn.Pkg() != nil {
+				switch fn.Pkg().Path() {
+				case "math/rand", "math/rand/v2":
+					c.pass.Reportf(n.Pos(), "math/rand in shard context breaks replay determinism: use the engine's seeded SplitMix stream")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkWrite flags one assignment target when it lands in shared
+// state: a field of a shared type (unless parameter-indexed) or a
+// package-level variable.
+func (c *checker) checkWrite(lhs ast.Expr, params map[types.Object]bool) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.IndexExpr:
+		if id, ok := ast.Unparen(l.Index).(*ast.Ident); ok {
+			if obj := c.pass.TypesInfo.Uses[id]; obj != nil && params[obj] {
+				return // the worker's own lane, pinned by its shard parameter
+			}
+		}
+		c.checkWrite(l.X, params)
+	case *ast.StarExpr:
+		c.checkWrite(l.X, params)
+	case *ast.SelectorExpr:
+		class, ok := analysis.FieldClass(c.pass.TypesInfo, l)
+		if !ok {
+			return
+		}
+		if typeName, _, found := strings.Cut(class, "."); found && c.shared[typeName] {
+			c.pass.Reportf(lhs.Pos(), "write to shared %s state from shard context: results must cross shards via the stamped outbox/merge path", class)
+		}
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		obj := c.pass.TypesInfo.Uses[l]
+		if obj == nil {
+			return
+		}
+		if v, ok := obj.(*types.Var); ok && v.Parent() == c.pass.Pkg.Scope() {
+			c.pass.Reportf(lhs.Pos(), "write to package-level variable %s from shard context: shard workers may touch only lane-local state", l.Name)
+		}
+	}
+}
+
+// checkLoopCapture flags goroutine closures that capture an enclosing
+// loop variable anywhere in scope.
+func (c *checker) checkLoopCapture(fd *ast.FuncDecl) {
+	var loopVars []map[types.Object]bool
+	var walk func(n ast.Node)
+	collect := func(stmts ...ast.Stmt) map[types.Object]bool {
+		vars := map[types.Object]bool{}
+		for _, s := range stmts {
+			ast.Inspect(s, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+						vars[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		return vars
+	}
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(child ast.Node) bool {
+			switch child := child.(type) {
+			case *ast.ForStmt:
+				vars := map[types.Object]bool{}
+				if child.Init != nil {
+					vars = collect(child.Init)
+				}
+				loopVars = append(loopVars, vars)
+				walk(child.Body)
+				loopVars = loopVars[:len(loopVars)-1]
+				return false
+			case *ast.RangeStmt:
+				vars := map[types.Object]bool{}
+				for _, lhs := range rangeVars(child) {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+							vars[obj] = true
+						}
+					}
+				}
+				loopVars = append(loopVars, vars)
+				walk(child.Body)
+				loopVars = loopVars[:len(loopVars)-1]
+				return false
+			case *ast.GoStmt:
+				lit, ok := ast.Unparen(child.Call.Fun).(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				ast.Inspect(lit.Body, func(n ast.Node) bool {
+					id, ok := n.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					obj := c.pass.TypesInfo.Uses[id]
+					if obj == nil {
+						return true
+					}
+					for _, vars := range loopVars {
+						if vars[obj] {
+							c.pass.Reportf(child.Pos(), "goroutine closure captures loop variable %s: pass it as an argument so the shard identity is pinned at the spawn site", id.Name)
+							return true
+						}
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	walk(fd.Body)
+}
+
+// rangeVars returns the key/value expressions a range statement
+// declares.
+func rangeVars(r *ast.RangeStmt) []ast.Expr {
+	var out []ast.Expr
+	if r.Key != nil {
+		out = append(out, r.Key)
+	}
+	if r.Value != nil {
+		out = append(out, r.Value)
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package shardsafe_test
+
+import (
+	"testing"
+
+	"dresar/internal/analysis/analysistest"
+	"dresar/internal/analysis/shardsafe"
+)
+
+func TestShardsafe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), shardsafe.Analyzer, "a")
+}

@@ -1,0 +1,75 @@
+// Package a is the shardsafe fixture: Coord plays the role of the
+// engine-shared coordinator struct, worker/step run in shard context.
+package a
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+var hits int
+
+type Coord struct {
+	counts  []int
+	totals  int
+	grid    map[int]int
+	resc    chan int
+	donec   chan struct{}
+	stop    atomic.Bool
+	dropped int
+}
+
+// Run is coordinator context: it spawns the workers and may merge
+// shared state freely once they are parked at the barrier.
+func (c *Coord) Run(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go c.worker(i, &wg)
+	}
+	wg.Wait()
+	for i := range c.counts {
+		c.totals += c.counts[i]
+	}
+}
+
+// worker is a shard root: spawned by go in Run.
+func (c *Coord) worker(i int, wg *sync.WaitGroup) {
+	defer wg.Done()
+	c.counts[i] = step(c, i) // lane-local, parameter-indexed: allowed
+	c.stop.Store(true)       // atomic method call: allowed
+	c.totals += i            // want `write to shared Coord\.totals state from shard context`
+	hits++                   // want `write to package-level variable hits from shard context`
+	c.resc <- i              // want `channel send in shard context`
+	<-c.donec                // want `channel receive in shard context`
+	//lint:ignore shardsafe metrics are approximate
+	c.dropped++
+}
+
+// step is transitively in shard context via worker.
+func step(c *Coord, i int) int {
+	k := i * 2
+	c.grid[k] = i       // want `write to shared Coord\.grid state from shard context`
+	return rand.Intn(4) // want `math/rand in shard context breaks replay determinism`
+}
+
+// spawnLits exercises goroutine-literal roots and the loop-capture
+// rule.
+func (c *Coord) spawnLits(n int, jobs []int) {
+	for i := 0; i < n; i++ {
+		go func() { // want `goroutine closure captures loop variable i`
+			sink(i)
+		}()
+		go func(i int) {
+			c.counts[i] = 1 // lane pinned by the literal's own parameter: allowed
+		}(i)
+	}
+	for _, job := range jobs {
+		go func() { // want `goroutine closure captures loop variable job`
+			sink(job)
+		}()
+	}
+}
+
+func sink(int) {}

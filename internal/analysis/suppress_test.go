@@ -1,0 +1,36 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"dresar/internal/analysis"
+	"dresar/internal/analysis/analysistest"
+)
+
+// probe flags every call to a function literally named "probe": just
+// enough signal to prove which //lint:ignore markers suppress a
+// finding and which are stale.
+var probe = &analysis.Analyzer{
+	Name: "probe",
+	Doc:  "test analyzer: flags calls to probe()",
+	Run: func(pass *analysis.Pass) (interface{}, error) {
+		for _, f := range pass.SourceFiles() {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "probe" {
+					pass.Reportf(call.Pos(), "call to probe")
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+func TestUnusedSuppression(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), probe, "sup")
+}

@@ -1,0 +1,18 @@
+// Package sup exercises the unused-suppression diagnostic: a
+// //lint:ignore marker that drops no finding is itself reported.
+package sup
+
+func f() {
+	//lint:ignore probe covered: suppresses the finding on the next line
+	probe()
+	//lint:ignore probe stale: nothing flagged below // want `unused //lint:ignore probe suppression`
+	ok()
+	//lint:ignore other not judged: that analyzer did not run
+	ok()
+	//lint:ignore all stale catch-all // want `unused //lint:ignore all suppression`
+	ok()
+}
+
+func probe() {}
+
+func ok() {}

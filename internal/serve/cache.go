@@ -290,15 +290,20 @@ func (c *Cache) evictLocked() {
 
 // Put stores payload under key with the crash-safe protocol, then
 // enforces the byte budget (the just-written entry is the most
-// recent, so it is evicted only if it alone exceeds the budget). A
-// concurrent or earlier writer winning the rename is fine: determinism
-// means both wrote identical bytes, so first-writer-wins is correct.
+// recent, so it is evicted only if it alone exceeds the budget).
+//
+// All file I/O — including the two fsyncs — runs outside c.mu, so a
+// slow disk cannot stall Get/Stats/eviction behind a writer (lockheld
+// flags fsync-under-lock for exactly this reason). That means two
+// goroutines can race Put for the same key: both write temps and
+// rename, which is fine — determinism means they wrote identical
+// bytes, so whichever rename lands last changes nothing — and the
+// index update below counts the entry once no matter how many writers
+// raced.
 func (c *Cache) Put(key string, payload []byte) error {
 	if c == nil {
 		return nil
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if _, err := os.Stat(c.path(key)); err == nil {
 		return nil // already present; identical by determinism
 	}
@@ -338,9 +343,17 @@ func (c *Cache) Put(key string, payload []byte) error {
 		d.Close()
 	}
 	c.writes.Add(1)
+	c.mu.Lock()
+	if old, ok := c.index[key]; ok {
+		// Raced with another writer (or a Get that adopted the entry):
+		// the file holds one copy of identical bytes, so replace the
+		// old accounting rather than double-counting c.total.
+		c.total -= old.bytes
+	}
 	c.index[key] = &cacheMeta{bytes: int64(len(raw)), atime: time.Now()}
 	c.total += int64(len(raw))
 	c.evictLocked()
+	c.mu.Unlock()
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -362,6 +363,98 @@ func TestCacheQuarantineBounded(t *testing.T) {
 	for _, f := range q {
 		if strings.HasPrefix(filepath.Base(f), keys[0]) {
 			t.Fatalf("oldest quarantine file survived trim: %v", q)
+		}
+	}
+}
+
+// TestCachePutConcurrentSameKey pins the accounting fix for the Put
+// restructure that moved file I/O outside c.mu: many goroutines
+// racing Put for one key must leave exactly one entry counted once in
+// c.total, not one file counted N times (which would make the LRU
+// budget evict healthy entries for phantom bytes).
+func TestCachePutConcurrentSameKey(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("cd", 32)
+	payload := []byte(`{"rows":[4,5,6]}`)
+	const writers = 16
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if err := c.Put(key, payload); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	st, err := os.Stat(filepath.Join(dir, "objects", key+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Bytes; got != st.Size() {
+		t.Fatalf("Stats.Bytes = %d, want the single entry's %d (double-counted racing writers)", got, st.Size())
+	}
+	got, ok := c.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q ok=%v, want %q", got, ok, payload)
+	}
+}
+
+// TestCachePutRaceKeepsBudgetHonest drives same-key races against a
+// tight byte budget: if racing writers double-counted c.total, the
+// phantom bytes would push occupancy over maxBytes and evict the other
+// (healthy, recently used) entry.
+func TestCachePutRaceKeepsBudgetHonest(t *testing.T) {
+	dir := t.TempDir()
+	keyA := strings.Repeat("ab", 32)
+	keyB := strings.Repeat("cd", 32)
+	payload := []byte(`{"x":"` + strings.Repeat("x", 64) + `"}`)
+	probe, err := OpenCache(t.TempDir(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.Put(keyA, payload); err != nil {
+		t.Fatal(err)
+	}
+	entryBytes := probe.Stats().Bytes
+	c, err := OpenCache(dir, 4*entryBytes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(keyA, payload); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.Put(keyB, payload); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Bytes != 2*entryBytes || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 2 entries / %d bytes", st, 2*entryBytes)
+	}
+	if st := c.Stats(); st.Evictions != 0 {
+		t.Fatalf("evictions = %d, want 0 (phantom bytes evicted a healthy entry)", st.Evictions)
+	}
+	for _, k := range []string{keyA, keyB} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("entry %s missing after same-key race", k[:8])
 		}
 	}
 }

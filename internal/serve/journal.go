@@ -268,6 +268,7 @@ func replaySegment(dir string, seg int, last, heal bool, jobs map[string]*Replay
 	}
 	qname := fmt.Sprintf("%s.%d.%d.corrupt", filepath.Base(path), off, time.Now().UnixNano())
 	qpath := filepath.Join(dir, "quarantine", qname)
+	//lint:ignore fsyncorder quarantine copies are best-effort forensics, not service state; the healed segment below is the durable artifact
 	if err := os.WriteFile(qpath, raw[off:], 0o644); err != nil {
 		return fmt.Errorf("serve: journal quarantine: %w", err)
 	}

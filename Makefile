@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check build test test-race test-race-sharded vet lint lint-json bench bench-short bench-compare figures figures-paper fuzz fuzz-short e2e clean
+.PHONY: all check build test test-race test-race-sharded vet lint lint-json bench bench-short bench-compare bench-parallel-gate figures figures-paper fuzz fuzz-short e2e clean
 
 all: check
 
@@ -57,21 +57,21 @@ test-race-sharded:
 # One iteration of every benchmark, including the figure regenerators,
 # the design-space ablations (reduced inputs), the sharded-engine
 # scaling points, and the serving layer's submit-to-result latency
-# (cached vs uncached). The results are rendered into BENCH_6.json via
+# (cached vs uncached). The results are rendered into BENCH_7.json via
 # cmd/benchjson after an informational comparison against the committed
 # copy; commit the refreshed file when a perf change is intentional.
-# BENCH_5.json stays in the tree as the pre-serving record.
+# BENCH_6.json stays in the tree as the pre-adaptive-lookahead record.
 bench:
 	go build -o bin/benchjson ./cmd/benchjson
 	go test -run '^$$' -bench . -benchmem -benchtime 1x ./... > bench.out
-	bin/benchjson -in bench.out -out BENCH_6.json -baseline BENCH_6.json
+	bin/benchjson -in bench.out -out BENCH_7.json -baseline BENCH_7.json
 
 # Diff two committed benchmark documents directly — no fresh bench run.
 # Defaults to the previous record against the current one; override
 # with OLD=/NEW=, and set TOLERANCE=pct to turn the report into a gate
 # (exit 1 when any |delta| on ns/op, B/op, or allocs/op exceeds it).
-OLD ?= BENCH_5.json
-NEW ?= BENCH_6.json
+OLD ?= BENCH_6.json
+NEW ?= BENCH_7.json
 TOLERANCE ?= 0
 bench-compare:
 	go build -o bin/benchjson ./cmd/benchjson
@@ -93,7 +93,15 @@ bench-short:
 		go test -run '^$$' -bench 'Fig8' -benchmem -benchtime 1x . || exit 1; \
 	done > bench_short.out
 	go test -run '^$$' -bench EngineScheduleRun -benchmem -count $(BENCH_COUNT) ./internal/sim >> bench_short.out
-	bin/benchjson -in bench_short.out -out bench_short.json -baseline BENCH_6.json $(if $(ENFORCE),-enforce)
+	bin/benchjson -in bench_short.out -out bench_short.json -baseline BENCH_7.json $(if $(ENFORCE),-enforce)
+
+# The parallel-speedup gate (scripts/benchgate.sh): BenchmarkShardedFFT
+# at 8 workers must beat 1 worker, else the sharded engine's
+# coordination has regressed into pure overhead. Skips (exit 0, with a
+# message) on hosts with fewer than 8 CPUs, where the 8-worker run
+# would time-slice and measure the scheduler instead of the protocol.
+bench-parallel-gate:
+	sh scripts/benchgate.sh
 
 # The paper's result figures at reduced scale (fast) and full scale.
 figures:

@@ -13,7 +13,11 @@
 //   - writes to fields of an engine-shared type (sharedTypes), unless
 //     the written element is indexed by a parameter of the shard
 //     function — the se.counts[i] per-lane convention, where the shard
-//     index pins the write to the worker's own slot;
+//     index pins the write to the worker's own slot. The exception
+//     extends through access chains: the per-pair staging lanes are
+//     addressed se.lanes[src][me], and any write whose chain passes an
+//     index pinned by a shard parameter (ln.buf[q], lanes[s][j].minAt)
+//     targets a lane the worker owns by construction;
 //   - writes to package-level variables;
 //   - channel operations — the engine's cross-shard path is the
 //     outbox, not ad-hoc channels, which would order results by
@@ -52,8 +56,8 @@ var scope = map[string]bool{
 // sharedTypes names, per package, the types whose state is shared
 // across shards ("a" is the fixture).
 var sharedTypes = map[string]map[string]bool{
-	"dresar/internal/sim": {"ShardedEngine": true},
-	"a":                   {"Coord": true},
+	"dresar/internal/sim": {"ShardedEngine": true, "lane": true},
+	"a":                   {"Coord": true, "lane": true},
 }
 
 type checker struct {
@@ -212,6 +216,13 @@ func (c *checker) checkWrite(lhs ast.Expr, params map[types.Object]bool) {
 			return
 		}
 		if typeName, _, found := strings.Cut(class, "."); found && c.shared[typeName] {
+			if c.paramIndexedChain(l.X, params) {
+				// The per-pair staging-lane convention: the written
+				// object was selected by indexing shared state with a
+				// shard parameter (se.lanes[src][me].minAt = ...), so
+				// ownership is pinned to this worker's row or column.
+				return
+			}
 			c.pass.Reportf(lhs.Pos(), "write to shared %s state from shard context: results must cross shards via the stamped outbox/merge path", class)
 		}
 	case *ast.Ident:
@@ -224,6 +235,32 @@ func (c *checker) checkWrite(lhs ast.Expr, params map[types.Object]bool) {
 		}
 		if v, ok := obj.(*types.Var); ok && v.Parent() == c.pass.Pkg.Scope() {
 			c.pass.Reportf(lhs.Pos(), "write to package-level variable %s from shard context: shard workers may touch only lane-local state", l.Name)
+		}
+	}
+}
+
+// paramIndexedChain reports whether an access chain passes through an
+// index pinned by a shard parameter: c.lanes[src][me].n is owned by the
+// worker holding me (or src), so field writes to the selected element
+// are lane-local even though the element's type is engine-shared. Only
+// identifier indices that resolve to parameters qualify — a constant or
+// free-variable index selects somebody else's lane and stays flagged.
+func (c *checker) paramIndexedChain(x ast.Expr, params map[types.Object]bool) bool {
+	for {
+		switch e := ast.Unparen(x).(type) {
+		case *ast.IndexExpr:
+			if id, ok := ast.Unparen(e.Index).(*ast.Ident); ok {
+				if obj := c.pass.TypesInfo.Uses[id]; obj != nil && params[obj] {
+					return true
+				}
+			}
+			x = e.X
+		case *ast.SelectorExpr:
+			x = e.X
+		case *ast.StarExpr:
+			x = e.X
+		default:
+			return false
 		}
 	}
 }

@@ -18,6 +18,16 @@ type Coord struct {
 	donec   chan struct{}
 	stop    atomic.Bool
 	dropped int
+	lanes   [][]lane
+}
+
+// lane mirrors the engine's per-pair staging buffer: the element at
+// lanes[src][dst] is written by shard src and drained by shard dst, so
+// it is engine-shared state — but a write whose access chain is pinned
+// by a shard parameter targets a lane the worker owns by construction.
+type lane struct {
+	n   [2]int
+	cnt int
 }
 
 // Run is coordinator context: it spawns the workers and may merge
@@ -37,6 +47,7 @@ func (c *Coord) Run(n int) {
 // worker is a shard root: spawned by go in Run.
 func (c *Coord) worker(i int, wg *sync.WaitGroup) {
 	defer wg.Done()
+	c.drain(i, 0)
 	c.counts[i] = step(c, i) // lane-local, parameter-indexed: allowed
 	c.stop.Store(true)       // atomic method call: allowed
 	c.totals += i            // want `write to shared Coord\.totals state from shard context`
@@ -52,6 +63,23 @@ func step(c *Coord, i int) int {
 	k := i * 2
 	c.grid[k] = i       // want `write to shared Coord\.grid state from shard context`
 	return rand.Intn(4) // want `math/rand in shard context breaks replay determinism`
+}
+
+// drain is transitively in shard context via worker. It exercises the
+// per-pair staging-lane exception: me/q are shard parameters, src is a
+// free loop variable — a chain is lane-local as soon as any index in
+// it is parameter-pinned, while constant indices select somebody
+// else's lane and stay flagged.
+func (c *Coord) drain(me, q int) {
+	for src := range c.lanes {
+		c.lanes[src][me].n[q] = 0 // slot pinned by parameter q: allowed
+		c.lanes[src][me].cnt++    // lane pinned by parameter me in the chain: allowed
+		ln := &c.lanes[src][me]
+		ln.n[q] = 1 // through a local pointer, slot pinned by q: allowed
+	}
+	c.lanes[0][1].cnt++ // want `write to shared lane\.cnt state from shard context`
+	lp := &c.lanes[0][1]
+	lp.cnt = 2 // want `write to shared lane\.cnt state from shard context`
 }
 
 // spawnLits exercises goroutine-literal roots and the loop-capture

@@ -90,6 +90,16 @@ type Config struct {
 	// at the number of topology units (leaf + top switches). Fault
 	// injection and the protocol monitor require serial execution.
 	ShardWorkers int
+
+	// ShardWindowFuzz, when nonzero, seeds adversarial randomization of
+	// the sharded coordinator's window grants: each round every shard's
+	// window is shrunk to a random length inside its safe bound
+	// (sim.ShardedEngine.SetWindowFuzz). Results must stay bit-identical
+	// under any seed — the knob exists so differential tests can prove
+	// the dynamic-lookahead protocol is schedule-independent, not to be
+	// set in production runs (it only slows them down). Ignored in
+	// serial mode.
+	ShardWindowFuzz uint64
 }
 
 // DefaultConfig returns the Table 2 16-node system.
@@ -368,6 +378,27 @@ func New(cfg Config) (*Machine, error) {
 	m.Net = xbar.New(m.Eng, tp, netCfg)
 	if workers > 1 {
 		m.Net.Shard(m.engs, swShard, m.procShard, m.memShard)
+		// Per-pair lookahead floors: start from the fabric's link-distance
+		// matrix, then clamp the pairs the workload driver couples outside
+		// the fabric — its barrier control channel posts ctl (shard 0) <->
+		// proc engines at one hop (workload.Driver) — down to that hop.
+		hop := cfg.Net.Lookahead()
+		lm := m.Net.LookaheadMatrix()
+		for _, s := range m.procShard {
+			if s == 0 {
+				continue
+			}
+			if lm[0][s] > hop {
+				lm[0][s] = hop
+			}
+			if lm[s][0] > hop {
+				lm[s][0] = hop
+			}
+		}
+		m.Sharded.SetLookaheadMatrix(lm)
+		if cfg.ShardWindowFuzz != 0 {
+			m.Sharded.SetWindowFuzz(cfg.ShardWindowFuzz)
+		}
 	}
 	// Fabric partition errors (the only Net.Fail source) need downed
 	// elements, which need a fault plan, which is serial-only — so the

@@ -89,6 +89,24 @@ func TestSerialShardedDifferential(t *testing.T) {
 							workers, gotP, gotS, wantP, wantS)
 					}
 				}
+				// Adversarial-lookahead mode: randomize (seeded) every
+				// granted window length inside its safe bound. Window
+				// schedules are a wall-clock concern only, so any seed
+				// must reproduce the serial stats bit for bit — if
+				// dynamic lookahead ever made a window schedule
+				// observable, this is the line that catches it.
+				for _, workers := range []int{2, 8} {
+					fcfg := cfgCase.cfg
+					fcfg.ShardWindowFuzz = 0xD1E5A7<<8 | uint64(workers)
+					got, gotP, gotS := runDiff(t, mk, fcfg, workers)
+					if got != want {
+						t.Errorf("workers=%d fuzzed-window stats diverge:\n got: %+v\nwant: %+v", workers, got, want)
+					}
+					if gotP != wantP || gotS != wantS {
+						t.Errorf("workers=%d fuzzed-window profile totals (%d,%d) != serial (%d,%d)",
+							workers, gotP, gotS, wantP, wantS)
+					}
+				}
 			})
 		}
 	}

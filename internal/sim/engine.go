@@ -23,6 +23,7 @@ package sim
 
 import (
 	"container/heap"
+	"fmt"
 	"os"
 )
 
@@ -40,16 +41,22 @@ type Actor interface {
 // event is a scheduled callback. seq breaks ties between events at the
 // same cycle so execution order is deterministic (FIFO within a
 // cycle). Exactly one of fn and actor is set: fn for closure events,
-// actor+op+arg+data for record events.
+// actor+op+arg+data for record events. slack is the event's horizon
+// promise (see AtEventSlack); it never affects firing order, only the
+// sharded coordinator's window grants.
 type event struct {
 	at    Cycle
 	seq   uint64
+	slack Cycle
 	fn    func()
 	actor Actor
 	op    int
 	arg   uint64
 	data  any
 }
+
+// cycleMax is the identity for min-reductions over cycles.
+const cycleMax = ^Cycle(0)
 
 // fire dispatches the event.
 func (ev *event) fire() {
@@ -152,6 +159,52 @@ func (h *farHeap) pop() event {
 	return top
 }
 
+// hkeyEntry records one pending slack-carrying event for the horizon
+// bound: at is its firing cycle (for lazy cleanup once the clock has
+// passed it), hkey its horizon key at + slack.
+type hkeyEntry struct{ at, hkey Cycle }
+
+// hkeyHeap is a concrete min-heap of hkeyEntry ordered by hkey. Like
+// farHeap it moves values without interface boxing; it holds only the
+// rare slack>0 events, so its operations stay off the hot path.
+type hkeyHeap []hkeyEntry
+
+func (h *hkeyHeap) push(en hkeyEntry) {
+	*h = append(*h, en)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].hkey <= (*h)[i].hkey {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *hkeyHeap) pop() {
+	old := *h
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		min := l
+		if r < n && old[r].hkey < old[l].hkey {
+			min = r
+		}
+		if old[min].hkey >= old[i].hkey {
+			break
+		}
+		old[i], old[min] = old[min], old[i]
+		i = min
+	}
+}
+
 // Engine is a deterministic discrete-event scheduler.
 // The zero value is ready to use (calendar queue mode).
 type Engine struct {
@@ -206,7 +259,16 @@ type Engine struct {
 	// at the next quantum barrier in (at, srcShard, srcSeq) order.
 	shard     int
 	lookahead Cycle
-	outbox    []outPost
+	group     *ShardedEngine // nil for a serial engine
+	minPost   []Cycle        // per-destination-shard Post floor (the lookahead matrix row)
+	gather    []outPost      // reusable merge scratch for inbound lane drains
+
+	// Horizon bookkeeping for dynamic lookahead (see minHkey): slack0
+	// counts pending zero-slack events; slackLog tracks the pending
+	// slack>0 events' horizon keys, cleaned lazily once the clock has
+	// passed their cycles.
+	slack0   int
+	slackLog hkeyHeap
 }
 
 type engineMode uint8
@@ -229,7 +291,22 @@ func NewEngine() *Engine {
 
 // NewCalendarEngine returns an engine explicitly backed by the
 // calendar queue, ignoring DRESAR_ENGINE.
-func NewCalendarEngine() *Engine { return &Engine{} }
+func NewCalendarEngine() *Engine {
+	e := &Engine{}
+	// Seed every bucket with a little capacity carved from one backing
+	// array: growing 1024 bucket slices from nil costs thousands of
+	// doubling reallocations per engine, which multiplies by the worker
+	// count under a ShardedEngine and shows up as per-worker allocs/op
+	// growth. One allocation here replaces the first few doublings of
+	// each bucket; hot buckets still grow past the carve on their own.
+	const seedCap = 4
+	backing := make([]event, calWindow*seedCap)
+	for i := range e.buckets {
+		lo := i * seedCap
+		e.buckets[i].ev = backing[lo : lo : lo+seedCap]
+	}
+	return e
+}
 
 // NewHeapEngine returns an engine backed by the seed container/heap
 // queue. It defines the reference firing order for differential tests;
@@ -242,9 +319,25 @@ func (e *Engine) Now() Cycle { return e.now }
 // Pending reports the number of scheduled events not yet executed.
 func (e *Engine) Pending() int { return e.cnt }
 
+// slackLogged reports whether an event's slack is worth tracking in
+// the slackLog: only a promise that can widen a window past the static
+// per-hop floor, and only on a sharded member engine (a serial engine
+// never computes horizons). Everything else counts in slack0 — an
+// under-promise, which is always sound — so the common small-slack
+// events (issue gaps of a few cycles) never touch the heap and the log
+// stays tiny (barrier-scale promises only).
+func (e *Engine) slackLogged(ev *event) bool {
+	return e.group != nil && ev.slack > e.lookahead
+}
+
 // schedule enqueues ev (its at already clamped to >= now).
 func (e *Engine) schedule(ev event) {
 	e.cnt++
+	if e.slackLogged(&ev) {
+		e.slackLog.push(hkeyEntry{at: ev.at, hkey: ev.at + ev.slack})
+	} else {
+		e.slack0++
+	}
 	if e.mode == engineHeap {
 		heap.Push(&e.events, ev)
 		return
@@ -303,6 +396,77 @@ func (e *Engine) AfterEvent(d Cycle, a Actor, op int, arg uint64, data any) {
 	e.AtEvent(e.now+d, a, op, arg, data)
 }
 
+// AtEventSlack schedules a closure-free event like AtEvent and attaches
+// a horizon promise: firing this event at cycle t causes, transitively
+// through same-shard inline calls and scheduling chains, (a) no
+// cross-engine Post targeting a cycle earlier than t + slack + the
+// pair's lookahead, and (b) no same-shard event whose own (at + slack)
+// is earlier than t + slack. The sharded coordinator uses the promise
+// to widen quantum windows (ShardedEngine run loop); a promise the
+// model cannot keep corrupts cross-shard event ordering, so callers
+// must derive slack from state that bounds their whole downstream
+// chain (stream gaps, fixed barrier costs). Slack never changes firing
+// order, and a serial engine ignores it entirely; 0 is always sound.
+func (e *Engine) AtEventSlack(t, slack Cycle, a Actor, op int, arg uint64, data any) {
+	if t < e.now {
+		t = e.now
+	}
+	e.schedule(event{at: t, seq: e.seq, slack: slack, actor: a, op: op, arg: arg, data: data})
+	e.seq++
+}
+
+// AfterEventSlack schedules a slack-carrying event d cycles from now.
+func (e *Engine) AfterEventSlack(d, slack Cycle, a Actor, op int, arg uint64, data any) {
+	e.AtEventSlack(e.now+d, slack, a, op, arg, data)
+}
+
+// minHkey reports a sound lower bound on this engine's horizon: the
+// minimum (at + slack) over pending events. The cheap form exploits
+// that slack>0 events are rare: while any zero-slack event is pending
+// the earliest cycle itself is the bound (hkey >= at >= peek for every
+// event), and only when the queue holds nothing but slack-carrying
+// events does the slackLog's top decide. slackLog entries for already-
+// fired events are removed lazily once the clock reaches their cycle.
+// Dropping an entry whose same-cycle event is in fact still pending is
+// sound — the fallback is peek(), which under-promises — and dropping
+// is required for liveness: a fired event's entry on an engine whose
+// clock then parks at that exact cycle would otherwise lower-bound the
+// horizon forever and wedge every other shard's window behind it.
+func (e *Engine) minHkey() Cycle {
+	if e.cnt == 0 {
+		return cycleMax
+	}
+	if e.slack0 > 0 {
+		at, _ := e.peek()
+		return at
+	}
+	for len(e.slackLog) > 0 && e.slackLog[0].at <= e.now {
+		e.slackLog.pop()
+	}
+	if len(e.slackLog) == 0 {
+		at, _ := e.peek()
+		return at
+	}
+	return e.slackLog[0].hkey
+}
+
+// insertMerged enqueues one cross-shard event delivered by the barrier
+// drain, assigning it a fresh local sequence number (merge arrivals
+// order behind everything this engine already scheduled for the same
+// cycle) and preserving its staged slack promise. A delivery behind
+// the local clock means the window grant was unsound (a lookahead
+// matrix entry below the model's true minimum, or a broken slack
+// promise) and the simulation has already diverged — fail loudly.
+func (e *Engine) insertMerged(ev event) {
+	if ev.at < e.now {
+		panic(fmt.Sprintf("sim: shard %d: cross-shard event delivered at cycle %d behind local clock %d (unsound lookahead)",
+			e.shard, ev.at, e.now))
+	}
+	ev.seq = e.seq
+	e.seq++
+	e.schedule(ev)
+}
+
 // migrate restores the calendar invariants after the clock advanced:
 // far-heap events whose cycle has entered the window move into their
 // buckets. Heap order is (at, seq), so same-cycle events migrate in
@@ -349,6 +513,9 @@ func (e *Engine) pop() event {
 	if e.mode == engineHeap {
 		e.cnt--
 		ev := heap.Pop(&e.events).(event)
+		if !e.slackLogged(&ev) {
+			e.slack0--
+		}
 		e.now = ev.at
 		return ev
 	}
@@ -362,6 +529,9 @@ func (e *Engine) pop() event {
 	ev := b.ev[b.head]
 	b.ev[b.head] = event{} // release references; the array is long-lived
 	b.head++
+	if !e.slackLogged(&ev) {
+		e.slack0--
+	}
 	if b.head == len(b.ev) {
 		b.ev = b.ev[:0]
 		b.head = 0

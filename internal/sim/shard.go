@@ -1,21 +1,36 @@
 // Cross-shard event posting: the half of the sharded execution model
 // that lives on the Engine itself. A shard's engine never touches
 // another shard's queue directly — a cross-engine schedule stages in
-// the sender's outbox and is merged into the destination engine at the
-// next quantum barrier by the ShardedEngine coordinator (sharded.go),
-// in (at, srcShard, srcSeq) order. That merge key is independent of
-// goroutine interleaving, which is what makes a sharded run
-// cycle-identical to the serial engine.
+// the per-(source, destination) lane for the current window and is
+// drained into the destination engine at the next quantum barrier by
+// the ShardedEngine protocol (sharded.go), in (at, srcShard, srcSeq)
+// order. That merge key is independent of goroutine interleaving,
+// which is what makes a sharded run cycle-identical to the serial
+// engine.
 package sim
 
 import "fmt"
 
-// outPost is one staged cross-engine event. seq is the *source*
+// outPost is one staged cross-engine event. ev.seq is the *source*
 // engine's sequence counter at Post time: together with the source
-// shard index it defines the deterministic merge order at the barrier.
+// shard index (implied by the lane) it defines the deterministic merge
+// order at the barrier.
 type outPost struct {
-	dst *Engine
-	ev  event
+	ev event
+}
+
+// lane is the SPSC staging buffer for one (source shard, destination
+// shard) pair, double-buffered by window parity: the producer appends
+// to buf[round&1] while executing round r, the consumer drains
+// buf[(r-1)&1] at the start of round r, and the barriers in between
+// provide the happens-before edges. minAt/minHkey are the producer's
+// running minimum target cycle and horizon key per parity, read by the
+// coordinator when granting the next window (a staged event is pending
+// work its destination has not seen yet).
+type lane struct {
+	buf     [2][]outPost
+	minAt   [2]Cycle
+	minHkey [2]Cycle
 }
 
 // Shard reports this engine's shard index (0 for a serial engine).
@@ -23,40 +38,58 @@ func (e *Engine) Shard() int { return e.shard }
 
 // Lookahead reports the minimum cross-shard latency this engine
 // enforces on Post (0 for a serial engine, where Post degenerates to
-// AtEvent and needs no lookahead).
+// AtEvent and needs no lookahead). Per-destination floors may be
+// larger (ShardedEngine.SetLookaheadMatrix); this is their minimum.
 func (e *Engine) Lookahead() Cycle { return e.lookahead }
 
 // setShard brands the engine as shard idx of a sharded group with the
 // given lookahead. Called by NewShardedEngine only.
-func (e *Engine) setShard(idx int, lookahead Cycle) {
+func (e *Engine) setShard(idx int, lookahead Cycle, group *ShardedEngine) {
 	e.shard = idx
 	e.lookahead = lookahead
+	e.group = group
 }
 
 // Post schedules a.OnEvent(op, arg, data) at cycle t on dst. When dst
 // is this engine (always true in serial mode, where every actor shares
 // one engine) it is a plain AtEvent. Otherwise the event crosses a
-// shard boundary: it stages in this engine's outbox and reaches dst at
-// the next quantum barrier, which is only sound if t is at least a
-// full lookahead away — the conservative-PDES contract. Posting closer
-// than the lookahead (or with a zero lookahead, i.e. from an engine
-// that is not part of a sharded group) panics: it would require an
-// event to land inside the quantum currently executing on dst.
+// shard boundary: it stages in the pair's lane and reaches dst at the
+// next quantum barrier, which is only sound if t is at least the
+// pair's lookahead away — the conservative-PDES contract. Posting
+// closer than the lookahead (or with a zero lookahead, i.e. from an
+// engine that is not part of a sharded group) panics: it would require
+// an event to land inside a window the destination may already have
+// executed.
 func (e *Engine) Post(dst *Engine, t Cycle, a Actor, op int, arg uint64, data any) {
+	e.PostSlack(dst, t, 0, a, op, arg, data)
+}
+
+// PostSlack is Post with a horizon promise attached to the delivered
+// event (see AtEventSlack for the contract; the promise also counts
+// while the event is still staged in its lane).
+func (e *Engine) PostSlack(dst *Engine, t, slack Cycle, a Actor, op int, arg uint64, data any) {
 	if dst == e {
-		e.AtEvent(t, a, op, arg, data)
+		e.AtEventSlack(t, slack, a, op, arg, data)
 		return
 	}
 	if e.lookahead == 0 {
 		panic("sim: cross-engine Post from an unsharded engine (zero lookahead)")
 	}
-	if t < e.now+e.lookahead {
-		panic(fmt.Sprintf("sim: Post at cycle %d violates lookahead %d (now %d)",
-			t, e.lookahead, e.now))
+	if floor := e.minPost[dst.shard]; t < e.now+floor {
+		panic(fmt.Sprintf("sim: Post at cycle %d violates lookahead %d (now %d, shard %d->%d)",
+			t, floor, e.now, e.shard, dst.shard))
 	}
-	e.outbox = append(e.outbox, outPost{
-		dst: dst,
-		ev:  event{at: t, seq: e.seq, actor: a, op: op, arg: arg, data: data},
+	g := e.group
+	p := g.stageParity
+	ln := &g.lanes[e.shard][dst.shard]
+	ln.buf[p] = append(ln.buf[p], outPost{
+		ev: event{at: t, seq: e.seq, slack: slack, actor: a, op: op, arg: arg, data: data},
 	})
+	if t < ln.minAt[p] {
+		ln.minAt[p] = t
+	}
+	if hk := t + slack; hk < ln.minHkey[p] {
+		ln.minHkey[p] = hk
+	}
 	e.seq++
 }

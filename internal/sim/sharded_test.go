@@ -256,3 +256,160 @@ func TestSplitDeterministicAndIndependent(t *testing.T) {
 		t.Fatalf("Split consumed parent randomness")
 	}
 }
+
+// TestShardedWindowFuzzIdentity pins schedule-independence at the unit
+// level: randomizing every granted window length (any seed) must not
+// change what fires when — window schedules are a wall-clock concern
+// only. The firing trace of a cross-shard ping-pong must be identical
+// with fuzz off and under several fuzz seeds.
+func TestShardedWindowFuzzIdentity(t *testing.T) {
+	run := func(seed uint64) []uint64 {
+		se := NewShardedEngine(3, 8)
+		if seed != 0 {
+			se.SetWindowFuzz(seed)
+		}
+		engs := se.Engines()
+		p := &pingPong{engs: engs, lat: 8, hops: 30}
+		engs[0].AtEvent(0, p, 0, 0, nil)
+		se.Run(0)
+		return p.trace
+	}
+	want := run(0)
+	for _, seed := range []uint64{1, 42, 0xDEADBEEF} {
+		got := run(seed)
+		if len(got) != len(want) {
+			t.Fatalf("seed %#x: %d hops, want %d", seed, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %#x: hop %d at cycle %d, want %d", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestLookaheadMatrixEnforcesPairFloors: installing per-pair floors
+// raises the Post guard for the widened pairs — a post legal under the
+// global lookahead must panic when its pair's floor is larger.
+func TestLookaheadMatrixEnforcesPairFloors(t *testing.T) {
+	se := NewShardedEngine(3, 8)
+	engs := se.Engines()
+	se.SetLookaheadMatrix([][]Cycle{
+		{0, 16, 8},
+		{16, 0, 8},
+		{8, 8, 0},
+	})
+	// 0 -> 2 at +8 is still legal.
+	engs[0].Post(engs[2], 8, actorFunc(func(int, uint64, any) {}), 0, 0, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Post at +8 under a pair floor of 16 did not panic")
+		}
+	}()
+	engs[0].Post(engs[1], 8, actorFunc(func(int, uint64, any) {}), 0, 0, nil)
+}
+
+// TestLookaheadMatrixValidation: wrong dimensions and below-quantum
+// entries are construction errors.
+func TestLookaheadMatrixValidation(t *testing.T) {
+	se := NewShardedEngine(2, 8)
+	for name, m := range map[string][][]Cycle{
+		"wrong size":  {{0, 8}},
+		"wrong row":   {{0, 8}, {8}},
+		"below floor": {{0, 4}, {8, 0}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: SetLookaheadMatrix did not panic", name)
+				}
+			}()
+			se.SetLookaheadMatrix(m)
+		}()
+	}
+}
+
+// TestShardedDynamicWindowsBatchRounds pins the tentpole's round
+// economy without a wall clock: a shard ticking every 256 cycles while
+// its neighbor idles must be granted multi-quantum windows, so the
+// whole run takes a small fraction of the rounds the static 8-cycle
+// quantum protocol would need (here: >=2048 barriers for 16384 cycles).
+func TestShardedDynamicWindowsBatchRounds(t *testing.T) {
+	se := NewShardedEngine(2, 8)
+	engs := se.Engines()
+	var ticks int
+	var self actorFunc
+	self = func(op int, arg uint64, data any) {
+		ticks++
+		if ticks < 64 {
+			engs[0].AtEvent(engs[0].Now()+256, self, 0, 0, nil)
+		}
+	}
+	engs[0].AtEvent(0, self, 0, 0, nil)
+	se.Run(0)
+	if ticks != 64 {
+		t.Fatalf("ran %d ticks, want 64", ticks)
+	}
+	if se.round > 128 {
+		t.Fatalf("idle-neighbor run used %d rounds for 16384 cycles; dynamic windows should batch far below the 2048 static quanta", se.round)
+	}
+}
+
+// TestShardedSteadyStateAllocs pins the per-round hot path at zero
+// allocations: once lanes, merge scratch, and calendar buckets are
+// warm, running thousands more rounds — cross-shard traffic included —
+// must allocate only the per-Run fixed overhead (worker goroutine
+// spawns), independent of the round count. This is the satellite guard
+// against the per-worker allocs/op growth the old global outbox merge
+// exhibited.
+func TestShardedSteadyStateAllocs(t *testing.T) {
+	se := NewShardedEngine(2, 8)
+	engs := se.Engines()
+	var chatter actorFunc
+	chatter = func(op int, arg uint64, data any) {
+		me := int(arg)
+		e := engs[me]
+		e.Post(engs[1-me], e.Now()+8, chatter, 0, uint64(1-me), nil)
+	}
+	engs[0].AtEvent(0, chatter, 0, 0, nil)
+	max := Cycle(1 << 14)
+	se.Run(max) // warm lanes, buckets, scratch
+	short := testing.AllocsPerRun(3, func() {
+		max += 1 << 10
+		se.Run(max)
+	})
+	long := testing.AllocsPerRun(3, func() {
+		max += 1 << 14
+		se.Run(max)
+	})
+	// 16x the rounds may not cost more than a few stray allocations
+	// beyond the fixed per-Run overhead.
+	if long > short+8 {
+		t.Fatalf("allocations grow with round count: %.0f for 128 rounds vs %.0f for 2048", short, long)
+	}
+}
+
+// TestShardedStopResume: stopping with cross-shard events still staged
+// in lanes must count them in Pending and deliver them on the next
+// Run, losing nothing.
+func TestShardedStopResume(t *testing.T) {
+	se := NewShardedEngine(2, 8)
+	engs := se.Engines()
+	p := &pingPong{engs: engs, lat: 8, hops: 10}
+	stopper := actorFunc(func(int, uint64, any) { se.Stop() })
+	engs[0].AtEvent(0, p, 0, 0, nil)
+	engs[0].AtEvent(20, stopper, 0, 0, nil)
+	se.Run(0)
+	if se.Pending() == 0 {
+		t.Fatalf("stopped mid-ping-pong with nothing pending")
+	}
+	se.Run(0)
+	if len(p.trace) != 11 {
+		t.Fatalf("resume finished %d hops, want 11", len(p.trace))
+	}
+	for i, at := range p.trace {
+		if at != uint64(i*8) {
+			t.Fatalf("hop %d fired at cycle %d, want %d", i, at, i*8)
+		}
+	}
+}

@@ -98,7 +98,7 @@ func (d *Driver) Run() (core.Stats, error) {
 	}
 	d.materialize(0)
 	for p := 0; p < procs; p++ {
-		d.engOf(p).AtEvent(0, d, opStep, uint64(p), nil)
+		d.engOf(p).AtEventSlack(0, d.stepSlack(p), d, opStep, uint64(p), nil)
 	}
 	// Machine.Run layers the liveness watchdog, Fail-sink errors, and
 	// panic recovery over the raw engine drain.
@@ -198,7 +198,13 @@ func (d *Driver) enterBarrier(p int) {
 		eng.AfterEvent(16, d, opBarrier, uint64(p), nil)
 		return
 	}
-	eng.Post(d.M.Eng, eng.Now()+d.hop, d, opArrived, uint64(p), nil)
+	// The arrival carries a BarrierCost horizon promise: firing it on
+	// the control shard either just counts (not the last arrival) or
+	// schedules the release exactly BarrierCost later, so nothing it
+	// causes lands earlier than that — and the promise lets the sharded
+	// coordinator grant barrier-wait windows spanning the whole barrier
+	// cost instead of creeping hop by hop (sim.Engine.AtEventSlack).
+	eng.PostSlack(d.M.Eng, eng.Now()+d.hop, d.BarrierCost, d, opArrived, uint64(p), nil)
 }
 
 // arrive counts a processor into the barrier on the control shard; the
@@ -216,12 +222,24 @@ func (d *Driver) arrive() {
 	d.M.Eng.AfterEvent(d.BarrierCost, d, opRelease, uint64(next), nil)
 }
 
+// stepSlack is the horizon promise an opStep event for p may carry:
+// the issue gap of the reference it will consume. A step that finds a
+// gapped reference only schedules the opIssue timer that far out;
+// everything else a step can do (issue immediately, or enter the
+// barrier and notify one hop away) can act at once, promising nothing.
+func (d *Driver) stepSlack(p int) sim.Cycle {
+	if d.idx[p] < len(d.refs[p]) {
+		return sim.Cycle(d.refs[p][d.idx[p]].Gap)
+	}
+	return 0
+}
+
 // release materializes phase ph and restarts every processor one hop
 // away on its own shard.
 func (d *Driver) release(ph int) {
 	d.materialize(ph)
 	ctl := d.M.Eng
 	for p := 0; p < d.W.Procs(); p++ {
-		ctl.Post(d.engOf(p), ctl.Now()+d.hop, d, opStep, uint64(p), nil)
+		ctl.PostSlack(d.engOf(p), ctl.Now()+d.hop, d.stepSlack(p), d, opStep, uint64(p), nil)
 	}
 }

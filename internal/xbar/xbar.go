@@ -367,6 +367,69 @@ func (c Config) Lookahead() sim.Cycle {
 	return core + mesg.LinkCyclesPerFlit
 }
 
+// InjectionFloor reports the minimum serialization delay of one flit
+// on a link for this configuration — the floor any occupancy-derived
+// lookahead refinement may assume for a message that has not yet
+// started traversal.
+func (c Config) InjectionFloor() sim.Cycle { return mesg.LinkCyclesPerFlit }
+
+// LookaheadMatrix reports the per-shard-pair lookahead floors of the
+// sharded fabric: entry [i][j] is the minimum number of cycles before
+// anything shard i does can be observed by shard j. Both couplings a
+// physical link carries — message arrival downstream (switch core +
+// one flit serialization) and credit return upstream (the same sum) —
+// cost at least Lookahead() per link crossed, so the entry for a pair
+// of shards is Lookahead() times the link distance between their
+// switch domains (all-pairs shortest path over the link topology).
+// Pairs whose domains share no fabric path keep a huge-but-finite
+// sentinel: the fabric alone never couples them, and callers wiring
+// non-fabric couplings (e.g. the workload driver's control channel)
+// must clamp the affected entries down before handing the matrix to
+// ShardedEngine.SetLookaheadMatrix. Call after Shard.
+func (n *Network) LookaheadMatrix() [][]sim.Cycle {
+	k := len(n.doms)
+	const far = sim.Cycle(1) << 40
+	m := make([][]sim.Cycle, k)
+	for i := range m {
+		m[i] = make([]sim.Cycle, k)
+		for j := range m[i] {
+			if i != j {
+				m[i][j] = far
+			}
+		}
+	}
+	for _, sw := range n.switches {
+		for _, ol := range sw.out {
+			if ol.toSwitch < 0 {
+				continue // endpoint link: co-located by Shard's invariant
+			}
+			a, b := sw.dom.shard, n.switches[ol.toSwitch].dom.shard
+			if a == b {
+				continue
+			}
+			if n.creditLat < m[a][b] {
+				m[a][b] = n.creditLat // arrivals downstream
+			}
+			if n.creditLat < m[b][a] {
+				m[b][a] = n.creditLat // credit returns upstream
+			}
+		}
+	}
+	for mid := 0; mid < k; mid++ {
+		for i := 0; i < k; i++ {
+			if m[i][mid] >= far {
+				continue
+			}
+			for j := 0; j < k; j++ {
+				if d := m[i][mid] + m[mid][j]; d < m[i][j] {
+					m[i][j] = d
+				}
+			}
+		}
+	}
+	return m
+}
+
 // Shard partitions the fabric across per-shard engines: engs[i] runs
 // shard i, swShard assigns each switch ordinal, and procShard/memShard
 // assign each node's processor-side and memory-side NI. Endpoint links

@@ -1,0 +1,37 @@
+#!/bin/sh
+# Parallel-speedup gate: BenchmarkShardedFFT at 8 workers must beat the
+# same benchmark at 1 worker, or the sharded engine's coordination
+# machinery has regressed into pure overhead — the failure mode the
+# adaptive-lookahead protocol exists to prevent.
+#
+# The comparison only means anything when real cores back the workers:
+# on a host with fewer than 8 CPUs the 8-worker run time-slices the
+# shard goroutines over the same cores and measures scheduler churn,
+# not the protocol (a 1-CPU runner reports ~1.5x "slowdown" for a
+# protocol that is strictly faster on 8 cores). Such hosts SKIP with
+# exit 0 and say so; CI runners with 8+ vCPUs enforce.
+set -eu
+cd "$(dirname "$0")/.."
+
+ncpu=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+if [ "$ncpu" -lt 8 ]; then
+	echo "benchgate: SKIP: host has $ncpu CPU(s), need 8 for an honest 8-worker measurement"
+	exit 0
+fi
+
+out=$(go test -run '^$' -bench 'BenchmarkShardedFFT/workers=(1|8)$' -benchtime 3x .)
+echo "$out"
+
+one=$(echo "$out" | awk '$1 ~ /workers=1-/ {print $3}')
+eight=$(echo "$out" | awk '$1 ~ /workers=8-/ {print $3}')
+if [ -z "$one" ] || [ -z "$eight" ]; then
+	echo "benchgate: FAIL: could not parse ns/op (workers=1: '$one', workers=8: '$eight')"
+	exit 1
+fi
+
+echo "benchgate: workers=1 ${one} ns/op, workers=8 ${eight} ns/op"
+if awk "BEGIN { exit !($eight > $one) }"; then
+	echo "benchgate: FAIL: 8 workers slower than 1 on an ${ncpu}-CPU host"
+	exit 1
+fi
+awk "BEGIN { printf \"benchgate: OK: 8-worker speedup %.2fx\\n\", $one / $eight }"

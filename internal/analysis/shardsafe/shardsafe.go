@@ -11,13 +11,19 @@
 // closure the analyzer flags:
 //
 //   - writes to fields of an engine-shared type (sharedTypes), unless
-//     the written element is indexed by a parameter of the shard
-//     function — the se.counts[i] per-lane convention, where the shard
-//     index pins the write to the worker's own slot. The exception
-//     extends through access chains: the per-pair staging lanes are
-//     addressed se.lanes[src][me], and any write whose chain passes an
-//     index pinned by a shard parameter (ln.buf[q], lanes[s][j].minAt)
-//     targets a lane the worker owns by construction;
+//     the written element is pinned by a *shard-identity* value — the
+//     se.counts[i] per-lane convention, where the shard index pins the
+//     write to the worker's own slot. Which values carry the shard
+//     identity is derived from the spawn sites, not guessed from the
+//     parameter list: at `go se.worker(i, ...)` the enclosing loop
+//     variable passed as an argument is the shard identity (the same
+//     convention the loop-capture rule enforces), that parameter is
+//     pinned, and pinning propagates through in-context calls
+//     (worker's i pins runShard's i pins drainInbound's j) and through
+//     local aliases (ln := &se.lanes[s][j] makes ln lane-local). A
+//     parameter that never receives a shard identity — a parity or
+//     window argument — pins nothing, so se.lanes[0][q] with q a
+//     parity parameter stays flagged even though q is a parameter;
 //   - writes to package-level variables;
 //   - channel operations — the engine's cross-shard path is the
 //     outbox, not ad-hoc channels, which would order results by
@@ -36,6 +42,7 @@ package shardsafe
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 
@@ -64,6 +71,13 @@ type checker struct {
 	pass   *analysis.Pass
 	shared map[string]bool
 	decls  map[*types.Func]*ast.FuncDecl
+
+	// pinnedPos/litPinned record, per shard function (named or
+	// goroutine literal), which parameter positions carry a shard
+	// identity: seeded at spawn sites from loop-variable arguments,
+	// extended to a fixpoint over in-context calls.
+	pinnedPos map[*types.Func]map[int]bool
+	litPinned map[*ast.FuncLit]map[int]bool
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
@@ -72,9 +86,11 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		return nil, nil
 	}
 	c := &checker{
-		pass:   pass,
-		shared: sharedTypes[path],
-		decls:  map[*types.Func]*ast.FuncDecl{},
+		pass:      pass,
+		shared:    sharedTypes[path],
+		decls:     map[*types.Func]*ast.FuncDecl{},
+		pinnedPos: map[*types.Func]map[int]bool{},
+		litPinned: map[*ast.FuncLit]map[int]bool{},
 	}
 	var roots []*types.Func
 	var litRoots []*ast.FuncLit
@@ -87,21 +103,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
 				c.decls[obj] = fd
 			}
-			c.checkLoopCapture(fd)
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				g, ok := n.(*ast.GoStmt)
-				if !ok {
-					return true
-				}
-				if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
-					litRoots = append(litRoots, lit)
-					return true
-				}
-				if fn := analysis.CalleeFunc(pass.TypesInfo, g.Call); fn != nil && fn.Pkg() == pass.Pkg {
-					roots = append(roots, fn)
-				}
-				return true
-			})
+			c.scanSpawns(fd, &roots, &litRoots)
 		}
 	}
 
@@ -125,150 +127,55 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		}
 	}
 
+	// Propagate shard-identity pinning to a fixpoint: an in-context
+	// call passing a pinned value (parameter or alias) pins the
+	// callee's parameter position.
+	for changed := true; changed; {
+		changed = false
+		for fn := range inContext {
+			fd := c.decls[fn]
+			if fd == nil {
+				continue
+			}
+			if c.propagate(fd.Body, c.pinnedSet(fd.Type, fd.Body, c.pinnedPos[fn])) {
+				changed = true
+			}
+		}
+		for _, lit := range litRoots {
+			if c.propagate(lit.Body, c.pinnedSet(lit.Type, lit.Body, c.litPinned[lit])) {
+				changed = true
+			}
+		}
+	}
+
 	for fn := range inContext {
 		fd := c.decls[fn]
 		if fd == nil {
 			continue
 		}
-		c.checkShard(fd.Body, c.paramObjs(fd.Type, nil))
+		c.checkShard(fd.Body, c.pinnedSet(fd.Type, fd.Body, c.pinnedPos[fn]))
 	}
 	for _, lit := range litRoots {
-		c.checkShard(lit.Body, c.paramObjs(lit.Type, nil))
+		c.checkShard(lit.Body, c.pinnedSet(lit.Type, lit.Body, c.litPinned[lit]))
 	}
 	return nil, nil
 }
 
-// paramObjs collects the parameter objects of a function type,
-// extending base (the enclosing shard function's parameters, for
-// nested literals).
-func (c *checker) paramObjs(ft *ast.FuncType, base map[types.Object]bool) map[types.Object]bool {
-	out := map[types.Object]bool{}
-	for obj := range base {
-		out[obj] = true
-	}
-	if ft == nil || ft.Params == nil {
-		return out
-	}
-	for _, field := range ft.Params.List {
-		for _, name := range field.Names {
-			if obj := c.pass.TypesInfo.Defs[name]; obj != nil {
-				out[obj] = true
-			}
-		}
-	}
-	return out
-}
-
-// checkShard walks one shard-context body. Nested function literals
-// run on the shard goroutine (deferred recovers, sort closures) and
-// are walked with the enclosing parameters still considered lane
-// indices; nested go statements spawn their own roots and are
-// collected globally, so they are skipped here.
-func (c *checker) checkShard(body ast.Node, params map[types.Object]bool) {
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.GoStmt:
-			return false
-		case *ast.FuncLit:
-			c.checkShard(n.Body, c.paramObjs(n.Type, params))
-			return false
-		case *ast.AssignStmt:
-			for _, lhs := range n.Lhs {
-				c.checkWrite(lhs, params)
-			}
-		case *ast.IncDecStmt:
-			c.checkWrite(n.X, params)
-		case *ast.SendStmt:
-			c.pass.Reportf(n.Pos(), "channel send in shard context: cross-shard data must flow through the stamped outbox (Engine.Post) and barrier merge")
-		case *ast.UnaryExpr:
-			if n.Op.String() == "<-" {
-				c.pass.Reportf(n.Pos(), "channel receive in shard context: cross-shard data must flow through the stamped outbox (Engine.Post) and barrier merge")
-			}
-		case *ast.CallExpr:
-			if fn := analysis.CalleeFunc(c.pass.TypesInfo, n); fn != nil && fn.Pkg() != nil {
-				switch fn.Pkg().Path() {
-				case "math/rand", "math/rand/v2":
-					c.pass.Reportf(n.Pos(), "math/rand in shard context breaks replay determinism: use the engine's seeded SplitMix stream")
-				}
-			}
-		}
-		return true
-	})
-}
-
-// checkWrite flags one assignment target when it lands in shared
-// state: a field of a shared type (unless parameter-indexed) or a
-// package-level variable.
-func (c *checker) checkWrite(lhs ast.Expr, params map[types.Object]bool) {
-	switch l := ast.Unparen(lhs).(type) {
-	case *ast.IndexExpr:
-		if id, ok := ast.Unparen(l.Index).(*ast.Ident); ok {
-			if obj := c.pass.TypesInfo.Uses[id]; obj != nil && params[obj] {
-				return // the worker's own lane, pinned by its shard parameter
-			}
-		}
-		c.checkWrite(l.X, params)
-	case *ast.StarExpr:
-		c.checkWrite(l.X, params)
-	case *ast.SelectorExpr:
-		class, ok := analysis.FieldClass(c.pass.TypesInfo, l)
-		if !ok {
-			return
-		}
-		if typeName, _, found := strings.Cut(class, "."); found && c.shared[typeName] {
-			if c.paramIndexedChain(l.X, params) {
-				// The per-pair staging-lane convention: the written
-				// object was selected by indexing shared state with a
-				// shard parameter (se.lanes[src][me].minAt = ...), so
-				// ownership is pinned to this worker's row or column.
-				return
-			}
-			c.pass.Reportf(lhs.Pos(), "write to shared %s state from shard context: results must cross shards via the stamped outbox/merge path", class)
-		}
-	case *ast.Ident:
-		if l.Name == "_" {
-			return
-		}
-		obj := c.pass.TypesInfo.Uses[l]
-		if obj == nil {
-			return
-		}
-		if v, ok := obj.(*types.Var); ok && v.Parent() == c.pass.Pkg.Scope() {
-			c.pass.Reportf(lhs.Pos(), "write to package-level variable %s from shard context: shard workers may touch only lane-local state", l.Name)
-		}
-	}
-}
-
-// paramIndexedChain reports whether an access chain passes through an
-// index pinned by a shard parameter: c.lanes[src][me].n is owned by the
-// worker holding me (or src), so field writes to the selected element
-// are lane-local even though the element's type is engine-shared. Only
-// identifier indices that resolve to parameters qualify — a constant or
-// free-variable index selects somebody else's lane and stays flagged.
-func (c *checker) paramIndexedChain(x ast.Expr, params map[types.Object]bool) bool {
-	for {
-		switch e := ast.Unparen(x).(type) {
-		case *ast.IndexExpr:
-			if id, ok := ast.Unparen(e.Index).(*ast.Ident); ok {
-				if obj := c.pass.TypesInfo.Uses[id]; obj != nil && params[obj] {
-					return true
-				}
-			}
-			x = e.X
-		case *ast.SelectorExpr:
-			x = e.X
-		case *ast.StarExpr:
-			x = e.X
-		default:
-			return false
-		}
-	}
-}
-
-// checkLoopCapture flags goroutine closures that capture an enclosing
-// loop variable anywhere in scope.
-func (c *checker) checkLoopCapture(fd *ast.FuncDecl) {
+// scanSpawns walks one declaration tracking enclosing loop variables.
+// At every `go` statement it collects the spawned root, flags literal
+// closures that capture a loop variable, and records the shard-identity
+// seed: argument positions receiving an enclosing loop variable pin the
+// corresponding callee parameter.
+func (c *checker) scanSpawns(fd *ast.FuncDecl, roots *[]*types.Func, litRoots *[]*ast.FuncLit) {
 	var loopVars []map[types.Object]bool
+	inLoop := func(obj types.Object) bool {
+		for _, vars := range loopVars {
+			if vars[obj] {
+				return true
+			}
+		}
+		return false
+	}
 	var walk func(n ast.Node)
 	collect := func(stmts ...ast.Stmt) map[types.Object]bool {
 		vars := map[types.Object]bool{}
@@ -310,32 +217,253 @@ func (c *checker) checkLoopCapture(fd *ast.FuncDecl) {
 				loopVars = loopVars[:len(loopVars)-1]
 				return false
 			case *ast.GoStmt:
-				lit, ok := ast.Unparen(child.Call.Fun).(*ast.FuncLit)
-				if !ok {
+				if lit, ok := ast.Unparen(child.Call.Fun).(*ast.FuncLit); ok {
+					*litRoots = append(*litRoots, lit)
+					c.checkCapture(child, lit, inLoop)
+					c.pinArgs(child.Call, inLoop, func(idx int) { pinPos(c.litPinned, lit, idx) })
 					return true
 				}
-				ast.Inspect(lit.Body, func(n ast.Node) bool {
-					id, ok := n.(*ast.Ident)
-					if !ok {
-						return true
-					}
-					obj := c.pass.TypesInfo.Uses[id]
-					if obj == nil {
-						return true
-					}
-					for _, vars := range loopVars {
-						if vars[obj] {
-							c.pass.Reportf(child.Pos(), "goroutine closure captures loop variable %s: pass it as an argument so the shard identity is pinned at the spawn site", id.Name)
-							return true
-						}
-					}
-					return true
-				})
+				if fn := analysis.CalleeFunc(c.pass.TypesInfo, child.Call); fn != nil && fn.Pkg() == c.pass.Pkg {
+					*roots = append(*roots, fn)
+					c.pinArgs(child.Call, inLoop, func(idx int) { pinPos(c.pinnedPos, fn, idx) })
+				}
 			}
 			return true
 		})
 	}
 	walk(fd.Body)
+}
+
+// pinPos marks parameter position idx of key as shard-identity-pinned
+// and reports whether that was new information.
+func pinPos[K comparable](m map[K]map[int]bool, key K, idx int) bool {
+	if m[key] == nil {
+		m[key] = map[int]bool{}
+	}
+	if m[key][idx] {
+		return false
+	}
+	m[key][idx] = true
+	return true
+}
+
+// pinArgs invokes mark for each call argument that satisfies isShardID
+// (an identifier resolving to a qualifying object).
+func (c *checker) pinArgs(call *ast.CallExpr, isShardID func(types.Object) bool, mark func(idx int)) {
+	for idx, arg := range call.Args {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if obj := c.pass.TypesInfo.Uses[id]; obj != nil && isShardID(obj) {
+			mark(idx)
+		}
+	}
+}
+
+// checkCapture flags a goroutine literal that captures an enclosing
+// loop variable instead of taking it as an argument.
+func (c *checker) checkCapture(g *ast.GoStmt, lit *ast.FuncLit, inLoop func(types.Object) bool) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := c.pass.TypesInfo.Uses[id]; obj != nil && inLoop(obj) {
+			c.pass.Reportf(g.Pos(), "goroutine closure captures loop variable %s: pass it as an argument so the shard identity is pinned at the spawn site", id.Name)
+		}
+		return true
+	})
+}
+
+// pinnedSet resolves a function's pinned parameter positions to their
+// objects and extends the set with local aliases: a variable assigned
+// (directly or via &) from a pinned access chain owns the same lane,
+// so writes through it are lane-local too.
+func (c *checker) pinnedSet(ft *ast.FuncType, body ast.Node, pos map[int]bool) map[types.Object]bool {
+	pinned := map[types.Object]bool{}
+	if ft != nil && ft.Params != nil {
+		idx := 0
+		for _, field := range ft.Params.List {
+			if len(field.Names) == 0 {
+				idx++
+				continue
+			}
+			for _, name := range field.Names {
+				if pos[idx] {
+					if obj := c.pass.TypesInfo.Defs[name]; obj != nil {
+						pinned[obj] = true
+					}
+				}
+				idx++
+			}
+		}
+	}
+	// Alias pinning to a local fixpoint (covers alias-of-alias).
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := c.pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = c.pass.TypesInfo.Uses[id]
+				}
+				if obj == nil || pinned[obj] {
+					continue
+				}
+				rhs := ast.Unparen(as.Rhs[i])
+				if ue, ok := rhs.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+					rhs = ue.X
+				}
+				if c.chainPinned(rhs, pinned) {
+					pinned[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return pinned
+}
+
+// propagate scans one shard-context body for package-local calls
+// passing a pinned value and pins the callee's parameter position. It
+// reports whether any new position was pinned.
+func (c *checker) propagate(body ast.Node, pinned map[types.Object]bool) bool {
+	changed := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(c.pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() != c.pass.Pkg {
+			return true
+		}
+		c.pinArgs(call, func(obj types.Object) bool { return pinned[obj] }, func(idx int) {
+			if pinPos(c.pinnedPos, fn, idx) {
+				changed = true
+			}
+		})
+		return true
+	})
+	return changed
+}
+
+// checkShard walks one shard-context body. Nested function literals
+// run on the shard goroutine (deferred recovers, sort closures) and
+// are walked with the enclosing pinned set — their own parameters pin
+// nothing; nested go statements spawn their own roots and are
+// collected globally, so they are skipped here.
+func (c *checker) checkShard(body ast.Node, pinned map[types.Object]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				c.checkWrite(lhs, pinned)
+			}
+		case *ast.IncDecStmt:
+			c.checkWrite(n.X, pinned)
+		case *ast.SendStmt:
+			c.pass.Reportf(n.Pos(), "channel send in shard context: cross-shard data must flow through the stamped outbox (Engine.Post) and barrier merge")
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				c.pass.Reportf(n.Pos(), "channel receive in shard context: cross-shard data must flow through the stamped outbox (Engine.Post) and barrier merge")
+			}
+		case *ast.CallExpr:
+			if fn := analysis.CalleeFunc(c.pass.TypesInfo, n); fn != nil && fn.Pkg() != nil {
+				switch fn.Pkg().Path() {
+				case "math/rand", "math/rand/v2":
+					c.pass.Reportf(n.Pos(), "math/rand in shard context breaks replay determinism: use the engine's seeded SplitMix stream")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkWrite flags one assignment target when it lands in shared
+// state: a field of a shared type (unless shard-identity-pinned) or a
+// package-level variable.
+func (c *checker) checkWrite(lhs ast.Expr, pinned map[types.Object]bool) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.IndexExpr:
+		if id, ok := ast.Unparen(l.Index).(*ast.Ident); ok {
+			if obj := c.pass.TypesInfo.Uses[id]; obj != nil && pinned[obj] {
+				return // the worker's own lane, pinned by its shard identity
+			}
+		}
+		c.checkWrite(l.X, pinned)
+	case *ast.StarExpr:
+		c.checkWrite(l.X, pinned)
+	case *ast.SelectorExpr:
+		class, ok := analysis.FieldClass(c.pass.TypesInfo, l)
+		if !ok {
+			return
+		}
+		if typeName, _, found := strings.Cut(class, "."); found && c.shared[typeName] {
+			if c.chainPinned(l.X, pinned) {
+				// The per-pair staging-lane convention: the written
+				// object was selected by indexing shared state with the
+				// worker's shard identity (se.lanes[src][me].minAt =
+				// ...) or reached through an alias so pinned, so
+				// ownership is this worker's row or column.
+				return
+			}
+			c.pass.Reportf(lhs.Pos(), "write to shared %s state from shard context: results must cross shards via the stamped outbox/merge path", class)
+		}
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		obj := c.pass.TypesInfo.Uses[l]
+		if obj == nil {
+			return
+		}
+		if v, ok := obj.(*types.Var); ok && v.Parent() == c.pass.Pkg.Scope() {
+			c.pass.Reportf(lhs.Pos(), "write to package-level variable %s from shard context: shard workers may touch only lane-local state", l.Name)
+		}
+	}
+}
+
+// chainPinned reports whether an access chain is owned by this worker:
+// it passes through an index that is a shard-identity value
+// (c.lanes[src][me].n — me received the spawn loop variable), or is
+// rooted at a pinned alias (ln := &c.lanes[src][me]; ln.n). A constant
+// index, a free variable, or a parameter that never received a shard
+// identity (a parity or window argument) selects somebody else's lane
+// and stays flagged.
+func (c *checker) chainPinned(x ast.Expr, pinned map[types.Object]bool) bool {
+	for {
+		switch e := ast.Unparen(x).(type) {
+		case *ast.IndexExpr:
+			if id, ok := ast.Unparen(e.Index).(*ast.Ident); ok {
+				if obj := c.pass.TypesInfo.Uses[id]; obj != nil && pinned[obj] {
+					return true
+				}
+			}
+			x = e.X
+		case *ast.SelectorExpr:
+			x = e.X
+		case *ast.StarExpr:
+			x = e.X
+		case *ast.Ident:
+			obj := c.pass.TypesInfo.Uses[e]
+			return obj != nil && pinned[obj]
+		default:
+			return false
+		}
+	}
 }
 
 // rangeVars returns the key/value expressions a range statement

@@ -24,7 +24,9 @@ type Coord struct {
 // lane mirrors the engine's per-pair staging buffer: the element at
 // lanes[src][dst] is written by shard src and drained by shard dst, so
 // it is engine-shared state — but a write whose access chain is pinned
-// by a shard parameter targets a lane the worker owns by construction.
+// by the worker's shard identity (the spawn-site loop variable, as
+// propagated through parameters and local aliases) targets a lane the
+// worker owns by construction.
 type lane struct {
 	n   [2]int
 	cnt int
@@ -48,7 +50,7 @@ func (c *Coord) Run(n int) {
 func (c *Coord) worker(i int, wg *sync.WaitGroup) {
 	defer wg.Done()
 	c.drain(i, 0)
-	c.counts[i] = step(c, i) // lane-local, parameter-indexed: allowed
+	c.counts[i] = step(c, i) // lane-local, indexed by the shard identity: allowed
 	c.stop.Store(true)       // atomic method call: allowed
 	c.totals += i            // want `write to shared Coord\.totals state from shard context`
 	hits++                   // want `write to package-level variable hits from shard context`
@@ -66,20 +68,27 @@ func step(c *Coord, i int) int {
 }
 
 // drain is transitively in shard context via worker. It exercises the
-// per-pair staging-lane exception: me/q are shard parameters, src is a
-// free loop variable — a chain is lane-local as soon as any index in
-// it is parameter-pinned, while constant indices select somebody
-// else's lane and stay flagged.
+// per-pair staging-lane exception: me received the spawn loop variable
+// (worker's i) and so carries the shard identity; q only ever receives
+// the literal 0 (a parity-style argument), so it pins nothing. A chain
+// is lane-local only when a shard-identity value indexes it (or an
+// alias derived from such a chain roots it); constant or
+// non-identity-parameter indices select somebody else's lane and stay
+// flagged.
 func (c *Coord) drain(me, q int) {
 	for src := range c.lanes {
-		c.lanes[src][me].n[q] = 0 // slot pinned by parameter q: allowed
-		c.lanes[src][me].cnt++    // lane pinned by parameter me in the chain: allowed
+		c.lanes[src][me].n[q] = 0 // lane pinned by shard identity me in the chain: allowed
+		c.lanes[src][me].cnt++    // lane pinned by shard identity me in the chain: allowed
 		ln := &c.lanes[src][me]
-		ln.n[q] = 1 // through a local pointer, slot pinned by q: allowed
+		ln.n[q] = 1 // through a local alias of a pinned chain: allowed
 	}
 	c.lanes[0][1].cnt++ // want `write to shared lane\.cnt state from shard context`
 	lp := &c.lanes[0][1]
-	lp.cnt = 2 // want `write to shared lane\.cnt state from shard context`
+	lp.cnt = 2             // want `write to shared lane\.cnt state from shard context`
+	c.lanes[0][q].n[0] = 3 // want `write to shared lane\.n state from shard context`
+	c.counts[q] = 7        // want `write to shared Coord\.counts state from shard context`
+	lq := &c.lanes[q][0]
+	lq.cnt = 4 // want `write to shared lane\.cnt state from shard context`
 }
 
 // spawnLits exercises goroutine-literal roots and the loop-capture
@@ -90,7 +99,7 @@ func (c *Coord) spawnLits(n int, jobs []int) {
 			sink(i)
 		}()
 		go func(i int) {
-			c.counts[i] = 1 // lane pinned by the literal's own parameter: allowed
+			c.counts[i] = 1 // parameter pinned by the spawn-site loop variable: allowed
 		}(i)
 	}
 	for _, job := range jobs {

@@ -38,25 +38,57 @@ type Actor interface {
 	OnEvent(op int, arg uint64, data any)
 }
 
-// event is a scheduled callback. seq breaks ties between events at the
-// same cycle so execution order is deterministic (FIFO within a
-// cycle). Exactly one of fn and actor is set: fn for closure events,
-// actor+op+arg+data for record events. slack is the event's horizon
-// promise (see AtEventSlack); it never affects firing order, only the
-// sharded coordinator's window grants.
+// event is a scheduled callback. Same-cycle ties are broken by
+// (madeAt, seq): the cycle the event was created on, then its creation
+// stamp, which packs the originating shard into the top bits
+// (seqShardShift) over the source engine's scheduling counter. The
+// whole key is assigned when the event is *created* — for a
+// cross-shard post, on the source engine at Post time — so it is a
+// pure function of simulated history that never depends on when a
+// barrier drain happened to deliver the event. On a serial engine seq
+// alone is globally monotone and madeAt is redundant (kept in the key
+// so both modes share one ordering); across shards, creation-cycle
+// order reproduces the serial engine's global scheduling order
+// whenever the colliding events were created on different cycles, and
+// same-cycle creations fall back to the (srcShard, srcSeq) tie-break,
+// which the model must keep unobservable (see the coalesced
+// arbitration in package xbar). Exactly one of fn and actor is set: fn
+// for closure events, actor+op+arg+data for record events. slack is
+// the event's horizon promise (see AtEventSlack); it never affects
+// firing order, only the sharded coordinator's window grants.
 type event struct {
-	at    Cycle
-	seq   uint64
-	slack Cycle
-	fn    func()
-	actor Actor
-	op    int
-	arg   uint64
-	data  any
+	at     Cycle
+	madeAt Cycle
+	seq    uint64
+	slack  Cycle
+	fn     func()
+	actor  Actor
+	op     int
+	arg    uint64
+	data   any
+}
+
+// before reports whether a fires ahead of b: cycle order, then the
+// creation-time key (madeAt, srcShard, srcSeq).
+func (a *event) before(b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.madeAt != b.madeAt {
+		return a.madeAt < b.madeAt
+	}
+	return a.seq < b.seq
 }
 
 // cycleMax is the identity for min-reductions over cycles.
 const cycleMax = ^Cycle(0)
+
+// seqShardShift positions the originating shard index in an event's
+// seq stamp: seq = shard<<seqShardShift | counter. 48 bits of counter
+// (a quarter-quadrillion events per shard, far beyond any run) under
+// 16 bits of shard index keep the stamp one comparable word, so every
+// queue orders by plain (at, seq) and realizes (at, srcShard, srcSeq).
+const seqShardShift = 48
 
 // fire dispatches the event.
 func (ev *event) fire() {
@@ -72,13 +104,8 @@ func (ev *event) fire() {
 
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].before(&h[j]) }
 func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
 func (h *eventHeap) Pop() interface{} {
@@ -109,16 +136,12 @@ type bucket struct {
 	head int
 }
 
-// farHeap is a concrete min-heap ordered by (at, seq). Unlike
-// container/heap it moves event values without interface boxing.
+// farHeap is a concrete min-heap ordered by the event key (at, madeAt,
+// seq). Unlike container/heap it moves event values without interface
+// boxing.
 type farHeap []event
 
-func (h farHeap) less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
+func (h farHeap) less(i, j int) bool { return h[i].before(&h[j]) }
 
 func (h *farHeap) push(ev event) {
 	*h = append(*h, ev)
@@ -208,10 +231,15 @@ func (h *hkeyHeap) pop() {
 // Engine is a deterministic discrete-event scheduler.
 // The zero value is ready to use (calendar queue mode).
 type Engine struct {
-	now  Cycle
-	seq  uint64
-	cnt  int // scheduled events not yet executed (both queue modes)
-	mode engineMode
+	now Cycle
+	// seq counts locally-created events; seqBase is the engine's shard
+	// index shifted to seqShardShift (0 for a serial engine). Every
+	// event this engine creates is stamped seqBase|seq, so stamps from
+	// different shards never collide and compare as (shard, counter).
+	seq     uint64
+	seqBase uint64
+	cnt     int // scheduled events not yet executed (both queue modes)
+	mode    engineMode
 
 	// Calendar queue state. Invariants, restored after every clock
 	// advance by migrate():
@@ -345,6 +373,17 @@ func (e *Engine) schedule(ev event) {
 	if ev.at < e.now+calWindow {
 		b := &e.buckets[ev.at&calMask]
 		b.ev = append(b.ev, ev)
+		// Keep the bucket in key order. Locally-created events arrive
+		// with monotonically increasing (madeAt, seq) stamps, so this
+		// loop runs zero iterations on the hot path; only a
+		// barrier-merged event whose creation-time key orders earlier
+		// walks backwards past locals already appended for the same
+		// cycle. Never past head: a merged delivery is strictly ahead
+		// of the clock, so every already-fired slot stays untouched.
+		for i := len(b.ev) - 1; i > b.head && ev.before(&b.ev[i-1]); i-- {
+			b.ev[i] = b.ev[i-1]
+			b.ev[i-1] = ev
+		}
 	} else {
 		e.far.push(ev)
 	}
@@ -371,7 +410,7 @@ func (e *Engine) At(t Cycle, fn func()) {
 	if t < e.now {
 		t = e.now
 	}
-	e.schedule(event{at: t, seq: e.seq, fn: fn})
+	e.schedule(event{at: t, madeAt: e.now, seq: e.seqBase | e.seq, fn: fn})
 	e.seq++
 }
 
@@ -387,7 +426,7 @@ func (e *Engine) AtEvent(t Cycle, a Actor, op int, arg uint64, data any) {
 	if t < e.now {
 		t = e.now
 	}
-	e.schedule(event{at: t, seq: e.seq, actor: a, op: op, arg: arg, data: data})
+	e.schedule(event{at: t, madeAt: e.now, seq: e.seqBase | e.seq, actor: a, op: op, arg: arg, data: data})
 	e.seq++
 }
 
@@ -411,7 +450,7 @@ func (e *Engine) AtEventSlack(t, slack Cycle, a Actor, op int, arg uint64, data 
 	if t < e.now {
 		t = e.now
 	}
-	e.schedule(event{at: t, seq: e.seq, slack: slack, actor: a, op: op, arg: arg, data: data})
+	e.schedule(event{at: t, madeAt: e.now, seq: e.seqBase | e.seq, slack: slack, actor: a, op: op, arg: arg, data: data})
 	e.seq++
 }
 
@@ -451,28 +490,34 @@ func (e *Engine) minHkey() Cycle {
 }
 
 // insertMerged enqueues one cross-shard event delivered by the barrier
-// drain, assigning it a fresh local sequence number (merge arrivals
-// order behind everything this engine already scheduled for the same
-// cycle) and preserving its staged slack promise. A delivery behind
-// the local clock means the window grant was unsound (a lookahead
-// matrix entry below the model's true minimum, or a broken slack
-// promise) and the simulation has already diverged — fail loudly.
+// drain, keeping the (srcShard, srcSeq) stamp the source engine packed
+// into ev.seq at Post time and the staged slack promise. The stamp is
+// deliberately NOT reassigned here: a drain-time stamp would make the
+// firing order between a merged event and a local event at the same
+// cycle depend on where the window boundary fell, which is exactly the
+// schedule-dependence the window-fuzz contract forbids. A delivery at
+// or behind the local clock means the window grant was unsound (a
+// lookahead matrix entry below the model's true minimum, or a broken
+// slack promise): sound grants deliver strictly ahead of the
+// destination clock (at >= end[j] > now), so an exactly-at-now arrival
+// is already a broken promise that would silently reorder same-cycle
+// execution — fail loudly instead.
 func (e *Engine) insertMerged(ev event) {
-	if ev.at < e.now {
-		panic(fmt.Sprintf("sim: shard %d: cross-shard event delivered at cycle %d behind local clock %d (unsound lookahead)",
+	if ev.at <= e.now {
+		panic(fmt.Sprintf("sim: shard %d: cross-shard event delivered at cycle %d not strictly ahead of local clock %d (unsound lookahead)",
 			e.shard, ev.at, e.now))
 	}
-	ev.seq = e.seq
-	e.seq++
 	e.schedule(ev)
 }
 
 // migrate restores the calendar invariants after the clock advanced:
 // far-heap events whose cycle has entered the window move into their
 // buckets. Heap order is (at, seq), so same-cycle events migrate in
-// seq order, and any event scheduled directly for that cycle later
-// carries a higher seq and lands behind them — bucket append order is
-// exactly (at, seq) order, which is why buckets need no sort.
+// seq order into buckets that are necessarily empty of that cycle
+// (while any event for cycle c sits in the far heap, c is outside the
+// window, so nothing for c can be bucket-resident); later schedules
+// for that cycle restore seq order via the insertion walk in
+// schedule().
 func (e *Engine) migrate() {
 	for len(e.far) > 0 && e.far[0].at < e.now+calWindow {
 		ev := e.far.pop()

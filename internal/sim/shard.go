@@ -3,18 +3,21 @@
 // another shard's queue directly — a cross-engine schedule stages in
 // the per-(source, destination) lane for the current window and is
 // drained into the destination engine at the next quantum barrier by
-// the ShardedEngine protocol (sharded.go), in (at, srcShard, srcSeq)
-// order. That merge key is independent of goroutine interleaving,
-// which is what makes a sharded run cycle-identical to the serial
-// engine.
+// the ShardedEngine protocol (sharded.go), ordered by the stamp the
+// event was given at creation: (at, madeAt, srcShard<<48|srcSeq).
+// That merge key is independent of goroutine interleaving and of
+// where the window boundaries fall, which is what makes a sharded run
+// cycle-identical to the serial engine.
 package sim
 
 import "fmt"
 
-// outPost is one staged cross-engine event. ev.seq is the *source*
-// engine's sequence counter at Post time: together with the source
-// shard index (implied by the lane) it defines the deterministic merge
-// order at the barrier.
+// outPost is one staged cross-engine event. ev.seq is the source
+// engine's full stamp at Post time — srcShard<<seqShardShift | srcSeq
+// — which defines the deterministic merge order at the barrier AND the
+// event's same-cycle tie-break inside the destination queue: the stamp
+// travels with the event, so where the window boundaries fall can
+// never change how it orders against the destination's own events.
 type outPost struct {
 	ev event
 }
@@ -46,6 +49,7 @@ func (e *Engine) Lookahead() Cycle { return e.lookahead }
 // given lookahead. Called by NewShardedEngine only.
 func (e *Engine) setShard(idx int, lookahead Cycle, group *ShardedEngine) {
 	e.shard = idx
+	e.seqBase = uint64(idx) << seqShardShift
 	e.lookahead = lookahead
 	e.group = group
 }
@@ -83,7 +87,7 @@ func (e *Engine) PostSlack(dst *Engine, t, slack Cycle, a Actor, op int, arg uin
 	p := g.stageParity
 	ln := &g.lanes[e.shard][dst.shard]
 	ln.buf[p] = append(ln.buf[p], outPost{
-		ev: event{at: t, seq: e.seq, slack: slack, actor: a, op: op, arg: arg, data: data},
+		ev: event{at: t, madeAt: e.now, seq: e.seqBase | e.seq, slack: slack, actor: a, op: op, arg: arg, data: data},
 	})
 	if t < ln.minAt[p] {
 		ln.minAt[p] = t

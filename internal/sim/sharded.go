@@ -40,12 +40,16 @@
 // narrower than the fixed-quantum protocol they replace, and the shard
 // holding the globally earliest event always makes progress.
 //
-// Determinism: staged events are merged in (at, srcShard, srcSeq)
-// order — simulated cycle first, then source shard index, then the
-// source engine's scheduling sequence. None of those depend on
-// goroutine scheduling, so the order events enter a destination engine
-// is a pure function of the simulation's own history, and a run is
-// reproducible at any worker count. Cycle-identity with the *serial*
+// Determinism: every event carries a (srcShard, srcSeq) stamp packed
+// into its sequence word when it is *created* — on the source engine,
+// at Post time for a cross-shard event — and the destination queue
+// orders same-cycle events by that stamp. Nothing is restamped at
+// drain time, so the firing order between a merged event and a local
+// event at the same cycle is decided by the stamps alone: it cannot
+// depend on where a window boundary fell, on goroutine scheduling, or
+// on which round delivered the event. The executed sequence is a pure
+// function of the simulation's own history, and a run is reproducible
+// at any worker count under any window schedule. Cycle-identity with the *serial*
 // engine additionally requires the model to make same-cycle
 // cross-actor event order unobservable (see the coalesced arbitration
 // in package xbar and DESIGN.md "Parallel execution model"); the
@@ -146,6 +150,9 @@ const defaultMaxWindow = calWindow
 func NewShardedEngine(n int, lookahead Cycle) *ShardedEngine {
 	if n <= 0 {
 		panic("sim: NewShardedEngine with no shards")
+	}
+	if n >= 1<<(64-seqShardShift) {
+		panic(fmt.Sprintf("sim: NewShardedEngine with %d shards overflows the %d-bit shard stamp", n, 64-seqShardShift))
 	}
 	if lookahead == 0 {
 		panic("sim: NewShardedEngine with zero lookahead")
@@ -444,14 +451,17 @@ func (se *ShardedEngine) drainInbound(j int, q uint32) {
 		ln.minAt[q] = cycleMax
 		ln.minHkey[q] = cycleMax
 	}
-	// Stable insertion sort by target cycle: lanes were visited in
-	// source-shard order and each lane is in srcSeq order, so sorting
-	// by cycle alone, stably, realizes the full (at, srcShard, srcSeq)
-	// key. Rounds stage few cross-shard events and lanes arrive nearly
-	// sorted, so insertion beats a general sort here — and unlike
-	// sort.SliceStable it allocates nothing.
+	// Insertion sort by (at, seq): seq already packs (srcShard,
+	// srcSeq), so this is the full merge key. Rounds stage few
+	// cross-shard events and lanes arrive nearly sorted (visited in
+	// source-shard order, each in srcSeq order), so insertion beats a
+	// general sort here — and unlike sort.SliceStable it allocates
+	// nothing. Sorted hand-off keeps the per-event insertMerged an
+	// append in the common case (the destination bucket walk in
+	// schedule() would restore the order regardless).
 	for i := 1; i < len(buf); i++ {
-		for k := i; k > 0 && buf[k].ev.at < buf[k-1].ev.at; k-- {
+		for k := i; k > 0 && (buf[k].ev.at < buf[k-1].ev.at ||
+			(buf[k].ev.at == buf[k-1].ev.at && buf[k].ev.seq < buf[k-1].ev.seq)); k-- {
 			buf[k], buf[k-1] = buf[k-1], buf[k]
 		}
 	}

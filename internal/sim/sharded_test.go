@@ -47,8 +47,8 @@ func TestShardedPingPong(t *testing.T) {
 // TestShardedBarrierCycleEvent pins the quantum-boundary edge case: a
 // cross-shard event landing exactly at a window-end cycle T+Q must
 // fire at T+Q, after every event the destination shard itself
-// scheduled for T+Q beforehand (pre-scheduled events carry lower
-// sequence numbers than barrier-merged ones).
+// scheduled for T+Q beforehand (both events were created at cycle 0,
+// so the tie breaks to shard 0's lower source stamp).
 func TestShardedBarrierCycleEvent(t *testing.T) {
 	se := NewShardedEngine(2, 8)
 	engs := se.Engines()
@@ -157,6 +157,74 @@ func TestShardedMergeDeterminism(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("merge order[%d] = %d.%d, want %d.%d",
 				i, got[i]>>8, got[i]&0xff, want[i]>>8, want[i]&0xff)
+		}
+	}
+}
+
+// TestShardedSameCycleStampInvariance pins the fix for the drain-time
+// stamping bug: when a cross-shard event and a locally-scheduled event
+// collide on the same destination cycle, their firing order must be
+// decided by the creation-time (srcShard, srcSeq) stamps alone — never
+// by where the window boundaries fell. The repro that falsified the
+// old scheme: shard 1 posts remote@16 at cycle 0 while shard 0, not
+// yet past cycle 4, schedules local@16; with stamps assigned at drain
+// time the order flipped between fuzz seeds (narrow windows delivered
+// remote before local was even scheduled, wide windows after). Both
+// collision directions run under a spread of window schedules and must
+// produce one identical trace: the event *created* on the earlier
+// cycle fires first — exactly what a serial engine, whose sequence
+// counter is globally monotone, would do.
+func TestShardedSameCycleStampInvariance(t *testing.T) {
+	run := func(seed uint64, maxWin Cycle) [2][]string {
+		se := NewShardedEngine(2, 8)
+		if seed != 0 {
+			se.SetWindowFuzz(seed)
+		}
+		if maxWin != 0 {
+			se.SetMaxWindow(maxWin)
+		}
+		engs := se.Engines()
+		// Traces are per destination shard: every append happens on
+		// that shard's own goroutine, so the test itself is race-free.
+		var trace [2][]string
+		rec := func(shard int, tag string) actorFunc {
+			return func(int, uint64, any) { trace[shard] = append(trace[shard], tag) }
+		}
+		// Collision on shard 0: the merged event was created at cycle 0,
+		// the local one at cycle 4, so the merged event fires first —
+		// whether the post was delivered before or after cycle 4
+		// executed.
+		engs[1].AtEvent(0, actorFunc(func(int, uint64, any) {
+			engs[1].Post(engs[0], 16, rec(0, "remote@16"), 0, 0, nil)
+		}), 0, 0, nil)
+		engs[0].AtEvent(4, actorFunc(func(int, uint64, any) {
+			engs[0].AtEvent(16, rec(0, "local@16"), 0, 0, nil)
+		}), 0, 0, nil)
+		// Mirror collision on shard 1: again the merged event's creation
+		// cycle (0) orders before the local's (4).
+		engs[0].AtEvent(0, actorFunc(func(int, uint64, any) {
+			engs[0].Post(engs[1], 24, rec(1, "remote@24"), 0, 0, nil)
+		}), 0, 0, nil)
+		engs[1].AtEvent(4, actorFunc(func(int, uint64, any) {
+			engs[1].AtEvent(24, rec(1, "local@24"), 0, 0, nil)
+		}), 0, 0, nil)
+		se.Run(0)
+		return trace
+	}
+	want := [2][]string{{"remote@16", "local@16"}, {"remote@24", "local@24"}}
+	for _, seed := range []uint64{0, 1, 2, 3, 42} {
+		for _, maxWin := range []Cycle{0, 8, 16, 1024} {
+			got := run(seed, maxWin)
+			for shard := range want {
+				if len(got[shard]) != len(want[shard]) {
+					t.Fatalf("seed %d maxWindow %d shard %d: trace %v, want %v", seed, maxWin, shard, got[shard], want[shard])
+				}
+				for i := range want[shard] {
+					if got[shard][i] != want[shard][i] {
+						t.Fatalf("seed %d maxWindow %d shard %d: trace %v, want %v", seed, maxWin, shard, got[shard], want[shard])
+					}
+				}
+			}
 		}
 	}
 }

@@ -10,6 +10,15 @@
 # not the protocol (a 1-CPU runner reports ~1.5x "slowdown" for a
 # protocol that is strictly faster on 8 cores). Such hosts SKIP with
 # exit 0 and say so; CI runners with 8+ vCPUs enforce.
+#
+# A single measurement is too noisy to gate on: one descheduling blip
+# on a shared runner and the gate cries wolf. Each configuration runs
+# -count=5 and the gate compares the per-configuration MINIMUM ns/op —
+# for a CPU-bound benchmark the minimum is the least-contaminated
+# estimate, since interference only ever adds time. On top of that the
+# pass condition keeps a 5% margin (fail only when min(eight) exceeds
+# 95% of min(one)), so a genuine regression to parity still fails
+# while measurement jitter around a real speedup never does.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -19,19 +28,22 @@ if [ "$ncpu" -lt 8 ]; then
 	exit 0
 fi
 
-out=$(go test -run '^$' -bench 'BenchmarkShardedFFT/workers=(1|8)$' -benchtime 3x .)
+out=$(go test -run '^$' -bench 'BenchmarkShardedFFT/workers=(1|8)$' -benchtime 3x -count 5 .)
 echo "$out"
 
-one=$(echo "$out" | awk '$1 ~ /workers=1-/ {print $3}')
-eight=$(echo "$out" | awk '$1 ~ /workers=8-/ {print $3}')
+min() {
+	awk -v pat="$1" '$1 ~ pat { if (best == "" || $3 < best) best = $3 } END { print best }'
+}
+one=$(echo "$out" | min 'workers=1-')
+eight=$(echo "$out" | min 'workers=8-')
 if [ -z "$one" ] || [ -z "$eight" ]; then
 	echo "benchgate: FAIL: could not parse ns/op (workers=1: '$one', workers=8: '$eight')"
 	exit 1
 fi
 
-echo "benchgate: workers=1 ${one} ns/op, workers=8 ${eight} ns/op"
-if awk "BEGIN { exit !($eight > $one) }"; then
-	echo "benchgate: FAIL: 8 workers slower than 1 on an ${ncpu}-CPU host"
+echo "benchgate: min of 5 runs: workers=1 ${one} ns/op, workers=8 ${eight} ns/op"
+if awk "BEGIN { exit !($eight > $one * 0.95) }"; then
+	echo "benchgate: FAIL: 8 workers not faster than 1 (beyond the 5% noise margin) on an ${ncpu}-CPU host"
 	exit 1
 fi
 awk "BEGIN { printf \"benchgate: OK: 8-worker speedup %.2fx\\n\", $one / $eight }"

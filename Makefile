@@ -57,21 +57,21 @@ test-race-sharded:
 # One iteration of every benchmark, including the figure regenerators,
 # the design-space ablations (reduced inputs), the sharded-engine
 # scaling points, and the serving layer's submit-to-result latency
-# (cached vs uncached). The results are rendered into BENCH_7.json via
+# (cached vs uncached). The results are rendered into BENCH_8.json via
 # cmd/benchjson after an informational comparison against the committed
 # copy; commit the refreshed file when a perf change is intentional.
-# BENCH_6.json stays in the tree as the pre-adaptive-lookahead record.
+# BENCH_7.json stays in the tree as the pre-generalized-topology record.
 bench:
 	go build -o bin/benchjson ./cmd/benchjson
 	go test -run '^$$' -bench . -benchmem -benchtime 1x ./... > bench.out
-	bin/benchjson -in bench.out -out BENCH_7.json -baseline BENCH_7.json
+	bin/benchjson -in bench.out -out BENCH_8.json -baseline BENCH_8.json
 
 # Diff two committed benchmark documents directly — no fresh bench run.
 # Defaults to the previous record against the current one; override
 # with OLD=/NEW=, and set TOLERANCE=pct to turn the report into a gate
 # (exit 1 when any |delta| on ns/op, B/op, or allocs/op exceeds it).
-OLD ?= BENCH_6.json
-NEW ?= BENCH_7.json
+OLD ?= BENCH_7.json
+NEW ?= BENCH_8.json
 TOLERANCE ?= 0
 bench-compare:
 	go build -o bin/benchjson ./cmd/benchjson
@@ -80,7 +80,7 @@ bench-compare:
 # The CI perf gate: the Figure 8 sweep benchmark (the run that pays
 # for the shared ScaleSmall sweep, so its ns/op and Msimcycles/sec are
 # honest) plus the scheduler hot-path microbenchmark, best of
-# $(BENCH_COUNT) runs, compared against the committed BENCH_6.json.
+# $(BENCH_COUNT) runs, compared against the committed BENCH_8.json.
 # The sweep repeats in separate processes because the figure
 # benchmarks share one sync.Once sweep per process. Informational by
 # default; ENFORCE=1 makes a >10% throughput or allocation regression
@@ -93,7 +93,7 @@ bench-short:
 		go test -run '^$$' -bench 'Fig8' -benchmem -benchtime 1x . || exit 1; \
 	done > bench_short.out
 	go test -run '^$$' -bench EngineScheduleRun -benchmem -count $(BENCH_COUNT) ./internal/sim >> bench_short.out
-	bin/benchjson -in bench_short.out -out bench_short.json -baseline BENCH_7.json $(if $(ENFORCE),-enforce)
+	bin/benchjson -in bench_short.out -out bench_short.json -baseline BENCH_8.json $(if $(ENFORCE),-enforce)
 
 # The parallel-speedup gate (scripts/benchgate.sh): BenchmarkShardedFFT
 # at 8 workers must beat 1 worker, else the sharded engine's

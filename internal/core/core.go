@@ -299,9 +299,9 @@ func New(cfg Config) (*Machine, error) {
 		Profile: sim.NewBlockProfile(),
 	}
 	if workers > 1 {
-		// Route lookups happen concurrently across shards; fill the
-		// topology's lazy route caches now so they are read-only.
-		tp.Precompute()
+		// Routing is arithmetic over the immutable topology; each shard
+		// domain keeps its own hot-route cache (see xbar), so no global
+		// precomputation is needed before going concurrent.
 		m.Sharded = sim.NewShardedEngine(workers, cfg.Net.Lookahead())
 		m.engs = m.Sharded.Engines()
 		m.Eng = m.engs[0]
@@ -309,18 +309,21 @@ func New(cfg Config) (*Machine, error) {
 		m.Eng = sim.NewEngine()
 		m.engs = []*sim.Engine{m.Eng}
 	}
-	// Shard assignment: leaf switch k on shard k%W, top switch k on
-	// shard (Leaves+k)%W, NIs co-located with their switch (an endpoint
-	// link is synchronous; see xbar.Network.Shard). At W dividing the
-	// leaf count this pairs leaf k with top k, keeping a node's
-	// processor and its co-indexed memory module on one shard; at
-	// larger W the two stages interleave across all shards.
+	// Stage-aware shard assignment, NIs co-located with their switch
+	// (an endpoint link is synchronous; see xbar.Network.Shard). Rank 0
+	// is split into contiguous blocks — leaf switch k on shard k*W/L —
+	// so each shard owns a whole subtree of adjacent leaves and their
+	// processors, maximizing intra-shard traffic on big machines. The
+	// upper ranks round-robin across all shards (rank st switch k on
+	// shard (st*L+k)%W), spreading the shared upper fabric evenly.
 	swShard := make([]int, tp.NumSwitches())
 	for k := 0; k < tp.Leaves; k++ {
-		swShard[tp.SwitchOrdinal(topo.SwitchID{Stage: 0, Index: k})] = k % workers
+		swShard[tp.SwitchOrdinal(topo.SwitchID{Stage: 0, Index: k})] = k * workers / tp.Leaves
 	}
-	for k := 0; k < tp.Tops; k++ {
-		swShard[tp.SwitchOrdinal(topo.SwitchID{Stage: 1, Index: k})] = (tp.Leaves + k) % workers
+	for st := 1; st < tp.Stages; st++ {
+		for k := 0; k < tp.Leaves; k++ {
+			swShard[tp.SwitchOrdinal(topo.SwitchID{Stage: st, Index: k})] = (st*tp.Leaves + k) % workers
+		}
 	}
 	m.procShard = make([]int, cfg.Nodes)
 	m.memShard = make([]int, cfg.Nodes)
@@ -555,7 +558,7 @@ func (m *Machine) Home(addr uint64) int {
 // blocks, which no protocol decision compares.
 const (
 	stampNodeShift  = 8
-	stampCycleShift = 16
+	stampCycleShift = 18 // 10-bit node field: up to 1024 nodes
 	stampCtrMax     = 1<<stampNodeShift - 1
 	stampNodeMax    = 1<<(stampCycleShift-stampNodeShift) - 1
 )
@@ -783,19 +786,15 @@ func (m *Machine) DumpStuck() string {
 		}
 	}
 	for i, h := range m.Homes {
-		h.ForEachBlock(func(addr uint64, st dirctl.DirState, owner int, sharers uint64, busy bool) {
+		h.ForEachBlock(func(addr uint64, st dirctl.DirState, owner int, sharers mesg.NodeSet, busy bool) {
 			if busy {
 				fmt.Fprintf(&b, "M%d: block %#x busy (st=%v owner=%d)\n", i, addr, st, owner)
 			}
 		})
 	}
 	if m.SDir != nil {
-		for st := 0; st < 2; st++ {
-			count := m.Topo.Leaves
-			if st == 1 {
-				count = m.Topo.Tops
-			}
-			for i := 0; i < count; i++ {
+		for st := 0; st < m.Topo.Stages; st++ {
+			for i := 0; i < m.Topo.Leaves; i++ {
 				sw := topo.SwitchID{Stage: st, Index: i}
 				if n := m.SDir.TransientCount(sw); n > 0 {
 					fmt.Fprintf(&b, "%v: %d TRANSIENT entries\n", sw, n)
@@ -822,7 +821,7 @@ func (m *Machine) CheckInvariants() error {
 		modified bool
 	}
 	mods := map[uint64]holder{}
-	shared := map[uint64]uint64{} // block -> sharer bit vector (actual)
+	shared := map[uint64]*mesg.NodeSet{} // block -> actual sharer set
 	versions := map[uint64]map[int]uint64{}
 	for i, n := range m.Nodes {
 		i := i
@@ -839,7 +838,12 @@ func (m *Machine) CheckInvariants() error {
 				}
 				mods[addr] = holder{owner: i, modified: true}
 			case cache.Shared:
-				shared[addr] |= 1 << uint(i)
+				ns := shared[addr]
+				if ns == nil {
+					ns = &mesg.NodeSet{}
+					shared[addr] = ns
+				}
+				ns.Add(i)
 			case cache.Invalid:
 				// No copy here; nothing to record.
 			}
@@ -880,13 +884,13 @@ func (m *Machine) CheckInvariants() error {
 		}
 		st, _, sharers := home.State(b)
 		if st == dirctl.Uncached {
-			return fmt.Errorf("core: block %#x shared at %b but home says Uncached", b, vec)
+			return fmt.Errorf("core: block %#x shared at %v but home says Uncached", b, vec)
 		}
-		if st == dirctl.SharedSt && sharers&vec != vec {
-			return fmt.Errorf("core: block %#x sharers %b not covered by home map %b", b, vec, sharers)
+		if st == dirctl.SharedSt && !sharers.ContainsAll(*vec) {
+			return fmt.Errorf("core: block %#x sharers %v not covered by home map %v", b, vec, sharers)
 		}
 		mv := home.Version(b)
-		for _, p := range mesg.SharerList(vec) {
+		for _, p := range mesg.SharerList(*vec) {
 			if v := versions[b][p]; st == dirctl.SharedSt && v != mv {
 				return fmt.Errorf("core: block %#x S copy at P%d version %d != memory %d", b, p, v, mv)
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"dresar/internal/check"
@@ -236,10 +237,37 @@ func TestStressSmallBuffersBackpressure(t *testing.T) {
 	stress(t, cfg, 16, 200, 16, 7)
 }
 
-func TestStress64Nodes(t *testing.T) {
-	cfg := DefaultConfig().WithSwitchDir(1024)
-	cfg.Nodes, cfg.Radix = 64, 8
-	stress(t, cfg, 64, 100, 48, 8)
+// TestStressBigMachines drives the full coherence protocol (checking
+// on) across the machine sizes of the scalability sweep. 64 and 256
+// nodes exercise the s=2 and s=3 butterflies; 1024 nodes (s=4) is the
+// big-machine smoke test and is skipped under -short. Node IDs ≥ 64
+// also exercise the NodeSet spill words in the sharer maps.
+func TestStressBigMachines(t *testing.T) {
+	cases := []struct {
+		nodes, radix int
+		opsPerProc   int
+		blocks       int
+		seed         uint64
+		short        bool // run under -short too
+	}{
+		{nodes: 64, radix: 8, opsPerProc: 100, blocks: 48, seed: 8, short: true},
+		{nodes: 256, radix: 8, opsPerProc: 40, blocks: 96, seed: 9, short: true},
+		{nodes: 1024, radix: 8, opsPerProc: 12, blocks: 128, seed: 10},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("%dnodes", tc.nodes), func(t *testing.T) {
+			if testing.Short() && !tc.short {
+				t.Skipf("skipping %d-node stress under -short", tc.nodes)
+			}
+			cfg := DefaultConfig().WithSwitchDir(1024)
+			cfg.Nodes, cfg.Radix = tc.nodes, tc.radix
+			s := stress(t, cfg, tc.nodes, tc.opsPerProc, tc.blocks, tc.seed)
+			if s.SDirHits == 0 {
+				t.Errorf("%d nodes: switch directory never hit", tc.nodes)
+			}
+		})
+	}
 }
 
 func TestSwitchDirReducesHomeCtoCUnderSharing(t *testing.T) {

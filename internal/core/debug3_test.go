@@ -17,7 +17,7 @@ func TestDebugUnmappedSharer(t *testing.T) {
 	var trace []string
 	m.Net.Trace = func(ev string, at sim.Cycle, msg *mesg.Message) {
 		if msg.Addr&^31 == watch {
-			trace = append(trace, fmt.Sprintf("%8d %-14s %v fw=%v nd=%v sh=%b", at, ev, msg, msg.ForWrite, msg.NoData, msg.Sharers))
+			trace = append(trace, fmt.Sprintf("%8d %-14s %v fw=%v nd=%v sh=%v", at, ev, msg, msg.ForWrite, msg.NoData, msg.Sharers))
 		}
 	}
 	for i := range m.Homes {

@@ -69,7 +69,7 @@ func TestFuzzProtocol(t *testing.T) {
 			m.Net.Trace = func(ev string, at sim.Cycle, msg *mesg.Message) {
 				mon.Observe(ev, at, msg)
 				if msg.Addr&^31 == watch {
-					deepTrace = append(deepTrace, fmt.Sprintf("%8d %-12s %v fw=%v nd=%v sh=%b d=%d", at, ev, msg, msg.ForWrite, msg.NoData, msg.Sharers, msg.Data))
+					deepTrace = append(deepTrace, fmt.Sprintf("%8d %-12s %v fw=%v nd=%v sh=%v d=%d", at, ev, msg, msg.ForWrite, msg.NoData, msg.Sharers, msg.Data))
 				}
 			}
 			for i := range m.Homes {

@@ -82,7 +82,7 @@ type Stats struct {
 type entry struct {
 	state   DirState
 	owner   int
-	sharers uint64
+	sharers mesg.NodeSet
 	version uint64
 
 	// busy marks an outstanding home-mediated transaction.
@@ -232,7 +232,7 @@ func (c *Controller) ent(addr uint64) *entry {
 func (c *Controller) Version(addr uint64) uint64 { return c.ent(addr).version }
 
 // State returns a block's directory view, for invariant checks.
-func (c *Controller) State(addr uint64) (DirState, int, uint64) {
+func (c *Controller) State(addr uint64) (DirState, int, mesg.NodeSet) {
 	e := c.ent(addr)
 	return e.state, e.owner, e.sharers
 }
@@ -264,7 +264,7 @@ func (c *Controller) OnEvent(_ int, _ uint64, data any) {
 func (c *Controller) process(m *mesg.Message) {
 	if c.Debug != nil {
 		e := c.ent(m.Addr)
-		c.debugf("process %v | st=%v owner=%d sharers=%b busy=%v(w=%v req=%d acks=%d)",
+		c.debugf("process %v | st=%v owner=%d sharers=%v busy=%v(w=%v req=%d acks=%d)",
 			m, e.state, e.owner, e.sharers, e.busy, e.busyWrite, e.busyReq, e.acksLeft)
 	}
 	c.keep = false
@@ -325,7 +325,7 @@ func (c *Controller) handleRead(m *mesg.Message) {
 	case Uncached, SharedSt:
 		c.Stats.ReadsClean++
 		e.state = SharedSt
-		e.sharers |= 1 << uint(m.Requester)
+		e.sharers.Add(m.Requester)
 		e.markDone(m.Requester, m.Tx)
 		c.send(c.newMsg(mesg.Message{
 			Kind: mesg.ReadReply, Addr: m.Addr, Src: mesg.M(c.node), Dst: mesg.P(m.Requester),
@@ -356,7 +356,7 @@ func (c *Controller) handleWrite(m *mesg.Message) {
 	c.Stats.Writes++
 	switch e.state {
 	case Uncached:
-		e.state, e.owner, e.sharers = ModifiedSt, m.Requester, 0
+		e.state, e.owner, e.sharers = ModifiedSt, m.Requester, mesg.NodeSet{}
 		e.markDone(m.Requester, m.Tx)
 		c.send(c.newMsg(mesg.Message{
 			Kind: mesg.WriteReply, Addr: m.Addr, Src: mesg.M(c.node), Dst: mesg.P(m.Requester),
@@ -378,7 +378,7 @@ func (c *Controller) handleWrite(m *mesg.Message) {
 			}))
 		}
 		if targets == 0 {
-			e.state, e.owner, e.sharers = ModifiedSt, m.Requester, 0
+			e.state, e.owner, e.sharers = ModifiedSt, m.Requester, mesg.NodeSet{}
 			e.markDone(m.Requester, m.Tx)
 			c.send(c.newMsg(mesg.Message{
 				Kind: mesg.WriteReply, Addr: m.Addr, Src: mesg.M(c.node), Dst: mesg.P(m.Requester),
@@ -423,7 +423,7 @@ func (c *Controller) handleInvalAck(m *mesg.Message) {
 	// The original WriteReq was stashed at the head of pending.
 	orig := e.pending[0]
 	e.pending = e.pending[1:]
-	e.state, e.owner, e.sharers = ModifiedSt, e.busyReq, 0
+	e.state, e.owner, e.sharers = ModifiedSt, e.busyReq, mesg.NodeSet{}
 	e.busy = false
 	e.markDone(e.busyReq, orig.Tx)
 	c.send(c.newMsg(mesg.Message{
@@ -455,9 +455,11 @@ func (c *Controller) handleCopyBack(m *mesg.Message) {
 		// old owner and the requester now share (prior sharers from
 		// concurrent marked transfers remain valid).
 		if e.state == ModifiedSt {
-			e.state, e.sharers = SharedSt, 0
+			e.state, e.sharers = SharedSt, mesg.NodeSet{}
 		}
-		e.sharers |= (1 << uint(src)) | (1 << uint(e.busyReq)) | m.Sharers
+		e.sharers.Add(src)
+		e.sharers.Add(e.busyReq)
+		e.sharers.Or(m.Sharers)
 		if e.busyMsg != nil {
 			e.markDone(e.busyReq, e.busyMsg.Tx)
 			c.pool.Release(e.busyMsg)
@@ -509,12 +511,13 @@ func (c *Controller) handleCopyBack(m *mesg.Message) {
 	// from a switch cache whose entry outlived the last writeback.)
 	if e.state == ModifiedSt {
 		e.state = SharedSt
-		e.sharers = 1 << uint(e.owner)
+		e.sharers = mesg.NodeSetOf(e.owner)
 	} else if e.state == Uncached {
-		e.state, e.sharers = SharedSt, 0
+		e.state, e.sharers = SharedSt, mesg.NodeSet{}
 	}
-	newSharers := (uint64(1) << uint(m.Requester)) | m.Sharers | (uint64(1) << uint(src))
-	e.sharers |= newSharers
+	newSharers := mesg.NodeSetOf(m.Requester, src)
+	newSharers.Or(m.Sharers)
+	e.sharers.Or(newSharers)
 	if e.busy {
 		if e.busyWrite && e.acksLeft > 0 {
 			// Invalidation phase of a pending write: the late sharers
@@ -571,7 +574,7 @@ func (c *Controller) handleWriteBack(m *mesg.Message) {
 					Requester: p,
 				}))
 			}
-			e.state, e.owner, e.sharers = ModifiedSt, e.busyReq, 0
+			e.state, e.owner, e.sharers = ModifiedSt, e.busyReq, mesg.NodeSet{}
 			if e.busyMsg != nil {
 				e.markDone(e.busyReq, e.busyMsg.Tx)
 				c.pool.Release(e.busyMsg)
@@ -586,13 +589,14 @@ func (c *Controller) handleWriteBack(m *mesg.Message) {
 		Kind: mesg.WBAck, Addr: m.Addr, Src: mesg.M(c.node), Dst: m.Src,
 		Requester: m.Requester,
 	})
-	newSharers := uint64(0)
+	var newSharers mesg.NodeSet
 	if m.Marked {
 		// A replacement writeback that a switch directory used to serve
 		// read(s) in TRANSIENT state: the carried requester(s) hold
 		// shared copies now; the owner's copy is gone.
 		c.Stats.MarkedWB++
-		newSharers = (1 << uint(m.Requester)) | m.Sharers
+		newSharers = mesg.NodeSetOf(m.Requester)
+		newSharers.Or(m.Sharers)
 		if (e.state == ModifiedSt && e.owner != m.Src.Node) || m.Data < e.version {
 			// Stale: ownership moved since, or the data predates
 			// memory; purge the late readers. The marked writeback
@@ -611,11 +615,11 @@ func (c *Controller) handleWriteBack(m *mesg.Message) {
 			return
 		}
 		if e.state != SharedSt {
-			e.state, e.sharers = SharedSt, 0
+			e.state, e.sharers = SharedSt, mesg.NodeSet{}
 		}
-		e.sharers |= newSharers
+		e.sharers.Or(newSharers)
 	} else if !e.busy && e.state == ModifiedSt && m.Src.Node == e.owner {
-		e.state, e.sharers = Uncached, 0
+		e.state, e.sharers = Uncached, mesg.NodeSet{}
 	}
 	if e.busy {
 		if e.busyWrite && e.acksLeft > 0 {
@@ -705,7 +709,7 @@ func (c *Controller) drain(addr uint64, e *entry) {
 
 // ForEachBlock iterates directory entries for invariant checks, in
 // ascending address order so callbacks observe a replayable sequence.
-func (c *Controller) ForEachBlock(fn func(addr uint64, st DirState, owner int, sharers uint64, busy bool)) {
+func (c *Controller) ForEachBlock(fn func(addr uint64, st DirState, owner int, sharers mesg.NodeSet, busy bool)) {
 	addrs := make([]uint64, 0, len(c.dir))
 	for a := range c.dir {
 		addrs = append(addrs, a)

@@ -47,8 +47,8 @@ func TestColdReadServedClean(t *testing.T) {
 		t.Fatalf("out = %v", out)
 	}
 	st, _, sharers := d.c.State(0x40)
-	if st != SharedSt || sharers != 1<<3 {
-		t.Fatalf("dir = %v sharers=%b", st, sharers)
+	if st != SharedSt || !sharers.Equal(mesg.NodeSetOf(3)) {
+		t.Fatalf("dir = %v sharers=%v", st, sharers)
 	}
 	if d.c.Stats.ReadsClean != 1 {
 		t.Fatalf("stats %+v", d.c.Stats)
@@ -155,8 +155,8 @@ func TestReadToModifiedForwardsCtoC(t *testing.T) {
 	// Owner copies back with the dirty version.
 	d.deliver(&mesg.Message{Kind: mesg.CopyBack, Addr: 0x40, Src: mesg.P(7), Dst: mesg.M(0), Data: 9, Requester: 2})
 	st, _, sharers := d.c.State(0x40)
-	if st != SharedSt || sharers != (1<<7|1<<2) {
-		t.Fatalf("after copyback: %v %b", st, sharers)
+	if st != SharedSt || !sharers.Equal(mesg.NodeSetOf(7, 2)) {
+		t.Fatalf("after copyback: %v %v", st, sharers)
 	}
 	if d.c.Version(0x40) != 9 {
 		t.Fatalf("memory version = %d", d.c.Version(0x40))
@@ -245,8 +245,8 @@ func TestMarkedCopyBackRestoresMapWithoutHomeRead(t *testing.T) {
 	// P2's ReadReq.
 	d.deliver(&mesg.Message{Kind: mesg.CopyBack, Addr: 0x40, Src: mesg.P(7), Dst: mesg.M(0), Data: 6, Requester: 2, Marked: true})
 	st, _, sharers := d.c.State(0x40)
-	if st != SharedSt || sharers != (1<<7|1<<2) {
-		t.Fatalf("dir = %v sharers=%b", st, sharers)
+	if st != SharedSt || !sharers.Equal(mesg.NodeSetOf(7, 2)) {
+		t.Fatalf("dir = %v sharers=%v", st, sharers)
 	}
 	if d.c.Version(0x40) != 6 {
 		t.Fatalf("version = %d", d.c.Version(0x40))
@@ -264,8 +264,8 @@ func TestMarkedWriteBackCarriesRequester(t *testing.T) {
 	// generated the reply to P3 and marked the writeback.
 	d.deliver(&mesg.Message{Kind: mesg.WriteBack, Addr: 0x40, Src: mesg.P(7), Dst: mesg.M(0), Data: 8, Requester: 3, Marked: true})
 	st, _, sharers := d.c.State(0x40)
-	if st != SharedSt || sharers != 1<<3 {
-		t.Fatalf("dir = %v sharers=%b", st, sharers)
+	if st != SharedSt || !sharers.Equal(mesg.NodeSetOf(3)) {
+		t.Fatalf("dir = %v sharers=%v", st, sharers)
 	}
 }
 
@@ -295,7 +295,7 @@ func TestForEachBlock(t *testing.T) {
 	d.deliver(read(1, 0x40))
 	d.deliver(write(2, 0x80))
 	n := 0
-	d.c.ForEachBlock(func(a uint64, st DirState, owner int, sh uint64, busy bool) { n++ })
+	d.c.ForEachBlock(func(a uint64, st DirState, owner int, sh mesg.NodeSet, busy bool) { n++ })
 	if n != 2 {
 		t.Fatalf("blocks = %d", n)
 	}

@@ -48,8 +48,8 @@ func TestGenuineDowngradeFolds(t *testing.T) {
 	d.take()
 	d.deliver(&mesg.Message{Kind: mesg.CopyBack, Addr: 0x40, Src: mesg.P(1), Dst: mesg.M(0), Requester: 6, Data: 99, Marked: true})
 	st, _, sharers := d.c.State(0x40)
-	if st != SharedSt || sharers != (1<<1|1<<6) {
-		t.Fatalf("fold failed: %v sharers=%b", st, sharers)
+	if st != SharedSt || !sharers.Equal(mesg.NodeSetOf(1, 6)) {
+		t.Fatalf("fold failed: %v sharers=%v", st, sharers)
 	}
 	if d.c.Version(0x40) != 99 {
 		t.Fatalf("version = %d", d.c.Version(0x40))

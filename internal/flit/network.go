@@ -20,6 +20,11 @@ type Network struct {
 	// routes maps message ID to its hop list; each switch looks its
 	// own hop up by ordinal.
 	routes map[uint64][]topo.Hop
+	// rc memoizes hot routes so steady-state Send stays allocation-
+	// free; the flit network is single-threaded, so one cache serves
+	// the whole fabric. Routes handed out are shared with the cache
+	// and never mutated.
+	rc *topo.RouteCache
 	// msgs keeps the message object until delivery (the head flit
 	// carries it through the switches; the network remembers it for
 	// reassembly).
@@ -149,6 +154,7 @@ func NewNetwork(tp *topo.T, cfg NetConfig) *Network {
 	n := &Network{
 		tp:       tp,
 		routes:   make(map[uint64][]topo.Hop),
+		rc:       topo.NewRouteCache(tp, 0),
 		msgs:     make(map[uint64]*mesg.Message),
 		injP:     make([]injState, tp.Nodes),
 		injM:     make([]injState, tp.Nodes),
@@ -171,12 +177,7 @@ func NewNetwork(tp *topo.T, cfg NetConfig) *Network {
 	return n
 }
 
-func (n *Network) switchID(ord int) topo.SwitchID {
-	if ord < n.tp.Leaves {
-		return topo.SwitchID{Stage: 0, Index: ord}
-	}
-	return topo.SwitchID{Stage: 1, Index: ord - n.tp.Leaves}
-}
+func (n *Network) switchID(ord int) topo.SwitchID { return n.tp.OrdinalSwitch(ord) }
 
 // AttachProc registers node i's processor-side delivery callback.
 func (n *Network) AttachProc(i int, fn func(*mesg.Message)) { n.deliverP[i] = fn }
@@ -193,11 +194,11 @@ func (n *Network) Send(m *mesg.Message) {
 	s, d := m.Src, m.Dst
 	switch {
 	case s.Side == mesg.ProcSide && d.Side == mesg.MemSide:
-		hops = n.tp.Forward(s.Node, d.Node)
+		hops = n.rc.Forward(s.Node, d.Node)
 	case s.Side == mesg.MemSide && d.Side == mesg.ProcSide:
-		hops = n.tp.Backward(s.Node, d.Node)
+		hops = n.rc.Backward(s.Node, d.Node)
 	default:
-		hops = n.tp.Turnaround(s.Node, d.Node, int(m.Addr>>5))
+		hops = n.rc.Turnaround(s.Node, d.Node, int(m.Addr>>5))
 	}
 	n.routes[m.ID] = hops
 	n.msgs[m.ID] = m

@@ -165,10 +165,10 @@ type Message struct {
 	Requester int
 	// Owner is the owning processor for CtoC forwards.
 	Owner int
-	// Sharers is the full-map style bit vector carried by marked
+	// Sharers is the full-map style sharer set carried by marked
 	// copyback/writeback messages to restore the home directory, and by
 	// the bit-vector read-in-TRANSIENT policy.
-	Sharers uint64
+	Sharers NodeSet
 	// Marked is the single header bit flagging switch-directory
 	// generated or rewritten messages.
 	Marked bool
@@ -218,17 +218,8 @@ func (m *Message) String() string {
 	return fmt.Sprintf("%v%s[%#x] %v->%v req=%d own=%d", m.Kind, mark, m.Addr, m.Src, m.Dst, m.Requester, m.Owner)
 }
 
-// AddSharer sets processor p's bit in the sharer vector.
-func (m *Message) AddSharer(p int) { m.Sharers |= 1 << uint(p) }
+// AddSharer adds processor p to the sharer set.
+func (m *Message) AddSharer(p int) { m.Sharers.Add(p) }
 
-// SharerList expands the sharer bit vector into pids.
-func SharerList(vec uint64) []int {
-	var out []int
-	for p := 0; vec != 0; p++ {
-		if vec&1 != 0 {
-			out = append(out, p)
-		}
-		vec >>= 1
-	}
-	return out
-}
+// SharerList expands the sharer set into ascending pids.
+func SharerList(vec NodeSet) []int { return vec.List() }

@@ -109,23 +109,80 @@ func TestSharerVector(t *testing.T) {
 			t.Fatalf("sharers = %v, want %v", got, want)
 		}
 	}
-	if SharerList(0) != nil {
-		t.Error("empty vector should give nil list")
+	if SharerList(NodeSet{}) != nil {
+		t.Error("empty set should give nil list")
 	}
 }
 
 func TestSharerRoundTrip(t *testing.T) {
 	f := func(vec uint64) bool {
-		// Round-trip: expanding and re-packing preserves the vector
+		// Round-trip: expanding and re-packing preserves the set
 		// (restricted to 64 processors by construction).
+		var s NodeSet
+		for p := 0; p < 64; p++ {
+			if vec&(1<<uint(p)) != 0 {
+				s.Add(p)
+			}
+		}
 		var re uint64
-		for _, p := range SharerList(vec) {
+		for _, p := range SharerList(s) {
 			re |= 1 << uint(p)
 		}
 		return re == vec
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestNodeSetSpill(t *testing.T) {
+	// IDs >= 64 must survive: a uint64 vector would silently drop them.
+	s := NodeSetOf(3, 63, 64, 200, 1023)
+	if s.Count() != 5 {
+		t.Fatalf("count = %d, want 5", s.Count())
+	}
+	for _, p := range []int{3, 63, 64, 200, 1023} {
+		if !s.Has(p) {
+			t.Fatalf("missing %d", p)
+		}
+	}
+	if s.Has(4) || s.Has(65) || s.Has(999) {
+		t.Fatal("phantom members")
+	}
+	want := []int{3, 63, 64, 200, 1023}
+	got := s.List()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("list = %v, want %v", got, want)
+		}
+	}
+
+	var u NodeSet
+	u.Or(s)
+	u.Add(100)
+	if !u.ContainsAll(s) || s.ContainsAll(u) {
+		t.Fatal("ContainsAll wrong after Or/Add")
+	}
+	if s.Has(100) {
+		t.Fatal("Or aliased backing storage between sets")
+	}
+	if !u.Equal(NodeSetOf(3, 63, 64, 100, 200, 1023)) {
+		t.Fatalf("u = %v", u)
+	}
+	u.Clear()
+	if !u.Empty() || u.Count() != 0 || u.List() != nil {
+		t.Fatalf("clear left members: %v", u)
+	}
+	// Equality must ignore spill capacity: a cleared wide set equals
+	// the zero value.
+	if !u.Equal(NodeSet{}) || !(NodeSet{}).Equal(u) {
+		t.Fatal("capacity leaked into equality")
+	}
+	if NodeSetOf(2, 70).String() != "{2,70}" {
+		t.Fatalf("string = %q", NodeSetOf(2, 70).String())
+	}
+	if (NodeSet{}).String() != "{}" {
+		t.Fatalf("empty string = %q", (NodeSet{}).String())
 	}
 }
 

@@ -1,0 +1,162 @@
+package mesg
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// NodeSet is a set of node (processor) IDs: the full-map sharer
+// vector. The first 64 IDs live in an inline word, so machines up to
+// the paper's scale never allocate for sharer tracking; bigger
+// machines (the 256- and 1024-node scalability sweeps) spill into
+// extra words on demand. A plain uint64 would silently drop any node
+// ID >= 64 — Go defines oversized shifts as zero — which is exactly
+// the kind of corruption a coherence protocol must not inherit from
+// its container types.
+//
+// The zero value is the empty set. Copying a NodeSet copies the spill
+// slice header, so treat copies as read-only snapshots: mutate a set
+// only through one owner (Or copies content from its argument, never
+// the backing array, so growing one set cannot alias another).
+type NodeSet struct {
+	lo uint64
+	hi []uint64 // IDs 64+; word w covers [64*(w+1), 64*(w+2))
+}
+
+// NodeSetOf builds a set from explicit IDs (tests, table literals).
+func NodeSetOf(ids ...int) NodeSet {
+	var s NodeSet
+	for _, p := range ids {
+		s.Add(p)
+	}
+	return s
+}
+
+// Add inserts node p.
+func (s *NodeSet) Add(p int) {
+	if p < 64 {
+		s.lo |= 1 << uint(p)
+		return
+	}
+	w := p/64 - 1
+	for len(s.hi) <= w {
+		s.hi = append(s.hi, 0)
+	}
+	s.hi[w] |= 1 << uint(p%64)
+}
+
+// Has reports whether node p is in the set.
+func (s NodeSet) Has(p int) bool {
+	if p < 64 {
+		return s.lo&(1<<uint(p)) != 0
+	}
+	w := p/64 - 1
+	return w < len(s.hi) && s.hi[w]&(1<<uint(p%64)) != 0
+}
+
+// Or folds o into s (set union). Content is copied word by word, so s
+// and o never share backing storage afterwards.
+func (s *NodeSet) Or(o NodeSet) {
+	s.lo |= o.lo
+	for w, v := range o.hi {
+		if v == 0 {
+			continue
+		}
+		for len(s.hi) <= w {
+			s.hi = append(s.hi, 0)
+		}
+		s.hi[w] |= v
+	}
+}
+
+// Clear empties the set in place, keeping any spill capacity.
+func (s *NodeSet) Clear() {
+	s.lo = 0
+	for w := range s.hi {
+		s.hi[w] = 0
+	}
+}
+
+// Empty reports whether the set has no members.
+func (s NodeSet) Empty() bool {
+	if s.lo != 0 {
+		return false
+	}
+	for _, v := range s.hi {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of members.
+func (s NodeSet) Count() int {
+	n := bits.OnesCount64(s.lo)
+	for _, v := range s.hi {
+		n += bits.OnesCount64(v)
+	}
+	return n
+}
+
+// ContainsAll reports whether every member of o is also in s.
+func (s NodeSet) ContainsAll(o NodeSet) bool {
+	if o.lo&^s.lo != 0 {
+		return false
+	}
+	for w, v := range o.hi {
+		if w < len(s.hi) {
+			v &^= s.hi[w]
+		}
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports set equality (independent of spill capacity).
+func (s NodeSet) Equal(o NodeSet) bool {
+	return s.ContainsAll(o) && o.ContainsAll(s)
+}
+
+// List expands the set into ascending node IDs; nil when empty. The
+// ascending order is load-bearing: invalidation fan-out iterates it,
+// and simulation determinism requires a fixed traversal order.
+func (s NodeSet) List() []int {
+	var out []int
+	for v, p := s.lo, 0; v != 0; p++ {
+		if v&1 != 0 {
+			out = append(out, p)
+		}
+		v >>= 1
+	}
+	for w, word := range s.hi {
+		base := 64 * (w + 1)
+		for v, p := word, 0; v != 0; p++ {
+			if v&1 != 0 {
+				out = append(out, base+p)
+			}
+			v >>= 1
+		}
+	}
+	return out
+}
+
+// String renders the members compactly for debug traces.
+func (s NodeSet) String() string {
+	if s.Empty() {
+		return "{}"
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range s.List() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", p)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

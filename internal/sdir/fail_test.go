@@ -47,8 +47,8 @@ func TestFailOrdinalLosesEverything(t *testing.T) {
 		t.Errorf("HomeFallbacks = %d, want 3", f.TotalStats().HomeFallbacks)
 	}
 	for _, addr := range []uint64{0x40, 0x80, 0xc0} {
-		if st, _, vec := f.Lookup(sw, addr); st != Inv || vec != 0 {
-			t.Errorf("addr %#x survives as %v vec=%b", addr, st, vec)
+		if st, _, vec := f.Lookup(sw, addr); st != Inv || !vec.Empty() {
+			t.Errorf("addr %#x survives as %v vec=%v", addr, st, vec)
 		}
 	}
 	if n := f.TransientCount(sw); n != 0 {

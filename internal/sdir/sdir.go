@@ -25,7 +25,6 @@ package sdir
 
 import (
 	"fmt"
-	"math/bits"
 
 	"dresar/internal/check"
 	"dresar/internal/mesg"
@@ -167,7 +166,7 @@ type entry struct {
 	tag    uint64
 	state  EntryState
 	owner  int
-	reqVec uint64 // intercepted requesters (first + bit-vector policy)
+	reqVec mesg.NodeSet // intercepted requesters (first + bit-vector policy)
 	lru    uint64
 }
 
@@ -378,7 +377,7 @@ func (f *Fabric) insert(d *dir, m *mesg.Message) {
 			return
 		}
 		d.clock++
-		e.state, e.owner, e.reqVec, e.lru = Mod, m.Requester, 0, d.clock
+		e.state, e.owner, e.reqVec, e.lru = Mod, m.Requester, mesg.NodeSet{}, d.clock
 		return
 	}
 	set := d.set(m.Addr)
@@ -431,7 +430,7 @@ func (f *Fabric) readReq(d *dir, sw topo.SwitchID, m *mesg.Message) xbar.Action 
 		}
 		d.clock++
 		e.state = Trans
-		e.reqVec = 1 << uint(m.Requester)
+		e.reqVec = mesg.NodeSetOf(m.Requester)
 		e.lru = d.clock
 		d.pendingCount++
 		return xbar.Action{
@@ -444,9 +443,9 @@ func (f *Fabric) readReq(d *dir, sw topo.SwitchID, m *mesg.Message) xbar.Action 
 	case Trans:
 		d.stats.TransientHits++
 		if f.cfg.Policy == PolicyBitVector {
-			if e.reqVec&(1<<uint(m.Requester)) == 0 {
+			if !e.reqVec.Has(m.Requester) {
 				d.stats.BitVectorAdds++
-				e.reqVec |= 1 << uint(m.Requester)
+				e.reqVec.Add(m.Requester)
 			}
 			return xbar.Action{Sink: true}
 		}
@@ -528,7 +527,7 @@ func (d *dir) release(e *entry) {
 		d.pendingCount--
 	}
 	e.state = Inv
-	e.reqVec = 0
+	e.reqVec.Clear()
 }
 
 // copyBack observes the data returning home. A TRANSIENT entry's
@@ -654,12 +653,12 @@ func (f *Fabric) TotalStats() Stats {
 }
 
 // Lookup exposes a switch's entry state for tests and invariants.
-func (f *Fabric) Lookup(sw topo.SwitchID, addr uint64) (EntryState, int, uint64) {
+func (f *Fabric) Lookup(sw topo.SwitchID, addr uint64) (EntryState, int, mesg.NodeSet) {
 	d := f.dirs[f.tp.SwitchOrdinal(sw)]
 	if e := d.find(addr); e != nil {
 		return e.state, e.owner, e.reqVec
 	}
-	return Inv, 0, 0
+	return Inv, 0, mesg.NodeSet{}
 }
 
 // Disable flags one switch's directory faulty: it is bypassed from
@@ -678,7 +677,7 @@ func (f *Fabric) DisableOrdinal(i int) {
 		for w := range set {
 			if set[w].state == Mod {
 				set[w].state = Inv
-				set[w].reqVec = 0
+				set[w].reqVec.Clear()
 			}
 		}
 	}
@@ -712,10 +711,10 @@ func (f *Fabric) FailOrdinal(i int) {
 			d.stats.EntriesLost++
 			if e.state == Trans {
 				d.stats.PendingLost++
-				d.stats.HomeFallbacks += uint64(bits.OnesCount64(e.reqVec))
+				d.stats.HomeFallbacks += uint64(e.reqVec.Count())
 			}
 			e.state = Inv
-			e.reqVec = 0
+			e.reqVec.Clear()
 		}
 	}
 	d.pendingCount = 0
@@ -795,7 +794,7 @@ func (f *Fabric) EvictRandom(rng *sim.RNG) bool {
 	}
 	e := cands[rng.Intn(len(cands))]
 	e.state = Inv
-	e.reqVec = 0
+	e.reqVec.Clear()
 	return true
 }
 

@@ -79,8 +79,8 @@ func TestReadHitSinksAndGeneratesMarkedCtoC(t *testing.T) {
 		t.Fatalf("generated = %v", g)
 	}
 	st, _, vec := f.Lookup(top0(), 0x40)
-	if st != Trans || vec != 1<<3 {
-		t.Fatalf("entry after hit = %v vec=%b", st, vec)
+	if st != Trans || !vec.Equal(mesg.NodeSetOf(3)) {
+		t.Fatalf("entry after hit = %v vec=%v", st, vec)
 	}
 	if f.TotalStats().Hits != 1 {
 		t.Fatalf("stats %+v", f.TotalStats())
@@ -122,8 +122,8 @@ func TestReadInTransientBitVectorPolicy(t *testing.T) {
 		t.Fatalf("action = %+v", a)
 	}
 	_, _, vec := f.Lookup(top0(), 0x40)
-	if vec != (1<<3 | 1<<5) {
-		t.Fatalf("vec = %b", vec)
+	if !vec.Equal(mesg.NodeSetOf(3, 5)) {
+		t.Fatalf("vec = %v", vec)
 	}
 	// The copyback serves the extra requester and carries its pid.
 	cb := &mesg.Message{Kind: mesg.CopyBack, Addr: 0x40, Src: mesg.P(7), Dst: mesg.M(0), Requester: 3, Marked: true, Data: 42}
@@ -135,8 +135,8 @@ func TestReadInTransientBitVectorPolicy(t *testing.T) {
 	if g.Kind != mesg.ReadReply || g.Dst != mesg.P(5) || g.Data != 42 || !g.Marked {
 		t.Fatalf("served = %v", g)
 	}
-	if cb.Sharers != 1<<5 {
-		t.Fatalf("copyback sharers = %b", cb.Sharers)
+	if !cb.Sharers.Equal(mesg.NodeSetOf(5)) {
+		t.Fatalf("copyback sharers = %v", cb.Sharers)
 	}
 	if st, _, _ := f.Lookup(top0(), 0x40); st != Inv {
 		t.Fatal("entry not released after copyback")
@@ -390,8 +390,8 @@ func TestInsertDoesNotClobberTransient(t *testing.T) {
 	f.Snoop(top0(), rreq(0x40, 3), 1)
 	f.Snoop(top0(), wreply(0x40, 9), 2)
 	st, _, vec := f.Lookup(top0(), 0x40)
-	if st != Trans || vec != 1<<3 {
-		t.Fatalf("transient clobbered: %v vec=%b", st, vec)
+	if st != Trans || !vec.Equal(mesg.NodeSetOf(3)) {
+		t.Fatalf("transient clobbered: %v vec=%v", st, vec)
 	}
 }
 

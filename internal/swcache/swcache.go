@@ -126,7 +126,7 @@ func New(tp *topo.T, cfg Config) (*Fabric, error) {
 		return nil, fmt.Errorf("swcache: set count %d not a power of two", nsets)
 	}
 	if cfg.StageMask == 0 {
-		cfg.StageMask = 1 << 1 // top stage only: self-coherent
+		cfg.StageMask = 1 << uint(tp.Stages-1) // top stage only: self-coherent
 	}
 	f := &Fabric{cfg: cfg, tp: tp, caches: make([]*dcache, tp.NumSwitches())}
 	for i := range f.caches {

@@ -1,21 +1,29 @@
 // Package topo constructs the bidirectional multistage interconnection
-// network (BMIN) of Figure 3: a two-stage, dance-hall butterfly with
-// processor/cache interfaces at the bottom rank and memory interfaces
-// at the top rank. Requests travel the forward (upward) path from a
-// processor to a home memory; replies and coherence requests travel
-// the backward (downward) path. Because a (processor, memory) pair
-// always traverses the same switches in both directions, a directory
-// hierarchy can be embedded in the switches — the property the switch
-// directory framework depends on.
+// network (BMIN) of Figure 3: a dance-hall butterfly with processor/
+// cache interfaces at the bottom rank and memory interfaces at the top
+// rank. Requests travel the forward (upward) path from a processor to
+// a home memory; replies and coherence requests travel the backward
+// (downward) path. Because a (processor, memory) pair always traverses
+// the same switches in both directions, a directory hierarchy can be
+// embedded in the switches — the property the switch directory
+// framework depends on.
 //
 // The network is built from bidirectional crossbar switches with Radix
 // ports per side (a Radix=4 switch is the paper's "8x8 crossbar": 8
 // input links and 8 output links, used as 4 bidirectional down ports
-// plus 4 bidirectional up ports). When Radix² exceeds the node count,
-// parallel links between a (leaf, top) switch pair are bundled; the
-// paper's 16-node evaluation uses Radix=4 with bundle 1 (2 stages of
-// four 8x8 switches... the text says two stages of 8×8 switches, i.e.
-// four leaf and four top switches for 16 nodes).
+// plus 4 bidirectional up ports). The paper's machine is the 2-stage
+// instance; this package generalizes it to k-ary s-stage butterflies
+// with s = max(2, ceil(log_radix(nodes))), so 256- and 1024-node
+// machines (3 and 4 stages of 8-port switches) are representable. When
+// radix^s exceeds the node count the spare fan-out becomes bundled
+// parallel links, exactly as in the 2-stage layout.
+//
+// Routing is arithmetic: a switch index is a mixed-radix number of
+// s-1 digits, and the move between rank i and rank i+1 replaces digit
+// i. A route is therefore computed in O(1) per hop from the endpoint
+// indices alone — no precomputed path tables, so route state no longer
+// grows as nodes². Hot paths are memoized by the bounded RouteCache
+// (routecache.go), which callers in the timed network own per shard.
 package topo
 
 import "fmt"
@@ -41,7 +49,7 @@ func (d Dir) String() string {
 }
 
 // SwitchID names a switch: Stage 0 is the leaf (processor-side) rank,
-// Stage 1 the top (memory-side) rank.
+// Stage Stages-1 the top (memory-side) rank.
 type SwitchID struct {
 	Stage int
 	Index int
@@ -62,53 +70,177 @@ type Hop struct {
 	Out Port
 }
 
-// T is a concrete two-stage BMIN.
+// T is a concrete s-stage BMIN. It is immutable after New: every
+// route is a pure function of the endpoints, so a single T may be
+// shared by concurrent shards without synchronization.
 type T struct {
 	// Nodes is the number of CC-NUMA nodes (processor+memory pairs).
 	Nodes int
 	// Radix is the number of bidirectional ports per switch side.
 	Radix int
-	// Bundle is the number of parallel links between each (leaf, top)
-	// switch pair: Radix² / Nodes.
+	// Stages is the rank count s: 2 for the paper's machine, and in
+	// general max(2, ceil(log_radix(nodes))).
+	Stages int
+	// Bundle is the total parallel-path multiplicity between a
+	// (processor, memory) pair: Radix^Stages / Nodes. For the 2-stage
+	// machine this is the per-(leaf, top) link bundle width.
 	Bundle int
 	// Leaves and Tops are the per-rank switch counts (Nodes / Radix).
+	// Every rank has the same width in a butterfly; the two names
+	// survive from the 2-stage layout because the leaf (processor) and
+	// top (memory) ranks are the ones with endpoint-visible roles.
 	Leaves, Tops int
 
-	// Route caches, filled lazily. Routes are pure functions of the
-	// endpoints (and, for Turnaround, sel mod Tops·Bundle), and they
-	// are recomputed for every message — the hottest allocation in the
-	// interconnect. Callers must treat returned hop slices as
-	// immutable; the one mutation site (xbar's fault route splicing)
-	// copies via a full slice expression. Caches are per-T and each
-	// simulated machine owns its T, so lazy fill needs no locking.
-	fwdCache, bwdCache, taCache [][]Hop
-	// Switch-only views of the forward/backward routes, cached under
-	// the same immutability contract (the trace-driven simulator walks
-	// them once per miss).
-	swFwdCache, swBwdCache [][]SwitchID
+	// fan[i] is the digit base of switch-index digit i (the fan-out
+	// multiplicity of the move between ranks i and i+1), and lanes[i]
+	// = Radix/fan[i] is that move's bundled-link lane count. stride[i]
+	// is the positional weight of digit i, so a switch index w has
+	// digit_i(w) = (w/stride[i]) % fan[i]. prod(fan) = Leaves and
+	// prod(lanes) = Bundle.
+	fan, lanes, stride []int
+	// selPeriod is Radix^(Stages-1): the number of distinct turnaround
+	// paths between two leaves, and the modulus applied to Turnaround's
+	// sel argument. Equals Tops*Bundle on the 2-stage machine.
+	selPeriod int
 }
 
-// New builds a two-stage BMIN for nodes endpoints using switches of
-// the given radix. It returns an error unless nodes is divisible by
-// radix and radix² is a multiple of nodes (so the bundle factor is a
-// positive integer and every leaf reaches every top).
+// stagesFor derives the rank count: the smallest s with radix^s >=
+// nodes, floored at the paper's 2.
+func stagesFor(nodes, radix int) int {
+	s, reach := 1, radix
+	for reach < nodes {
+		reach *= radix
+		s++
+	}
+	if s < 2 {
+		s = 2
+	}
+	return s
+}
+
+// factorable reports whether an s-stage butterfly exists for the
+// geometry: nodes divisible by radix and switches-per-rank dividing
+// radix^(s-1) (so every digit base divides the radix and the total
+// bundle width is a positive integer).
+func factorable(nodes, radix int) bool {
+	if nodes <= 0 || radix <= 0 || nodes%radix != 0 {
+		return false
+	}
+	s := stagesFor(nodes, radix)
+	perRank := nodes / radix
+	pow := 1
+	for i := 0; i < s-1; i++ {
+		pow *= radix
+	}
+	return pow%perRank == 0
+}
+
+// New builds an s-stage BMIN for nodes endpoints using switches of the
+// given radix, with s derived from the geometry (2 stages up to
+// radix² nodes). It returns an error when no butterfly of that shape
+// exists, naming the derived stage count and the nearest valid
+// geometries.
 func New(nodes, radix int) (*T, error) {
 	if nodes <= 0 || radix <= 0 {
 		return nil, fmt.Errorf("topo: nodes (%d) and radix (%d) must be positive", nodes, radix)
 	}
+	s := stagesFor(nodes, radix)
 	if nodes%radix != 0 {
-		return nil, fmt.Errorf("topo: nodes (%d) not divisible by radix (%d)", nodes, radix)
+		return nil, fmt.Errorf("topo: nodes (%d) not divisible by radix (%d) for a %d-stage butterfly; nearest valid: %s",
+			nodes, radix, s, nearestValid(nodes, radix))
 	}
-	if (radix*radix)%nodes != 0 {
-		return nil, fmt.Errorf("topo: radix² (%d) not a multiple of nodes (%d); leaves cannot reach all tops in 2 stages", radix*radix, nodes)
+	perRank := nodes / radix
+	pow := 1
+	for i := 0; i < s-1; i++ {
+		pow *= radix
 	}
-	return &T{
+	if pow%perRank != 0 {
+		return nil, fmt.Errorf("topo: %d switches per rank do not divide radix^(stages-1)=%d (%d nodes, radix %d, %d stages); nearest valid: %s",
+			perRank, pow, nodes, radix, s, nearestValid(nodes, radix))
+	}
+	t := &T{
 		Nodes:  nodes,
 		Radix:  radix,
-		Bundle: radix * radix / nodes,
-		Leaves: nodes / radix,
-		Tops:   nodes / radix,
-	}, nil
+		Stages: s,
+		Bundle: pow * radix / nodes,
+		Leaves: perRank,
+		Tops:   perRank,
+		fan:    make([]int, s-1),
+		lanes:  make([]int, s-1),
+		stride: make([]int, s-1),
+	}
+	// Factor the per-rank width into per-move digit bases by greedy
+	// gcd. Each base divides the radix, and the factorable check above
+	// guarantees the remainder reaches 1 within s-1 moves.
+	rem := perRank
+	stride := 1
+	for i := 0; i < s-1; i++ {
+		g := gcd(radix, rem)
+		t.fan[i] = g
+		t.lanes[i] = radix / g
+		t.stride[i] = stride
+		stride *= g
+		rem /= g
+	}
+	if rem != 1 {
+		// Unreachable given factorable's divisibility argument; kept as
+		// a construction-time invariant.
+		return nil, fmt.Errorf("topo: internal: rank width %d not factored over %d moves of radix %d", perRank, s-1, radix)
+	}
+	t.selPeriod = pow
+	return t, nil
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// nearestValid suggests valid geometries close to a rejected request:
+// the nearest valid node counts for the requested radix, and any
+// radices in [2, nodes] that accept the requested node count.
+func nearestValid(nodes, radix int) string {
+	var below, above int
+	for n := nodes - 1; n >= radix; n-- {
+		if factorable(n, radix) {
+			below = n
+			break
+		}
+	}
+	for n := nodes + 1; n <= nodes*radix; n++ {
+		if factorable(n, radix) {
+			above = n
+			break
+		}
+	}
+	var radices []int
+	for r := 2; r <= nodes && len(radices) < 3; r++ {
+		if r != radix && factorable(nodes, r) {
+			radices = append(radices, r)
+		}
+	}
+	out := ""
+	if below > 0 {
+		out += fmt.Sprintf("(%d nodes, radix %d)", below, radix)
+	}
+	if above > 0 {
+		if out != "" {
+			out += ", "
+		}
+		out += fmt.Sprintf("(%d nodes, radix %d)", above, radix)
+	}
+	for _, r := range radices {
+		if out != "" {
+			out += ", "
+		}
+		out += fmt.Sprintf("(%d nodes, radix %d)", nodes, r)
+	}
+	if out == "" {
+		return "none"
+	}
+	return out
 }
 
 // MustNew is New, panicking on error; for tests and tables.
@@ -120,151 +252,286 @@ func MustNew(nodes, radix int) *T {
 	return t
 }
 
-// Precompute eagerly fills the route caches (forward, backward,
-// turnaround) for every node pair. The caches are normally filled
-// lazily on first use, which is fine single-threaded but racy when
-// shards of a parallel run route concurrently — a sharded machine
-// calls this once at construction so all later route lookups are
-// read-only.
-func (t *T) Precompute() {
-	for a := 0; a < t.Nodes; a++ {
-		for b := 0; b < t.Nodes; b++ {
-			t.Forward(a, b)
-			t.Backward(a, b)
-			for s := 0; s < t.Tops*t.Bundle; s++ {
-				t.Turnaround(a, b, s)
-			}
-		}
-	}
+// Precompute is a no-op kept for callers of the pre-arithmetic API.
+// Routes are computed in O(1) per hop from the endpoint indices, T is
+// immutable, and hot-path memoization lives in per-shard RouteCaches —
+// there is no shared table left to build, and nothing to race on.
+func (t *T) Precompute() {}
+
+// NumSwitches reports the total switch count across all stages.
+func (t *T) NumSwitches() int { return t.Stages * t.Leaves }
+
+// SwitchOrdinal flattens a SwitchID into [0, NumSwitches) in
+// stage-major order: rank 0 (leaves) first, then each rank upward.
+func (t *T) SwitchOrdinal(s SwitchID) int {
+	return s.Stage*t.Leaves + s.Index
 }
 
-// NumSwitches reports the total switch count across both stages.
-func (t *T) NumSwitches() int { return t.Leaves + t.Tops }
-
-// SwitchOrdinal flattens a SwitchID into [0, NumSwitches) for array
-// indexing: leaves first, then tops.
-func (t *T) SwitchOrdinal(s SwitchID) int {
-	if s.Stage == 0 {
-		return s.Index
-	}
-	return t.Leaves + s.Index
+// OrdinalSwitch is SwitchOrdinal's inverse.
+func (t *T) OrdinalSwitch(ord int) SwitchID {
+	return SwitchID{Stage: ord / t.Leaves, Index: ord % t.Leaves}
 }
 
 // LeafOf returns the leaf switch serving processor p.
 func (t *T) LeafOf(p int) SwitchID { return SwitchID{0, p / t.Radix} }
 
-// TopOf returns the top switch serving memory m.
-func (t *T) TopOf(m int) SwitchID { return SwitchID{1, m / t.Radix} }
+// TopOf returns the top-rank switch serving memory m.
+func (t *T) TopOf(m int) SwitchID { return SwitchID{t.Stages - 1, m / t.Radix} }
 
-// lane deterministically spreads traffic across bundled parallel links
-// while keeping every (a, b) pair on a fixed lane so point-to-point
-// message order is preserved.
-func (t *T) lane(a, b int) int { return (a + b) % t.Bundle }
+// digit extracts digit i of switch index w.
+func (t *T) digit(w, i int) int { return (w / t.stride[i]) % t.fan[i] }
 
-// upPort returns the leaf-switch up port reaching top switch top on
-// the given bundle lane.
-func (t *T) upPort(top, lane int) Port { return Port(t.Radix + top*t.Bundle + lane) }
+// setDigit returns w with digit i replaced by d.
+func (t *T) setDigit(w, i, d int) int {
+	return w + (d-t.digit(w, i))*t.stride[i]
+}
 
-// topDownPort returns the top-switch down port connected to leaf
-// switch leaf on the given bundle lane.
-func (t *T) topDownPort(leaf, lane int) Port { return Port(leaf*t.Bundle + lane) }
+// upPort is the rank-i switch output port reaching the rank-(i+1)
+// switch whose digit i is d, on bundle lane lane.
+func (t *T) upPort(i, d, lane int) Port { return Port(t.Radix + d*t.lanes[i] + lane) }
+
+// downPort is the rank-(i+1) switch output port reaching the rank-i
+// switch whose digit i is d, on bundle lane lane.
+func (t *T) downPort(i, d, lane int) Port { return Port(d*t.lanes[i] + lane) }
+
+// AppendForward appends the forward (processor-to-memory) hop sequence
+// to buf and returns it. The route is exactly Stages hops: each move j
+// rewrites switch-index digit j to the destination top's, on bundle
+// lane (proc+mem) mod lanes[j] — the deterministic spread that keeps
+// every (proc, mem) pair on a fixed lane so point-to-point order is
+// preserved.
+func (t *T) AppendForward(buf []Hop, proc, mem int) []Hop {
+	t.checkNode(proc)
+	t.checkNode(mem)
+	w, top := proc/t.Radix, mem/t.Radix
+	in := Port(proc % t.Radix)
+	for j := 0; j < t.Stages-1; j++ {
+		c := t.digit(top, j)
+		lane := (proc + mem) % t.lanes[j]
+		buf = append(buf, Hop{Sw: SwitchID{j, w}, In: in, Out: t.upPort(j, c, lane)})
+		in = t.downPort(j, t.digit(w, j), lane)
+		w = t.setDigit(w, j, c)
+	}
+	return append(buf, Hop{Sw: SwitchID{t.Stages - 1, w}, In: in, Out: Port(t.Radix + mem%t.Radix)})
+}
 
 // Forward returns the hop sequence for a processor-to-memory message
 // (the forward path: ReadReq, WriteReq, WriteBack, CopyBack, InvalAck).
-// The returned slice is cached and shared across calls: treat it as
-// immutable.
+// Callers on hot paths should memoize through a RouteCache; the slice
+// a RouteCache returns is shared, so treat all returned routes as
+// immutable (xbar's fault route splicing copies before mutating).
 func (t *T) Forward(proc, mem int) []Hop {
-	t.checkNode(proc)
-	t.checkNode(mem)
-	if t.fwdCache == nil {
-		t.fwdCache = make([][]Hop, t.Nodes*t.Nodes)
+	return t.AppendForward(make([]Hop, 0, t.Stages), proc, mem)
+}
+
+// AppendBackward appends the backward (memory-to-processor) hop
+// sequence to buf: the exact reverse of AppendForward(proc, mem), so a
+// request and its reply see the same switches — the path-overlap
+// property the switch directories depend on.
+func (t *T) AppendBackward(buf []Hop, mem, proc int) []Hop {
+	start := len(buf)
+	buf = t.AppendForward(buf, proc, mem)
+	fwd := buf[start:]
+	for i, j := 0, len(fwd)-1; i < j; i, j = i+1, j-1 {
+		fwd[i], fwd[j] = fwd[j], fwd[i]
 	}
-	key := proc*t.Nodes + mem
-	if h := t.fwdCache[key]; h != nil {
-		return h
+	for i := range fwd {
+		fwd[i].In, fwd[i].Out = fwd[i].Out, fwd[i].In
 	}
-	leaf, top := proc/t.Radix, mem/t.Radix
-	c := t.lane(proc, mem)
-	h := []Hop{
-		{Sw: SwitchID{0, leaf}, In: Port(proc % t.Radix), Out: t.upPort(top, c)},
-		{Sw: SwitchID{1, top}, In: t.topDownPort(leaf, c), Out: Port(t.Radix + mem%t.Radix)},
-	}
-	t.fwdCache[key] = h
-	return h
+	return buf
 }
 
 // Backward returns the hop sequence for a memory-to-processor message
 // (the backward path: replies, CtoCReq, Inval, Retry, WBAck, Nack).
-// It is the exact reverse of Forward(proc, mem), so a request and its
-// reply see the same two switches — the path-overlap property.
-// The returned slice is cached and shared across calls: treat it as
-// immutable.
 func (t *T) Backward(mem, proc int) []Hop {
-	t.checkNode(proc)
-	t.checkNode(mem)
-	if t.bwdCache == nil {
-		t.bwdCache = make([][]Hop, t.Nodes*t.Nodes)
-	}
-	key := mem*t.Nodes + proc
-	if h := t.bwdCache[key]; h != nil {
-		return h
-	}
-	leaf, top := proc/t.Radix, mem/t.Radix
-	c := t.lane(proc, mem)
-	h := []Hop{
-		{Sw: SwitchID{1, top}, In: Port(t.Radix + mem%t.Radix), Out: t.topDownPort(leaf, c)},
-		{Sw: SwitchID{0, leaf}, In: t.upPort(top, c), Out: Port(proc % t.Radix)},
-	}
-	t.bwdCache[key] = h
-	return h
+	return t.AppendBackward(make([]Hop, 0, t.Stages), mem, proc)
 }
 
-// Turnaround returns the hop sequence for a processor-to-processor
-// message (CtoCReply): up from the source's leaf to a top switch, then
-// down to the destination's leaf. sel picks the turnaround top switch
-// deterministically (callers pass the block's home node so the reply
-// shares the transaction's tree). If src and dst share a leaf switch
-// the message still turns at the leaf only when no top visit is
-// required — a single-switch route.
-// The returned slice is cached and shared across calls (the route
-// depends on sel only through sel mod Tops·Bundle): treat it as
-// immutable.
-func (t *T) Turnaround(src, dst, sel int) []Hop {
+// SelPeriod is the number of distinct turnaround path selectors:
+// Radix^(Stages-1), the modulus applied to Turnaround's sel.
+func (t *T) SelPeriod() int { return t.selPeriod }
+
+// AppendTurnaround appends the processor-to-processor (CtoCReply) hop
+// sequence to buf: up from the source's leaf to the lowest rank whose
+// subtree contains both leaves (higher when sel disagrees there), then
+// down to the destination's leaf. sel picks the pivot's free digits
+// and the bundle lanes deterministically (callers pass the block's
+// home node so the reply shares the transaction's tree). If src and
+// dst share a leaf switch the route is a single leaf-switch hop.
+func (t *T) AppendTurnaround(buf []Hop, src, dst, sel int) []Hop {
 	t.checkNode(src)
 	t.checkNode(dst)
-	period := t.Tops * t.Bundle
-	s := sel % period
-	if s < 0 {
-		s += period
-	}
-	if t.taCache == nil {
-		t.taCache = make([][]Hop, t.Nodes*t.Nodes*period)
-	}
-	key := (src*t.Nodes+dst)*period + s
-	if h := t.taCache[key]; h != nil {
-		return h
-	}
-	h := t.turnaround(src, dst, s)
-	t.taCache[key] = h
-	return h
-}
-
-func (t *T) turnaround(src, dst, sel int) []Hop {
 	sl, dl := src/t.Radix, dst/t.Radix
 	if sl == dl {
-		// Same leaf: one hop through the shared leaf switch.
-		return []Hop{{Sw: SwitchID{0, sl}, In: Port(src % t.Radix), Out: Port(dst % t.Radix)}}
+		return append(buf, Hop{Sw: SwitchID{0, sl}, In: Port(src % t.Radix), Out: Port(dst % t.Radix)})
 	}
-	top := sel % t.Tops
-	if top < 0 {
-		top += t.Tops
+	s := sel % t.selPeriod
+	if s < 0 {
+		s += t.selPeriod
 	}
-	cu := t.lane(src, sel)
-	cd := t.lane(dst, sel)
-	return []Hop{
-		{Sw: SwitchID{0, sl}, In: Port(src % t.Radix), Out: t.upPort(top, cu)},
-		{Sw: SwitchID{1, top}, In: t.topDownPort(sl, cu), Out: t.topDownPort(dl, cd)},
-		{Sw: SwitchID{0, dl}, In: t.upPort(top, cd), Out: Port(dst % t.Radix)},
+	// The pivot rank is just above the highest differing digit: the
+	// lowest rank from which a pure down path can still set every
+	// mismatched digit to the destination leaf's.
+	pivot := 0
+	for j := 0; j < t.Stages-1; j++ {
+		if t.digit(sl, j) != t.digit(dl, j) {
+			pivot = j + 1
+		}
+	}
+	// Ascend: free digits below the pivot come from sel, so a
+	// transaction's turnaround shares its home subtree.
+	w := sl
+	in := Port(src % t.Radix)
+	for j := 0; j < pivot; j++ {
+		f := t.digit(s, j)
+		lane := (src + s) % t.lanes[j]
+		buf = append(buf, Hop{Sw: SwitchID{j, w}, In: in, Out: t.upPort(j, f, lane)})
+		in = t.downPort(j, t.digit(w, j), lane)
+		w = t.setDigit(w, j, f)
+	}
+	// Descend, rewriting each digit to the destination leaf's.
+	for j := pivot - 1; j >= 0; j-- {
+		d := t.digit(dl, j)
+		lane := (dst + s) % t.lanes[j]
+		buf = append(buf, Hop{Sw: SwitchID{j + 1, w}, In: in, Out: t.downPort(j, d, lane)})
+		in = t.upPort(j, t.digit(w, j), lane)
+		w = t.setDigit(w, j, d)
+	}
+	return append(buf, Hop{Sw: SwitchID{0, w}, In: in, Out: Port(dst % t.Radix)})
+}
+
+// Turnaround returns the processor-to-processor hop sequence; the
+// route depends on sel only through sel mod SelPeriod().
+func (t *T) Turnaround(src, dst, sel int) []Hop {
+	return t.AppendTurnaround(make([]Hop, 0, 2*t.Stages-1), src, dst, sel)
+}
+
+// RouteFrom computes a route for a message created inside switch sw
+// (a snooper interception), entering the fabric on the switch-internal
+// injection port in. Destinations below sw's subtree descend directly;
+// memory-side destinations whose top rank is not straight above climb
+// only as far as needed, and processor-side destinations outside the
+// subtree pivot through sel-chosen free digits exactly like
+// Turnaround. The lane arithmetic anchors on sw's first endpoint
+// (index*Radix), matching the pre-arithmetic implementation hop for
+// hop on 2-stage machines.
+func (t *T) RouteFrom(sw SwitchID, in Port, memSide bool, node, sel int) []Hop {
+	t.checkNode(node)
+	w, rank := sw.Index, sw.Stage
+	anchor := sw.Index * t.Radix
+	buf := make([]Hop, 0, 2*t.Stages-1)
+	if memSide {
+		top := node / t.Radix
+		// Descend until every digit below the current rank matches the
+		// destination top, then climb.
+		low := rank
+		for j := 0; j < rank; j++ {
+			if t.digit(w, j) != t.digit(top, j) {
+				low = j
+				break
+			}
+		}
+		for j := rank - 1; j >= low; j-- {
+			d := t.digit(top, j)
+			lane := (anchor + node) % t.lanes[j]
+			buf = append(buf, Hop{Sw: SwitchID{j + 1, w}, In: in, Out: t.downPort(j, d, lane)})
+			in = t.upPort(j, t.digit(w, j), lane)
+			w = t.setDigit(w, j, d)
+		}
+		for j := low; j < t.Stages-1; j++ {
+			c := t.digit(top, j)
+			lane := (anchor + node) % t.lanes[j]
+			buf = append(buf, Hop{Sw: SwitchID{j, w}, In: in, Out: t.upPort(j, c, lane)})
+			in = t.downPort(j, t.digit(w, j), lane)
+			w = t.setDigit(w, j, c)
+		}
+		return append(buf, Hop{Sw: SwitchID{t.Stages - 1, w}, In: in, Out: Port(t.Radix + node%t.Radix)})
+	}
+	dl := node / t.Radix
+	if rank == 0 && dl == w {
+		return append(buf, Hop{Sw: sw, In: in, Out: Port(node % t.Radix)})
+	}
+	pivot := rank
+	for j := rank; j < t.Stages-1; j++ {
+		if t.digit(w, j) != t.digit(dl, j) {
+			pivot = j + 1
+		}
+	}
+	if pivot == rank {
+		// Pure down path: the destination leaf is in this subtree.
+		for j := rank - 1; j >= 0; j-- {
+			d := t.digit(dl, j)
+			lane := (anchor + node) % t.lanes[j]
+			buf = append(buf, Hop{Sw: SwitchID{j + 1, w}, In: in, Out: t.downPort(j, d, lane)})
+			in = t.upPort(j, t.digit(w, j), lane)
+			w = t.setDigit(w, j, d)
+		}
+		return append(buf, Hop{Sw: SwitchID{0, w}, In: in, Out: Port(node % t.Radix)})
+	}
+	s := sel % t.selPeriod
+	if s < 0 {
+		s += t.selPeriod
+	}
+	for j := rank; j < pivot; j++ {
+		f := t.digit(s, j)
+		lane := (anchor + s) % t.lanes[j]
+		buf = append(buf, Hop{Sw: SwitchID{j, w}, In: in, Out: t.upPort(j, f, lane)})
+		in = t.downPort(j, t.digit(w, j), lane)
+		w = t.setDigit(w, j, f)
+	}
+	for j := pivot - 1; j >= 0; j-- {
+		d := t.digit(dl, j)
+		lane := (node + s) % t.lanes[j]
+		buf = append(buf, Hop{Sw: SwitchID{j + 1, w}, In: in, Out: t.downPort(j, d, lane)})
+		in = t.upPort(j, t.digit(w, j), lane)
+		w = t.setDigit(w, j, d)
+	}
+	return append(buf, Hop{Sw: SwitchID{0, w}, In: in, Out: Port(node % t.Radix)})
+}
+
+// PortPeer describes what a switch output port connects to: another
+// switch's input port, or a delivery link to an endpoint.
+type PortPeer struct {
+	// Switch is the peer switch ordinal, or -1 for an endpoint link.
+	Switch int
+	// In is the peer switch's input port (switch links only).
+	In Port
+	// Node is the endpoint node number (endpoint links only).
+	Node int
+	// MemSide is true for a memory endpoint, false for a processor.
+	MemSide bool
+}
+
+// Peer resolves one output port of one switch. Down ports of rank 0
+// deliver to processors and up ports of the top rank to memories;
+// every other port is an inter-switch link. The wiring is symmetric:
+// if sw's output port p reaches peer input port q, then the peer's
+// output port q reaches sw's input port p.
+func (t *T) Peer(sw SwitchID, out Port) PortPeer {
+	w, rank, r := sw.Index, sw.Stage, t.Radix
+	if int(out) < r { // down port
+		if rank == 0 {
+			return PortPeer{Switch: -1, Node: w*r + int(out)}
+		}
+		j := rank - 1
+		d := int(out) / t.lanes[j]
+		lane := int(out) % t.lanes[j]
+		peer := t.setDigit(w, j, d)
+		return PortPeer{
+			Switch: t.SwitchOrdinal(SwitchID{j, peer}),
+			In:     t.upPort(j, t.digit(w, j), lane),
+		}
+	}
+	up := int(out) - r
+	if rank == t.Stages-1 {
+		return PortPeer{Switch: -1, Node: w*r + up, MemSide: true}
+	}
+	c := up / t.lanes[rank]
+	lane := up % t.lanes[rank]
+	peer := t.setDigit(w, rank, c)
+	return PortPeer{
+		Switch: t.SwitchOrdinal(SwitchID{rank + 1, peer}),
+		In:     t.downPort(rank, t.digit(w, rank), lane),
 	}
 }
 
@@ -279,68 +546,68 @@ type Link struct {
 
 func (l Link) String() string { return fmt.Sprintf("sw%d:out%d", l.Sw, l.Out) }
 
-// InterSwitchLinks enumerates every directional leaf↔top link in
-// deterministic order: all leaf up-links first, then all top
-// down-links. Endpoint delivery links are excluded — severing one
-// isolates its endpoint outright (a partition), whereas any single
-// inter-switch link loss leaves the fabric connected.
+// InterSwitchLinks enumerates every directional inter-switch link in
+// deterministic order: each rank's up-links from the bottom upward,
+// then each rank's down-links from the top downward (on the 2-stage
+// machine: all leaf up-links, then all top down-links). Endpoint
+// delivery links are excluded — severing one isolates its endpoint
+// outright (a partition), whereas any single inter-switch link loss
+// leaves the fabric connected.
 func (t *T) InterSwitchLinks() []Link {
 	var out []Link
-	for leaf := 0; leaf < t.Leaves; leaf++ {
-		ord := t.SwitchOrdinal(SwitchID{Stage: 0, Index: leaf})
-		for top := 0; top < t.Tops; top++ {
-			for lane := 0; lane < t.Bundle; lane++ {
-				out = append(out, Link{Sw: ord, Out: t.upPort(top, lane)})
+	for rank := 0; rank < t.Stages-1; rank++ {
+		for w := 0; w < t.Leaves; w++ {
+			ord := t.SwitchOrdinal(SwitchID{Stage: rank, Index: w})
+			for p := t.Radix; p < 2*t.Radix; p++ {
+				out = append(out, Link{Sw: ord, Out: Port(p)})
 			}
 		}
 	}
-	for top := 0; top < t.Tops; top++ {
-		ord := t.SwitchOrdinal(SwitchID{Stage: 1, Index: top})
-		for leaf := 0; leaf < t.Leaves; leaf++ {
-			for lane := 0; lane < t.Bundle; lane++ {
-				out = append(out, Link{Sw: ord, Out: t.topDownPort(leaf, lane)})
+	for rank := t.Stages - 1; rank >= 1; rank-- {
+		for w := 0; w < t.Leaves; w++ {
+			ord := t.SwitchOrdinal(SwitchID{Stage: rank, Index: w})
+			for p := 0; p < t.Radix; p++ {
+				out = append(out, Link{Sw: ord, Out: Port(p)})
 			}
 		}
 	}
 	return out
 }
 
-// SwitchesForward lists just the switches on the forward path, in
-// traversal order; used by the trace-driven simulator, which models
+// AppendSwitchesForward appends just the switches on the forward path,
+// in traversal order; used by the trace-driven simulator, which models
 // directory placement but not link timing.
+func (t *T) AppendSwitchesForward(buf []SwitchID, proc, mem int) []SwitchID {
+	t.checkNode(proc)
+	t.checkNode(mem)
+	w, top := proc/t.Radix, mem/t.Radix
+	for j := 0; j < t.Stages-1; j++ {
+		buf = append(buf, SwitchID{j, w})
+		w = t.setDigit(w, j, t.digit(top, j))
+	}
+	return append(buf, SwitchID{t.Stages - 1, w})
+}
+
+// SwitchesForward lists just the switches on the forward path.
 func (t *T) SwitchesForward(proc, mem int) []SwitchID {
-	if t.swFwdCache == nil {
-		t.swFwdCache = make([][]SwitchID, t.Nodes*t.Nodes)
+	return t.AppendSwitchesForward(make([]SwitchID, 0, t.Stages), proc, mem)
+}
+
+// AppendSwitchesBackward appends the switches on the backward path in
+// order: the forward path reversed.
+func (t *T) AppendSwitchesBackward(buf []SwitchID, mem, proc int) []SwitchID {
+	start := len(buf)
+	buf = t.AppendSwitchesForward(buf, proc, mem)
+	fwd := buf[start:]
+	for i, j := 0, len(fwd)-1; i < j; i, j = i+1, j-1 {
+		fwd[i], fwd[j] = fwd[j], fwd[i]
 	}
-	key := proc*t.Nodes + mem
-	if s := t.swFwdCache[key]; s != nil {
-		return s
-	}
-	hops := t.Forward(proc, mem)
-	out := make([]SwitchID, len(hops))
-	for i, h := range hops {
-		out[i] = h.Sw
-	}
-	t.swFwdCache[key] = out
-	return out
+	return buf
 }
 
 // SwitchesBackward lists the switches on the backward path in order.
 func (t *T) SwitchesBackward(mem, proc int) []SwitchID {
-	if t.swBwdCache == nil {
-		t.swBwdCache = make([][]SwitchID, t.Nodes*t.Nodes)
-	}
-	key := mem*t.Nodes + proc
-	if s := t.swBwdCache[key]; s != nil {
-		return s
-	}
-	hops := t.Backward(mem, proc)
-	out := make([]SwitchID, len(hops))
-	for i, h := range hops {
-		out[i] = h.Sw
-	}
-	t.swBwdCache[key] = out
-	return out
+	return t.AppendSwitchesBackward(make([]SwitchID, 0, t.Stages), mem, proc)
 }
 
 func (t *T) checkNode(n int) {
@@ -350,6 +617,6 @@ func (t *T) checkNode(n int) {
 }
 
 func (t *T) String() string {
-	return fmt.Sprintf("BMIN(%d nodes, %dx%d switches, %d+%d, bundle %d)",
-		t.Nodes, 2*t.Radix, 2*t.Radix, t.Leaves, t.Tops, t.Bundle)
+	return fmt.Sprintf("BMIN(%d nodes, %d stages of %dx%d switches, %d per rank, bundle %d)",
+		t.Nodes, t.Stages, 2*t.Radix, 2*t.Radix, t.Leaves, t.Bundle)
 }

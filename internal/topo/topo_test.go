@@ -1,6 +1,7 @@
 package topo
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -15,8 +16,16 @@ func TestNewValidations(t *testing.T) {
 	if _, err := New(15, 4); err == nil {
 		t.Error("nodes not divisible by radix accepted")
 	}
-	if _, err := New(32, 4); err == nil {
-		t.Error("radix²=16 < nodes=32 accepted (unreachable tops)")
+	// 24 nodes of radix 4: 6 switches per rank, but 6 does not divide
+	// any power of 4 — no butterfly of any depth exists. The error must
+	// name the derived stage count and suggest nearby geometries.
+	if _, err := New(24, 4); err == nil {
+		t.Error("unfactorable 24/4 geometry accepted")
+	} else {
+		msg := err.Error()
+		if !strings.Contains(msg, "3 stages") || !strings.Contains(msg, "nearest valid") {
+			t.Errorf("error lacks stage count or suggestions: %v", err)
+		}
 	}
 	bt, err := New(16, 4)
 	if err != nil {
@@ -50,7 +59,7 @@ func validateHops(t *testing.T, bt *T, hops []Hop) {
 		if h.In < 0 || int(h.In) >= 2*bt.Radix || h.Out < 0 || int(h.Out) >= 2*bt.Radix {
 			t.Fatalf("port out of range in hop %+v", h)
 		}
-		if h.Sw.Stage < 0 || h.Sw.Stage > 1 {
+		if h.Sw.Stage < 0 || h.Sw.Stage >= bt.Stages {
 			t.Fatalf("bad stage in hop %+v", h)
 		}
 	}
@@ -65,8 +74,8 @@ func TestForwardBackwardSymmetry(t *testing.T) {
 				b := bt.Backward(m, p)
 				validateHops(t, bt, f)
 				validateHops(t, bt, b)
-				if len(f) != 2 || len(b) != 2 {
-					t.Fatalf("%v: route length f=%d b=%d, want 2", bt, len(f), len(b))
+				if len(f) != bt.Stages || len(b) != bt.Stages {
+					t.Fatalf("%v: route length f=%d b=%d, want %d", bt, len(f), len(b), bt.Stages)
 				}
 				// Path overlap: backward is the exact reverse of forward.
 				for i := range f {
@@ -80,15 +89,16 @@ func TestForwardBackwardSymmetry(t *testing.T) {
 				if f[0].Sw != bt.LeafOf(p) || int(f[0].In) != p%bt.Radix {
 					t.Fatalf("forward entry wrong: %+v for p=%d", f[0], p)
 				}
-				if f[1].Sw != bt.TopOf(m) || int(f[1].Out) != bt.Radix+m%bt.Radix {
-					t.Fatalf("forward exit wrong: %+v for m=%d", f[1], m)
+				last := f[len(f)-1]
+				if last.Sw != bt.TopOf(m) || int(last.Out) != bt.Radix+m%bt.Radix {
+					t.Fatalf("forward exit wrong: %+v for m=%d", last, m)
 				}
 				// Orientation: leaf exit is an up port, top entry a down port.
 				if int(f[0].Out) < bt.Radix {
 					t.Fatalf("leaf must exit upward: %+v", f[0])
 				}
-				if int(f[1].In) >= bt.Radix {
-					t.Fatalf("top must be entered from below: %+v", f[1])
+				if int(last.In) >= bt.Radix {
+					t.Fatalf("top must be entered from below: %+v", last)
 				}
 			}
 		}

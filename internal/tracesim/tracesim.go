@@ -212,6 +212,11 @@ type Sim struct {
 	// check: safe to read while another goroutine flips its source.
 	Stop    func() bool
 	stopped bool
+
+	// swBuf is the reusable scratch for per-record route walks; Run is
+	// single-threaded, so one buffer per Sim keeps the hot path
+	// allocation-free at any stage count.
+	swBuf []topo.SwitchID
 }
 
 // stopPollRefs is Run's cancellation poll interval in trace records.
@@ -301,7 +306,8 @@ func (s *Sim) sdInvalidateAll(b uint64) {
 // sdInsertBackward installs ownership along the home→owner backward
 // path (the write reply's route).
 func (s *Sim) sdInsertBackward(b uint64, home, owner int) {
-	for _, sw := range s.tp.SwitchesBackward(home, owner) {
+	s.swBuf = s.tp.AppendSwitchesBackward(s.swBuf[:0], home, owner)
+	for _, sw := range s.swBuf {
 		s.sdirs[s.tp.SwitchOrdinal(sw)].insert(b, owner)
 	}
 }
@@ -386,7 +392,8 @@ func (s *Sim) read(p int, b uint64) uint64 {
 	owner := e.owner
 	if s.sdirs != nil {
 		// Check the switch directories along the forward path.
-		for _, sw := range s.tp.SwitchesForward(p, h) {
+		s.swBuf = s.tp.AppendSwitchesForward(s.swBuf[:0], p, h)
+		for _, sw := range s.swBuf {
 			d := s.sdirs[s.tp.SwitchOrdinal(sw)]
 			if en := d.find(b); en != nil {
 				if st, _ := s.caches[en.owner].Probe(b); st == cache.Modified || st == cache.Shared {

@@ -94,7 +94,7 @@ func (n *Network) DownLink(sw int, out topo.Port) {
 // every traversal pays DegradedPenalty, and routing avoids it where an
 // alternative path exists.
 func (n *Network) DownSwitch(sw int) {
-	s := n.switches[sw]
+	s := &n.switches[sw]
 	if s.down {
 		return
 	}
@@ -142,7 +142,7 @@ func (n *Network) DownReport() string {
 		fmt.Fprintf(&b, " switch %v", s)
 	}
 	for _, l := range n.downLinks {
-		sw := n.switches[l.Sw]
+		sw := &n.switches[l.Sw]
 		if ol := sw.out[l.Out]; ol.toSwitch >= 0 {
 			fmt.Fprintf(&b, " link %v:out%d->%v:in%d", sw.id, l.Out, n.switches[ol.toSwitch].id, ol.toPort)
 		} else {
@@ -289,7 +289,7 @@ func (n *Network) altRoute(start int, in topo.Port, dst mesg.End) []topo.Hop {
 		if u == goal {
 			break
 		}
-		usw := n.switches[u]
+		usw := &n.switches[u]
 		for p := range usw.out {
 			ol := &usw.out[p]
 			if ol.down || ol.toSwitch < 0 || done[ol.toSwitch] {
@@ -316,7 +316,7 @@ func (n *Network) altRoute(start int, in topo.Port, dst mesg.End) []topo.Hop {
 	curIn := in
 	for i := len(chain) - 1; i >= 0; i-- {
 		st := chain[i]
-		sw := n.switches[st.sw]
+		sw := &n.switches[st.sw]
 		hops = append(hops, topo.Hop{Sw: sw.id, In: curIn, Out: st.out})
 		curIn = sw.out[st.out].toPort
 	}
@@ -369,7 +369,8 @@ func (n *Network) refloodRoutes() {
 		t    *tx
 	}
 	var drops []doomed
-	for _, sw := range n.switches {
+	for i := range n.switches {
+		sw := &n.switches[i]
 		for p := range sw.in {
 			for v := 0; v < VCsPerPort; v++ {
 				for _, t := range sw.in[p][v].q {
@@ -412,8 +413,8 @@ func (n *Network) refloodRoutes() {
 			il.pending = kept
 		}
 	}
-	for _, sw := range n.switches {
-		n.armArb(sw)
+	for i := range n.switches {
+		n.armArb(&n.switches[i])
 	}
 	for i := range n.injProc {
 		n.pumpInjection(&n.injProc[i])

@@ -87,6 +87,9 @@ type Handler func(*mesg.Message)
 type Config struct {
 	CoreCycles  sim.Cycle // switch pipeline delay; 0 means default
 	VCQueueMsgs int       // per-VC input queue capacity; 0 means default
+	// RouteCacheEntries bounds each routing domain's hot-route LRU;
+	// 0 means topo.DefaultRouteCacheEntries.
+	RouteCacheEntries int
 	// Snoop, when non-nil, is attached to every switch.
 	Snoop Snooper
 }
@@ -131,6 +134,10 @@ type domain struct {
 	eng   *sim.Engine
 	shard int
 	stats Stats
+	// rc memoizes this domain's hot routes. Per-domain ownership keeps
+	// the topology immutable and the cache lock-free under sharding;
+	// route state is O(capacity) per shard instead of O(Nodes²).
+	rc *topo.RouteCache
 	// txFree recycles tx wrappers: one is live per in-flight message,
 	// dying at final-hop delivery or a snoop sink, so the steady-state
 	// send path allocates nothing. A tx may be freed into a different
@@ -282,9 +289,12 @@ type Network struct {
 	cfg       Config
 	core      sim.Cycle
 	creditLat sim.Cycle
-	switches  []*swc
-	procH     []Handler
-	memH      []Handler
+	// switches holds every switch by ordinal (stage-major: all of rank
+	// 0, then rank 1, …) as a flat value slice; port arrays are carved
+	// from shared slabs so one rank's state is contiguous in memory.
+	switches []swc
+	procH    []Handler
+	memH     []Handler
 	// injq serializes endpoint injection: per endpoint-link pending
 	// messages (unbounded: the NI's outbound queue) plus link state.
 	injProc []injLink
@@ -328,7 +338,7 @@ func New(eng *sim.Engine, tp *topo.T, cfg Config) *Network {
 	if cfg.VCQueueMsgs == 0 {
 		cfg.VCQueueMsgs = DefaultVCQueueMsgs
 	}
-	d := &domain{eng: eng}
+	d := &domain{eng: eng, rc: topo.NewRouteCache(tp, cfg.RouteCacheEntries)}
 	n := &Network{
 		eng:       eng,
 		tp:        tp,
@@ -398,7 +408,8 @@ func (n *Network) LookaheadMatrix() [][]sim.Cycle {
 			}
 		}
 	}
-	for _, sw := range n.switches {
+	for si := range n.switches {
+		sw := &n.switches[si]
 		for _, ol := range sw.out {
 			if ol.toSwitch < 0 {
 				continue // endpoint link: co-located by Shard's invariant
@@ -441,10 +452,10 @@ func (n *Network) LookaheadMatrix() [][]sim.Cycle {
 func (n *Network) Shard(engs []*sim.Engine, swShard, procShard, memShard []int) {
 	n.doms = make([]*domain, len(engs))
 	for i, e := range engs {
-		n.doms[i] = &domain{eng: e, shard: i}
+		n.doms[i] = &domain{eng: e, shard: i, rc: topo.NewRouteCache(n.tp, n.cfg.RouteCacheEntries)}
 	}
-	for _, sw := range n.switches {
-		sw.dom = n.doms[swShard[sw.ord]]
+	for i := range n.switches {
+		n.switches[i].dom = n.doms[swShard[n.switches[i].ord]]
 	}
 	for i := 0; i < n.tp.Nodes; i++ {
 		leaf := n.tp.SwitchOrdinal(n.tp.LeafOf(i))
@@ -478,21 +489,28 @@ func (n *Network) endDom(e mesg.End) *domain {
 	return n.memDom[e.Node]
 }
 
-// build wires switches and links from the topology.
+// build wires switches and links from the topology's Peer oracle, so
+// the same code covers every stage count. Port arrays are carved from
+// three fabric-wide slabs in ordinal (stage-major) order: a rank's —
+// and hence a shard subtree's — switch state is contiguous in memory,
+// and construction does three allocations instead of three per switch.
 func (n *Network) build() {
 	tp := n.tp
 	r := tp.Radix
 	total := tp.NumSwitches()
-	n.switches = make([]*swc, total)
-	mk := func(id topo.SwitchID) *swc {
-		s := &swc{
-			id:  id,
-			ord: tp.SwitchOrdinal(id),
-			dom: n.doms[0],
-			in:  make([][VCsPerPort]vcq, 2*r+1),
-			out: make([]outLink, 2*r),
-			ups: make([]upstream, 2*r+1),
-		}
+	nin, nout := 2*r+1, 2*r
+	n.switches = make([]swc, total)
+	inSlab := make([][VCsPerPort]vcq, total*nin)
+	outSlab := make([]outLink, total*nout)
+	upsSlab := make([]upstream, total*nin)
+	for ord := 0; ord < total; ord++ {
+		s := &n.switches[ord]
+		s.id = tp.OrdinalSwitch(ord)
+		s.ord = ord
+		s.dom = n.doms[0]
+		s.in = inSlab[ord*nin : (ord+1)*nin : (ord+1)*nin]
+		s.out = outSlab[ord*nout : (ord+1)*nout : (ord+1)*nout]
+		s.ups = upsSlab[ord*nin : (ord+1)*nin : (ord+1)*nin]
 		for p := range s.in {
 			for v := 0; v < VCsPerPort; v++ {
 				s.in[p][v].cap = n.cfg.VCQueueMsgs
@@ -505,57 +523,30 @@ func (n *Network) build() {
 		for v := 0; v < VCsPerPort; v++ {
 			s.in[2*r][v].cap = 1 << 20
 		}
-		return s
 	}
-	for l := 0; l < tp.Leaves; l++ {
-		n.switches[tp.SwitchOrdinal(topo.SwitchID{Stage: 0, Index: l})] = mk(topo.SwitchID{Stage: 0, Index: l})
-	}
-	for t := 0; t < tp.Tops; t++ {
-		n.switches[tp.SwitchOrdinal(topo.SwitchID{Stage: 1, Index: t})] = mk(topo.SwitchID{Stage: 1, Index: t})
-	}
-	// Wire leaf switches.
-	for l := 0; l < tp.Leaves; l++ {
-		s := n.switches[tp.SwitchOrdinal(topo.SwitchID{Stage: 0, Index: l})]
-		for d := 0; d < r; d++ {
-			proc := l*r + d
-			s.out[d] = outLink{toSwitch: -1, toEnd: mesg.P(proc)}
-			s.ups[d] = upstream{fromSwitch: -1, end: mesg.P(proc)}
-		}
-		for u := 0; u < r; u++ {
-			top := u / tp.Bundle
-			lane := u % tp.Bundle
-			topOrd := tp.SwitchOrdinal(topo.SwitchID{Stage: 1, Index: top})
-			topIn := topo.Port(l*tp.Bundle + lane)
-			s.out[r+u] = outLink{toSwitch: topOrd, toPort: topIn}
-			// The reverse link: top's down-port out feeds our up-port in.
-			s.ups[r+u] = upstream{fromSwitch: topOrd, fromPort: topIn}
-		}
-	}
-	// Wire top switches.
-	for t := 0; t < tp.Tops; t++ {
-		s := n.switches[tp.SwitchOrdinal(topo.SwitchID{Stage: 1, Index: t})]
-		for c := 0; c < r; c++ { // down ports: to leaves
-			leaf := c / tp.Bundle
-			lane := c % tp.Bundle
-			leafOrd := tp.SwitchOrdinal(topo.SwitchID{Stage: 0, Index: leaf})
-			leafIn := topo.Port(r + t*tp.Bundle + lane)
-			s.out[c] = outLink{toSwitch: leafOrd, toPort: leafIn}
-			s.ups[c] = upstream{fromSwitch: leafOrd, fromPort: leafIn}
-		}
-		for u := 0; u < r; u++ { // up ports: to memories
-			memN := t*r + u
-			s.out[r+u] = outLink{toSwitch: -1, toEnd: mesg.M(memN)}
-			s.ups[r+u] = upstream{fromSwitch: -1, end: mesg.M(memN)}
-		}
-	}
-	// Seed sender-side credits on every switch-to-switch link.
-	for _, s := range n.switches {
+	for ord := 0; ord < total; ord++ {
+		s := &n.switches[ord]
 		for p := range s.out {
-			if s.out[p].toSwitch >= 0 {
-				for v := 0; v < VCsPerPort; v++ {
-					s.out[p].credit[v] = n.cfg.VCQueueMsgs
+			pp := tp.Peer(s.id, topo.Port(p))
+			if pp.Switch < 0 {
+				e := mesg.P(pp.Node)
+				if pp.MemSide {
+					e = mesg.M(pp.Node)
 				}
+				s.out[p] = outLink{toSwitch: -1, toEnd: e}
+				// Endpoint links are paired: the delivery out-port number
+				// doubles as the endpoint's injection in-port.
+				s.ups[p] = upstream{fromSwitch: -1, end: e}
+				continue
 			}
+			s.out[p] = outLink{toSwitch: pp.Switch, toPort: pp.In}
+			// Seed sender-side credits on the switch-to-switch link.
+			for v := 0; v < VCsPerPort; v++ {
+				s.out[p].credit[v] = n.cfg.VCQueueMsgs
+			}
+			// The wiring is symmetric: our output port p feeds the peer's
+			// input pp.In, so that queue's drained slots credit us here.
+			n.switches[pp.Switch].ups[pp.In] = upstream{fromSwitch: ord, fromPort: topo.Port(p)}
 		}
 	}
 }
@@ -566,18 +557,21 @@ func (n *Network) AttachProc(i int, h Handler) { n.procH[i] = h }
 // AttachMem registers the handler for node i's memory interface.
 func (n *Network) AttachMem(i int, h Handler) { n.memH[i] = h }
 
-// route computes the hop sequence for a message between endpoints. The
-// block address selects the turnaround top for processor-to-processor
-// messages so a transaction's reply stays in its home's subtree.
-func (n *Network) route(m *mesg.Message) []topo.Hop {
+// route computes the hop sequence for a message between endpoints,
+// through the sending domain's hot-route cache. The block address
+// selects the turnaround pivot for processor-to-processor messages so
+// a transaction's reply stays in its home's subtree. Returned slices
+// are shared with the cache and must be treated as immutable (the
+// fault overlay's detours always build fresh slices).
+func (n *Network) route(dom *domain, m *mesg.Message) []topo.Hop {
 	s, d := m.Src, m.Dst
 	switch {
 	case s.Side == mesg.ProcSide && d.Side == mesg.MemSide:
-		return n.tp.Forward(s.Node, d.Node)
+		return dom.rc.Forward(s.Node, d.Node)
 	case s.Side == mesg.MemSide && d.Side == mesg.ProcSide:
-		return n.tp.Backward(s.Node, d.Node)
+		return dom.rc.Backward(s.Node, d.Node)
 	case s.Side == mesg.ProcSide && d.Side == mesg.ProcSide:
-		return n.tp.Turnaround(s.Node, d.Node, int(m.Addr>>5))
+		return dom.rc.Turnaround(s.Node, d.Node, int(m.Addr>>5))
 	default:
 		panic(fmt.Sprintf("xbar: unsupported route %v -> %v", s, d))
 	}
@@ -637,7 +631,7 @@ func endArg(e mesg.End) uint64 {
 func (n *Network) OnEvent(op int, arg uint64, data any) {
 	switch op {
 	case opArrive:
-		sw := n.switches[arg>>32]
+		sw := &n.switches[arg>>32]
 		p := topo.Port(uint16(arg >> 16))
 		n.arrive(sw, p, int(uint16(arg)), data.(*tx))
 	case opDeliver:
@@ -647,16 +641,16 @@ func (n *Network) OnEvent(op int, arg uint64, data any) {
 		}
 		n.deliverEnd(e, data.(*mesg.Message))
 	case opArbTrigger:
-		n.armArb(n.switches[arg>>32])
+		n.armArb(&n.switches[arg>>32])
 	case opArb:
-		n.runArb(n.switches[arg])
+		n.runArb(&n.switches[arg])
 	case opCredit:
-		sw := n.switches[arg>>32]
+		sw := &n.switches[arg>>32]
 		sw.out[uint16(arg>>16)].credit[uint16(arg)]++
 		n.armArb(sw)
 	case opInjArrive:
 		t := data.(*tx)
-		sw := n.switches[arg]
+		sw := &n.switches[arg]
 		t.enqueued = sw.dom.eng.Now()
 		sw.in[len(sw.in)-1][vcFor(t.m)].push(t)
 		sw.queued++
@@ -673,7 +667,7 @@ func (n *Network) Send(m *mesg.Message) {
 	if n.Trace != nil {
 		n.Trace("send", dom.eng.Now(), m)
 	}
-	hops, canon, ok := n.routeOrFail(n.route(m), m)
+	hops, canon, ok := n.routeOrFail(n.route(dom, m), m)
 	if !ok {
 		return
 	}
@@ -697,7 +691,7 @@ func (n *Network) pumpInjection(il *injLink) {
 	for len(il.pending) > 0 {
 		t := il.pending[0]
 		h := t.hops[0]
-		sw := n.switches[n.tp.SwitchOrdinal(h.Sw)]
+		sw := &n.switches[n.tp.SwitchOrdinal(h.Sw)]
 		vc := vcFor(t.m)
 		q := &sw.in[h.In][vc]
 		if q.full() {
@@ -985,7 +979,7 @@ func (n *Network) afterPop(sw *swc, p, v int) {
 func (n *Network) injectAt(sw *swc, m *mesg.Message, when sim.Cycle) {
 	dom := sw.dom
 	dom.assignID(m)
-	hops, canon, ok := n.routeOrFail(n.routeFrom(sw.id, m), m)
+	hops, canon, ok := n.routeOrFail(n.routeFrom(sw, m), m)
 	if !ok {
 		return
 	}
@@ -994,65 +988,12 @@ func (n *Network) injectAt(sw *swc, m *mesg.Message, when sim.Cycle) {
 	dom.eng.AtEvent(when, n, opInjArrive, uint64(sw.ord), t)
 }
 
-// routeFrom computes a route for a message created inside switch sw.
-// The first hop's In port is the internal injection block.
-func (n *Network) routeFrom(sw topo.SwitchID, m *mesg.Message) []topo.Hop {
-	tp := n.tp
-	r := tp.Radix
-	inj := topo.Port(2 * r) // internal injection pseudo-port
-	d := m.Dst
-	sel := int(m.Addr >> 5)
-	var hops []topo.Hop
-	if sw.Stage == 1 { // top switch
-		if d.Side == mesg.MemSide {
-			if tp.TopOf(d.Node) == sw {
-				hops = []topo.Hop{{Sw: sw, In: inj, Out: topo.Port(r + d.Node%r)}}
-			} else {
-				// Down to an intermediate leaf, then back up: tops are not
-				// interconnected. Rare (no current protocol message takes
-				// this path); routed via leaf 0 on lane 0.
-				hops = n.viaLeaf(sw, 0, d.Node, inj)
-			}
-		} else {
-			// Down to the destination processor's leaf, then out.
-			full := tp.Backward(sw.Index*r /* any memory under sw */, d.Node)
-			hops = []topo.Hop{
-				{Sw: sw, In: inj, Out: full[0].Out},
-				full[1],
-			}
-		}
-	} else { // leaf switch
-		if d.Side == mesg.ProcSide && tp.LeafOf(d.Node) == sw {
-			hops = []topo.Hop{{Sw: sw, In: inj, Out: topo.Port(d.Node % r)}}
-		} else if d.Side == mesg.MemSide {
-			full := tp.Forward(sw.Index*r /* any proc under sw */, d.Node)
-			hops = []topo.Hop{
-				{Sw: sw, In: inj, Out: full[0].Out},
-				full[1],
-			}
-		} else {
-			// Processor under a different leaf: turn around at a top.
-			full := tp.Turnaround(sw.Index*r, d.Node, sel)
-			hops = append([]topo.Hop{{Sw: sw, In: inj, Out: full[0].Out}}, full[1:]...)
-		}
-	}
-	return hops
-}
-
-// viaLeaf builds top->leaf->top'->memory hops for the rare case of a
-// memory-bound message generated at a foreign top switch.
-func (n *Network) viaLeaf(from topo.SwitchID, leaf, memNode int, inj topo.Port) []topo.Hop {
-	tp := n.tp
-	r := tp.Radix
-	// from (top) down to leaf on lane 0 of their bundle.
-	downOut := topo.Port(leaf * tp.Bundle)
-	leafIn := topo.Port(r + from.Index*tp.Bundle)
-	up := tp.Forward(leaf*r, memNode)
-	return []topo.Hop{
-		{Sw: from, In: inj, Out: downOut},
-		{Sw: topo.SwitchID{Stage: 0, Index: leaf}, In: leafIn, Out: up[0].Out},
-		up[1],
-	}
+// routeFrom computes a route for a message created inside switch sw,
+// entering on the internal injection pseudo-port, through the owning
+// domain's route cache (topo.RouteFrom does the arithmetic).
+func (n *Network) routeFrom(sw *swc, m *mesg.Message) []topo.Hop {
+	inj := topo.Port(2 * n.tp.Radix)
+	return sw.dom.rc.RouteFrom(sw.id, inj, m.Dst.Side == mesg.MemSide, m.Dst.Node, int(m.Addr>>5))
 }
 
 // deliverEnd hands a message to the endpoint handler.
@@ -1083,7 +1024,8 @@ func (n *Network) Quiesced() bool {
 			return false
 		}
 	}
-	for _, sw := range n.switches {
+	for i := range n.switches {
+		sw := &n.switches[i]
 		for p := range sw.in {
 			for v := 0; v < VCsPerPort; v++ {
 				if !sw.in[p][v].empty() {

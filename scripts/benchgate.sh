@@ -1,5 +1,9 @@
 #!/bin/sh
-# Parallel-speedup gate: BenchmarkShardedFFT at 8 workers must beat the
+# Two perf gates. First a memory-ceiling gate: the scalability
+# benchmarks' live-heap metric must grow sub-quadratically from 64 to
+# 256 nodes (route state is O(N·s + bounded LRU), not per-pair
+# tables). It runs on every host. Then the parallel-speedup gate:
+# BenchmarkShardedFFT at 8 workers must beat the
 # same benchmark at 1 worker, or the sharded engine's coordination
 # machinery has regressed into pure overhead — the failure mode the
 # adaptive-lookahead protocol exists to prevent.
@@ -21,6 +25,36 @@
 # while measurement jitter around a real speedup never does.
 set -eu
 cd "$(dirname "$0")/.."
+
+# --- Memory-ceiling gate (runs on every host, before the CPU skip) ---
+#
+# Route state must be O(N·s + bounded LRU), not the old O(N²) of
+# per-(proc,mem) precomputed paths. The scalability benchmarks report
+# the GC'd live heap of the largest machine they build; going from 64
+# to 256 nodes (4x) a quadratic structure would grow ~16x, so the gate
+# asserts live-heap(256) < 16 * live-heap(64). Linear-ish growth sits
+# around 3-4x, leaving the bound loose enough to never trip on noise
+# and tight enough to catch an accidental return to quadratic tables.
+memout=$(go test -run '^$' -bench 'BenchmarkScalability(64|256)Nodes$' -benchtime 1x .)
+echo "$memout"
+
+heapmb() {
+	awk -v unit="live-heap-mb-$1" '{ for (i = 2; i <= NF; i++) if ($i == unit) print $(i-1) }'
+}
+h64=$(echo "$memout" | heapmb 64n)
+h256=$(echo "$memout" | heapmb 256n)
+if [ -z "$h64" ] || [ -z "$h256" ]; then
+	echo "benchgate: FAIL: could not parse live-heap-mb metrics (64n: '$h64', 256n: '$h256')"
+	exit 1
+fi
+echo "benchgate: live heap: 64 nodes ${h64} MB, 256 nodes ${h256} MB"
+if awk "BEGIN { exit !($h256 >= $h64 * 16) }"; then
+	echo "benchgate: FAIL: 256-node live heap is >=16x the 64-node heap — route state is growing quadratically"
+	exit 1
+fi
+awk "BEGIN { printf \"benchgate: OK: 64->256-node heap growth %.2fx (sub-quadratic bound 16x)\\n\", $h256 / $h64 }"
+
+# --- Parallel-speedup gate (needs 8 real cores) ---
 
 ncpu=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 if [ "$ncpu" -lt 8 ]; then
